@@ -1,0 +1,180 @@
+// Command cascabel is the source-to-source translator of the paper's case
+// study: it takes an annotated serial task-based C program and a PDL
+// platform description, performs task registration, static variant
+// pre-selection and output generation, and either writes the generated
+// program plus compile plan or directly executes the translated task graph
+// on the runtime (simulated or real).
+//
+// Usage:
+//
+//	cascabel -in prog.c -platform xeon-2gpu -o outdir
+//	cascabel -in prog.c -pdl custom.pdl.xml -plan
+//	cascabel -in prog.c -platform xeon-2gpu -run -sched dmda -n 1048576
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"repro/internal/codegen"
+	"repro/internal/core"
+	"repro/internal/csrc"
+	"repro/internal/discover"
+	"repro/internal/mapping"
+	"repro/internal/pdlxml"
+	"repro/internal/repo"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "cascabel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("cascabel", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		in        = fs.String("in", "", "annotated input program (required)")
+		platform  = fs.String("platform", "", "catalog platform name")
+		pdlFile   = fs.String("pdl", "", "PDL document (alternative to -platform)")
+		outDir    = fs.String("o", "", "write generated program and compile plan into this directory")
+		showPlan  = fs.Bool("plan", false, "print the mapping summary and compile plan")
+		doRun     = fs.Bool("run", false, "execute the translated program on the task runtime")
+		mode      = fs.String("mode", "sim", "execution mode with -run: sim or real")
+		sched     = fs.String("sched", "dmda", "scheduler with -run")
+		n         = fs.Int("n", 1<<20, "vector length for distributed arguments with -run")
+		pieces    = fs.Int("pieces", 0, "task decomposition width with -run (0 = one per unit)")
+		showGantt = fs.Bool("trace", false, "with -run: print a per-unit execution timeline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("missing -in <program.c>")
+	}
+	var pl *core.Platform
+	switch {
+	case *platform != "" && *pdlFile != "":
+		return fmt.Errorf("use either -platform or -pdl, not both")
+	case *platform != "":
+		p, err := discover.Platform(*platform)
+		if err != nil {
+			return err
+		}
+		pl = p
+	case *pdlFile != "":
+		p, err := pdlxml.ReadFile(*pdlFile)
+		if err != nil {
+			return err
+		}
+		pl = p
+	default:
+		return fmt.Errorf("missing target: pass -platform <name> or -pdl <file>")
+	}
+
+	src, err := os.ReadFile(*in)
+	if err != nil {
+		return err
+	}
+	prog, err := csrc.ParseProgram(string(src))
+	if err != nil {
+		return err
+	}
+	repository := repo.NewWithLibrary()
+	if err := repository.RegisterProgram(prog, repo.DefaultKernels()); err != nil {
+		return err
+	}
+	plan, err := mapping.PlanProgram(prog, repository, pl)
+	if err != nil {
+		return err
+	}
+	fmt.Fprint(stdout, plan.Summary())
+
+	if *showPlan {
+		fmt.Fprint(stdout, codegen.CompilePlan(plan))
+	}
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+		pdlPath := filepath.Join(*outDir, pl.Name+".pdl.xml")
+		if err := pdlxml.WriteFile(pdlPath, pl); err != nil {
+			return err
+		}
+		goSrc, err := codegen.GenerateGo(plan, codegen.GenOptions{
+			PlatformFile: pl.Name + ".pdl.xml",
+			Scheduler:    *sched,
+		})
+		if err != nil {
+			return err
+		}
+		goPath := filepath.Join(*outDir, "main_generated.go")
+		if err := os.WriteFile(goPath, goSrc, 0o644); err != nil {
+			return err
+		}
+		cSrc, err := codegen.GenerateC(plan)
+		if err != nil {
+			return err
+		}
+		cPath := filepath.Join(*outDir, "main_generated.c")
+		if err := os.WriteFile(cPath, cSrc, 0o644); err != nil {
+			return err
+		}
+		planPath := filepath.Join(*outDir, "compile.plan")
+		if err := os.WriteFile(planPath, []byte(codegen.CompilePlan(plan)), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "wrote %s, %s, %s, %s\n", goPath, cPath, planPath, pdlPath)
+	}
+	if *doRun {
+		m := taskrt.Sim
+		execArgs := map[string]any{}
+		switch *mode {
+		case "sim":
+			for _, site := range plan.Sites {
+				for _, arg := range site.Site.Call.Args {
+					execArgs[arg] = codegen.SimVector{N: *n}
+				}
+			}
+		case "real":
+			m = taskrt.Real
+			for _, site := range plan.Sites {
+				for _, arg := range site.Site.Call.Args {
+					v := make(codegen.Vector, *n)
+					for i := range v {
+						v[i] = float64(i % 97)
+					}
+					execArgs[arg] = v
+				}
+			}
+		default:
+			return fmt.Errorf("unknown mode %q (sim or real)", *mode)
+		}
+		var tr *trace.Trace
+		if *showGantt {
+			tr = trace.New()
+		}
+		rep, err := codegen.Execute(plan, codegen.ExecOptions{
+			Mode:      m,
+			Scheduler: *sched,
+			Args:      execArgs,
+			Pieces:    *pieces,
+			Trace:     tr,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprint(stdout, rep.String())
+		if tr != nil {
+			fmt.Fprint(stdout, tr.Gantt(72))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const vecaddSrc = `#pragma cascabel task : x86
+ : Ivecadd
+ : vecadd01
+ : (A:readwrite, B:read)
+void vector_add(double *A, double *B) { }
+int main() {
+#pragma cascabel execute Ivecadd (A:BLOCK:N, B:BLOCK:N)
+vector_add(A, B);
+return 0;
+}
+`
+
+func writeProgram(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "vecadd.c")
+	if err := os.WriteFile(path, []byte(vecaddSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestTranslateToDirectory(t *testing.T) {
+	in := writeProgram(t)
+	outDir := t.TempDir()
+	var out bytes.Buffer
+	err := run([]string{"-in", in, "-platform", "xeon-2gpu", "-o", outDir, "-plan"}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	// Mapping summary printed.
+	if !strings.Contains(out.String(), "Ivecadd") {
+		t.Fatalf("summary missing:\n%s", out.String())
+	}
+	// Compile plan printed with -plan.
+	if !strings.Contains(out.String(), "nvcc") {
+		t.Fatalf("compile plan missing:\n%s", out.String())
+	}
+	// Artifacts written.
+	for _, f := range []string{"main_generated.go", "main_generated.c", "compile.plan", "xeon-2gpu.pdl.xml"} {
+		if _, err := os.Stat(filepath.Join(outDir, f)); err != nil {
+			t.Errorf("missing artifact %s: %v", f, err)
+		}
+	}
+	gen, err := os.ReadFile(filepath.Join(outDir, "main_generated.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(gen), "DO NOT EDIT") {
+		t.Fatal("generated file lacks header")
+	}
+}
+
+func TestRunSimMode(t *testing.T) {
+	in := writeProgram(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", in, "-platform", "xeon-2gpu", "-run", "-n", "65536", "-pieces", "8"}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mode=sim") {
+		t.Fatalf("report missing:\n%s", out.String())
+	}
+}
+
+func TestRunRealMode(t *testing.T) {
+	in := writeProgram(t)
+	var out bytes.Buffer
+	err := run([]string{"-in", in, "-platform", "xeon-cpu", "-run", "-mode", "real", "-n", "10000"}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "mode=real") {
+		t.Fatalf("report missing:\n%s", out.String())
+	}
+}
+
+func TestCustomPDLFile(t *testing.T) {
+	in := writeProgram(t)
+	pdl := filepath.Join(t.TempDir(), "custom.pdl.xml")
+	doc := `<Platform name="custom"><Master id="m" quantity="4"><PUDescriptor><Property fixed="true"><name>ARCHITECTURE</name><value>x86</value></Property></PUDescriptor></Master></Platform>`
+	if err := os.WriteFile(pdl, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{"-in", in, "-pdl", pdl}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "custom") {
+		t.Fatalf("summary = %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	in := writeProgram(t)
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -in must fail")
+	}
+	if err := run([]string{"-in", in}, &out); err == nil {
+		t.Fatal("missing platform must fail")
+	}
+	if err := run([]string{"-in", in, "-platform", "x", "-pdl", "y"}, &out); err == nil {
+		t.Fatal("conflicting platform flags must fail")
+	}
+	if err := run([]string{"-in", "nosuch.c", "-platform", "xeon-cpu"}, &out); err == nil {
+		t.Fatal("missing input must fail")
+	}
+	if err := run([]string{"-in", in, "-platform", "xeon-cpu", "-run", "-mode", "quantum"}, &out); err == nil {
+		t.Fatal("bad mode must fail")
+	}
+	// Program whose only annotation targets an unsatisfiable platform.
+	// The interface name must not collide with the built-in library, which
+	// would supply a matching fallback variant.
+	badSrc := strings.ReplaceAll(strings.ReplaceAll(vecaddSrc, ": x86", ": cell"), "Ivecadd", "Icellonly")
+	bad := filepath.Join(t.TempDir(), "bad.c")
+	if err := os.WriteFile(bad, []byte(badSrc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-in", bad, "-platform", "xeon-cpu"}, &out); err == nil {
+		t.Fatal("unmatchable program must fail")
+	}
+}

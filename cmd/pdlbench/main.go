@@ -1,0 +1,79 @@
+// Command pdlbench runs the evaluation harnesses: the paper's Figure 5 and
+// the ablation experiments Ext-A..Ext-E documented in DESIGN.md, printing
+// the same rows the paper (or EXPERIMENTS.md) reports.
+//
+// Usage:
+//
+//	pdlbench -exp fig5 [-n 8192] [-tile 1024] [-sched dmda]
+//	pdlbench -exp sched|tiles|bw|crossover|realcpu
+//	pdlbench -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdlbench", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		exp   = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu or all")
+		n     = fs.Int("n", 8192, "matrix extent")
+		tile  = fs.Int("tile", 1024, "tile extent")
+		sched = fs.String("sched", "dmda", "scheduler for fig5/tiles")
+		realN = fs.Int("realn", 768, "matrix extent for the real-mode experiment")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	runOne := func(name string) error {
+		var res *experiments.Result
+		var err error
+		switch name {
+		case "fig5":
+			res, err = experiments.Figure5(experiments.Fig5Config{N: *n, Tile: *tile, Scheduler: *sched})
+		case "sched":
+			res, err = experiments.SchedulerSweep(*n, *tile, nil)
+		case "tiles":
+			res, err = experiments.TileSweep(*n, nil, *sched)
+		case "bw":
+			res, err = experiments.BandwidthSweep(*n, *tile, nil)
+		case "crossover":
+			res, err = experiments.Crossover(nil, *tile)
+		case "failover":
+			res, err = experiments.DynamicFailover(*n, *tile)
+		case "stencil":
+			res, err = experiments.StencilSweep(1<<24, 64, 32)
+		case "realcpu":
+			res, err = experiments.RealCPUScaling(*realN, *realN/4, nil)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(stdout, res.Table())
+		return nil
+	}
+	if *exp == "all" {
+		for _, name := range []string{"fig5", "sched", "tiles", "bw", "crossover", "failover", "stencil", "realcpu"} {
+			if err := runOne(name); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return runOne(*exp)
+}

@@ -1,0 +1,49 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFig5Small(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "fig5", "-n", "1024", "-tile", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Figure 5", "single", "starpu", "starpu+2gpu"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestOtherExperimentsSmall(t *testing.T) {
+	for _, exp := range []string{"sched", "tiles", "bw", "crossover"} {
+		var out bytes.Buffer
+		if err := run([]string{"-exp", exp, "-n", "1024", "-tile", "256"}, &out); err != nil {
+			t.Fatalf("%s: %v", exp, err)
+		}
+		if !strings.Contains(out.String(), "==") {
+			t.Fatalf("%s produced no table", exp)
+		}
+	}
+}
+
+func TestRealCPUExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "realcpu", "-realn", "128"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Ext-E") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "warp"}, &out); err == nil {
+		t.Fatal("unknown experiment must fail")
+	}
+}

@@ -1,0 +1,114 @@
+// Command pdlpredict drives the pattern-keyed auto-tuning workflow of the
+// paper's Figure 1: observe codelet execution times on one platform (here
+// produced by the calibrated simulator), persist the pattern-keyed models,
+// and later predict performance — and rank DGEMM implementation variants —
+// for a different platform that was never measured.
+//
+// Usage:
+//
+//	pdlpredict -observe -platform xeon-2gpu -models models.json   # measure & save
+//	pdlpredict -predict -platform gtx480 -models models.json -n 8192
+//	pdlpredict -rank -platform gtx480 -models models.json -n 8192
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/discover"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+	"repro/internal/repo"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdlpredict", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		observe  = fs.Bool("observe", false, "run calibration workloads on the platform and record observations")
+		doPred   = fs.Bool("predict", false, "predict DGEMM time on the platform from saved models")
+		rank     = fs.Bool("rank", false, "rank DGEMM implementation variants for the platform")
+		platform = fs.String("platform", "", "catalog platform name (required)")
+		models   = fs.String("models", "", "model store JSON path (required)")
+		n        = fs.Int("n", 8192, "matrix extent for -predict/-rank")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *platform == "" || *models == "" {
+		return fmt.Errorf("usage: pdlpredict -observe|-predict|-rank -platform <name> -models <file.json>")
+	}
+	pl, err := discover.Platform(*platform)
+	if err != nil {
+		return err
+	}
+	tuner := predict.NewTuner()
+	if _, err := os.Stat(*models); err == nil {
+		if err := tuner.Store().Load(*models); err != nil {
+			return err
+		}
+	}
+	flopsOf := func(size int) float64 {
+		return 2 * float64(size) * float64(size) * float64(size)
+	}
+	switch {
+	case *observe:
+		// Calibration sweep: the three library DGEMM variants at three
+		// sizes, timed by the simulator on this platform's descriptor.
+		for _, size := range []int{1024, 2048, 4096} {
+			rep, err := experiments.SimDGEMM(pl, size, 512, "dmda")
+			if err != nil {
+				return err
+			}
+			// Attribute the measured makespan to the variant that dominated
+			// the platform: cublas when GPUs ran tasks, goto otherwise.
+			variant := "dgemm_goto"
+			if rep.TasksOnArch("gpu") > rep.TasksOnArch("x86") {
+				variant = "dgemm_cublas"
+			}
+			if err := tuner.Observe(pl, variant, flopsOf(size), rep.MakespanSeconds); err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "observed %s n=%d: %.4fs (%s)\n", *platform, size, rep.MakespanSeconds, variant)
+		}
+		if err := tuner.Store().Save(*models); err != nil {
+			return err
+		}
+		fmt.Fprintf(stdout, "saved models to %s\n", *models)
+		return nil
+	case *doPred:
+		for _, variant := range []string{"dgemm_cublas", "dgemm_goto"} {
+			pred, err := tuner.Predict(pl, variant, flopsOf(*n))
+			if err != nil {
+				fmt.Fprintf(stdout, "%-14s no prediction (%v)\n", variant, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-14s predicted %.4fs via pattern %q (%d samples)\n",
+				variant, pred.Seconds, pred.Pattern, pred.Samples)
+		}
+		return nil
+	case *rank:
+		ranked, err := tuner.RankVariants(repo.NewWithLibrary(), repo.IfaceDGEMM, pl, flopsOf(*n))
+		if err != nil {
+			return err
+		}
+		for i, rk := range ranked {
+			if rk.Err != nil {
+				fmt.Fprintf(stdout, "%d. %-14s (no observations)\n", i+1, rk.Variant.Name)
+				continue
+			}
+			fmt.Fprintf(stdout, "%d. %-14s %.4fs via %q\n", i+1, rk.Variant.Name, rk.Prediction.Seconds, rk.Prediction.Pattern)
+		}
+		return nil
+	}
+	return fmt.Errorf("pass one of -observe, -predict or -rank")
+}

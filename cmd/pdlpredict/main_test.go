@@ -1,0 +1,74 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestObservePredictRankWorkflow(t *testing.T) {
+	models := filepath.Join(t.TempDir(), "models.json")
+	var out bytes.Buffer
+
+	// Observe on the GPU testbed and on the CPU box.
+	if err := run([]string{"-observe", "-platform", "xeon-2gpu", "-models", models}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "saved models") {
+		t.Fatalf("observe output = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-observe", "-platform", "xeon-cpu", "-models", models}, &out); err != nil {
+		t.Fatal(err)
+	}
+
+	// Predict on an unseen platform that shares patterns.
+	out.Reset()
+	if err := run([]string{"-predict", "-platform", "gtx480", "-models", models, "-n", "4096"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "dgemm_cublas") || !strings.Contains(out.String(), "via pattern") {
+		t.Fatalf("predict output = %q", out.String())
+	}
+
+	// Rank variants for the unseen platform.
+	out.Reset()
+	if err := run([]string{"-rank", "-platform", "gtx480", "-models", models}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1. ") {
+		t.Fatalf("rank output = %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing flags must fail")
+	}
+	if err := run([]string{"-observe", "-platform", "vax", "-models", "m.json"}, &out); err == nil {
+		t.Fatal("unknown platform must fail")
+	}
+	models := filepath.Join(t.TempDir(), "m.json")
+	if err := run([]string{"-platform", "xeon-cpu", "-models", models}, &out); err == nil {
+		t.Fatal("no action must fail")
+	}
+	// Predict without observations: the command reports per-variant misses
+	// but does not error.
+	out.Reset()
+	if err := run([]string{"-predict", "-platform", "xeon-cpu", "-models", models}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no prediction") {
+		t.Fatalf("output = %q", out.String())
+	}
+	// Rank without observations still lists matched variants (unranked).
+	out.Reset()
+	if err := run([]string{"-rank", "-platform", "xeon-cpu", "-models", models}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no observations") {
+		t.Fatalf("output = %q", out.String())
+	}
+}

@@ -1,0 +1,100 @@
+// Command pdlquery evaluates selector expressions against a PDL document:
+// the query-API counterpart the paper positions next to hwloc and the OpenCL
+// platform query functions.
+//
+// Usage:
+//
+//	pdlquery -f platform.pdl.xml '//Worker[ARCHITECTURE=gpu]'
+//	pdlquery -f platform.pdl.xml -props '//Worker[@id=dev0]'
+//	pdlquery -f platform.pdl.xml -groups
+//	pdlquery -f platform.pdl.xml -route host,dev0
+//	pdlquery -f platform.pdl.xml -tree
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/pdlxml"
+	"repro/internal/query"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlquery:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdlquery", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	var (
+		file   = fs.String("f", "", "PDL document to query (required)")
+		props  = fs.Bool("props", false, "print descriptor properties of matched PUs")
+		groups = fs.Bool("groups", false, "print the platform's logic groups")
+		route  = fs.String("route", "", "print the interconnect route between two PU ids, comma separated")
+		tree   = fs.Bool("tree", false, "print the platform hierarchy")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *file == "" {
+		return fmt.Errorf("usage: pdlquery -f <file.pdl.xml> [selector]")
+	}
+	pl, err := pdlxml.ReadFile(*file)
+	if err != nil {
+		return err
+	}
+	switch {
+	case *tree:
+		fmt.Fprint(stdout, pl.Summary())
+		return nil
+	case *groups:
+		for _, g := range pl.Groups() {
+			ids := []string{}
+			for _, pu := range pl.Group(g) {
+				ids = append(ids, pu.ID)
+			}
+			fmt.Fprintf(stdout, "%s: %s\n", g, strings.Join(ids, ","))
+		}
+		return nil
+	case *route != "":
+		parts := strings.Split(*route, ",")
+		if len(parts) != 2 {
+			return fmt.Errorf("-route needs exactly two PU ids, comma separated")
+		}
+		path, err := pl.Route(strings.TrimSpace(parts[0]), strings.TrimSpace(parts[1]))
+		if err != nil {
+			return err
+		}
+		if len(path) == 0 {
+			fmt.Fprintln(stdout, "(same PU)")
+			return nil
+		}
+		for _, ic := range path {
+			fmt.Fprintf(stdout, "%s %s -> %s\n", ic.Type, ic.From, ic.To)
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("pass exactly one selector expression (or -tree/-groups/-route)")
+	}
+	matched, err := query.Select(pl, fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, pu := range matched {
+		fmt.Fprintln(stdout, pu)
+		if *props {
+			for _, p := range pu.Descriptor.Properties {
+				fmt.Fprintf(stdout, "  %s\n", p)
+			}
+		}
+	}
+	fmt.Fprintf(stdout, "%d match(es)\n", len(matched))
+	return nil
+}

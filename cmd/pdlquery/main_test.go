@@ -1,0 +1,113 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/pdlxml"
+)
+
+func fixtureFile(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "x.pdl.xml")
+	if err := pdlxml.WriteFile(path, discover.MustPlatform("xeon-2gpu")); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestSelectorQuery(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-f", path, "//Worker[ARCHITECTURE=gpu]"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "dev0") || !strings.Contains(s, "dev1") {
+		t.Fatalf("output = %q", s)
+	}
+	if !strings.Contains(s, "2 match(es)") {
+		t.Fatalf("output = %q", s)
+	}
+}
+
+func TestPropsFlag(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-f", path, "-props", "//*[@id=dev0]"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "GeForce GTX 480") {
+		t.Fatalf("props missing:\n%s", out.String())
+	}
+}
+
+func TestGroupsAndTree(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-f", path, "-groups"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "devset: dev0,dev1") {
+		t.Fatalf("groups = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-f", path, "-tree"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Master(id=host") {
+		t.Fatalf("tree = %q", out.String())
+	}
+}
+
+func TestRoute(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-f", path, "-route", "host,dev0"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "PCIe host -> dev0") {
+		t.Fatalf("route = %q", out.String())
+	}
+	out.Reset()
+	if err := run([]string{"-f", path, "-route", "host,host"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(same PU)") {
+		t.Fatalf("route = %q", out.String())
+	}
+	if err := run([]string{"-f", path, "-route", "host"}, &out); err == nil {
+		t.Fatal("route with one id must fail")
+	}
+	// Device-to-device routes stage through the host over the two PCIe links.
+	out.Reset()
+	if err := run([]string{"-f", path, "-route", "dev0,dev1"}, &out); err != nil {
+		t.Fatalf("dev0->dev1 should route via host: %v", err)
+	}
+	if got := strings.Count(out.String(), "PCIe"); got != 2 {
+		t.Fatalf("expected 2-hop route, got:\n%s", out.String())
+	}
+	if err := run([]string{"-f", path, "-route", "host,ghost"}, &out); err == nil {
+		t.Fatal("route to unknown PU must fail")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("missing -f must fail")
+	}
+	if err := run([]string{"-f", "nosuch.xml", "//Worker"}, &out); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	path := fixtureFile(t)
+	if err := run([]string{"-f", path}, &out); err == nil {
+		t.Fatal("missing selector must fail")
+	}
+	if err := run([]string{"-f", path, "///"}, &out); err == nil {
+		t.Fatal("bad selector must fail")
+	}
+}

@@ -1,0 +1,77 @@
+// Command pdlvalidate checks a PDL document against the hierarchical
+// machine model (structural rules: Masters at the top, Workers as leaves,
+// valid interconnect endpoints, ...) and against the typed property schemas
+// (units, value kinds, registered xsi:type subschemas).
+//
+// Exit status 0 means valid; 1 means the document violates the model;
+// warnings about open-vocabulary properties never fail the run unless
+// -strict is given.
+//
+// Usage:
+//
+//	pdlvalidate [-strict] file.pdl.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+
+	"repro/internal/pdlxml"
+	"repro/internal/schema"
+)
+
+func main() {
+	err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pdlvalidate:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdlvalidate", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	strict := fs.Bool("strict", false, "treat schema warnings as errors")
+	schemas := fs.Bool("schemas", false, "list the registered property schemas and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *schemas {
+		reg := schema.Default()
+		fmt.Fprintln(stdout, "base schema:")
+		for _, s := range reg.BaseSpecs() {
+			fmt.Fprintf(stdout, "  %-26s %-10s %s\n", s.Name, s.Kind, s.Doc)
+		}
+		for _, sub := range reg.Subschemas() {
+			fmt.Fprintf(stdout, "subschema %s (v%s):\n", sub.QualifiedType(), sub.Version)
+			names := make([]string, 0, len(sub.Specs))
+			for n := range sub.Specs {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				fmt.Fprintf(stdout, "  %-26s %s\n", n, sub.Specs[n].Kind)
+			}
+		}
+		return nil
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pdlvalidate [-strict|-schemas] <file.pdl.xml>")
+	}
+	pl, err := pdlxml.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	rep := schema.ValidatePlatform(pl, schema.Default())
+	fmt.Fprint(stdout, rep.String())
+	if !rep.OK() {
+		return fmt.Errorf("%s: invalid platform description", fs.Arg(0))
+	}
+	if *strict && len(rep.Warnings) > 0 {
+		return fmt.Errorf("%s: %d warning(s) in strict mode", fs.Arg(0), len(rep.Warnings))
+	}
+	return nil
+}

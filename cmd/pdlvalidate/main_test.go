@@ -1,0 +1,86 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/pdlxml"
+)
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "p.pdl.xml")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestValidDocument(t *testing.T) {
+	pl := discover.MustPlatform("xeon-2gpu")
+	path := filepath.Join(t.TempDir(), "x.pdl.xml")
+	if err := pdlxml.WriteFile(path, pl); err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("valid doc rejected: %v\n%s", err, out.String())
+	}
+}
+
+func TestInvalidDocument(t *testing.T) {
+	// A Worker at top level violates the machine model.
+	path := writeTemp(t, `<Platform name="bad"><Master id="m"><Worker id="w"><Worker id="x"/></Worker></Master></Platform>`)
+	var out bytes.Buffer
+	err := run([]string{path}, &out)
+	if err == nil {
+		t.Fatal("invalid doc accepted")
+	}
+	if !strings.Contains(out.String(), "error:") {
+		t.Fatalf("report = %q", out.String())
+	}
+}
+
+func TestStrictModeFailsOnWarnings(t *testing.T) {
+	path := writeTemp(t, `<Master id="m"><PUDescriptor><Property fixed="true"><name>MY_WEIRD_PROP</name><value>1</value></Property></PUDescriptor></Master>`)
+	var out bytes.Buffer
+	if err := run([]string{path}, &out); err != nil {
+		t.Fatalf("warnings must not fail by default: %v", err)
+	}
+	out.Reset()
+	if err := run([]string{"-strict", path}, &out); err == nil {
+		t.Fatal("strict mode must fail on warnings")
+	}
+}
+
+func TestSchemasListing(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-schemas"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"base schema:",
+		"ARCHITECTURE",
+		"subschema ocl:oclDevicePropertyType (v1.0):",
+		"MAX_COMPUTE_UNITS",
+		"subschema sim:simDevicePropertyType",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("schemas listing missing %q", want)
+		}
+	}
+}
+
+func TestUsageErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Fatal("no file must fail")
+	}
+	if err := run([]string{"nosuch.pdl.xml"}, &out); err == nil {
+		t.Fatal("missing file must fail")
+	}
+}

@@ -1,0 +1,79 @@
+// Autotune demonstrates the paper's Figure 1 tool arrow ("selection of
+// implementation variants, performance prediction"): execution times
+// observed on one machine are attributed to the abstract architectural
+// patterns that machine satisfies, and then predict performance — and rank
+// implementation variants — on a machine never measured before, because the
+// two machines share patterns.
+//
+// Run with:
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/discover"
+	"repro/internal/experiments"
+	"repro/internal/predict"
+	"repro/internal/repo"
+)
+
+func main() {
+	tuner := predict.NewTuner()
+	source := discover.MustPlatform("xeon-2gpu")
+
+	// Phase 1: measure the DGEMM variants on the source machine via the
+	// simulator (on a real deployment these would be real runs; the tuner
+	// does not care where the seconds come from).
+	fmt.Println("observing on", source.Name, "...")
+	for _, n := range []int{1024, 2048, 4096} {
+		flops := 2 * float64(n) * float64(n) * float64(n)
+		rep, err := experiments.SimDGEMM(source, n, 512, "dmda")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tuner.Observe(source, "dgemm_cublas", flops, rep.MakespanSeconds); err != nil {
+			log.Fatal(err)
+		}
+		cpu := discover.MustPlatform("xeon-cpu")
+		cpuRep, err := experiments.SimDGEMM(cpu, n, 512, "dmda")
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tuner.Observe(cpu, "dgemm_goto", flops, cpuRep.MakespanSeconds); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  n=%d: gpu-platform %.4fs, cpu-platform %.4fs\n",
+			n, rep.MakespanSeconds, cpuRep.MakespanSeconds)
+	}
+
+	// Phase 2: predict on an unseen machine (4 cores + one GTX480). It was
+	// never measured, but it satisfies the same host-device/opencl patterns
+	// as the source, so the pattern-keyed models transfer.
+	target := discover.MustPlatform("gtx480")
+	flops := 2 * float64(8192) * float64(8192) * float64(8192)
+	pred, err := tuner.Predict(target, "dgemm_cublas", flops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nprediction for %s, DGEMM 8192 via pattern %q: %.2fs (%d samples)\n",
+		target.Name, pred.Pattern, pred.Seconds, pred.Samples)
+
+	// Phase 3: rank the repository's implementation variants for the target.
+	repository := repo.NewWithLibrary()
+	ranked, err := tuner.RankVariants(repository, repo.IfaceDGEMM, target, flops)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("variant ranking for", target.Name, "(fastest first):")
+	for i, rk := range ranked {
+		if rk.Err != nil {
+			fmt.Printf("  %d. %-14s (no observations yet)\n", i+1, rk.Variant.Name)
+			continue
+		}
+		fmt.Printf("  %d. %-14s predicted %.2fs via pattern %q\n",
+			i+1, rk.Variant.Name, rk.Prediction.Seconds, rk.Prediction.Pattern)
+	}
+}

@@ -1,0 +1,87 @@
+// Failover demonstrates the paper's future-work direction (Section VI):
+// platform descriptors that track dynamically changing resources and feed
+// highly dynamic schedulers. A tracked PDL description of the evaluation
+// testbed loses its GPUs one by one; after each event the DGEMM workload is
+// re-planned against a snapshot of the current descriptor, and the logical
+// views the machine still supports are recomputed.
+//
+// Run with:
+//
+//	go run ./examples/failover
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/discover"
+	"repro/internal/dynamic"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+func main() {
+	platform := discover.MustPlatform("xeon-2gpu")
+	tracker, err := dynamic.NewTracker(platform)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracker.OnChange(func(e dynamic.Event) {
+		fmt.Printf("event v%d: %s %s\n", e.Version, e.Kind, e.PU)
+	})
+
+	run := func(stage string) {
+		snap, err := tracker.Snapshot()
+		if err != nil {
+			log.Fatal(err)
+		}
+		tr := trace.New()
+		rt, err := taskrt.New(taskrt.Config{
+			Platform: snap, Mode: taskrt.Sim, Scheduler: "dmda", Trace: tr,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.SubmitTiledGEMM(rt, 2048, 512, nil); err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rt.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		views, err := pattern.Views(snap)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names := make([]string, 0, len(views))
+		for _, v := range views {
+			names = append(names, v.Name)
+		}
+		fmt.Printf("[%s] makespan %.4fs, gpu tasks %d, logical views %v\n",
+			stage, rep.MakespanSeconds, rep.TasksOnArch("gpu"), names)
+		fmt.Print(tr.Gantt(64))
+		fmt.Println()
+	}
+
+	run("all online")
+	if err := tracker.SetOffline("dev0"); err != nil {
+		log.Fatal(err)
+	}
+	run("gtx480 failed")
+	if err := tracker.SetOffline("dev1"); err != nil {
+		log.Fatal(err)
+	}
+	run("both gpus failed")
+
+	// A runtime fills an unfixed descriptor property it just measured — the
+	// paper's "later instantiation by a runtime" workflow.
+	if err := tracker.FillProperty("dev1", "DRIVER_VERSION", "263.06"); err != nil {
+		log.Fatal(err)
+	}
+	if err := tracker.SetOnline("dev1"); err != nil {
+		log.Fatal(err)
+	}
+	run("gtx285 recovered")
+}

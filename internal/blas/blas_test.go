@@ -1,0 +1,307 @@
+package blas
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+const tol = 1e-9
+
+func randomGEMM(t testing.TB, m, n, k int, seed int64) (a, b, c *Matrix) {
+	t.Helper()
+	a, b, c = NewMatrix(m, k), NewMatrix(k, n), NewMatrix(m, n)
+	a.FillRandom(seed)
+	b.FillRandom(seed + 1)
+	return a, b, c
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(3, 4)
+	m.Set(1, 2, 42)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Set/At broken")
+	}
+	cp := m.Clone()
+	cp.Set(1, 2, 7)
+	if m.At(1, 2) != 42 {
+		t.Fatal("Clone shares storage")
+	}
+	m.Zero()
+	if m.At(1, 2) != 0 {
+		t.Fatal("Zero broken")
+	}
+	m.FillIdentity()
+	if m.At(0, 0) != 1 || m.At(2, 2) != 1 || m.At(0, 1) != 0 {
+		t.Fatal("FillIdentity broken")
+	}
+}
+
+func TestSubView(t *testing.T) {
+	m := NewMatrix(4, 4)
+	m.FillRandom(1)
+	sub := m.Sub(1, 1, 2, 2)
+	if sub.At(0, 0) != m.At(1, 1) || sub.At(1, 1) != m.At(2, 2) {
+		t.Fatal("Sub view misaligned")
+	}
+	sub.Set(0, 0, 99)
+	if m.At(1, 1) != 99 {
+		t.Fatal("Sub view should share storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range Sub should panic")
+		}
+	}()
+	m.Sub(3, 3, 2, 2)
+}
+
+func TestNewMatrixPanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewMatrix(-1, 2) should panic")
+		}
+	}()
+	NewMatrix(-1, 2)
+}
+
+func TestGemmIdentity(t *testing.T) {
+	a := NewMatrix(5, 5)
+	a.FillRandom(3)
+	id := NewMatrix(5, 5)
+	id.FillIdentity()
+	c := NewMatrix(5, 5)
+	if err := GemmNaive(a, id, c); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(a, c, tol) {
+		t.Fatalf("A*I != A (maxdiff %g)", MaxDiff(a, c))
+	}
+}
+
+func TestGemmKnownValues(t *testing.T) {
+	// [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+	a, b, c := NewMatrix(2, 2), NewMatrix(2, 2), NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	copy(b.Data, []float64{5, 6, 7, 8})
+	if err := GemmNaive(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{19, 22, 43, 50}
+	for i, w := range want {
+		if c.Data[i] != w {
+			t.Fatalf("c = %v; want %v", c.Data, want)
+		}
+	}
+}
+
+func TestGemmAccumulates(t *testing.T) {
+	a, b, c := randomGEMM(t, 3, 3, 3, 7)
+	c.FillIdentity()
+	ref := c.Clone()
+	if err := GemmNaive(a, b, c); err != nil {
+		t.Fatal(err)
+	}
+	if err := GemmNaive(a, b, ref); err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(c, ref, tol) {
+		t.Fatal("accumulation not deterministic")
+	}
+	// C += A*B means starting from identity differs from starting from zero.
+	zero := NewMatrix(3, 3)
+	if err := GemmNaive(a, b, zero); err != nil {
+		t.Fatal(err)
+	}
+	if Equal(c, zero, tol) {
+		t.Fatal("GemmNaive overwrote instead of accumulating")
+	}
+}
+
+func TestGemmVariantsAgree(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 1, 1}, {2, 3, 4}, {17, 19, 23}, {64, 64, 64}, {65, 63, 67}, {100, 1, 50},
+	}
+	for _, s := range shapes {
+		a, b, ref := randomGEMM(t, s.m, s.n, s.k, 42)
+		if err := GemmNaive(a, b, ref); err != nil {
+			t.Fatal(err)
+		}
+		for name, run := range map[string]func(a, b, c *Matrix) error{
+			"blocked":      func(a, b, c *Matrix) error { return GemmBlocked(a, b, c, 16) },
+			"blockedDflt":  func(a, b, c *Matrix) error { return GemmBlocked(a, b, c, 0) },
+			"parallel":     func(a, b, c *Matrix) error { return GemmParallel(a, b, c, 16, 4) },
+			"parallelAuto": func(a, b, c *Matrix) error { return GemmParallel(a, b, c, 16, 0) },
+			"parallel1":    func(a, b, c *Matrix) error { return GemmParallel(a, b, c, 16, 1) },
+		} {
+			c := NewMatrix(s.m, s.n)
+			if err := run(a, b, c); err != nil {
+				t.Fatalf("%s %+v: %v", name, s, err)
+			}
+			if d := MaxDiff(ref, c); d > 1e-8 {
+				t.Fatalf("%s %+v: maxdiff %g", name, s, d)
+			}
+		}
+	}
+}
+
+func TestGemmShapeErrors(t *testing.T) {
+	a, b, c := NewMatrix(2, 3), NewMatrix(4, 2), NewMatrix(2, 2)
+	if err := GemmNaive(a, b, c); err == nil {
+		t.Fatal("inner dim mismatch must fail")
+	}
+	b2 := NewMatrix(3, 2)
+	cBad := NewMatrix(3, 2)
+	if err := GemmNaive(a, b2, cBad); err == nil {
+		t.Fatal("output shape mismatch must fail")
+	}
+	if err := GemmBlocked(a, b, c, 8); err == nil {
+		t.Fatal("blocked must validate shapes")
+	}
+	if err := GemmParallel(a, b, c, 8, 2); err == nil {
+		t.Fatal("parallel must validate shapes")
+	}
+}
+
+func TestVecAdd(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{10, 20, 30}
+	if err := VecAdd(a, b); err != nil {
+		t.Fatal(err)
+	}
+	if a[0] != 11 || a[2] != 33 {
+		t.Fatalf("a = %v", a)
+	}
+	if err := VecAdd(a, []float64{1}); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+}
+
+func TestVecAddParallelAgrees(t *testing.T) {
+	n := 10001
+	a := make([]float64, n)
+	b := make([]float64, n)
+	ref := make([]float64, n)
+	for i := range a {
+		a[i] = float64(i)
+		b[i] = float64(2 * i)
+		ref[i] = float64(3 * i)
+	}
+	if err := VecAddParallel(a, b, 7); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != ref[i] {
+			t.Fatalf("a[%d] = %g; want %g", i, a[i], ref[i])
+		}
+	}
+	if err := VecAddParallel([]float64{1}, []float64{1, 2}, 2); err == nil {
+		t.Fatal("length mismatch must fail")
+	}
+	small := []float64{1}
+	if err := VecAddParallel(small, []float64{2}, 8); err != nil || small[0] != 3 {
+		t.Fatalf("tiny parallel vecadd: %v %v", small, err)
+	}
+}
+
+func TestDaxpyGemvDot(t *testing.T) {
+	x := []float64{1, 2}
+	y := []float64{10, 20}
+	if err := Daxpy(2, x, y); err != nil || y[0] != 12 || y[1] != 24 {
+		t.Fatalf("daxpy: %v", y)
+	}
+	if err := Daxpy(1, x, []float64{1}); err == nil {
+		t.Fatal("daxpy mismatch must fail")
+	}
+	a := NewMatrix(2, 2)
+	copy(a.Data, []float64{1, 2, 3, 4})
+	yy := []float64{0, 0}
+	if err := Gemv(a, []float64{1, 1}, yy); err != nil || yy[0] != 3 || yy[1] != 7 {
+		t.Fatalf("gemv: %v", yy)
+	}
+	if err := Gemv(a, []float64{1}, yy); err == nil {
+		t.Fatal("gemv x mismatch must fail")
+	}
+	if err := Gemv(a, []float64{1, 1}, []float64{0}); err == nil {
+		t.Fatal("gemv y mismatch must fail")
+	}
+	d, err := Dot(x, x)
+	if err != nil || d != 5 {
+		t.Fatalf("dot = %g, %v", d, err)
+	}
+	if _, err := Dot(x, []float64{1}); err == nil {
+		t.Fatal("dot mismatch must fail")
+	}
+}
+
+func TestEqualAndMaxDiffShapeMismatch(t *testing.T) {
+	if Equal(NewMatrix(2, 2), NewMatrix(2, 3), tol) {
+		t.Fatal("shape mismatch should not be Equal")
+	}
+	if !math.IsInf(MaxDiff(NewMatrix(2, 2), NewMatrix(3, 2)), 1) {
+		t.Fatal("MaxDiff on shape mismatch should be +Inf")
+	}
+}
+
+func TestFlopsGEMM(t *testing.T) {
+	if got := FlopsGEMM(10, 20, 30); got != 12000 {
+		t.Fatalf("FlopsGEMM = %g", got)
+	}
+}
+
+// Property-based: naive and blocked agree on random shapes.
+func TestQuickGemmBlockedAgreesWithNaive(t *testing.T) {
+	f := func(mm, nn, kk, bb uint8, seed int64) bool {
+		m, n, k := int(mm%24)+1, int(nn%24)+1, int(kk%24)+1
+		block := int(bb%8) + 1
+		a, b, ref := NewMatrix(m, k), NewMatrix(k, n), NewMatrix(m, n)
+		a.FillRandom(seed)
+		b.FillRandom(seed + 1)
+		if GemmNaive(a, b, ref) != nil {
+			return false
+		}
+		c := NewMatrix(m, n)
+		if GemmBlocked(a, b, c, block) != nil {
+			return false
+		}
+		return MaxDiff(ref, c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: (A·I)·x == A·x through Gemv for random matrices.
+func TestQuickGemvLinear(t *testing.T) {
+	f := func(nn uint8, seed int64) bool {
+		n := int(nn%16) + 1
+		a := NewMatrix(n, n)
+		a.FillRandom(seed)
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = float64(i + 1)
+		}
+		y1 := make([]float64, n)
+		if Gemv(a, x, y1) != nil {
+			return false
+		}
+		// Scale x by 2: result must double.
+		x2 := make([]float64, n)
+		for i := range x {
+			x2[i] = 2 * x[i]
+		}
+		y2 := make([]float64, n)
+		if Gemv(a, x2, y2) != nil {
+			return false
+		}
+		for i := range y1 {
+			if math.Abs(y2[i]-2*y1[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

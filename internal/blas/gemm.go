@@ -1,0 +1,130 @@
+package blas
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// shapeGEMM validates C = A·B conformability and returns m, n, k.
+func shapeGEMM(a, b, c *Matrix) (m, n, k int, err error) {
+	if a.Cols != b.Rows {
+		return 0, 0, 0, fmt.Errorf("blas: gemm inner dims %d != %d", a.Cols, b.Rows)
+	}
+	if c.Rows != a.Rows || c.Cols != b.Cols {
+		return 0, 0, 0, fmt.Errorf("blas: gemm output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols)
+	}
+	return a.Rows, b.Cols, a.Cols, nil
+}
+
+// GemmNaive computes C += A·B with the textbook triple loop (ikj order so
+// the inner loop streams rows). This is the "single" baseline kernel of the
+// paper's input program before any translation.
+func GemmNaive(a, b, c *Matrix) error {
+	m, n, k, err := shapeGEMM(a, b, c)
+	if err != nil {
+		return err
+	}
+	for i := 0; i < m; i++ {
+		crow := c.Data[i*c.Stride : i*c.Stride+n]
+		for l := 0; l < k; l++ {
+			av := a.At(i, l)
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[l*b.Stride : l*b.Stride+n]
+			for j := 0; j < n; j++ {
+				crow[j] += av * brow[j]
+			}
+		}
+	}
+	return nil
+}
+
+// DefaultBlock is the cache-blocking factor of the blocked kernels, sized so
+// three blocks fit comfortably in a 256 kB L2.
+const DefaultBlock = 64
+
+// GemmBlocked computes C += A·B with three-level cache blocking, the
+// single-threaded "optimized BLAS" stand-in.
+func GemmBlocked(a, b, c *Matrix, block int) error {
+	m, n, k, err := shapeGEMM(a, b, c)
+	if err != nil {
+		return err
+	}
+	if block < 1 {
+		block = DefaultBlock
+	}
+	for ii := 0; ii < m; ii += block {
+		iMax := min(ii+block, m)
+		for ll := 0; ll < k; ll += block {
+			lMax := min(ll+block, k)
+			for jj := 0; jj < n; jj += block {
+				jMax := min(jj+block, n)
+				for i := ii; i < iMax; i++ {
+					crow := c.Data[i*c.Stride : i*c.Stride+n]
+					for l := ll; l < lMax; l++ {
+						av := a.At(i, l)
+						if av == 0 {
+							continue
+						}
+						brow := b.Data[l*b.Stride : l*b.Stride+n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// GemmParallel computes C += A·B by splitting C's rows across `workers`
+// goroutines, each running the blocked kernel on its stripe. workers <= 0
+// uses GOMAXPROCS. This is the data-parallel CPU implementation the
+// translator emits for the paper's "starpu" series when run in real mode.
+func GemmParallel(a, b, c *Matrix, block, workers int) error {
+	m, _, _, err := shapeGEMM(a, b, c)
+	if err != nil {
+		return err
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > m {
+		workers = m
+	}
+	if workers <= 1 {
+		return GemmBlocked(a, b, c, block)
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	rowsPer := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		start := w * rowsPer
+		if start >= m {
+			break
+		}
+		rows := min(rowsPer, m-start)
+		wg.Add(1)
+		go func(w, start, rows int) {
+			defer wg.Done()
+			errs[w] = GemmBlocked(a.Sub(start, 0, rows, a.Cols), b, c.Sub(start, 0, rows, c.Cols), block)
+		}(w, start, rows)
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

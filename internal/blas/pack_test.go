@@ -1,0 +1,82 @@
+package blas
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGemmPackedAgreesWithNaive(t *testing.T) {
+	for _, s := range []struct{ m, n, k int }{
+		{1, 1, 1}, {7, 9, 11}, {64, 64, 64}, {65, 63, 67}, {128, 32, 96},
+	} {
+		a, b, ref := randomGEMM(t, s.m, s.n, s.k, 11)
+		if err := GemmNaive(a, b, ref); err != nil {
+			t.Fatal(err)
+		}
+		c := NewMatrix(s.m, s.n)
+		if err := GemmPacked(a, b, c, 24); err != nil {
+			t.Fatal(err)
+		}
+		if d := MaxDiff(ref, c); d > 1e-9 {
+			t.Fatalf("%+v: maxdiff %g", s, d)
+		}
+	}
+}
+
+func TestGemmPackedOnStridedViews(t *testing.T) {
+	// Packing must be correct when operands are tile views into a larger
+	// parent (non-compact stride) — the case it exists for.
+	parent := NewMatrix(64, 64)
+	parent.FillRandom(3)
+	a := parent.Sub(0, 0, 24, 24)
+	b := parent.Sub(8, 8, 24, 24)
+	ref := NewMatrix(24, 24)
+	if err := GemmNaive(a, b, ref); err != nil {
+		t.Fatal(err)
+	}
+	c := NewMatrix(24, 24)
+	if err := GemmPacked(a, b, c, 10); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(ref, c); d > 1e-9 {
+		t.Fatalf("strided maxdiff %g", d)
+	}
+}
+
+func TestGemmPackedShapeAndDefaults(t *testing.T) {
+	a, b, c := NewMatrix(2, 3), NewMatrix(4, 2), NewMatrix(2, 2)
+	if err := GemmPacked(a, b, c, 8); err == nil {
+		t.Fatal("shape mismatch must fail")
+	}
+	// block <= 0 falls back to DefaultBlock.
+	a2, b2, ref := randomGEMM(t, 16, 16, 16, 5)
+	if err := GemmNaive(a2, b2, ref); err != nil {
+		t.Fatal(err)
+	}
+	c2 := NewMatrix(16, 16)
+	if err := GemmPacked(a2, b2, c2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := MaxDiff(ref, c2); d > 1e-9 {
+		t.Fatalf("default block maxdiff %g", d)
+	}
+}
+
+// Property-based: packed and blocked agree on random shapes and blocks.
+func TestQuickGemmPackedAgreesWithBlocked(t *testing.T) {
+	f := func(mm, nn, kk, bb uint8, seed int64) bool {
+		m, n, k := int(mm%20)+1, int(nn%20)+1, int(kk%20)+1
+		block := int(bb%10) + 1
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		a.FillRandom(seed)
+		b.FillRandom(seed + 1)
+		c1, c2 := NewMatrix(m, n), NewMatrix(m, n)
+		if GemmBlocked(a, b, c1, block) != nil || GemmPacked(a, b, c2, block) != nil {
+			return false
+		}
+		return MaxDiff(c1, c2) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,131 @@
+package core
+
+import "testing"
+
+func TestClassString(t *testing.T) {
+	if Master.String() != "Master" || Hybrid.String() != "Hybrid" || Worker.String() != "Worker" {
+		t.Fatal("Class.String wrong")
+	}
+	if got := Class(99).String(); got != "Class(99)" {
+		t.Fatalf("unknown class String = %q", got)
+	}
+}
+
+func TestParseClass(t *testing.T) {
+	for s, want := range map[string]Class{"Master": Master, "Hybrid": Hybrid, "Worker": Worker} {
+		got, err := ParseClass(s)
+		if err != nil || got != want {
+			t.Errorf("ParseClass(%q) = %v, %v", s, got, err)
+		}
+	}
+	if _, err := ParseClass("Supervisor"); err == nil {
+		t.Fatal("unknown class must fail")
+	}
+}
+
+func TestPUHelpers(t *testing.T) {
+	p := &PU{ID: "m", Class: Master}
+	c := &PU{ID: "w", Class: Worker}
+	p.AddChild(c)
+	if len(p.Children) != 1 {
+		t.Fatal("AddChild failed")
+	}
+	if p.Find("w") != c {
+		t.Fatal("Find failed")
+	}
+	if p.Find("nope") != nil {
+		t.Fatal("Find false positive")
+	}
+	if p.EffectiveQuantity() != 1 {
+		t.Fatal("zero quantity should normalise to 1")
+	}
+	p.Quantity = 4
+	if p.EffectiveQuantity() != 4 {
+		t.Fatal("EffectiveQuantity wrong")
+	}
+	// String renders "?" for unknown arch.
+	if got := c.String(); got != "Worker(id=w arch=? q=1)" {
+		t.Fatalf("String = %q", got)
+	}
+	// Clone of nil is nil.
+	var nilPU *PU
+	if nilPU.Clone() != nil {
+		t.Fatal("Clone(nil) should be nil")
+	}
+}
+
+func TestInterconnectConnectsDirectionality(t *testing.T) {
+	ic := Interconnect{From: "a", To: "b"}
+	if !ic.Connects("a", "b") || ic.Connects("b", "a") {
+		t.Fatal("simplex Connects wrong")
+	}
+	ic.Duplex = true
+	if !ic.Connects("b", "a") {
+		t.Fatal("duplex Connects wrong")
+	}
+	if ic.Connects("a", "c") {
+		t.Fatal("Connects false positive")
+	}
+}
+
+func TestBandwidthLatencyUnits(t *testing.T) {
+	mk := func(name, value, unit string) *Interconnect {
+		var ic Interconnect
+		ic.Descriptor.Set(Property{Name: name, Value: value, Unit: unit, Fixed: true})
+		return &ic
+	}
+	if bw, ok := mk("BANDWIDTH", "2", "MB/s").BandwidthBytesPerSec(); !ok || bw != 2<<20 {
+		t.Fatalf("MB/s = %g %v", bw, ok)
+	}
+	if bw, ok := mk("BANDWIDTH", "1024", "kB/s").BandwidthBytesPerSec(); !ok || bw != 1<<20 {
+		t.Fatalf("kB/s = %g %v", bw, ok)
+	}
+	if bw, ok := mk("BANDWIDTH", "5", "").BandwidthBytesPerSec(); !ok || bw != 5 {
+		t.Fatalf("B/s = %g %v", bw, ok)
+	}
+	if _, ok := mk("BANDWIDTH", "5", "furlongs").BandwidthBytesPerSec(); ok {
+		t.Fatal("bad unit accepted")
+	}
+	if _, ok := mk("BANDWIDTH", "x", "GB/s").BandwidthBytesPerSec(); ok {
+		t.Fatal("bad value accepted")
+	}
+	if _, ok := (&Interconnect{}).LatencySeconds(); ok {
+		t.Fatal("missing latency should report !ok")
+	}
+	if lat, ok := mk("LATENCY", "5", "ms").LatencySeconds(); !ok || lat != 5e-3 {
+		t.Fatalf("ms = %g %v", lat, ok)
+	}
+	if lat, ok := mk("LATENCY", "7", "ns").LatencySeconds(); !ok || lat < 6.99e-9 || lat > 7.01e-9 {
+		t.Fatalf("ns = %g %v", lat, ok)
+	}
+	if lat, ok := mk("LATENCY", "2", "").LatencySeconds(); !ok || lat != 2 {
+		t.Fatalf("s = %g %v", lat, ok)
+	}
+}
+
+func TestMemoryRegionSizeUnits(t *testing.T) {
+	mk := func(value, unit string) MemoryRegion {
+		var mr MemoryRegion
+		mr.Descriptor.Set(Property{Name: PropMemSize, Value: value, Unit: unit, Fixed: true})
+		return mr
+	}
+	cases := []struct {
+		value, unit string
+		want        uint64
+		ok          bool
+	}{
+		{"10", "", 10, true},
+		{"10", "B", 10, true},
+		{"10", "MB", 10 << 20, true},
+		{"10", "GB", 10 << 30, true},
+		{"-1", "kB", 0, false},
+		{"10", "bits", 0, false},
+	}
+	for _, c := range cases {
+		mr := mk(c.value, c.unit)
+		got, ok := mr.SizeBytes()
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("SizeBytes(%q %q) = %d, %v", c.value, c.unit, got, ok)
+		}
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Property is the extensible key/value unit of all PDL descriptors.
+//
+// Fixed properties are authoritative statements by the descriptor author;
+// unfixed properties are placeholders whose Value may be filled in or
+// overridden later by other tools (e.g. a runtime completing a descriptor
+// written at program-composition time).
+//
+// Type carries the namespaced subschema type for polymorphic properties, e.g.
+// "ocl:oclDevicePropertyType" for values gathered from an OpenCL runtime. An
+// empty Type denotes the base property schema. Unit optionally qualifies
+// Value ("kB", "MHz", ...).
+type Property struct {
+	Name  string
+	Value string
+	Unit  string
+	Fixed bool
+	Type  string
+}
+
+// String renders the property in a compact human-readable form.
+func (p Property) String() string {
+	var b strings.Builder
+	b.WriteString(p.Name)
+	b.WriteString("=")
+	b.WriteString(p.Value)
+	if p.Unit != "" {
+		b.WriteString(" ")
+		b.WriteString(p.Unit)
+	}
+	if !p.Fixed {
+		b.WriteString(" (unfixed)")
+	}
+	if p.Type != "" {
+		fmt.Fprintf(&b, " [%s]", p.Type)
+	}
+	return b.String()
+}
+
+// Int parses the property value as a decimal integer.
+func (p Property) Int() (int64, error) {
+	v, err := strconv.ParseInt(strings.TrimSpace(p.Value), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: property %s: %w", p.Name, err)
+	}
+	return v, nil
+}
+
+// Float parses the property value as a float.
+func (p Property) Float() (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(p.Value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("core: property %s: %w", p.Name, err)
+	}
+	return v, nil
+}
+
+// Descriptor is an ordered, extensible collection of properties. It backs
+// PUDescriptor, MRDescriptor and ICDescriptor, which differ only in which
+// entity they annotate.
+type Descriptor struct {
+	Properties []Property
+}
+
+// Get returns the first property with the given name.
+func (d *Descriptor) Get(name string) (Property, bool) {
+	for _, p := range d.Properties {
+		if p.Name == name {
+			return p, true
+		}
+	}
+	return Property{}, false
+}
+
+// Value returns the value of the named property, or "" if absent.
+func (d *Descriptor) Value(name string) string {
+	p, ok := d.Get(name)
+	if !ok {
+		return ""
+	}
+	return p.Value
+}
+
+// Int returns the named property parsed as int64. ok is false if the
+// property is absent or not an integer.
+func (d *Descriptor) Int(name string) (v int64, ok bool) {
+	p, found := d.Get(name)
+	if !found {
+		return 0, false
+	}
+	n, err := p.Int()
+	if err != nil {
+		return 0, false
+	}
+	return n, true
+}
+
+// Float returns the named property parsed as float64.
+func (d *Descriptor) Float(name string) (v float64, ok bool) {
+	p, found := d.Get(name)
+	if !found {
+		return 0, false
+	}
+	f, err := p.Float()
+	if err != nil {
+		return 0, false
+	}
+	return f, true
+}
+
+// Set replaces the first property with the same name or appends a new one.
+// It returns the descriptor to allow chaining.
+func (d *Descriptor) Set(p Property) *Descriptor {
+	for i := range d.Properties {
+		if d.Properties[i].Name == p.Name {
+			d.Properties[i] = p
+			return d
+		}
+	}
+	d.Properties = append(d.Properties, p)
+	return d
+}
+
+// SetFixed sets a fixed base-schema property.
+func (d *Descriptor) SetFixed(name, value string) *Descriptor {
+	return d.Set(Property{Name: name, Value: value, Fixed: true})
+}
+
+// SetUnfixed sets an unfixed base-schema property, i.e. one whose value later
+// tools may override.
+func (d *Descriptor) SetUnfixed(name, value string) *Descriptor {
+	return d.Set(Property{Name: name, Value: value, Fixed: false})
+}
+
+// Fill assigns a value to an existing unfixed property. It fails if the
+// property is absent or fixed: fixed properties are authoritative and must
+// not be silently overwritten by downstream tools.
+func (d *Descriptor) Fill(name, value string) error {
+	for i := range d.Properties {
+		if d.Properties[i].Name != name {
+			continue
+		}
+		if d.Properties[i].Fixed {
+			return fmt.Errorf("core: property %s is fixed and cannot be filled", name)
+		}
+		d.Properties[i].Value = value
+		return nil
+	}
+	return fmt.Errorf("core: no property %s to fill", name)
+}
+
+// Delete removes all properties with the given name and reports whether any
+// were removed.
+func (d *Descriptor) Delete(name string) bool {
+	kept := d.Properties[:0]
+	removed := false
+	for _, p := range d.Properties {
+		if p.Name == name {
+			removed = true
+			continue
+		}
+		kept = append(kept, p)
+	}
+	d.Properties = kept
+	return removed
+}
+
+// Names returns the sorted set of property names present in the descriptor.
+func (d *Descriptor) Names() []string {
+	seen := make(map[string]bool, len(d.Properties))
+	var names []string
+	for _, p := range d.Properties {
+		if !seen[p.Name] {
+			seen[p.Name] = true
+			names = append(names, p.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Merge copies every property of src into d, overwriting same-named entries.
+// Fixed properties in d are preserved unless the incoming property is also
+// fixed (author statements outrank tool completions).
+func (d *Descriptor) Merge(src Descriptor) {
+	for _, p := range src.Properties {
+		if cur, ok := d.Get(p.Name); ok && cur.Fixed && !p.Fixed {
+			continue
+		}
+		d.Set(p)
+	}
+}
+
+// Clone returns a deep copy of the descriptor.
+func (d Descriptor) Clone() Descriptor {
+	out := Descriptor{}
+	if d.Properties != nil {
+		out.Properties = make([]Property, len(d.Properties))
+		copy(out.Properties, d.Properties)
+	}
+	return out
+}
+
+// Equal reports whether two descriptors contain the same properties in the
+// same order.
+func (d Descriptor) Equal(o Descriptor) bool {
+	if len(d.Properties) != len(o.Properties) {
+		return false
+	}
+	for i := range d.Properties {
+		if d.Properties[i] != o.Properties[i] {
+			return false
+		}
+	}
+	return true
+}

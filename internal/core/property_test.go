@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestPropertyIntFloat(t *testing.T) {
+	p := Property{Name: "CORES", Value: "8"}
+	n, err := p.Int()
+	if err != nil || n != 8 {
+		t.Fatalf("Int() = %d, %v; want 8, nil", n, err)
+	}
+	f, err := Property{Name: "F", Value: "2.66"}.Float()
+	if err != nil || f != 2.66 {
+		t.Fatalf("Float() = %g, %v; want 2.66, nil", f, err)
+	}
+	if _, err := (Property{Name: "X", Value: "abc"}).Int(); err == nil {
+		t.Fatal("Int() on non-numeric value should fail")
+	}
+	if _, err := (Property{Name: "X", Value: ""}).Float(); err == nil {
+		t.Fatal("Float() on empty value should fail")
+	}
+}
+
+func TestPropertyString(t *testing.T) {
+	p := Property{Name: "GLOBAL_MEM_SIZE", Value: "1572864", Unit: "kB", Fixed: false, Type: "ocl:oclDevicePropertyType"}
+	s := p.String()
+	for _, want := range []string{"GLOBAL_MEM_SIZE=1572864", "kB", "(unfixed)", "[ocl:oclDevicePropertyType]"} {
+		if !contains(s, want) {
+			t.Errorf("String() = %q; missing %q", s, want)
+		}
+	}
+}
+
+func contains(s, sub string) bool {
+	return len(s) >= len(sub) && (s == sub || len(sub) == 0 || index(s, sub) >= 0)
+}
+
+func index(s, sub string) int {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestDescriptorGetSetDelete(t *testing.T) {
+	var d Descriptor
+	if _, ok := d.Get("ARCHITECTURE"); ok {
+		t.Fatal("Get on empty descriptor should miss")
+	}
+	d.SetFixed("ARCHITECTURE", "x86")
+	d.SetFixed("CORES", "4")
+	if v := d.Value("ARCHITECTURE"); v != "x86" {
+		t.Fatalf("Value = %q; want x86", v)
+	}
+	d.SetFixed("ARCHITECTURE", "gpu") // overwrite, no duplicate
+	if len(d.Properties) != 2 {
+		t.Fatalf("Set should replace; have %d properties", len(d.Properties))
+	}
+	if n, ok := d.Int("CORES"); !ok || n != 4 {
+		t.Fatalf("Int(CORES) = %d, %v", n, ok)
+	}
+	if _, ok := d.Int("ARCHITECTURE"); ok {
+		t.Fatal("Int on non-numeric property should report !ok")
+	}
+	if !d.Delete("CORES") {
+		t.Fatal("Delete existing should report true")
+	}
+	if d.Delete("CORES") {
+		t.Fatal("Delete absent should report false")
+	}
+}
+
+func TestDescriptorFill(t *testing.T) {
+	var d Descriptor
+	d.SetUnfixed("DEVICE_NAME", "")
+	d.SetFixed("ARCHITECTURE", "gpu")
+	if err := d.Fill("DEVICE_NAME", "GeForce GTX 480"); err != nil {
+		t.Fatalf("Fill unfixed: %v", err)
+	}
+	if v := d.Value("DEVICE_NAME"); v != "GeForce GTX 480" {
+		t.Fatalf("after Fill, value = %q", v)
+	}
+	if err := d.Fill("ARCHITECTURE", "x86"); err == nil {
+		t.Fatal("Fill on fixed property must fail")
+	}
+	if err := d.Fill("NO_SUCH", "v"); err == nil {
+		t.Fatal("Fill on absent property must fail")
+	}
+}
+
+func TestDescriptorMergeFixedWins(t *testing.T) {
+	var d Descriptor
+	d.SetFixed("ARCHITECTURE", "x86")
+	d.SetUnfixed("CLOCK_FREQUENCY", "")
+	var src Descriptor
+	src.SetUnfixed("ARCHITECTURE", "gpu") // must not clobber fixed
+	src.SetFixed("CLOCK_FREQUENCY", "2660")
+	src.SetFixed("CORES", "8")
+	d.Merge(src)
+	if v := d.Value("ARCHITECTURE"); v != "x86" {
+		t.Errorf("fixed property overwritten by unfixed merge: %q", v)
+	}
+	if v := d.Value("CLOCK_FREQUENCY"); v != "2660" {
+		t.Errorf("unfixed property not completed by merge: %q", v)
+	}
+	if v := d.Value("CORES"); v != "8" {
+		t.Errorf("new property not merged: %q", v)
+	}
+}
+
+func TestDescriptorNamesSortedUnique(t *testing.T) {
+	var d Descriptor
+	d.Properties = []Property{{Name: "b"}, {Name: "a"}, {Name: "b"}}
+	names := d.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names() = %v", names)
+	}
+}
+
+func TestDescriptorCloneIsDeep(t *testing.T) {
+	var d Descriptor
+	d.SetFixed("A", "1")
+	cp := d.Clone()
+	cp.SetFixed("A", "2")
+	if d.Value("A") != "1" {
+		t.Fatal("Clone shares backing storage with original")
+	}
+	if !d.Equal(d.Clone()) {
+		t.Fatal("Clone should be Equal to original")
+	}
+}
+
+// Property-based: Set then Get round-trips for arbitrary name/value pairs.
+func TestQuickDescriptorSetGet(t *testing.T) {
+	f := func(name, value string, fixed bool) bool {
+		if name == "" {
+			return true // empty names are rejected by schema validation, not here
+		}
+		var d Descriptor
+		d.Set(Property{Name: name, Value: value, Fixed: fixed})
+		got, ok := d.Get(name)
+		return ok && got.Value == value && got.Fixed == fixed
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: Merge is idempotent.
+func TestQuickDescriptorMergeIdempotent(t *testing.T) {
+	f := func(names []string) bool {
+		var d, src Descriptor
+		for i, n := range names {
+			if n == "" {
+				continue
+			}
+			src.Set(Property{Name: n, Value: "v", Fixed: i%2 == 0})
+		}
+		d.Merge(src)
+		once := d.Clone()
+		d.Merge(src)
+		return d.Equal(once)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

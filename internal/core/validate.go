@@ -1,0 +1,136 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// ValidationError aggregates every machine-model violation found in a
+// platform so callers can report all problems at once.
+type ValidationError struct {
+	Problems []string
+}
+
+// Error implements the error interface.
+func (e *ValidationError) Error() string {
+	if len(e.Problems) == 1 {
+		return "core: invalid platform: " + e.Problems[0]
+	}
+	return fmt.Sprintf("core: invalid platform: %d problems: %s",
+		len(e.Problems), strings.Join(e.Problems, "; "))
+}
+
+// Validate checks the structural invariants of the hierarchical machine
+// model:
+//
+//   - the platform has at least one Master;
+//   - Master units appear only at the top level (they may coexist, but may
+//     not be controlled by any other unit);
+//   - Worker units are leaves (they control nothing);
+//   - Hybrid units are inner nodes: they are controlled by a Master or
+//     Hybrid and control at least one unit;
+//   - PU ids are unique and non-empty; quantities are non-negative;
+//   - interconnect endpoints reference existing PU ids and differ;
+//   - memory-region ids are unique within the platform.
+//
+// A nil return means the platform is a valid machine-model instance.
+func (pl *Platform) Validate() error {
+	var problems []string
+	add := func(format string, args ...any) {
+		problems = append(problems, fmt.Sprintf(format, args...))
+	}
+
+	if len(pl.Masters) == 0 {
+		add("platform has no Master PU")
+	}
+	for _, m := range pl.Masters {
+		if m == nil {
+			add("nil Master entry")
+			continue
+		}
+		if m.Class != Master {
+			add("top-level PU %q has class %s, want Master", m.ID, m.Class)
+		}
+	}
+
+	seenPU := map[string]bool{}
+	seenMR := map[string]bool{}
+	pl.Walk(func(n, parent *PU) bool {
+		if n.ID == "" {
+			add("%s has empty id", n.Class)
+		} else if seenPU[n.ID] {
+			add("duplicate PU id %q", n.ID)
+		}
+		seenPU[n.ID] = true
+
+		if n.Quantity < 0 {
+			add("PU %q has negative quantity %d", n.ID, n.Quantity)
+		}
+
+		switch n.Class {
+		case Master:
+			if parent != nil {
+				add("Master %q is controlled by %q; Masters may only appear at the top level", n.ID, parent.ID)
+			}
+		case Worker:
+			if parent == nil {
+				add("Worker %q appears at the top level; Workers must be controlled by a Master or Hybrid", n.ID)
+			}
+			if len(n.Children) > 0 {
+				add("Worker %q controls %d unit(s); Workers must be leaves", n.ID, len(n.Children))
+			}
+		case Hybrid:
+			if parent == nil {
+				add("Hybrid %q appears at the top level; Hybrids must be controlled by a Master or Hybrid", n.ID)
+			} else if parent.Class == Worker {
+				add("Hybrid %q is controlled by Worker %q", n.ID, parent.ID)
+			}
+			if len(n.Children) == 0 {
+				add("Hybrid %q controls nothing; model a leaf as a Worker instead", n.ID)
+			}
+		default:
+			add("PU %q has unknown class %d", n.ID, int(n.Class))
+		}
+
+		for _, mr := range n.Memory {
+			if mr.ID == "" {
+				add("memory region on PU %q has empty id", n.ID)
+			} else if seenMR[mr.ID] {
+				add("duplicate memory region id %q", mr.ID)
+			}
+			seenMR[mr.ID] = true
+		}
+		return true
+	})
+
+	for _, ic := range pl.Interconnects() {
+		if ic.From == "" || ic.To == "" {
+			add("interconnect %q has empty endpoint(s)", ic.ID)
+			continue
+		}
+		if ic.From == ic.To {
+			add("interconnect %q connects PU %q to itself", ic.ID, ic.From)
+		}
+		if !seenPU[ic.From] {
+			add("interconnect %q references unknown PU %q", ic.ID, ic.From)
+		}
+		if !seenPU[ic.To] {
+			add("interconnect %q references unknown PU %q", ic.ID, ic.To)
+		}
+	}
+
+	if len(problems) > 0 {
+		return &ValidationError{Problems: problems}
+	}
+	return nil
+}
+
+// AsValidationError extracts a *ValidationError from err, if present.
+func AsValidationError(err error) (*ValidationError, bool) {
+	var ve *ValidationError
+	if errors.As(err, &ve) {
+		return ve, true
+	}
+	return nil, false
+}

@@ -1,0 +1,209 @@
+package core
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestValidateAcceptsPaperPlatform(t *testing.T) {
+	if err := paperPlatform(t).Validate(); err != nil {
+		t.Fatalf("paper platform should be valid: %v", err)
+	}
+}
+
+func TestValidateRejectsEmptyPlatform(t *testing.T) {
+	pl := &Platform{Name: "empty"}
+	err := pl.Validate()
+	if err == nil {
+		t.Fatal("platform without Master must be invalid")
+	}
+	ve, ok := AsValidationError(err)
+	if !ok {
+		t.Fatalf("want *ValidationError, got %T", err)
+	}
+	if len(ve.Problems) != 1 || !strings.Contains(ve.Problems[0], "no Master") {
+		t.Fatalf("problems = %v", ve.Problems)
+	}
+}
+
+func TestValidateMasterNotAtTop(t *testing.T) {
+	inner := &PU{ID: "m2", Class: Master}
+	pl := &Platform{Masters: []*PU{{ID: "m", Class: Master, Children: []*PU{inner}}}}
+	err := pl.Validate()
+	if err == nil || !strings.Contains(err.Error(), "Masters may only appear at the top level") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateWorkerMustBeLeaf(t *testing.T) {
+	w := &PU{ID: "w", Class: Worker, Children: []*PU{{ID: "x", Class: Worker}}}
+	pl := &Platform{Masters: []*PU{{ID: "m", Class: Master, Children: []*PU{w}}}}
+	err := pl.Validate()
+	if err == nil || !strings.Contains(err.Error(), "must be leaves") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateWorkerAtTopLevel(t *testing.T) {
+	pl := &Platform{Masters: []*PU{{ID: "w", Class: Worker}}}
+	err := pl.Validate()
+	if err == nil {
+		t.Fatal("top-level Worker must be invalid")
+	}
+	// Both the class-of-top-level check and the worker-control check fire.
+	ve, _ := AsValidationError(err)
+	if len(ve.Problems) < 2 {
+		t.Fatalf("want >=2 problems, got %v", ve.Problems)
+	}
+}
+
+func TestValidateHybridRules(t *testing.T) {
+	// Hybrid as inner node with children: valid.
+	pl, err := NewBuilder("cell").
+		Master("ppe", Arch("ppc")).
+		Hybrid("h0", Arch("ppc")).
+		Worker("spe0", Arch("spe")).
+		Worker("spe1", Arch("spe")).
+		End().
+		Build()
+	if err != nil {
+		t.Fatalf("hybrid platform should build: %v", err)
+	}
+	if pl.FindPU("h0").Class != Hybrid {
+		t.Fatal("h0 should be Hybrid")
+	}
+
+	// Hybrid with no children: invalid.
+	h := &PU{ID: "h", Class: Hybrid}
+	bad := &Platform{Masters: []*PU{{ID: "m", Class: Master, Children: []*PU{h}}}}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "controls nothing") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Hybrid controlled by a Worker: invalid (plus worker-leaf violation).
+	w := &PU{ID: "w", Class: Worker, Children: []*PU{{ID: "h2", Class: Hybrid, Children: []*PU{{ID: "w2", Class: Worker}}}}}
+	bad2 := &Platform{Masters: []*PU{{ID: "m", Class: Master, Children: []*PU{w}}}}
+	if err := bad2.Validate(); err == nil || !strings.Contains(err.Error(), "controlled by Worker") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateDuplicateAndEmptyIDs(t *testing.T) {
+	pl := &Platform{Masters: []*PU{
+		{ID: "m", Class: Master, Children: []*PU{{ID: "m", Class: Worker}}},
+	}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate PU id") {
+		t.Fatalf("err = %v", err)
+	}
+	pl2 := &Platform{Masters: []*PU{{ID: "", Class: Master}}}
+	if err := pl2.Validate(); err == nil || !strings.Contains(err.Error(), "empty id") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateInterconnectEndpoints(t *testing.T) {
+	m := &PU{ID: "m", Class: Master, Children: []*PU{{ID: "w", Class: Worker}}}
+	m.Links = []Interconnect{{ID: "ic", Type: ICTypePCIe, From: "m", To: "ghost"}}
+	pl := &Platform{Masters: []*PU{m}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "unknown PU") {
+		t.Fatalf("err = %v", err)
+	}
+
+	m.Links = []Interconnect{{ID: "ic", Type: ICTypePCIe, From: "m", To: "m"}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "to itself") {
+		t.Fatalf("err = %v", err)
+	}
+
+	m.Links = []Interconnect{{ID: "ic", Type: ICTypePCIe}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "empty endpoint") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateNegativeQuantity(t *testing.T) {
+	pl := &Platform{Masters: []*PU{{ID: "m", Class: Master, Quantity: -2}}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "negative quantity") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidateDuplicateMemoryRegion(t *testing.T) {
+	pl := &Platform{Masters: []*PU{{
+		ID: "m", Class: Master,
+		Memory: []MemoryRegion{{ID: "r"}, {ID: "r"}},
+	}}}
+	if err := pl.Validate(); err == nil || !strings.Contains(err.Error(), "duplicate memory region") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBuilderErrors(t *testing.T) {
+	if _, err := NewBuilder("x").Worker("w").Build(); err == nil {
+		t.Fatal("Worker with no scope must fail")
+	}
+	if _, err := NewBuilder("x").Hybrid("h").Build(); err == nil {
+		t.Fatal("Hybrid with no scope must fail")
+	}
+	if _, err := NewBuilder("x").Master("m").End().Build(); err == nil {
+		t.Fatal("End with no Hybrid scope must fail")
+	}
+	if _, err := NewBuilder("x").Link("PCIe", "a", "b").Build(); err == nil {
+		t.Fatal("Link before any Master must fail")
+	}
+	// Errors are sticky: later calls don't panic or mask the first error.
+	b := NewBuilder("x").Worker("w")
+	b.Master("m").Worker("w2")
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "no open Master") {
+		t.Fatalf("sticky error lost: %v", err)
+	}
+}
+
+func TestBuilderAutoIDs(t *testing.T) {
+	pl, err := NewBuilder("auto").
+		Master("", Arch("x86")).
+		Worker("", Arch("gpu")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := map[string]bool{}
+	for _, pu := range pl.AllPUs() {
+		if pu.ID == "" {
+			t.Fatal("auto id not assigned")
+		}
+		ids[pu.ID] = true
+	}
+	if len(ids) != 2 {
+		t.Fatalf("ids not unique: %v", ids)
+	}
+}
+
+// Property-based: any platform built from a random shape descriptor via the
+// Builder validates, and Clone/Expand preserve validity.
+func TestQuickGeneratedPlatformsValidate(t *testing.T) {
+	f := func(workers uint8, hybrids uint8, qty uint8) bool {
+		nw := int(workers%5) + 1
+		nh := int(hybrids % 3)
+		b := NewBuilder("gen").Master("m", Arch("x86"), Qty(int(qty%4)+1))
+		for h := 0; h < nh; h++ {
+			b.Hybrid("", Arch("ppc"))
+			b.Worker("", Arch("spe"))
+			b.End()
+		}
+		for w := 0; w < nw; w++ {
+			b.Worker("", Arch("gpu"))
+		}
+		pl, err := b.Build()
+		if err != nil {
+			return false
+		}
+		if pl.Clone().Validate() != nil {
+			return false
+		}
+		return pl.Expand().Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

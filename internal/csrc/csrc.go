@@ -1,0 +1,135 @@
+// Package csrc is the Cascabel source frontend: a scanner and lightweight
+// parser for the annotated C subset the translator operates on. It plays the
+// role the ROSE framework plays in the paper's prototype — finding
+// `#pragma cascabel` annotations, attaching them to the function definition
+// or call statement that follows, and re-emitting source text.
+//
+// The parser deliberately does not implement full C: it understands exactly
+// what the translation pipeline needs — function definitions (return type,
+// name, parameter declarations, balanced body) and call statements — and
+// passes every other line through verbatim. Brace, string, char and comment
+// handling is exact, so bodies containing braces in literals survive.
+package csrc
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/pragma"
+)
+
+// Item is one element of a parsed program.
+type Item interface {
+	// Raw returns the original source text of the item.
+	Raw() string
+}
+
+// RawCode is a run of untranslated source lines.
+type RawCode struct {
+	Text string
+}
+
+// Raw implements Item.
+func (r *RawCode) Raw() string { return r.Text }
+
+// CParam is one declared parameter of a C function.
+type CParam struct {
+	Type string // e.g. "double *"
+	Name string // e.g. "A"
+}
+
+// Function is a parsed C function definition.
+type Function struct {
+	RetType string
+	Name    string
+	Params  []CParam
+	Body    string // text between the outermost braces, exclusive
+	Text    string // full original definition text
+}
+
+// Raw implements Item.
+func (f *Function) Raw() string { return f.Text }
+
+// Call is a parsed call statement.
+type Call struct {
+	Name string
+	Args []string
+	Text string
+}
+
+// Raw implements Item.
+func (c *Call) Raw() string { return c.Text }
+
+// TaskDef is a task annotation attached to the function definition that
+// follows it.
+type TaskDef struct {
+	Annotation *pragma.TaskAnnotation
+	Func       *Function
+	Line       int    // 1-based line of the pragma
+	Text       string // pragma + function text
+}
+
+// Raw implements Item.
+func (t *TaskDef) Raw() string { return t.Text }
+
+// ExecuteStmt is an execute annotation attached to the call statement that
+// follows it.
+type ExecuteStmt struct {
+	Annotation *pragma.ExecuteAnnotation
+	Call       *Call
+	Line       int
+	Text       string
+}
+
+// Raw implements Item.
+func (e *ExecuteStmt) Raw() string { return e.Text }
+
+// Program is a parsed annotated source file.
+type Program struct {
+	Items []Item
+}
+
+// TaskDefs returns the task definitions in source order.
+func (p *Program) TaskDefs() []*TaskDef {
+	var out []*TaskDef
+	for _, it := range p.Items {
+		if td, ok := it.(*TaskDef); ok {
+			out = append(out, td)
+		}
+	}
+	return out
+}
+
+// ExecuteStmts returns the annotated call sites in source order.
+func (p *Program) ExecuteStmts() []*ExecuteStmt {
+	var out []*ExecuteStmt
+	for _, it := range p.Items {
+		if es, ok := it.(*ExecuteStmt); ok {
+			out = append(out, es)
+		}
+	}
+	return out
+}
+
+// Print reconstructs the program source verbatim.
+func (p *Program) Print() string {
+	var b strings.Builder
+	for _, it := range p.Items {
+		b.WriteString(it.Raw())
+	}
+	return b.String()
+}
+
+// ParseError reports a frontend failure with its source line.
+type ParseError struct {
+	Line int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("csrc: line %d: %s", e.Line, e.Msg)
+}
+
+func errAt(line int, format string, args ...any) error {
+	return &ParseError{Line: line, Msg: fmt.Sprintf(format, args...)}
+}

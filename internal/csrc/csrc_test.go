@@ -1,0 +1,246 @@
+package csrc
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/taskrt"
+)
+
+// paperProgram is the paper's Listings 3/4 assembled into one compilable
+// unit: the vecadd task definition plus its annotated call site.
+const paperProgram = `#include <stdio.h>
+
+// Task definition
+#pragma cascabel task : x86
+    : Ivecadd
+    : vecadd01
+    : ( A: readwrite,
+        B : read )
+void vector_add(double *A, double *B) {
+    for (int i = 0; i < N; i++) { A[i] += B[i]; }
+};
+
+int main() {
+    double A[N], B[N];
+    // Task execution
+    #pragma cascabel execute Ivecadd
+        : executionset01
+        (A:BLOCK:N,
+         B:BLOCK:N)
+    vector_add( A, B );
+    return 0;
+}
+`
+
+func TestParsePaperProgram(t *testing.T) {
+	prog, err := ParseProgram(paperProgram)
+	if err != nil {
+		t.Fatalf("ParseProgram: %v", err)
+	}
+	tasks := prog.TaskDefs()
+	if len(tasks) != 1 {
+		t.Fatalf("task defs = %d", len(tasks))
+	}
+	td := tasks[0]
+	if td.Annotation.Interface != "Ivecadd" || td.Annotation.Name != "vecadd01" {
+		t.Fatalf("annotation = %+v", td.Annotation)
+	}
+	if td.Func.Name != "vector_add" || td.Func.RetType != "void" {
+		t.Fatalf("func = %+v", td.Func)
+	}
+	if len(td.Func.Params) != 2 {
+		t.Fatalf("params = %+v", td.Func.Params)
+	}
+	if td.Func.Params[0].Name != "A" || td.Func.Params[0].Type != "double *" {
+		t.Fatalf("param 0 = %+v", td.Func.Params[0])
+	}
+	if !strings.Contains(td.Func.Body, "A[i] += B[i]") {
+		t.Fatalf("body = %q", td.Func.Body)
+	}
+
+	execs := prog.ExecuteStmts()
+	if len(execs) != 1 {
+		t.Fatalf("execute stmts = %d", len(execs))
+	}
+	es := execs[0]
+	if es.Annotation.Interface != "Ivecadd" || es.Annotation.Group != "executionset01" {
+		t.Fatalf("exec annotation = %+v", es.Annotation)
+	}
+	if es.Annotation.Dists[0].Dist != partition.Block {
+		t.Fatalf("dist = %+v", es.Annotation.Dists)
+	}
+	if es.Call.Name != "vector_add" || len(es.Call.Args) != 2 || es.Call.Args[0] != "A" {
+		t.Fatalf("call = %+v", es.Call)
+	}
+	// Annotation param modes flow through for the runtime.
+	if td.Annotation.Params[0].Mode != taskrt.ReadWrite {
+		t.Fatal("mode lost")
+	}
+}
+
+func TestPrintIsLossless(t *testing.T) {
+	prog, err := ParseProgram(paperProgram)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := prog.Print()
+	// Everything except the trailing `;` after the function brace (which
+	// lands in a raw segment) must be reproduced; compare modulo whitespace.
+	norm := func(s string) string {
+		return strings.Join(strings.Fields(s), "")
+	}
+	if norm(printed) != norm(paperProgram) {
+		t.Fatalf("Print() not lossless.\n--- got ---\n%s\n--- want ---\n%s", printed, paperProgram)
+	}
+}
+
+func TestBracesInStringsAndComments(t *testing.T) {
+	src := `#pragma cascabel task : x86 : I : n : (A:read)
+void f(double *A) {
+    const char *s = "}{"; // } comment brace
+    /* } */
+    char c = '}';
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	td := prog.TaskDefs()[0]
+	if !strings.Contains(td.Func.Body, `"}{"`) || !strings.Contains(td.Func.Body, "'}'") {
+		t.Fatalf("body = %q", td.Func.Body)
+	}
+}
+
+func TestCodeAfterClosingBraceIsPreserved(t *testing.T) {
+	src := `#pragma cascabel task : x86 : I : n : (A:read)
+void f(double *A) { A[0] = 1; } int tail = 7;
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(prog.Print(), "int tail = 7;") {
+		t.Fatalf("tail lost:\n%s", prog.Print())
+	}
+}
+
+func TestMultipleTasksAndCalls(t *testing.T) {
+	src := `#pragma cascabel task : x86 : Ia : a1 : (X:readwrite)
+void fa(double *X) { }
+#pragma cascabel task : opencl, x86 : Ib : b1 : (Y:read, Z:write)
+void fb(double *Y, double *Z) { }
+int main() {
+#pragma cascabel execute Ia : g1 (X:BLOCK)
+fa(X);
+#pragma cascabel execute Ib (Y:CYCLIC, Z:BLOCK:M)
+fb(Y, Z);
+}
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.TaskDefs()) != 2 || len(prog.ExecuteStmts()) != 2 {
+		t.Fatalf("items = %d tasks, %d execs", len(prog.TaskDefs()), len(prog.ExecuteStmts()))
+	}
+	es := prog.ExecuteStmts()[1]
+	if es.Annotation.Group != "" || len(es.Annotation.Dists) != 2 {
+		t.Fatalf("second exec = %+v", es.Annotation)
+	}
+}
+
+func TestVoidAndEmptyParams(t *testing.T) {
+	src := `#pragma cascabel task : x86 : I : n : ()
+int f(void) { return 0; }
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fn := prog.TaskDefs()[0].Func
+	if len(fn.Params) != 0 || fn.RetType != "int" {
+		t.Fatalf("fn = %+v", fn)
+	}
+}
+
+func TestPointerStarPlacement(t *testing.T) {
+	src := `#pragma cascabel task : x86 : I : n : (A:read)
+void g(double* A) { }
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := prog.TaskDefs()[0].Func.Params[0]
+	if p.Name != "A" || p.Type != "double*" {
+		t.Fatalf("param = %+v", p)
+	}
+}
+
+func TestCallWithNestedParensArgs(t *testing.T) {
+	src := `#pragma cascabel execute I : g
+f(a, g(b, c), d);
+`
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	call := prog.ExecuteStmts()[0].Call
+	if len(call.Args) != 3 || call.Args[1] != "g(b, c)" {
+		t.Fatalf("args = %v", call.Args)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src, want string }{
+		{"taskNoFunc", "#pragma cascabel task : x86 : I : n : (A:read)\n", "not followed by a function"},
+		{"taskDecl", "#pragma cascabel task : x86 : I : n : (A:read)\nvoid f(double *A);\n", "declaration"},
+		{"unterminated", "#pragma cascabel task : x86 : I : n : (A:read)\nvoid f(double *A) {\n", "unterminated function"},
+		{"execNoCall", "#pragma cascabel execute I : g\n", "not followed by a call"},
+		{"execNonCall", "#pragma cascabel execute I : g\nx = 1;\n", "not followed by a call"},
+		{"execBadCallee", "#pragma cascabel execute I : g\n2 + f(x);\n", "callee name"},
+		{"badPragma", "#pragma cascabel task : x86\nvoid f() {}\n", "needs 4 fields"},
+		{"unbalancedPragma", "#pragma cascabel task : x86 : I : n : (A:read\n", "unbalanced parentheses"},
+		{"badHeader", "#pragma cascabel task : x86 : I : n : (A:read)\nf(double *A) { }\n", "return type and name"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ParseProgram(c.src)
+			if err == nil {
+				t.Fatalf("want error containing %q", c.want)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("err = %v; want substring %q", err, c.want)
+			}
+			var pe *ParseError
+			if !asParseError(err, &pe) || pe.Line < 1 {
+				t.Fatalf("error should carry a line number: %v", err)
+			}
+		})
+	}
+}
+
+func asParseError(err error, out **ParseError) bool {
+	if pe, ok := err.(*ParseError); ok {
+		*out = pe
+		return true
+	}
+	return false
+}
+
+func TestProgramWithoutAnnotations(t *testing.T) {
+	src := "int main() { return 0; }\n"
+	prog, err := ParseProgram(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Items) != 1 {
+		t.Fatalf("items = %d", len(prog.Items))
+	}
+	if prog.Print() != src {
+		t.Fatalf("Print() = %q", prog.Print())
+	}
+}

@@ -1,0 +1,411 @@
+package csrc
+
+import (
+	"strings"
+
+	"repro/internal/pragma"
+)
+
+// scanner walks the source line by line, tracking 1-based line numbers.
+type scanner struct {
+	lines []string
+	pos   int
+}
+
+func (s *scanner) eof() bool    { return s.pos >= len(s.lines) }
+func (s *scanner) peek() string { return s.lines[s.pos] }
+func (s *scanner) next() string { l := s.lines[s.pos]; s.pos++; return l }
+func (s *scanner) lineNo() int  { return s.pos + 1 }
+
+// ParseProgram parses annotated source text. Output of Print always ends
+// with a newline, even when the input does not.
+func ParseProgram(src string) (*Program, error) {
+	lines := strings.Split(src, "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	sc := &scanner{lines: lines}
+	prog := &Program{}
+	var raw []string
+	flushRaw := func() {
+		if len(raw) > 0 {
+			prog.Items = append(prog.Items, &RawCode{Text: strings.Join(raw, "\n") + "\n"})
+			raw = raw[:0]
+		}
+	}
+	for !sc.eof() {
+		if !pragma.IsCascabel(sc.peek()) {
+			raw = append(raw, sc.next())
+			continue
+		}
+		flushRaw()
+		pragmaLine := sc.lineNo()
+		text, err := collectPragma(sc)
+		if err != nil {
+			return nil, err
+		}
+		ann, err := pragma.Parse(text)
+		if err != nil {
+			return nil, errAt(pragmaLine, "%v", err)
+		}
+		switch ann.Kind {
+		case pragma.KindTask:
+			fn, fnText, err := parseFunction(sc)
+			if err != nil {
+				return nil, err
+			}
+			prog.Items = append(prog.Items, &TaskDef{
+				Annotation: ann.Task,
+				Func:       fn,
+				Line:       pragmaLine,
+				Text:       text + "\n" + fnText,
+			})
+		case pragma.KindExecute:
+			call, callText, err := parseCall(sc)
+			if err != nil {
+				return nil, err
+			}
+			prog.Items = append(prog.Items, &ExecuteStmt{
+				Annotation: ann.Execute,
+				Call:       call,
+				Line:       pragmaLine,
+				Text:       text + "\n" + callText,
+			})
+		}
+	}
+	flushRaw()
+	return prog, nil
+}
+
+// collectPragma gathers a pragma and its continuation lines: lines that keep
+// an open parenthesis balance or whose first non-space character is ':' or
+// '(' (the layout used throughout the paper's listings).
+func collectPragma(sc *scanner) (string, error) {
+	first := sc.next()
+	parts := []string{first}
+	balance := parenBalance(first)
+	for !sc.eof() {
+		trimmed := strings.TrimSpace(sc.peek())
+		if balance > 0 || strings.HasPrefix(trimmed, ":") || strings.HasPrefix(trimmed, "(") {
+			l := sc.next()
+			parts = append(parts, l)
+			balance += parenBalance(l)
+			continue
+		}
+		break
+	}
+	if balance != 0 {
+		return "", errAt(sc.lineNo(), "unbalanced parentheses in cascabel annotation")
+	}
+	return strings.Join(parts, "\n"), nil
+}
+
+func parenBalance(s string) int {
+	b := 0
+	for _, c := range s {
+		switch c {
+		case '(':
+			b++
+		case ')':
+			b--
+		}
+	}
+	return b
+}
+
+// skipBlank advances over blank lines.
+func (s *scanner) skipBlank() {
+	for !s.eof() && strings.TrimSpace(s.peek()) == "" {
+		s.pos++
+	}
+}
+
+// gatherUntil consumes lines until stop returns a cut index into the
+// accumulated text (or -1 to continue). It returns the text up to the cut;
+// any non-blank remainder of the final line is pushed back for subsequent
+// parsing so no source text is lost.
+func (s *scanner) gatherUntil(stop func(text string) int) (string, bool) {
+	var b strings.Builder
+	for !s.eof() {
+		if b.Len() > 0 {
+			b.WriteString("\n")
+		}
+		b.WriteString(s.next())
+		if cut := stop(b.String()); cut >= 0 {
+			text := b.String()
+			if rest := text[cut:]; strings.TrimSpace(rest) != "" {
+				s.lines = append(s.lines[:s.pos], append([]string{rest}, s.lines[s.pos:]...)...)
+			}
+			return text[:cut], true
+		}
+	}
+	return b.String(), false
+}
+
+// codeScan walks text skipping string/char literals and comments, calling
+// visit with the index and byte of each code character. visit returns true
+// to stop; codeScan then returns that index, else -1.
+func codeScan(text string, visit func(i int, c byte) bool) int {
+	const (
+		code = iota
+		lineComment
+		blockComment
+		strLit
+		charLit
+	)
+	state := code
+	for i := 0; i < len(text); i++ {
+		c := text[i]
+		switch state {
+		case lineComment:
+			if c == '\n' {
+				state = code
+			}
+		case blockComment:
+			if c == '*' && i+1 < len(text) && text[i+1] == '/' {
+				state = code
+				i++
+			}
+		case strLit:
+			if c == '\\' {
+				i++
+			} else if c == '"' {
+				state = code
+			}
+		case charLit:
+			if c == '\\' {
+				i++
+			} else if c == '\'' {
+				state = code
+			}
+		case code:
+			switch {
+			case c == '/' && i+1 < len(text) && text[i+1] == '/':
+				state = lineComment
+				i++
+			case c == '/' && i+1 < len(text) && text[i+1] == '*':
+				state = blockComment
+				i++
+			case c == '"':
+				state = strLit
+			case c == '\'':
+				state = charLit
+			default:
+				if visit(i, c) {
+					return i
+				}
+			}
+		}
+	}
+	return -1
+}
+
+// parseFunction parses `ret name(params) { body }` starting at the current
+// line.
+func parseFunction(sc *scanner) (*Function, string, error) {
+	sc.skipBlank()
+	if sc.eof() {
+		return nil, "", errAt(sc.lineNo(), "task annotation not followed by a function definition")
+	}
+	startLine := sc.lineNo()
+	// Gather until the body's outermost brace closes (or, for a bodyless
+	// declaration, until the terminating semicolon — rejected later).
+	text, ok := sc.gatherUntil(func(t string) int {
+		depth := 0
+		sawBrace := false
+		end := codeScan(t, func(_ int, c byte) bool {
+			switch c {
+			case '{':
+				depth++
+				sawBrace = true
+			case '}':
+				depth--
+				if sawBrace && depth == 0 {
+					return true
+				}
+			case ';':
+				if !sawBrace {
+					return true
+				}
+			}
+			return false
+		})
+		if end < 0 {
+			return -1
+		}
+		return end + 1
+	})
+	if !ok {
+		return nil, "", errAt(startLine, "unterminated function definition")
+	}
+	fn, err := parseFunctionText(text, startLine)
+	if err != nil {
+		return nil, "", err
+	}
+	fn.Text = text + "\n"
+	return fn, fn.Text, nil
+}
+
+func parseFunctionText(text string, line int) (*Function, error) {
+	open := codeScan(text, func(_ int, c byte) bool { return c == '(' })
+	if open < 0 {
+		if strings.Contains(text, ";") {
+			return nil, errAt(line, "task annotation followed by a declaration, need a definition")
+		}
+		return nil, errAt(line, "cannot find parameter list of task function")
+	}
+	header := strings.TrimSpace(text[:open])
+	fields := strings.Fields(header)
+	if len(fields) < 2 {
+		return nil, errAt(line, "cannot parse function header %q (need return type and name)", header)
+	}
+	name := fields[len(fields)-1]
+	ret := strings.Join(fields[:len(fields)-1], " ")
+	// Pointer stars may stick to the name.
+	for strings.HasPrefix(name, "*") {
+		name = name[1:]
+		ret += " *"
+	}
+	if name == "" {
+		return nil, errAt(line, "empty function name")
+	}
+	closeIdx := matchParen(text, open)
+	if closeIdx < 0 {
+		return nil, errAt(line, "unbalanced parameter list")
+	}
+	params, err := parseCParams(text[open+1:closeIdx], line)
+	if err != nil {
+		return nil, err
+	}
+	bodyOpen := codeScan(text[closeIdx:], func(_ int, c byte) bool { return c == '{' })
+	if bodyOpen < 0 {
+		return nil, errAt(line, "task annotation followed by a declaration, need a definition")
+	}
+	bodyOpen += closeIdx
+	bodyClose := strings.LastIndexByte(text, '}')
+	if bodyClose < bodyOpen {
+		return nil, errAt(line, "unterminated function body")
+	}
+	return &Function{
+		RetType: ret,
+		Name:    name,
+		Params:  params,
+		Body:    text[bodyOpen+1 : bodyClose],
+	}, nil
+}
+
+// matchParen returns the index of the ')' matching the '(' at open, or -1.
+func matchParen(text string, open int) int {
+	depth := 0
+	res := codeScan(text[open:], func(_ int, c byte) bool {
+		switch c {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return true
+			}
+		}
+		return false
+	})
+	if res < 0 {
+		return -1
+	}
+	return res + open
+}
+
+func parseCParams(s string, line int) ([]CParam, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "void" {
+		return nil, nil
+	}
+	var out []CParam
+	for _, item := range strings.Split(s, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			return nil, errAt(line, "empty parameter declaration")
+		}
+		// The parameter name is the last identifier; stars belong to the type.
+		i := len(item)
+		for i > 0 && (isIdent(item[i-1])) {
+			i--
+		}
+		name := item[i:]
+		typ := strings.TrimSpace(item[:i])
+		if name == "" || typ == "" {
+			return nil, errAt(line, "cannot parse parameter %q", item)
+		}
+		out = append(out, CParam{Type: typ, Name: name})
+	}
+	return out, nil
+}
+
+func isIdent(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_'
+}
+
+// parseCall parses `name(args);` starting at the current line.
+func parseCall(sc *scanner) (*Call, string, error) {
+	sc.skipBlank()
+	if sc.eof() {
+		return nil, "", errAt(sc.lineNo(), "execute annotation not followed by a call statement")
+	}
+	startLine := sc.lineNo()
+	text, ok := sc.gatherUntil(func(t string) int {
+		end := codeScan(t, func(_ int, c byte) bool { return c == ';' })
+		if end < 0 {
+			return -1
+		}
+		return end + 1
+	})
+	if !ok {
+		return nil, "", errAt(startLine, "unterminated call statement")
+	}
+	open := codeScan(text, func(_ int, c byte) bool { return c == '(' })
+	if open < 0 {
+		return nil, "", errAt(startLine, "execute annotation not followed by a call")
+	}
+	name := strings.TrimSpace(text[:open])
+	if name == "" || !isIdentWord(name) {
+		return nil, "", errAt(startLine, "cannot parse callee name %q", name)
+	}
+	closeIdx := matchParen(text, open)
+	if closeIdx < open {
+		return nil, "", errAt(startLine, "unbalanced call argument list")
+	}
+	var args []string
+	inner := strings.TrimSpace(text[open+1 : closeIdx])
+	if inner != "" {
+		depth := 0
+		start := 0
+		for i := 0; i <= len(inner); i++ {
+			if i == len(inner) {
+				args = append(args, strings.TrimSpace(inner[start:]))
+				break
+			}
+			switch inner[i] {
+			case '(':
+				depth++
+			case ')':
+				depth--
+			case ',':
+				if depth == 0 {
+					args = append(args, strings.TrimSpace(inner[start:i]))
+					start = i + 1
+				}
+			}
+		}
+	}
+	call := &Call{Name: name, Args: args, Text: text + "\n"}
+	return call, call.Text, nil
+}
+
+func isIdentWord(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if !isIdent(s[i]) {
+			return false
+		}
+	}
+	return len(s) > 0 && !(s[0] >= '0' && s[0] <= '9')
+}

@@ -1,0 +1,135 @@
+package discover
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// OpenCLDevice is a synthetic stand-in for one clGetDeviceInfo enumeration
+// result. Field values for the predefined devices are the published
+// characteristics of the boards in the paper's testbed.
+type OpenCLDevice struct {
+	Name          string
+	Vendor        string
+	ComputeUnits  int
+	WorkItemDims  int
+	GlobalMemKB   int64
+	LocalMemKB    int64
+	ClockMHz      int
+	DeviceVersion string
+	DriverVersion string
+
+	// Calibration for the hardware simulator (internal/simhw): sustained
+	// double-precision GEMM throughput = PeakGFlopsDP * DGEMMEfficiency.
+	PeakGFlopsDP    float64
+	DGEMMEfficiency float64
+	KernelLaunchUS  float64 // per-kernel launch overhead
+}
+
+// oclType is the xsi:type of OpenCL runtime properties (paper Listing 2).
+const oclType = "ocl:oclDevicePropertyType"
+
+// simType is the xsi:type of simulator calibration properties.
+const simType = "sim:simDevicePropertyType"
+
+// Architecture implements Device.
+func (d *OpenCLDevice) Architecture() string { return "gpu" }
+
+// FixedProperties implements Device: the author-level identity and
+// calibration values.
+func (d *OpenCLDevice) FixedProperties() []core.Property {
+	return []core.Property{
+		{Name: core.PropDeviceName, Value: d.Name, Fixed: true},
+		{Name: core.PropVendor, Value: d.Vendor, Fixed: true},
+		{Name: "PEAK_GFLOPS_DP", Value: trimFloat(d.PeakGFlopsDP), Fixed: true, Type: simType},
+		{Name: "DGEMM_EFFICIENCY", Value: trimFloat(d.DGEMMEfficiency), Fixed: true, Type: simType},
+		{Name: "KERNEL_LAUNCH_US", Value: trimFloat(d.KernelLaunchUS), Fixed: true, Type: simType},
+	}
+}
+
+// RuntimeProperties implements Device: exactly the unfixed ocl-typed
+// properties of the paper's Listing 2, plus version strings.
+func (d *OpenCLDevice) RuntimeProperties() []core.Property {
+	return []core.Property{
+		{Name: "DEVICE_NAME", Value: d.Name, Fixed: false, Type: oclType},
+		{Name: "MAX_COMPUTE_UNITS", Value: fmt.Sprint(d.ComputeUnits), Fixed: false, Type: oclType},
+		{Name: "MAX_WORK_ITEM_DIMENSIONS", Value: fmt.Sprint(d.WorkItemDims), Fixed: false, Type: oclType},
+		{Name: "GLOBAL_MEM_SIZE", Value: fmt.Sprint(d.GlobalMemKB), Unit: "kB", Fixed: false, Type: oclType},
+		{Name: "LOCAL_MEM_SIZE", Value: fmt.Sprint(d.LocalMemKB), Unit: "kB", Fixed: false, Type: oclType},
+		{Name: "DEVICE_VERSION", Value: d.DeviceVersion, Fixed: false, Type: oclType},
+		{Name: "DRIVER_VERSION", Value: d.DriverVersion, Fixed: false, Type: oclType},
+	}
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%g", f)
+	return s
+}
+
+// GTX480 returns the GeForce GTX 480 of the paper's testbed. The Listing 2
+// values (15 compute units, 1.5 GB global, 48 kB local) are taken verbatim
+// from the paper; the double-precision calibration reflects the board's
+// 168 GFLOP/s DP peak with a CuBLAS 3.2-era DGEMM efficiency of ~0.65.
+func GTX480() *OpenCLDevice {
+	return &OpenCLDevice{
+		Name:            "GeForce GTX 480",
+		Vendor:          "Nvidia",
+		ComputeUnits:    15,
+		WorkItemDims:    3,
+		GlobalMemKB:     1572864,
+		LocalMemKB:      48,
+		ClockMHz:        1401,
+		DeviceVersion:   "OpenCL 1.1 CUDA",
+		DriverVersion:   "260.19",
+		PeakGFlopsDP:    168,
+		DGEMMEfficiency: 0.65,
+		KernelLaunchUS:  7,
+	}
+}
+
+// GTX285 returns the GeForce GTX 285, the second board of the paper's
+// testbed: 30 compute units, 1 GB global memory, 88.5 GFLOP/s DP peak.
+func GTX285() *OpenCLDevice {
+	return &OpenCLDevice{
+		Name:            "GeForce GTX 285",
+		Vendor:          "Nvidia",
+		ComputeUnits:    30,
+		WorkItemDims:    3,
+		GlobalMemKB:     1048576,
+		LocalMemKB:      16,
+		ClockMHz:        1476,
+		DeviceVersion:   "OpenCL 1.0 CUDA",
+		DriverVersion:   "260.19",
+		PeakGFlopsDP:    88.5,
+		DGEMMEfficiency: 0.75,
+		KernelLaunchUS:  7,
+	}
+}
+
+// CellSPE is a synthetic Cell B.E. SPE described through the same Device
+// interface, for the hybrid-platform examples.
+type CellSPE struct {
+	LocalStoreKB int64
+	GFlopsDP     float64
+}
+
+// Architecture implements Device.
+func (d *CellSPE) Architecture() string { return "spe" }
+
+// FixedProperties implements Device.
+func (d *CellSPE) FixedProperties() []core.Property {
+	return []core.Property{
+		{Name: core.PropDeviceName, Value: "Cell SPE", Fixed: true},
+		{Name: "PEAK_GFLOPS_DP", Value: trimFloat(d.GFlopsDP), Fixed: true, Type: simType},
+		{Name: "DGEMM_EFFICIENCY", Value: "0.8", Fixed: true, Type: simType},
+		{Name: "KERNEL_LAUNCH_US", Value: "2", Fixed: true, Type: simType},
+	}
+}
+
+// RuntimeProperties implements Device.
+func (d *CellSPE) RuntimeProperties() []core.Property {
+	return []core.Property{
+		{Name: "LOCAL_STORE", Value: fmt.Sprint(d.LocalStoreKB), Unit: "kB", Fixed: false, Type: "cell:cellPropertyType"},
+	}
+}

@@ -1,0 +1,253 @@
+// Package dynamic implements the paper's future-work direction: "tracking
+// dynamically changing system resources via platform descriptors ...
+// supporting highly dynamic run-time schedulers" (Section VI).
+//
+// A Tracker wraps a PDL platform with mutable runtime state: processing
+// units go offline and come back, and unfixed properties (the paper's
+// editable descriptor entries) are filled in by runtimes as information
+// becomes available. Every mutation bumps a version counter and notifies
+// registered observers; Snapshot produces a consistent, validated platform
+// reflecting the current state, which schedulers re-plan against (see the
+// failover experiment in internal/experiments).
+package dynamic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// EventKind classifies tracker mutations.
+type EventKind int
+
+const (
+	// Offline marks a unit leaving the machine.
+	Offline EventKind = iota
+	// Online marks a unit (re)joining.
+	Online
+	// PropertyFilled marks an unfixed property receiving a value.
+	PropertyFilled
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case Offline:
+		return "offline"
+	case Online:
+		return "online"
+	case PropertyFilled:
+		return "property-filled"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event describes one tracked change.
+type Event struct {
+	Kind     EventKind
+	PU       string
+	Property string // PropertyFilled only
+	Value    string // PropertyFilled only
+	Version  uint64 // tracker version after the change
+}
+
+// Observer receives tracker events synchronously, in mutation order.
+type Observer func(Event)
+
+// Tracker maintains the dynamic state of one platform description.
+type Tracker struct {
+	mu        sync.Mutex
+	base      *core.Platform
+	offline   map[string]bool
+	version   uint64
+	observers []Observer
+}
+
+// NewTracker wraps a validated platform. The tracker owns a private clone;
+// later changes to the argument do not affect it.
+func NewTracker(pl *core.Platform) (*Tracker, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	return &Tracker{
+		base:    pl.Clone(),
+		offline: map[string]bool{},
+	}, nil
+}
+
+// Version returns the current state version (0 = pristine).
+func (t *Tracker) Version() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.version
+}
+
+// OnChange registers an observer for subsequent events.
+func (t *Tracker) OnChange(obs Observer) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.observers = append(t.observers, obs)
+}
+
+// notify is called with t.mu held; observers run synchronously outside the
+// lock to avoid deadlocks when they query the tracker.
+func (t *Tracker) emit(e Event) {
+	obs := append([]Observer(nil), t.observers...)
+	t.mu.Unlock()
+	for _, o := range obs {
+		o(e)
+	}
+	t.mu.Lock()
+}
+
+// SetOffline marks a unit as unavailable. Taking a Master offline is allowed
+// only while at least one other Master remains online: a platform without an
+// execution starting point is no platform. Idempotent calls do not bump the
+// version.
+func (t *Tracker) SetOffline(puID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pu := t.base.FindPU(puID)
+	if pu == nil {
+		return fmt.Errorf("dynamic: unknown PU %q", puID)
+	}
+	if t.offline[puID] {
+		return nil
+	}
+	if pu.Class == core.Master {
+		online := 0
+		for _, m := range t.base.Masters {
+			if !t.offline[m.ID] {
+				online++
+			}
+		}
+		if online <= 1 {
+			return fmt.Errorf("dynamic: cannot take last online Master %q offline", puID)
+		}
+	}
+	t.offline[puID] = true
+	t.version++
+	t.emit(Event{Kind: Offline, PU: puID, Version: t.version})
+	return nil
+}
+
+// SetOnline marks a unit as available again. Idempotent.
+func (t *Tracker) SetOnline(puID string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.base.FindPU(puID) == nil {
+		return fmt.Errorf("dynamic: unknown PU %q", puID)
+	}
+	if !t.offline[puID] {
+		return nil
+	}
+	delete(t.offline, puID)
+	t.version++
+	t.emit(Event{Kind: Online, PU: puID, Version: t.version})
+	return nil
+}
+
+// IsOnline reports whether a unit is currently available (unknown units are
+// not).
+func (t *Tracker) IsOnline(puID string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.base.FindPU(puID) != nil && !t.offline[puID]
+}
+
+// OfflineUnits returns the ids of offline units, sorted.
+func (t *Tracker) OfflineUnits() []string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]string, 0, len(t.offline))
+	for id := range t.offline {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FillProperty assigns a value to an unfixed property of a unit's
+// descriptor — the paper's "definition of required descriptors at program
+// composition time with later instantiation by a runtime". Fixed properties
+// are refused by the underlying descriptor.
+func (t *Tracker) FillProperty(puID, name, value string) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pu := t.base.FindPU(puID)
+	if pu == nil {
+		return fmt.Errorf("dynamic: unknown PU %q", puID)
+	}
+	if err := pu.Descriptor.Fill(name, value); err != nil {
+		return err
+	}
+	t.version++
+	t.emit(Event{Kind: PropertyFilled, PU: puID, Property: name, Value: value, Version: t.version})
+	return nil
+}
+
+// Snapshot returns a validated platform reflecting the current state:
+// offline units (and everything they control) are pruned, and filled
+// property values are present. Schedulers re-plan against snapshots.
+func (t *Tracker) Snapshot() (*core.Platform, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	cp := t.base.Clone()
+	if len(t.offline) > 0 {
+		var masters []*core.PU
+		for _, m := range cp.Masters {
+			if t.offline[m.ID] {
+				continue
+			}
+			t.pruneOffline(m)
+			masters = append(masters, m)
+		}
+		cp.Masters = masters
+		t.dropDanglingLinks(cp)
+	}
+	if err := cp.Validate(); err != nil {
+		return nil, fmt.Errorf("dynamic: snapshot invalid: %w", err)
+	}
+	return cp, nil
+}
+
+// pruneOffline removes offline children recursively. Caller holds t.mu.
+func (t *Tracker) pruneOffline(pu *core.PU) {
+	kept := pu.Children[:0]
+	for _, c := range pu.Children {
+		if t.offline[c.ID] {
+			continue
+		}
+		t.pruneOffline(c)
+		// A Hybrid whose units all went away degrades to a Worker so the
+		// snapshot stays a valid machine-model instance.
+		if c.Class == core.Hybrid && len(c.Children) == 0 {
+			c.Class = core.Worker
+		}
+		kept = append(kept, c)
+	}
+	pu.Children = kept
+}
+
+// dropDanglingLinks removes interconnects whose endpoints were pruned.
+// Caller holds t.mu.
+func (t *Tracker) dropDanglingLinks(pl *core.Platform) {
+	exists := map[string]bool{}
+	pl.Walk(func(pu, _ *core.PU) bool {
+		exists[pu.ID] = true
+		return true
+	})
+	pl.Walk(func(pu, _ *core.PU) bool {
+		kept := pu.Links[:0]
+		for _, ic := range pu.Links {
+			if exists[ic.From] && exists[ic.To] {
+				kept = append(kept, ic)
+			}
+		}
+		pu.Links = kept
+		return true
+	})
+}

@@ -1,0 +1,214 @@
+package dynamic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discover"
+	"repro/internal/query"
+)
+
+func tracker(t *testing.T) *Tracker {
+	t.Helper()
+	tr, err := NewTracker(discover.MustPlatform("xeon-2gpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestNewTrackerValidatesAndClones(t *testing.T) {
+	if _, err := NewTracker(&core.Platform{}); err == nil {
+		t.Fatal("invalid platform must fail")
+	}
+	pl := discover.MustPlatform("xeon-2gpu")
+	tr, err := NewTracker(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the original platform does not affect the tracker.
+	pl.FindPU("dev0").Descriptor.SetFixed(core.PropArchitecture, "changed")
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FindPU("dev0").Architecture() != "gpu" {
+		t.Fatal("tracker shares state with the input platform")
+	}
+}
+
+func TestOfflineOnlineLifecycle(t *testing.T) {
+	tr := tracker(t)
+	if !tr.IsOnline("dev0") {
+		t.Fatal("dev0 should start online")
+	}
+	if err := tr.SetOffline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.IsOnline("dev0") {
+		t.Fatal("dev0 should be offline")
+	}
+	if got := tr.OfflineUnits(); len(got) != 1 || got[0] != "dev0" {
+		t.Fatalf("offline = %v", got)
+	}
+	if tr.Version() != 1 {
+		t.Fatalf("version = %d", tr.Version())
+	}
+	// Idempotent offline does not bump the version.
+	if err := tr.SetOffline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version() != 1 {
+		t.Fatalf("idempotent offline bumped version to %d", tr.Version())
+	}
+	if err := tr.SetOnline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	if !tr.IsOnline("dev0") || tr.Version() != 2 {
+		t.Fatalf("online failed: version=%d", tr.Version())
+	}
+	if err := tr.SetOnline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Version() != 2 {
+		t.Fatal("idempotent online bumped version")
+	}
+}
+
+func TestUnknownUnits(t *testing.T) {
+	tr := tracker(t)
+	if err := tr.SetOffline("ghost"); err == nil {
+		t.Fatal("unknown unit must fail")
+	}
+	if err := tr.SetOnline("ghost"); err == nil {
+		t.Fatal("unknown unit must fail")
+	}
+	if tr.IsOnline("ghost") {
+		t.Fatal("unknown unit is not online")
+	}
+	if err := tr.FillProperty("ghost", "X", "1"); err == nil {
+		t.Fatal("unknown unit must fail")
+	}
+}
+
+func TestLastMasterProtected(t *testing.T) {
+	tr := tracker(t)
+	err := tr.SetOffline("host")
+	if err == nil || !strings.Contains(err.Error(), "last online Master") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestSnapshotPrunesOfflineAndLinks(t *testing.T) {
+	tr := tracker(t)
+	if err := tr.SetOffline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.FindPU("dev0") != nil {
+		t.Fatal("offline unit still in snapshot")
+	}
+	if snap.FindPU("dev1") == nil {
+		t.Fatal("online unit missing from snapshot")
+	}
+	// Dangling PCIe link to dev0 dropped; link to dev1 kept.
+	for _, ic := range snap.Interconnects() {
+		if ic.From == "dev0" || ic.To == "dev0" {
+			t.Fatalf("dangling link %v", ic)
+		}
+	}
+	if _, ok := snap.LinkBetween("host", "dev1"); !ok {
+		t.Fatal("link to dev1 lost")
+	}
+	if err := snap.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotHybridDegradesToWorker(t *testing.T) {
+	tr, err := NewTracker(discover.MustPlatform("cell-blade"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All SPEs offline: the controlling Hybrid degrades to a Worker so the
+	// snapshot remains a valid machine-model instance.
+	if err := tr.SetOffline("spe"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctl := snap.FindPU("ctl")
+	if ctl == nil || ctl.Class != core.Worker {
+		t.Fatalf("ctl = %v", ctl)
+	}
+}
+
+func TestFillProperty(t *testing.T) {
+	tr := tracker(t)
+	// DEVICE_NAME on dev0 is an unfixed runtime property in the catalog.
+	if err := tr.FillProperty("dev0", "DEVICE_NAME", "GeForce GTX 480 (rev2)"); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := snap.FindPU("dev0").Descriptor.Value("DEVICE_NAME"); v != "GeForce GTX 480 (rev2)" {
+		t.Fatalf("filled value = %q", v)
+	}
+	// Fixed properties are protected.
+	if err := tr.FillProperty("dev0", core.PropVendor, "AMD"); err == nil {
+		t.Fatal("fixed property fill must fail")
+	}
+}
+
+func TestObserversReceiveEventsInOrder(t *testing.T) {
+	tr := tracker(t)
+	var events []Event
+	tr.OnChange(func(e Event) { events = append(events, e) })
+	_ = tr.SetOffline("dev0")
+	_ = tr.FillProperty("dev1", "DEVICE_NAME", "x")
+	_ = tr.SetOnline("dev0")
+	if len(events) != 3 {
+		t.Fatalf("events = %v", events)
+	}
+	if events[0].Kind != Offline || events[0].PU != "dev0" || events[0].Version != 1 {
+		t.Fatalf("e0 = %+v", events[0])
+	}
+	if events[1].Kind != PropertyFilled || events[1].Property != "DEVICE_NAME" {
+		t.Fatalf("e1 = %+v", events[1])
+	}
+	if events[2].Kind != Online || events[2].Version != 3 {
+		t.Fatalf("e2 = %+v", events[2])
+	}
+	// Observers can query the tracker without deadlocking.
+	tr.OnChange(func(e Event) { _ = tr.IsOnline("dev1") })
+	if err := tr.SetOffline("dev1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventKindString(t *testing.T) {
+	if Offline.String() != "offline" || Online.String() != "online" || PropertyFilled.String() != "property-filled" {
+		t.Fatal("EventKind.String wrong")
+	}
+}
+
+func TestSnapshotUsableByQueries(t *testing.T) {
+	tr := tracker(t)
+	_ = tr.SetOffline("dev1")
+	snap, err := tr.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpus := query.MustSelect(snap, "//Worker[ARCHITECTURE=gpu]")
+	if len(gpus) != 1 || gpus[0].ID != "dev0" {
+		t.Fatalf("gpus = %v", gpus)
+	}
+}

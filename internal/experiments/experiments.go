@@ -1,0 +1,65 @@
+// Package experiments contains the harnesses that regenerate the paper's
+// evaluation (Figure 5) and the ablation studies documented in DESIGN.md.
+// Each harness returns a Result table whose rows mirror what the paper
+// reports; cmd/pdlbench and the benchmark suite print them.
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Result is one experiment's output table.
+type Result struct {
+	Name    string
+	Headers []string
+	Rows    [][]string
+	Notes   []string
+}
+
+// AddRow appends a formatted row.
+func (r *Result) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Table renders an aligned text table.
+func (r *Result) Table() string {
+	widths := make([]int, len(r.Headers))
+	for i, h := range r.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", r.Name)
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteString("\n")
+	}
+	line(r.Headers)
+	sep := make([]string, len(r.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f4(v float64) string { return fmt.Sprintf("%.4f", v) }

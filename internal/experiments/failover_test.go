@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestDynamicFailover(t *testing.T) {
+	res, err := DynamicFailover(2048, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	makespan := func(i int) float64 {
+		v, err := strconv.ParseFloat(res.Rows[i][2], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	// Losing GPUs monotonically degrades the makespan.
+	if !(makespan(0) < makespan(1) && makespan(1) < makespan(2)) {
+		t.Fatalf("makespans not monotone under failures: %g %g %g",
+			makespan(0), makespan(1), makespan(2))
+	}
+	// Stage gpu counts: 2, 1, 0.
+	if res.Rows[0][1] != "2" || res.Rows[1][1] != "1" || res.Rows[2][1] != "0" {
+		t.Fatalf("gpu counts = %v %v %v", res.Rows[0][1], res.Rows[1][1], res.Rows[2][1])
+	}
+	// Final stage runs no gpu tasks.
+	if res.Rows[2][3] != "0" {
+		t.Fatalf("cpu-only stage ran gpu tasks: %v", res.Rows[2])
+	}
+	// Tracker events surfaced.
+	if len(res.Notes) == 0 || !strings.Contains(res.Notes[0], "v1:offline:dev0") {
+		t.Fatalf("notes = %v", res.Notes)
+	}
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/discover"
+	"repro/internal/taskrt"
+)
+
+// The stencil workload complements DGEMM with the opposite graph shape: a
+// 1-D Jacobi heat-diffusion sweep decomposed into chunks, where each
+// iteration's chunk task reads its own and both neighbour chunks of the
+// previous iteration (halo exchange) and writes its chunk. Dependency chains
+// dominate, data moves every step, and compute per byte is low — the regime
+// where offloading pays least, which is why the paper's execution groups let
+// programmers pin such tasks to the host.
+
+// stencilChunk is the real-mode payload: full double buffers plus the chunk
+// bounds. Handles order the tasks; the buffers carry the numbers.
+type stencilChunk struct {
+	src, dst []float64
+	lo, hi   int
+}
+
+func realStencilChunk(tc *taskrt.TaskContext) error {
+	p, ok := tc.Payload(0).(*stencilChunk)
+	if !ok {
+		return fmt.Errorf("experiments: stencil payload is %T", tc.Payload(0))
+	}
+	n := len(p.src)
+	for i := p.lo; i < p.hi; i++ {
+		left := p.src[i]
+		if i > 0 {
+			left = p.src[i-1]
+		}
+		right := p.src[i]
+		if i < n-1 {
+			right = p.src[i+1]
+		}
+		p.dst[i] = 0.5*p.src[i] + 0.25*(left+right)
+	}
+	return nil
+}
+
+// stencilCodelet returns the Jacobi chunk codelet: a real x86 kernel plus a
+// simulation-only gpu variant with a lower speed factor (stencils reach a
+// smaller fraction of peak than GEMM).
+func stencilCodelet() *taskrt.Codelet {
+	cl, err := taskrt.NewCodelet("jacobi1d",
+		taskrt.Impl{Arch: "x86", Func: realStencilChunk},
+		taskrt.Impl{Arch: "gpu", SpeedFactor: 0.4},
+	)
+	if err != nil {
+		panic(err) // static definition
+	}
+	return cl
+}
+
+// SubmitStencil builds the iterative Jacobi task graph: chunks × iters
+// tasks. The chunk handle of iteration k is read by three tasks of iteration
+// k+1 (self + neighbours) and written by exactly one, giving the classic
+// halo-exchange dependency pattern. bufs supplies real double buffers (nil
+// for simulation-only graphs).
+func SubmitStencil(rt *taskrt.Runtime, n, chunks, iters int, bufs *StencilBuffers) error {
+	if n <= 0 || chunks <= 0 || iters <= 0 || chunks > n {
+		return fmt.Errorf("experiments: bad stencil extent n=%d chunks=%d iters=%d", n, chunks, iters)
+	}
+	per := n / chunks
+	bytes := int64(per) * 8
+	cl := stencilCodelet()
+	gen := make([]*taskrt.Handle, chunks)
+	for c := range gen {
+		gen[c] = rt.NewHandle(fmt.Sprintf("u0[%d]", c), bytes, nil)
+	}
+	for it := 0; it < iters; it++ {
+		next := make([]*taskrt.Handle, chunks)
+		for c := 0; c < chunks; c++ {
+			next[c] = rt.NewHandle(fmt.Sprintf("u%d[%d]", it+1, c), bytes, nil)
+		}
+		for c := 0; c < chunks; c++ {
+			lo := c * per
+			hi := lo + per
+			if c == chunks-1 {
+				hi = n
+			}
+			// The written handle carries the payload (first access).
+			if bufs != nil {
+				src, dst := bufs.forIteration(it)
+				next[c].Payload = &stencilChunk{src: src, dst: dst, lo: lo, hi: hi}
+			}
+			accesses := []taskrt.Access{taskrt.W(next[c]), taskrt.R(gen[c])}
+			if c > 0 {
+				accesses = append(accesses, taskrt.R(gen[c-1]))
+			}
+			if c < chunks-1 {
+				accesses = append(accesses, taskrt.R(gen[c+1]))
+			}
+			if err := rt.Submit(&taskrt.Task{
+				Codelet:  cl,
+				Accesses: accesses,
+				Flops:    4 * float64(hi-lo),
+				Label:    fmt.Sprintf("jacobi[%d,%d]", it, c),
+			}); err != nil {
+				return err
+			}
+		}
+		gen = next
+	}
+	return nil
+}
+
+// StencilBuffers holds the double-buffered state of a real sweep.
+type StencilBuffers struct {
+	A, B []float64
+}
+
+// NewStencilBuffers seeds n points with a deterministic profile.
+func NewStencilBuffers(n int) *StencilBuffers {
+	b := &StencilBuffers{A: make([]float64, n), B: make([]float64, n)}
+	for i := range b.A {
+		b.A[i] = float64(i % 13)
+	}
+	return b
+}
+
+// forIteration returns (src, dst) for iteration it under double buffering.
+func (b *StencilBuffers) forIteration(it int) (src, dst []float64) {
+	if it%2 == 0 {
+		return b.A, b.B
+	}
+	return b.B, b.A
+}
+
+// Final returns the buffer holding the result after iters iterations.
+func (b *StencilBuffers) Final(iters int) []float64 {
+	_, dst := b.forIteration(iters - 1)
+	return dst
+}
+
+// serialJacobi runs the reference sweep in place over a copy of u0.
+func serialJacobi(u0 []float64, iters int) []float64 {
+	n := len(u0)
+	cur := append([]float64(nil), u0...)
+	nxt := make([]float64, n)
+	for it := 0; it < iters; it++ {
+		for i := 0; i < n; i++ {
+			left := cur[i]
+			if i > 0 {
+				left = cur[i-1]
+			}
+			right := cur[i]
+			if i < n-1 {
+				right = cur[i+1]
+			}
+			nxt[i] = 0.5*cur[i] + 0.25*(left+right)
+		}
+		cur, nxt = nxt, cur
+	}
+	return cur
+}
+
+// SimStencil runs the Jacobi graph in simulation.
+func SimStencil(pl *core.Platform, n, chunks, iters int, scheduler string) (*taskrt.Report, error) {
+	rt, err := taskrt.New(taskrt.Config{Platform: pl, Mode: taskrt.Sim, Scheduler: scheduler})
+	if err != nil {
+		return nil, err
+	}
+	if err := SubmitStencil(rt, n, chunks, iters, nil); err != nil {
+		return nil, err
+	}
+	return rt.Run()
+}
+
+// RealStencil runs a real Jacobi sweep on goroutine workers and verifies the
+// result against the serial reference.
+func RealStencil(pl *core.Platform, n, chunks, iters, workers int) (*taskrt.Report, error) {
+	rt, err := taskrt.New(taskrt.Config{Platform: pl, Mode: taskrt.Real, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	bufs := NewStencilBuffers(n)
+	ref := serialJacobi(bufs.A, iters)
+	if err := SubmitStencil(rt, n, chunks, iters, bufs); err != nil {
+		return nil, err
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		return nil, err
+	}
+	got := bufs.Final(iters)
+	for i := range ref {
+		if math.Abs(got[i]-ref[i]) > 1e-12 {
+			return nil, fmt.Errorf("experiments: stencil diverges at %d: %g vs %g", i, got[i], ref[i])
+		}
+	}
+	return rep, nil
+}
+
+// StencilSweep is experiment Ext-G: the halo-exchange workload across
+// platforms and schedulers — the counterpoint to Figure 5, showing where the
+// GPU platform does NOT pay off.
+func StencilSweep(n, chunks, iters int) (*Result, error) {
+	res := &Result{
+		Name:    fmt.Sprintf("Ext-G: 1-D Jacobi stencil, n=%d chunks=%d iters=%d (dmda)", n, chunks, iters),
+		Headers: []string{"platform", "makespan[s]", "gpu-tasks", "transfers[MB]"},
+	}
+	for _, name := range []string{"xeon-1core", "xeon-cpu", "xeon-2gpu"} {
+		pl, err := discover.Platform(name)
+		if err != nil {
+			return nil, err
+		}
+		rep, err := SimStencil(pl, n, chunks, iters, "dmda")
+		if err != nil {
+			return nil, err
+		}
+		res.AddRow(name, f4(rep.MakespanSeconds),
+			fmt.Sprint(rep.TasksOnArch("gpu")),
+			f2(float64(rep.TransferBytes)/(1<<20)))
+	}
+	res.Notes = append(res.Notes,
+		"low arithmetic intensity: the GPU platform should show little or no advantage over 8 cores")
+	return res, nil
+}

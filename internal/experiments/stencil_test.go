@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+
+	"repro/internal/discover"
+)
+
+func TestSubmitStencilValidation(t *testing.T) {
+	pl := discover.MustPlatform("xeon-1core")
+	if _, err := SimStencil(pl, 0, 4, 2, "eager"); err == nil {
+		t.Fatal("n=0 must fail")
+	}
+	if _, err := SimStencil(pl, 16, 32, 2, "eager"); err == nil {
+		t.Fatal("chunks > n must fail")
+	}
+	if _, err := SimStencil(pl, 16, 4, 0, "eager"); err == nil {
+		t.Fatal("iters=0 must fail")
+	}
+}
+
+func TestSimStencilTaskCountAndChains(t *testing.T) {
+	pl := discover.MustPlatform("xeon-cpu")
+	rep, err := SimStencil(pl, 1<<20, 8, 10, "eager")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 80 {
+		t.Fatalf("tasks = %d; want 80", rep.Tasks)
+	}
+	// Iterations are serialised: with 8 chunks on 8 cores, makespan is at
+	// least iters × one chunk time.
+	oneIterSerial := 4 * float64(1<<20) / 8 / (10.64 * 0.92 * 1e9)
+	if rep.MakespanSeconds < 10*oneIterSerial*0.9 {
+		t.Fatalf("makespan %g ignores iteration dependencies (min %g)",
+			rep.MakespanSeconds, 10*oneIterSerial)
+	}
+}
+
+func TestRealStencilVerifies(t *testing.T) {
+	pl := discover.MustPlatform("this-host")
+	rep, err := RealStencil(pl, 4096, 8, 6, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != 48 {
+		t.Fatalf("tasks = %d", rep.Tasks)
+	}
+}
+
+func TestSerialJacobiConservesNothingButIsStable(t *testing.T) {
+	u0 := []float64{0, 0, 8, 0, 0}
+	u := serialJacobi(u0, 1)
+	// Centre loses half to its neighbours.
+	if u[2] != 4 || u[1] != 2 || u[3] != 2 {
+		t.Fatalf("u = %v", u)
+	}
+	// Input untouched.
+	if u0[2] != 8 {
+		t.Fatal("serialJacobi mutated its input")
+	}
+}
+
+func TestStencilSweepShape(t *testing.T) {
+	res, err := StencilSweep(1<<20, 16, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	get := func(i int) float64 {
+		v, _ := strconv.ParseFloat(res.Rows[i][1], 64)
+		return v
+	}
+	single, eight, gpus := get(0), get(1), get(2)
+	// 8 cores beat 1 core; the GPU platform must NOT show the DGEMM-style
+	// blowout on this low-intensity workload (allow modest gain).
+	if eight >= single {
+		t.Fatalf("8 cores (%g) not faster than 1 (%g)", eight, single)
+	}
+	if gpus < eight/3 {
+		t.Fatalf("gpu platform suspiciously fast on a bandwidth-bound stencil: %g vs %g", gpus, eight)
+	}
+}

@@ -1,0 +1,203 @@
+// Package partition implements the data distributions referenced by
+// Cascabel execute annotations (paper Section IV-A): BLOCK, CYCLIC and
+// BLOCK_CYCLIC one-dimensional distributions plus two-dimensional matrix
+// tiling. The translator and runtime use these to decompose data-parallel
+// tasks across processing units.
+package partition
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Dist names a distribution scheme.
+type Dist int
+
+const (
+	// Block assigns each owner one contiguous chunk of ~n/p elements.
+	Block Dist = iota
+	// Cyclic deals single elements round-robin.
+	Cyclic
+	// BlockCyclic deals fixed-size blocks round-robin.
+	BlockCyclic
+)
+
+// String returns the annotation spelling of the distribution.
+func (d Dist) String() string {
+	switch d {
+	case Block:
+		return "BLOCK"
+	case Cyclic:
+		return "CYCLIC"
+	case BlockCyclic:
+		return "BLOCK_CYCLIC"
+	default:
+		return fmt.Sprintf("Dist(%d)", int(d))
+	}
+}
+
+// ParseDist parses an annotation distribution name (case-insensitive;
+// "BLOCKCYCLIC" and "BLOCK-CYCLIC" are accepted aliases).
+func ParseDist(s string) (Dist, error) {
+	switch strings.ToUpper(strings.TrimSpace(s)) {
+	case "BLOCK":
+		return Block, nil
+	case "CYCLIC":
+		return Cyclic, nil
+	case "BLOCK_CYCLIC", "BLOCKCYCLIC", "BLOCK-CYCLIC":
+		return BlockCyclic, nil
+	}
+	return 0, fmt.Errorf("partition: unknown distribution %q", s)
+}
+
+// Span is a contiguous index range [Start, Start+Len).
+type Span struct {
+	Start int
+	Len   int
+}
+
+// Piece is the set of spans owned by one participant.
+type Piece struct {
+	Owner int
+	Spans []Span
+}
+
+// Elements returns the total number of elements in the piece.
+func (p Piece) Elements() int {
+	n := 0
+	for _, s := range p.Spans {
+		n += s.Len
+	}
+	return n
+}
+
+// Partition1D splits the index space [0,n) across p owners using the given
+// distribution. blockSize is only used by BlockCyclic (and must be >= 1
+// there). Owners may receive empty pieces when p > n. The returned pieces
+// are indexed by owner.
+func Partition1D(d Dist, n, p, blockSize int) ([]Piece, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("partition: negative length %d", n)
+	}
+	if p < 1 {
+		return nil, fmt.Errorf("partition: need at least 1 owner, got %d", p)
+	}
+	pieces := make([]Piece, p)
+	for i := range pieces {
+		pieces[i].Owner = i
+	}
+	switch d {
+	case Block:
+		// Balanced block: the first n%p owners get one extra element.
+		base, extra := n/p, n%p
+		off := 0
+		for i := 0; i < p; i++ {
+			l := base
+			if i < extra {
+				l++
+			}
+			if l > 0 {
+				pieces[i].Spans = append(pieces[i].Spans, Span{Start: off, Len: l})
+			}
+			off += l
+		}
+	case Cyclic:
+		for i := 0; i < n; i++ {
+			o := i % p
+			spans := pieces[o].Spans
+			if len(spans) > 0 && spans[len(spans)-1].Start+spans[len(spans)-1].Len == i {
+				spans[len(spans)-1].Len++
+			} else {
+				spans = append(spans, Span{Start: i, Len: 1})
+			}
+			pieces[o].Spans = spans
+		}
+	case BlockCyclic:
+		if blockSize < 1 {
+			return nil, fmt.Errorf("partition: block-cyclic needs blockSize >= 1, got %d", blockSize)
+		}
+		for start := 0; start < n; start += blockSize {
+			l := blockSize
+			if start+l > n {
+				l = n - start
+			}
+			o := (start / blockSize) % p
+			pieces[o].Spans = append(pieces[o].Spans, Span{Start: start, Len: l})
+		}
+	default:
+		return nil, fmt.Errorf("partition: unknown distribution %v", d)
+	}
+	return pieces, nil
+}
+
+// Owner returns the owner of element i under the distribution, in O(1).
+func Owner(d Dist, n, p, blockSize, i int) (int, error) {
+	if i < 0 || i >= n {
+		return 0, fmt.Errorf("partition: index %d out of range [0,%d)", i, n)
+	}
+	if p < 1 {
+		return 0, fmt.Errorf("partition: need at least 1 owner")
+	}
+	switch d {
+	case Block:
+		base, extra := n/p, n%p
+		// First `extra` owners hold base+1 elements.
+		cut := extra * (base + 1)
+		if i < cut {
+			return i / (base + 1), nil
+		}
+		if base == 0 {
+			return 0, fmt.Errorf("partition: internal: empty tail blocks")
+		}
+		return extra + (i-cut)/base, nil
+	case Cyclic:
+		return i % p, nil
+	case BlockCyclic:
+		if blockSize < 1 {
+			return 0, fmt.Errorf("partition: block-cyclic needs blockSize >= 1")
+		}
+		return (i / blockSize) % p, nil
+	}
+	return 0, fmt.Errorf("partition: unknown distribution %v", d)
+}
+
+// Tile is one rectangle of a 2-D decomposition.
+type Tile struct {
+	I, J int // tile grid coordinates
+	Row  int // starting row
+	Col  int // starting column
+	M, N int // tile extent (edge tiles may be smaller)
+}
+
+// Grid2D tiles an m×n index space with tileM×tileN rectangles, returning
+// tiles in row-major grid order. Edge tiles are clipped.
+func Grid2D(m, n, tileM, tileN int) ([]Tile, error) {
+	if m < 0 || n < 0 {
+		return nil, fmt.Errorf("partition: negative extent %dx%d", m, n)
+	}
+	if tileM < 1 || tileN < 1 {
+		return nil, fmt.Errorf("partition: tile extent must be >= 1, got %dx%d", tileM, tileN)
+	}
+	var tiles []Tile
+	for i, r := 0, 0; r < m; i, r = i+1, r+tileM {
+		h := tileM
+		if r+h > m {
+			h = m - r
+		}
+		for j, c := 0, 0; c < n; j, c = j+1, c+tileN {
+			w := tileN
+			if c+w > n {
+				w = n - c
+			}
+			tiles = append(tiles, Tile{I: i, J: j, Row: r, Col: c, M: h, N: w})
+		}
+	}
+	return tiles, nil
+}
+
+// GridDims returns the tile-grid dimensions Grid2D would produce.
+func GridDims(m, n, tileM, tileN int) (rows, cols int) {
+	rows = (m + tileM - 1) / tileM
+	cols = (n + tileN - 1) / tileN
+	return rows, cols
+}

@@ -1,0 +1,254 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func coverage(t *testing.T, pieces []Piece, n int) {
+	t.Helper()
+	seen := make([]int, n)
+	for _, pc := range pieces {
+		for _, s := range pc.Spans {
+			if s.Len <= 0 {
+				t.Fatalf("non-positive span %v", s)
+			}
+			for i := s.Start; i < s.Start+s.Len; i++ {
+				if i < 0 || i >= n {
+					t.Fatalf("span %v out of range [0,%d)", s, n)
+				}
+				seen[i]++
+			}
+		}
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("element %d covered %d times", i, c)
+		}
+	}
+}
+
+func TestBlockBalanced(t *testing.T) {
+	pieces, err := Partition1D(Block, 10, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage(t, pieces, 10)
+	// 10/3: owners get 4,3,3.
+	want := []int{4, 3, 3}
+	for i, w := range want {
+		if got := pieces[i].Elements(); got != w {
+			t.Errorf("owner %d elements = %d; want %d", i, got, w)
+		}
+	}
+	// Block pieces are single contiguous spans.
+	for _, pc := range pieces {
+		if len(pc.Spans) != 1 {
+			t.Errorf("block piece has %d spans", len(pc.Spans))
+		}
+	}
+}
+
+func TestBlockMoreOwnersThanElements(t *testing.T) {
+	pieces, err := Partition1D(Block, 2, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage(t, pieces, 2)
+	if pieces[0].Elements() != 1 || pieces[1].Elements() != 1 || pieces[2].Elements() != 0 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+}
+
+func TestCyclic(t *testing.T) {
+	pieces, err := Partition1D(Cyclic, 7, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage(t, pieces, 7)
+	// owner 0: 0,3,6; owner 1: 1,4; owner 2: 2,5.
+	if pieces[0].Elements() != 3 || pieces[1].Elements() != 2 || pieces[2].Elements() != 2 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+}
+
+func TestCyclicSingleOwnerCoalesces(t *testing.T) {
+	pieces, err := Partition1D(Cyclic, 5, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pieces[0].Spans) != 1 || pieces[0].Spans[0] != (Span{0, 5}) {
+		t.Fatalf("cyclic p=1 should coalesce to one span: %+v", pieces[0].Spans)
+	}
+}
+
+func TestBlockCyclic(t *testing.T) {
+	pieces, err := Partition1D(BlockCyclic, 10, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coverage(t, pieces, 10)
+	// blocks [0-2][3-5][6-8][9]: owners 0,1,0,1.
+	if pieces[0].Elements() != 6 || pieces[1].Elements() != 4 {
+		t.Fatalf("pieces = %+v", pieces)
+	}
+	if _, err := Partition1D(BlockCyclic, 10, 2, 0); err == nil {
+		t.Fatal("blockSize 0 must fail")
+	}
+}
+
+func TestPartitionErrors(t *testing.T) {
+	if _, err := Partition1D(Block, -1, 2, 0); err == nil {
+		t.Fatal("negative n must fail")
+	}
+	if _, err := Partition1D(Block, 4, 0, 0); err == nil {
+		t.Fatal("0 owners must fail")
+	}
+	if _, err := Partition1D(Dist(99), 4, 2, 0); err == nil {
+		t.Fatal("unknown dist must fail")
+	}
+	if _, err := Owner(Block, 4, 2, 0, 4); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+	if _, err := Owner(Block, 4, 0, 0, 1); err == nil {
+		t.Fatal("0 owners must fail in Owner")
+	}
+	if _, err := Owner(BlockCyclic, 4, 2, 0, 1); err == nil {
+		t.Fatal("blockSize 0 must fail in Owner")
+	}
+	if _, err := Owner(Dist(99), 4, 2, 0, 1); err == nil {
+		t.Fatal("unknown dist must fail in Owner")
+	}
+}
+
+func TestParseDist(t *testing.T) {
+	cases := map[string]Dist{
+		"BLOCK": Block, "block": Block,
+		"CYCLIC": Cyclic, "Cyclic": Cyclic,
+		"BLOCK_CYCLIC": BlockCyclic, "BLOCKCYCLIC": BlockCyclic, "block-cyclic": BlockCyclic,
+	}
+	for s, want := range cases {
+		got, err := ParseDist(s)
+		if err != nil || got != want {
+			t.Errorf("ParseDist(%q) = %v, %v; want %v", s, got, err, want)
+		}
+	}
+	if _, err := ParseDist("SCATTER"); err == nil {
+		t.Fatal("unknown dist must fail")
+	}
+	if Block.String() != "BLOCK" || BlockCyclic.String() != "BLOCK_CYCLIC" {
+		t.Fatal("Dist.String broken")
+	}
+}
+
+func TestGrid2D(t *testing.T) {
+	tiles, err := Grid2D(10, 7, 4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, cols := GridDims(10, 7, 4, 3)
+	if rows != 3 || cols != 3 {
+		t.Fatalf("grid dims = %dx%d", rows, cols)
+	}
+	if len(tiles) != rows*cols {
+		t.Fatalf("tiles = %d", len(tiles))
+	}
+	// Exact coverage of the 10x7 space.
+	area := 0
+	for _, tl := range tiles {
+		if tl.M < 1 || tl.N < 1 {
+			t.Fatalf("degenerate tile %+v", tl)
+		}
+		area += tl.M * tl.N
+	}
+	if area != 70 {
+		t.Fatalf("covered area = %d", area)
+	}
+	// Edge tile clipped: last row tiles have M=2, last col tiles N=1.
+	last := tiles[len(tiles)-1]
+	if last.M != 2 || last.N != 1 {
+		t.Fatalf("edge tile = %+v", last)
+	}
+	if _, err := Grid2D(4, 4, 0, 1); err == nil {
+		t.Fatal("tileM 0 must fail")
+	}
+	if _, err := Grid2D(-1, 4, 1, 1); err == nil {
+		t.Fatal("negative extent must fail")
+	}
+}
+
+func TestGrid2DEmpty(t *testing.T) {
+	tiles, err := Grid2D(0, 5, 2, 2)
+	if err != nil || len(tiles) != 0 {
+		t.Fatalf("empty grid: %v %v", tiles, err)
+	}
+}
+
+// Property-based: every distribution covers [0,n) exactly once and Owner
+// agrees with the pieces, for all three schemes.
+func TestQuickPartitionCoverageAndOwner(t *testing.T) {
+	f := func(nn, pp, bb uint8, which uint8) bool {
+		n := int(nn % 120)
+		p := int(pp%7) + 1
+		b := int(bb%5) + 1
+		d := []Dist{Block, Cyclic, BlockCyclic}[which%3]
+		pieces, err := Partition1D(d, n, p, b)
+		if err != nil {
+			return false
+		}
+		seen := make([]int, n)
+		for _, pc := range pieces {
+			for _, s := range pc.Spans {
+				for i := s.Start; i < s.Start+s.Len; i++ {
+					if i < 0 || i >= n {
+						return false
+					}
+					seen[i]++
+					o, err := Owner(d, n, p, b, i)
+					if err != nil || o != pc.Owner {
+						return false
+					}
+				}
+			}
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: Grid2D covers the m×n space exactly once.
+func TestQuickGridCoverage(t *testing.T) {
+	f := func(mm, nn, tm, tn uint8) bool {
+		m, n := int(mm%40), int(nn%40)
+		tM, tN := int(tm%8)+1, int(tn%8)+1
+		tiles, err := Grid2D(m, n, tM, tN)
+		if err != nil {
+			return false
+		}
+		cover := make([]int, m*n)
+		for _, tl := range tiles {
+			for r := tl.Row; r < tl.Row+tl.M; r++ {
+				for c := tl.Col; c < tl.Col+tl.N; c++ {
+					cover[r*n+c]++
+				}
+			}
+		}
+		for _, c := range cover {
+			if c != 1 {
+				return false
+			}
+		}
+		rows, cols := GridDims(m, n, tM, tN)
+		return len(tiles) == rows*cols || (m == 0 || n == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package pattern
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+)
+
+// Derive abstracts a concrete platform into the generic pattern it
+// instantiates: the reverse arrow of the paper's Figure 2. PU subtrees
+// collapse by (class, architecture): eight x86 master cores with two gpu
+// workers derive the host-device pattern with MinCount 8 and 2. Derived
+// patterns are what makes "multiple logic platform patterns ... co-exist for
+// a single target system" concrete — see View and Views.
+func Derive(pl *core.Platform) (*Pattern, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	if len(pl.Masters) == 0 {
+		return nil, fmt.Errorf("pattern: cannot derive from empty platform")
+	}
+	used := map[string]int{}
+	root := deriveNode(pl.Masters[0], used)
+	// Additional masters merge into the root count when they share class
+	// and architecture; heterogeneous multi-master platforms derive from
+	// their first master (patterns describe one control tree).
+	for _, m := range pl.Masters[1:] {
+		if m.Architecture() == pl.Masters[0].Architecture() {
+			root.MinCount += m.EffectiveQuantity()
+		}
+	}
+	p := &Pattern{Name: "derived:" + pl.Name, Root: root}
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+func deriveNode(pu *core.PU, used map[string]int) *Node {
+	arch := pu.Architecture()
+	role := fmt.Sprintf("%s-%s", classRole(pu.Class), arch)
+	if arch == "" {
+		role = classRole(pu.Class)
+	}
+	used[role]++
+	if used[role] > 1 {
+		role = fmt.Sprintf("%s-%d", role, used[role])
+	}
+	n := &Node{
+		Role:     role,
+		Class:    pu.Class,
+		MinCount: pu.EffectiveQuantity(),
+	}
+	if arch != "" {
+		n.Constraints = []Constraint{{Name: core.PropArchitecture, Value: arch}}
+	}
+	// Children collapse by (class, arch): identical siblings accumulate
+	// counts instead of repeating roles.
+	type key struct {
+		class core.Class
+		arch  string
+	}
+	groups := map[key][]*core.PU{}
+	var order []key
+	for _, c := range pu.Children {
+		k := key{c.Class, c.Architecture()}
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], c)
+	}
+	sort.SliceStable(order, func(i, j int) bool {
+		if order[i].class != order[j].class {
+			return order[i].class < order[j].class
+		}
+		return order[i].arch < order[j].arch
+	})
+	for _, k := range order {
+		members := groups[k]
+		child := deriveNode(members[0], used)
+		total := 0
+		for _, m := range members {
+			total += m.EffectiveQuantity()
+		}
+		child.MinCount = total
+		n.Children = append(n.Children, child)
+	}
+	return n
+}
+
+func classRole(c core.Class) string {
+	switch c {
+	case core.Master:
+		return "master"
+	case core.Hybrid:
+		return "hybrid"
+	default:
+		return "worker"
+	}
+}
+
+// View is one named logical control-view over a physical platform: the
+// paper's observation that "multiple logic platform patterns can co-exist
+// for a single target system". A view pairs a pattern with the binding that
+// anchors it on the machine.
+type View struct {
+	Name    string
+	Pattern *Pattern
+	Binding *Binding
+}
+
+// Views computes every predefined logical view the platform supports, plus
+// its own derived pattern. The same xeon-2gpu box is simultaneously a seq
+// machine, an smp machine, an OpenCL host-device machine and a multi-gpu
+// machine — each view exposing the control relationships one programming
+// model cares about.
+func Views(pl *core.Platform) ([]View, error) {
+	if err := pl.Validate(); err != nil {
+		return nil, err
+	}
+	var out []View
+	for _, name := range KnownTargets() {
+		p, err := FromTarget(name)
+		if err != nil {
+			return nil, err
+		}
+		b, err := Match(p, pl)
+		if err != nil {
+			continue
+		}
+		out = append(out, View{Name: name, Pattern: p, Binding: b})
+	}
+	if d, err := Derive(pl); err == nil {
+		if b, err := Match(d, pl); err == nil {
+			out = append(out, View{Name: d.Name, Pattern: d, Binding: b})
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,135 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/discover"
+)
+
+func TestDeriveXeon2GPU(t *testing.T) {
+	pl := discover.MustPlatform("xeon-2gpu")
+	p, err := Derive(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Root.Class != core.Master || p.Root.MinCount != 8 {
+		t.Fatalf("root = %+v", p.Root)
+	}
+	if len(p.Root.Children) != 1 {
+		t.Fatalf("children = %v", p.Root.Children)
+	}
+	dev := p.Root.Children[0]
+	// The two gpu workers collapse into one role with MinCount 2.
+	if dev.Class != core.Worker || dev.MinCount != 2 {
+		t.Fatalf("device role = %+v", dev)
+	}
+	if len(dev.Constraints) != 1 || dev.Constraints[0].Value != "gpu" {
+		t.Fatalf("constraints = %v", dev.Constraints)
+	}
+	// A derived pattern matches the platform it came from.
+	b, err := Match(p, pl)
+	if err != nil {
+		t.Fatalf("derived pattern does not match its own platform: %v", err)
+	}
+	if b.UnitCount(dev.Role) != 2 {
+		t.Fatalf("binding = %v", b)
+	}
+}
+
+func TestDeriveCellBlade(t *testing.T) {
+	pl := discover.MustPlatform("cell-blade")
+	p, err := Derive(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// master(ppc) -> hybrid(ppc) -> worker(spe){>=8}
+	if p.Root.Children[0].Class != core.Hybrid {
+		t.Fatalf("pattern = %s", p)
+	}
+	spe := p.Root.Children[0].Children[0]
+	if spe.MinCount != 8 || spe.Constraints[0].Value != "spe" {
+		t.Fatalf("spe role = %+v", spe)
+	}
+	if !Satisfies(p, pl) {
+		t.Fatal("derived cell pattern must match the blade")
+	}
+	// And it must NOT match the GPU box.
+	if Satisfies(p, discover.MustPlatform("xeon-2gpu")) {
+		t.Fatal("cell pattern matched a gpu box")
+	}
+}
+
+func TestDeriveCollapsesMixedSiblings(t *testing.T) {
+	pl, err := core.NewBuilder("mixed").
+		Master("m", core.Arch("x86")).
+		Worker("g0", core.Arch("gpu")).
+		Worker("g1", core.Arch("gpu")).
+		Worker("f0", core.Arch("fpga")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Derive(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Root.Children) != 2 {
+		t.Fatalf("roles = %v", p.Root.Children)
+	}
+	var gpuCount, fpgaCount int
+	for _, c := range p.Root.Children {
+		switch c.Constraints[0].Value {
+		case "gpu":
+			gpuCount = c.MinCount
+		case "fpga":
+			fpgaCount = c.MinCount
+		}
+	}
+	if gpuCount != 2 || fpgaCount != 1 {
+		t.Fatalf("gpu=%d fpga=%d", gpuCount, fpgaCount)
+	}
+}
+
+func TestDeriveErrors(t *testing.T) {
+	if _, err := Derive(&core.Platform{}); err == nil {
+		t.Fatal("invalid platform must fail")
+	}
+}
+
+func TestViewsCoexist(t *testing.T) {
+	pl := discover.MustPlatform("xeon-2gpu")
+	views, err := Views(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, v := range views {
+		names[v.Name] = true
+		if v.Binding == nil {
+			t.Fatalf("view %s without binding", v.Name)
+		}
+	}
+	// The same physical box supports all of these logical views at once.
+	for _, want := range []string{"seq", "x86", "opencl", "cuda", "multi-gpu", "smp", "derived:xeon-2gpu"} {
+		if !names[want] {
+			t.Errorf("missing view %q (have %v)", want, names)
+		}
+	}
+	// But not the cell view.
+	if names["cell"] {
+		t.Error("cell view should not match a gpu box")
+	}
+
+	// CPU-only box: no gpu views.
+	cpuViews, err := Views(discover.MustPlatform("xeon-cpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range cpuViews {
+		if strings.Contains(v.Name, "gpu") || v.Name == "opencl" || v.Name == "cuda" {
+			t.Errorf("cpu-only box offers view %q", v.Name)
+		}
+	}
+}

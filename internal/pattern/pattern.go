@@ -1,0 +1,300 @@
+// Package pattern implements abstract architectural patterns over the PDL
+// machine model and their mapping onto concrete platforms.
+//
+// A pattern is a small tree of constrained PU roles ("an x86 Master
+// controlling at least one gpu Worker"). Patterns are what task
+// implementation variants declare as their platform requirement; the matcher
+// decides whether a concrete platform satisfies a pattern and, if so, which
+// concrete units play which role. This is the mechanism behind the paper's
+// Figure 2 ("concrete platforms are mapped to generic processing-unit
+// hierarchies to support portability") and the static task pre-selection of
+// Section IV-B.
+//
+// Role compatibility is deliberately wider than class equality: a pattern
+// Master is satisfied by any unit that can control (Master or Hybrid), a
+// pattern Worker by any unit that can execute delegated work (Worker or
+// Hybrid), while a pattern Hybrid requires a real Hybrid. Pattern children
+// match against *descendants* of the concrete node, so a Master→Worker
+// pattern maps onto a Master→Hybrid→Worker platform — exactly the CUDA
+// host/device example of the paper, where "the host is expressed either as
+// master or hybrid PU".
+package pattern
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Constraint restricts a role to concrete PUs carrying a property. An empty
+// Value only requires the property to exist.
+type Constraint struct {
+	Name  string
+	Value string
+}
+
+func (c Constraint) String() string {
+	if c.Value == "" {
+		return c.Name
+	}
+	return c.Name + "=" + c.Value
+}
+
+func (c Constraint) holds(pu *core.PU) bool {
+	p, ok := pu.Descriptor.Get(c.Name)
+	if !ok {
+		return false
+	}
+	return c.Value == "" || p.Value == c.Value
+}
+
+// Node is one role in a pattern tree.
+type Node struct {
+	Role        string // unique label within the pattern, e.g. "host", "device"
+	Class       core.Class
+	Constraints []Constraint
+	MinCount    int // minimum effective units the role must bind (default 1)
+	Children    []*Node
+}
+
+// minCount returns MinCount with the zero value normalised to 1.
+func (n *Node) minCount() int {
+	if n.MinCount <= 0 {
+		return 1
+	}
+	return n.MinCount
+}
+
+func (n *Node) String() string {
+	var cs []string
+	for _, c := range n.Constraints {
+		cs = append(cs, c.String())
+	}
+	s := fmt.Sprintf("%s:%s", n.Role, n.Class)
+	if len(cs) > 0 {
+		s += "[" + strings.Join(cs, ",") + "]"
+	}
+	if n.minCount() > 1 {
+		s += fmt.Sprintf("{>=%d}", n.minCount())
+	}
+	return s
+}
+
+// Pattern is a named abstract platform shape. Root must describe a Master
+// role.
+type Pattern struct {
+	Name string
+	Root *Node
+}
+
+// String renders the pattern tree on one line.
+func (p *Pattern) String() string {
+	var rec func(n *Node) string
+	rec = func(n *Node) string {
+		s := n.String()
+		if len(n.Children) > 0 {
+			var parts []string
+			for _, c := range n.Children {
+				parts = append(parts, rec(c))
+			}
+			s += "(" + strings.Join(parts, " ") + ")"
+		}
+		return s
+	}
+	return p.Name + ": " + rec(p.Root)
+}
+
+// Roles returns every role label in the pattern, depth-first.
+func (p *Pattern) Roles() []string {
+	var out []string
+	var rec func(n *Node)
+	rec = func(n *Node) {
+		out = append(out, n.Role)
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	return out
+}
+
+// Validate checks the pattern is well formed: non-nil root with Master or
+// Hybrid class at the top, unique non-empty role labels, Workers as leaves.
+func (p *Pattern) Validate() error {
+	if p.Root == nil {
+		return fmt.Errorf("pattern %s: nil root", p.Name)
+	}
+	if p.Root.Class == core.Worker {
+		return fmt.Errorf("pattern %s: root role %q is a Worker; patterns start at a controlling unit", p.Name, p.Root.Role)
+	}
+	seen := map[string]bool{}
+	var rec func(n *Node) error
+	rec = func(n *Node) error {
+		if n.Role == "" {
+			return fmt.Errorf("pattern %s: node with empty role label", p.Name)
+		}
+		if seen[n.Role] {
+			return fmt.Errorf("pattern %s: duplicate role %q", p.Name, n.Role)
+		}
+		seen[n.Role] = true
+		if n.Class == core.Worker && len(n.Children) > 0 {
+			return fmt.Errorf("pattern %s: Worker role %q has children", p.Name, n.Role)
+		}
+		for _, c := range n.Children {
+			if err := rec(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return rec(p.Root)
+}
+
+// Binding maps each pattern role to the concrete PUs that play it.
+type Binding struct {
+	Pattern  *Pattern
+	Platform *core.Platform
+	Roles    map[string][]*core.PU
+}
+
+// Units returns the PUs bound to a role.
+func (b *Binding) Units(role string) []*core.PU { return b.Roles[role] }
+
+// UnitCount returns the total effective quantity bound to a role.
+func (b *Binding) UnitCount(role string) int {
+	n := 0
+	for _, pu := range b.Roles[role] {
+		n += pu.EffectiveQuantity()
+	}
+	return n
+}
+
+// String renders the binding role by role.
+func (b *Binding) String() string {
+	roles := make([]string, 0, len(b.Roles))
+	for r := range b.Roles {
+		roles = append(roles, r)
+	}
+	sort.Strings(roles)
+	var parts []string
+	for _, r := range roles {
+		var ids []string
+		for _, pu := range b.Roles[r] {
+			ids = append(ids, pu.ID)
+		}
+		parts = append(parts, fmt.Sprintf("%s->[%s]", r, strings.Join(ids, ",")))
+	}
+	return strings.Join(parts, " ")
+}
+
+// roleCompatible reports whether a concrete class can play a pattern class.
+func roleCompatible(pattern, concrete core.Class) bool {
+	switch pattern {
+	case core.Master:
+		return concrete == core.Master || concrete == core.Hybrid
+	case core.Worker:
+		return concrete == core.Worker || concrete == core.Hybrid
+	case core.Hybrid:
+		return concrete == core.Hybrid
+	}
+	return false
+}
+
+func nodeMatches(n *Node, pu *core.PU) bool {
+	if !roleCompatible(n.Class, pu.Class) {
+		return false
+	}
+	for _, c := range n.Constraints {
+		if !c.holds(pu) {
+			return false
+		}
+	}
+	return true
+}
+
+// Match attempts to bind the pattern onto the platform. On success the
+// returned binding assigns every role at least its MinCount units; roles
+// greedily absorb every compatible descendant so callers see the full set of
+// candidate units (schedulers narrow later). Match returns an error when the
+// pattern cannot be satisfied, naming the first failing role.
+func Match(p *Pattern, pl *core.Platform) (*Binding, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, m := range pl.Masters {
+		if b := tryRoot(p, pl, m); b != nil {
+			return b, nil
+		}
+	}
+	return nil, &NoMatchError{Pattern: p.Name, Platform: pl.Name, Role: p.Root.Role}
+}
+
+// NoMatchError reports a pattern that a platform cannot satisfy.
+type NoMatchError struct {
+	Pattern  string
+	Platform string
+	Role     string
+}
+
+func (e *NoMatchError) Error() string {
+	return fmt.Sprintf("pattern: platform %q cannot satisfy pattern %q (failing role %q)", e.Platform, e.Pattern, e.Role)
+}
+
+func tryRoot(p *Pattern, pl *core.Platform, root *core.PU) *Binding {
+	if !nodeMatches(p.Root, root) {
+		return nil
+	}
+	if root.EffectiveQuantity() < p.Root.minCount() {
+		return nil
+	}
+	b := &Binding{Pattern: p, Platform: pl, Roles: map[string][]*core.PU{}}
+	b.Roles[p.Root.Role] = []*core.PU{root}
+	for _, childPat := range p.Root.Children {
+		if !bindRole(childPat, root, b) {
+			return nil
+		}
+	}
+	return b
+}
+
+// bindRole binds childPat against descendants of the concrete node `under`.
+func bindRole(childPat *Node, under *core.PU, b *Binding) bool {
+	var matched []*core.PU
+	under.Walk(func(n, _ *core.PU) bool {
+		if n != under && nodeMatches(childPat, n) {
+			matched = append(matched, n)
+		}
+		return true
+	})
+	total := 0
+	for _, m := range matched {
+		total += m.EffectiveQuantity()
+	}
+	if total < childPat.minCount() {
+		return false
+	}
+	b.Roles[childPat.Role] = matched
+	// Grandchildren roles bind beneath each matched unit; every matched unit
+	// subtree together must cover them.
+	for _, gc := range childPat.Children {
+		ok := false
+		for _, m := range matched {
+			if bindRole(gc, m, b) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Satisfies reports whether the platform can bind the pattern.
+func Satisfies(p *Pattern, pl *core.Platform) bool {
+	_, err := Match(p, pl)
+	return err == nil
+}

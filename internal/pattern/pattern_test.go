@@ -1,0 +1,237 @@
+package pattern
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func gpgpuNode(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("gpgpu-node").
+		Master("0", core.Arch("x86"), core.Qty(8)).
+		Worker("1", core.Arch("gpu")).
+		Worker("2", core.Arch("gpu")).
+		Link(core.ICTypePCIe, "0", "1").
+		Link(core.ICTypePCIe, "0", "2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func cellBlade(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("cell-blade").
+		Master("ppe", core.Arch("ppc")).
+		Hybrid("ctl", core.Arch("ppc")).
+		Worker("spe", core.Arch("spe"), core.Qty(8)).
+		End().
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func cpuOnly(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("cpu-only").
+		Master("cpu", core.Arch("x86"), core.Qty(4)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+func TestHostDeviceMatch(t *testing.T) {
+	pl := gpgpuNode(t)
+	b, err := Match(HostDevicePattern(1), pl)
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if got := b.Units("host"); len(got) != 1 || got[0].ID != "0" {
+		t.Fatalf("host binding = %v", b)
+	}
+	if got := b.UnitCount("device"); got != 2 {
+		t.Fatalf("device units = %d; want 2", got)
+	}
+	if !strings.Contains(b.String(), "device->[1,2]") {
+		t.Fatalf("String() = %q", b.String())
+	}
+}
+
+func TestMultiGPURequiresTwoDevices(t *testing.T) {
+	if !Satisfies(MultiGPUPattern(), gpgpuNode(t)) {
+		t.Fatal("2-gpu platform should satisfy multi-gpu")
+	}
+	one, err := core.NewBuilder("one").
+		Master("0", core.Arch("x86")).
+		Worker("1", core.Arch("gpu")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Satisfies(MultiGPUPattern(), one) {
+		t.Fatal("1-gpu platform must not satisfy multi-gpu")
+	}
+	_, err = Match(MultiGPUPattern(), one)
+	var nme *NoMatchError
+	if !asNoMatch(err, &nme) || nme.Role != "host" {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func asNoMatch(err error, out **NoMatchError) bool {
+	if e, ok := err.(*NoMatchError); ok {
+		*out = e
+		return true
+	}
+	return false
+}
+
+func TestCellMatchesThroughHybrid(t *testing.T) {
+	pl := cellBlade(t)
+	b, err := Match(CellPattern(8), pl)
+	if err != nil {
+		t.Fatalf("cell blade should match cell pattern: %v", err)
+	}
+	if got := b.UnitCount("spe"); got != 8 {
+		t.Fatalf("spe units = %d", got)
+	}
+	if Satisfies(CellPattern(9), pl) {
+		t.Fatal("requiring 9 SPEs must fail on an 8-SPE blade")
+	}
+	if Satisfies(CellPattern(1), cpuOnly(t)) {
+		t.Fatal("x86 box must not satisfy cell")
+	}
+}
+
+func TestSeqMatchesEverything(t *testing.T) {
+	for _, pl := range []*core.Platform{gpgpuNode(t), cellBlade(t), cpuOnly(t)} {
+		if !Satisfies(SeqPattern(), pl) {
+			t.Errorf("seq should match %s", pl.Name)
+		}
+	}
+}
+
+func TestSMPQuantity(t *testing.T) {
+	if !Satisfies(SMPPattern(4), cpuOnly(t)) {
+		t.Fatal("4-core box should satisfy smp(4)")
+	}
+	if Satisfies(SMPPattern(8), cpuOnly(t)) {
+		t.Fatal("4-core box must not satisfy smp(8)")
+	}
+	if Satisfies(SMPPattern(2), cellBlade(t)) {
+		t.Fatal("ppc blade must not satisfy x86 smp")
+	}
+}
+
+func TestWorkerRoleAcceptsHybrid(t *testing.T) {
+	// A pattern Worker role binds to a concrete Hybrid: the paper's "the
+	// host is expressed either as master or hybrid PU" in reverse.
+	p := &Pattern{Name: "offload", Root: &Node{
+		Role: "host", Class: core.Master,
+		Children: []*Node{{Role: "sink", Class: core.Worker,
+			Constraints: []Constraint{{Name: core.PropArchitecture, Value: "ppc"}}}},
+	}}
+	b, err := Match(p, cellBlade(t))
+	if err != nil {
+		t.Fatalf("Match: %v", err)
+	}
+	if got := b.Units("sink"); len(got) != 1 || got[0].ID != "ctl" {
+		t.Fatalf("sink = %v", b)
+	}
+}
+
+func TestConstraintExistenceOnly(t *testing.T) {
+	pl := gpgpuNode(t)
+	pl.FindPU("1").Descriptor.SetFixed(core.PropDeviceName, "GTX 480")
+	p := &Pattern{Name: "named", Root: &Node{
+		Role: "host", Class: core.Master,
+		Children: []*Node{{Role: "dev", Class: core.Worker,
+			Constraints: []Constraint{{Name: core.PropDeviceName}}}},
+	}}
+	b, err := Match(p, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Units("dev"); len(got) != 1 || got[0].ID != "1" {
+		t.Fatalf("dev = %v", b)
+	}
+}
+
+func TestPatternValidate(t *testing.T) {
+	bad := []*Pattern{
+		{Name: "nilroot"},
+		{Name: "workerroot", Root: &Node{Role: "r", Class: core.Worker}},
+		{Name: "emptyrole", Root: &Node{Role: "", Class: core.Master}},
+		{Name: "dup", Root: &Node{Role: "a", Class: core.Master,
+			Children: []*Node{{Role: "a", Class: core.Worker}}}},
+		{Name: "workerkids", Root: &Node{Role: "a", Class: core.Master,
+			Children: []*Node{{Role: "w", Class: core.Worker,
+				Children: []*Node{{Role: "x", Class: core.Worker}}}}}},
+	}
+	for _, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("pattern %s should be invalid", p.Name)
+		}
+		if _, err := Match(p, cpuOnly(t)); err == nil {
+			t.Errorf("Match with invalid pattern %s should fail", p.Name)
+		}
+	}
+}
+
+func TestFromTarget(t *testing.T) {
+	for _, name := range KnownTargets() {
+		p, err := FromTarget(name)
+		if err != nil {
+			t.Errorf("FromTarget(%q): %v", name, err)
+			continue
+		}
+		if err := p.Validate(); err != nil {
+			t.Errorf("predefined pattern %q invalid: %v", name, err)
+		}
+	}
+	if _, err := FromTarget("vax"); err == nil {
+		t.Fatal("unknown target must fail")
+	}
+}
+
+func TestPatternStringAndRoles(t *testing.T) {
+	p := CellPattern(8)
+	s := p.String()
+	if !strings.Contains(s, "ppe:Master") || !strings.Contains(s, "{>=8}") {
+		t.Fatalf("String() = %q", s)
+	}
+	roles := p.Roles()
+	if len(roles) != 2 || roles[0] != "ppe" || roles[1] != "spe" {
+		t.Fatalf("Roles() = %v", roles)
+	}
+}
+
+func TestNestedPatternGrandchildren(t *testing.T) {
+	// Master -> Hybrid(ppc) -> Worker(spe): full three-level pattern.
+	p := &Pattern{Name: "deep", Root: &Node{
+		Role: "m", Class: core.Master,
+		Children: []*Node{{
+			Role: "h", Class: core.Hybrid,
+			Children: []*Node{{Role: "w", Class: core.Worker, MinCount: 4,
+				Constraints: []Constraint{{Name: core.PropArchitecture, Value: "spe"}}}},
+		}},
+	}}
+	b, err := Match(p, cellBlade(t))
+	if err != nil {
+		t.Fatalf("deep match: %v", err)
+	}
+	if got := b.UnitCount("w"); got != 8 {
+		t.Fatalf("w units = %d", got)
+	}
+	// Same pattern fails on the GPU node (no hybrid at all).
+	if Satisfies(p, gpgpuNode(t)) {
+		t.Fatal("gpu node must not satisfy hybrid pattern")
+	}
+}

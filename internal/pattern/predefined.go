@@ -1,0 +1,125 @@
+package pattern
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Predefined patterns capturing the platform models the paper discusses.
+// Task implementation variants reference these by name in their
+// targetplatformlist; FromTarget resolves the names.
+
+// SeqPattern matches any platform with a general-purpose Master: the
+// sequential fall-back target every Cascabel program must support.
+func SeqPattern() *Pattern {
+	return &Pattern{
+		Name: "seq",
+		Root: &Node{Role: "host", Class: core.Master},
+	}
+}
+
+// X86Pattern matches a platform whose Master is an x86 unit.
+func X86Pattern() *Pattern {
+	return &Pattern{
+		Name: "x86",
+		Root: &Node{Role: "host", Class: core.Master,
+			Constraints: []Constraint{{Name: core.PropArchitecture, Value: "x86"}}},
+	}
+}
+
+// HostDevicePattern is the OpenCL/CUDA platform model: a host Master
+// controlling at least minDevices gpu Workers.
+func HostDevicePattern(minDevices int) *Pattern {
+	return &Pattern{
+		Name: "host-device",
+		Root: &Node{
+			Role: "host", Class: core.Master,
+			Children: []*Node{{
+				Role: "device", Class: core.Worker, MinCount: minDevices,
+				Constraints: []Constraint{{Name: core.PropArchitecture, Value: "gpu"}},
+			}},
+		},
+	}
+}
+
+// CudaPattern matches platforms with at least one CUDA-capable gpu Worker.
+func CudaPattern() *Pattern {
+	p := HostDevicePattern(1)
+	p.Name = "cuda"
+	return p
+}
+
+// OpenCLPattern matches platforms with at least one gpu Worker (the paper
+// treats OpenCL and CUDA devices identically at the pattern level; concrete
+// runtime availability is a property).
+func OpenCLPattern() *Pattern {
+	p := HostDevicePattern(1)
+	p.Name = "opencl"
+	return p
+}
+
+// MultiGPUPattern requires at least two gpu devices.
+func MultiGPUPattern() *Pattern {
+	p := HostDevicePattern(2)
+	p.Name = "multi-gpu"
+	return p
+}
+
+// CellPattern is the IBM Cell B.E. model: a PowerPC Master (PPE) with a
+// hybrid controller over at least minSPE SPE Workers — or directly controlled
+// SPE workers.
+func CellPattern(minSPE int) *Pattern {
+	return &Pattern{
+		Name: "cell",
+		Root: &Node{
+			Role: "ppe", Class: core.Master,
+			Constraints: []Constraint{{Name: core.PropArchitecture, Value: "ppc"}},
+			Children: []*Node{{
+				Role: "spe", Class: core.Worker, MinCount: minSPE,
+				Constraints: []Constraint{{Name: core.PropArchitecture, Value: "spe"}},
+			}},
+		},
+	}
+}
+
+// SMPPattern matches a Master standing for at least minCores units: the
+// multi-core CPU target of the paper's "starpu" series.
+func SMPPattern(minCores int) *Pattern {
+	return &Pattern{
+		Name: "smp",
+		Root: &Node{Role: "host", Class: core.Master, MinCount: minCores,
+			Constraints: []Constraint{{Name: core.PropArchitecture, Value: "x86"}}},
+	}
+}
+
+// FromTarget resolves a targetplatformlist entry from a Cascabel task
+// annotation into a pattern. Recognised names: seq, x86, opencl, cuda,
+// host-device, multi-gpu, cell, smp, starpu (an alias for smp with one
+// core, since StarPU runs on plain CPUs too).
+func FromTarget(name string) (*Pattern, error) {
+	switch name {
+	case "seq":
+		return SeqPattern(), nil
+	case "x86":
+		return X86Pattern(), nil
+	case "opencl":
+		return OpenCLPattern(), nil
+	case "cuda":
+		return CudaPattern(), nil
+	case "host-device":
+		return HostDevicePattern(1), nil
+	case "multi-gpu":
+		return MultiGPUPattern(), nil
+	case "cell":
+		return CellPattern(1), nil
+	case "smp", "starpu":
+		return SMPPattern(1), nil
+	}
+	return nil, fmt.Errorf("pattern: unknown target platform %q", name)
+}
+
+// KnownTargets lists the target names FromTarget accepts.
+func KnownTargets() []string {
+	return []string{"seq", "x86", "opencl", "cuda", "host-device", "multi-gpu", "cell", "smp", "starpu"}
+}

@@ -1,0 +1,84 @@
+package pdlxml
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/schema"
+)
+
+// goldenNames are the catalog platforms with committed golden documents in
+// testdata/. The goldens pin the on-disk PDL dialect: if Marshal output
+// drifts (element order, attribute set, namespace declarations), these
+// tests fail and the change must be deliberate.
+var goldenNames = []string{"gpgpu-node", "xeon-2gpu", "gtx480", "cell-blade"}
+
+func TestGoldenDocumentsStable(t *testing.T) {
+	for _, name := range goldenNames {
+		t.Run(name, func(t *testing.T) {
+			want, err := os.ReadFile(filepath.Join("testdata", name+".pdl.xml"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			pl, err := discover.Platform(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Marshal(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("marshal output drifted from golden testdata/%s.pdl.xml;\nregenerate deliberately if the dialect changed.\n--- got ---\n%s", name, got)
+			}
+		})
+	}
+}
+
+func TestGoldenDocumentsParseAndValidate(t *testing.T) {
+	for _, name := range goldenNames {
+		t.Run(name, func(t *testing.T) {
+			pl, err := ReadFile(filepath.Join("testdata", name+".pdl.xml"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := schema.ValidatePlatform(pl, schema.Default())
+			if !rep.OK() {
+				t.Fatalf("golden %s fails validation: %v", name, rep.Errors)
+			}
+			if pl.Name != name {
+				t.Fatalf("platform name = %q", pl.Name)
+			}
+		})
+	}
+}
+
+func TestGoldenRoundTripThroughDisk(t *testing.T) {
+	// Parse golden -> marshal -> parse again: byte-identical second
+	// generation (idempotent fixed point of the codec).
+	for _, name := range goldenNames {
+		t.Run(name, func(t *testing.T) {
+			pl, err := ReadFile(filepath.Join("testdata", name+".pdl.xml"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			first, err := Marshal(pl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := Unmarshal(first)
+			if err != nil {
+				t.Fatal(err)
+			}
+			second, err := Marshal(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(first) != string(second) {
+				t.Fatal("marshal is not idempotent over its own output")
+			}
+		})
+	}
+}

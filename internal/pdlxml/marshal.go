@@ -1,0 +1,247 @@
+package pdlxml
+
+import (
+	"bytes"
+	"encoding/xml"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// encoder writes PDL XML by hand so the document shape matches the paper's
+// listings exactly (attribute order, prefixed subschema elements) without
+// fighting encoding/xml's namespace handling.
+type encoder struct {
+	w      *bytes.Buffer
+	indent string
+	depth  int
+	err    error
+}
+
+func (e *encoder) nl() {
+	if e.err != nil || e.indent == "" {
+		return
+	}
+	e.w.WriteByte('\n')
+	for i := 0; i < e.depth; i++ {
+		e.w.WriteString(e.indent)
+	}
+}
+
+func (e *encoder) raw(s string) {
+	if e.err != nil {
+		return
+	}
+	e.w.WriteString(s)
+}
+
+func (e *encoder) text(s string) {
+	if e.err != nil {
+		return
+	}
+	if err := xml.EscapeText(e.w, []byte(s)); err != nil {
+		e.err = err
+	}
+}
+
+func (e *encoder) attr(name, value string) {
+	if e.err != nil {
+		return
+	}
+	e.raw(" ")
+	e.raw(name)
+	e.raw(`="`)
+	e.text(value)
+	e.raw(`"`)
+}
+
+// usedPrefixes collects subschema prefixes referenced by any property Type in
+// the platform so only needed xmlns declarations are emitted.
+func usedPrefixes(pl *core.Platform) []string {
+	seen := map[string]bool{}
+	collect := func(d core.Descriptor) {
+		for _, p := range d.Properties {
+			if i := strings.IndexByte(p.Type, ':'); i > 0 {
+				seen[p.Type[:i]] = true
+			}
+		}
+	}
+	pl.Walk(func(pu, _ *core.PU) bool {
+		collect(pu.Descriptor)
+		for _, m := range pu.Memory {
+			collect(m.Descriptor)
+		}
+		for _, ic := range pu.Links {
+			collect(ic.Descriptor)
+		}
+		return true
+	})
+	out := make([]string, 0, len(seen))
+	for p := range seen {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func (e *encoder) platform(pl *core.Platform) error {
+	e.raw(xml.Header)
+	e.raw("<Platform")
+	if pl.Name != "" {
+		e.attr("name", pl.Name)
+	}
+	if pl.SchemaVersion != "" {
+		e.attr("schemaVersion", pl.SchemaVersion)
+	}
+	e.attr("xmlns:xsi", XSINamespace)
+	for _, pfx := range usedPrefixes(pl) {
+		uri, ok := subschemaNS[pfx]
+		if !ok {
+			return fmt.Errorf("pdlxml: property type uses unregistered subschema prefix %q", pfx)
+		}
+		e.attr("xmlns:"+pfx, uri)
+	}
+	e.raw(">")
+	e.depth++
+	for _, m := range pl.Masters {
+		e.pu(m)
+	}
+	e.depth--
+	e.nl()
+	e.raw("</Platform>\n")
+	return e.err
+}
+
+func (e *encoder) pu(p *core.PU) {
+	e.nl()
+	e.raw("<")
+	e.raw(p.Class.String())
+	e.attr("id", p.ID)
+	e.attr("quantity", fmt.Sprint(p.EffectiveQuantity()))
+	if p.Name != "" {
+		e.attr("name", p.Name)
+	}
+	empty := len(p.Descriptor.Properties) == 0 && len(p.Memory) == 0 &&
+		len(p.Groups) == 0 && len(p.Children) == 0 && len(p.Links) == 0
+	if empty {
+		e.raw("/>")
+		return
+	}
+	e.raw(">")
+	e.depth++
+	if len(p.Descriptor.Properties) > 0 {
+		e.descriptor("PUDescriptor", p.Descriptor)
+	}
+	for _, g := range p.Groups {
+		e.nl()
+		e.raw("<LogicGroupAttribute>")
+		e.text(g)
+		e.raw("</LogicGroupAttribute>")
+	}
+	for _, m := range p.Memory {
+		e.memoryRegion(m)
+	}
+	for _, c := range p.Children {
+		e.pu(c)
+	}
+	for _, ic := range p.Links {
+		e.interconnect(ic)
+	}
+	e.depth--
+	e.nl()
+	e.raw("</")
+	e.raw(p.Class.String())
+	e.raw(">")
+}
+
+func (e *encoder) memoryRegion(m core.MemoryRegion) {
+	e.nl()
+	e.raw("<MemoryRegion")
+	e.attr("id", m.ID)
+	if m.Name != "" {
+		e.attr("name", m.Name)
+	}
+	if len(m.Descriptor.Properties) == 0 {
+		e.raw("/>")
+		return
+	}
+	e.raw(">")
+	e.depth++
+	e.descriptor("MRDescriptor", m.Descriptor)
+	e.depth--
+	e.nl()
+	e.raw("</MemoryRegion>")
+}
+
+func (e *encoder) interconnect(ic core.Interconnect) {
+	e.nl()
+	e.raw("<Interconnect")
+	if ic.ID != "" {
+		e.attr("id", ic.ID)
+	}
+	e.attr("type", ic.Type)
+	e.attr("from", ic.From)
+	e.attr("to", ic.To)
+	e.attr("scheme", ic.Scheme)
+	if ic.Duplex {
+		e.attr("duplex", "true")
+	}
+	if len(ic.Descriptor.Properties) == 0 {
+		e.raw("/>")
+		return
+	}
+	e.raw(">")
+	e.depth++
+	e.descriptor("ICDescriptor", ic.Descriptor)
+	e.depth--
+	e.nl()
+	e.raw("</Interconnect>")
+}
+
+func (e *encoder) descriptor(elem string, d core.Descriptor) {
+	e.nl()
+	e.raw("<")
+	e.raw(elem)
+	e.raw(">")
+	e.depth++
+	for _, p := range d.Properties {
+		e.property(p)
+	}
+	e.depth--
+	e.nl()
+	e.raw("</")
+	e.raw(elem)
+	e.raw(">")
+}
+
+func (e *encoder) property(p core.Property) {
+	prefix := ""
+	if i := strings.IndexByte(p.Type, ':'); i > 0 {
+		prefix = p.Type[:i] + ":"
+	}
+	e.nl()
+	e.raw("<Property")
+	e.attr("fixed", fmt.Sprint(p.Fixed))
+	if p.Type != "" {
+		e.attr("xsi:type", p.Type)
+	}
+	e.raw(">")
+	e.depth++
+	e.nl()
+	e.raw("<" + prefix + "name>")
+	e.text(p.Name)
+	e.raw("</" + prefix + "name>")
+	e.nl()
+	e.raw("<" + prefix + "value")
+	if p.Unit != "" {
+		e.attr("unit", p.Unit)
+	}
+	e.raw(">")
+	e.text(p.Value)
+	e.raw("</" + prefix + "value>")
+	e.depth--
+	e.nl()
+	e.raw("</Property>")
+}

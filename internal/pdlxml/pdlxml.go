@@ -1,0 +1,134 @@
+// Package pdlxml encodes and decodes Platform Description Language (PDL)
+// documents to and from the XML dialect used in the paper.
+//
+// The document structure mirrors the paper's Listings 1 and 2:
+//
+//	<Platform name="gpgpu-node" schemaVersion="1.0">
+//	  <Master id="0" quantity="1">
+//	    <PUDescriptor>
+//	      <Property fixed="true">
+//	        <name>ARCHITECTURE</name>
+//	        <value>x86</value>
+//	      </Property>
+//	    </PUDescriptor>
+//	    <Worker id="1" quantity="1">
+//	      <PUDescriptor>
+//	        <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+//	          <ocl:name>GLOBAL_MEM_SIZE</ocl:name>
+//	          <ocl:value unit="kB">1572864</ocl:value>
+//	        </Property>
+//	      </PUDescriptor>
+//	    </Worker>
+//	    <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+//	  </Master>
+//	</Platform>
+//
+// A document whose root element is a bare <Master> (exactly as printed in the
+// paper) is also accepted and wrapped into a single-Master platform.
+//
+// Subschema polymorphism follows the paper's use of xsi:type: a Property with
+// Type "ocl:oclDevicePropertyType" is emitted with prefixed child elements
+// (<ocl:name>, <ocl:value>) and the corresponding xmlns declaration on the
+// root. Decoding accepts both prefixed and plain child names and preserves
+// the xsi:type string, so Marshal∘Unmarshal is the identity on valid
+// platforms (see the round-trip tests).
+package pdlxml
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/core"
+)
+
+// XSINamespace is the standard XML Schema instance namespace used for
+// xsi:type property polymorphism.
+const XSINamespace = "http://www.w3.org/2001/XMLSchema-instance"
+
+// Subschema namespace URIs for the predefined platform-property subschemas.
+// New prefixes can be registered with RegisterSubschema.
+var subschemaNS = map[string]string{
+	"ocl":  "urn:pdl:subschema:opencl:1.0",
+	"cuda": "urn:pdl:subschema:cuda:1.0",
+	"cell": "urn:pdl:subschema:cellsdk:1.0",
+	"sim":  "urn:pdl:subschema:simhw:1.0",
+}
+
+// RegisterSubschema binds a property-type prefix (the part of xsi:type before
+// the colon) to a namespace URI so documents using it carry a well-formed
+// xmlns declaration. Registering an existing prefix with a different URI is
+// an error; re-registering identically is a no-op.
+func RegisterSubschema(prefix, uri string) error {
+	if prefix == "" || uri == "" {
+		return fmt.Errorf("pdlxml: empty subschema prefix or uri")
+	}
+	if cur, ok := subschemaNS[prefix]; ok && cur != uri {
+		return fmt.Errorf("pdlxml: subschema prefix %q already bound to %q", prefix, cur)
+	}
+	subschemaNS[prefix] = uri
+	return nil
+}
+
+// SubschemaURI returns the namespace URI bound to a prefix, if registered.
+func SubschemaURI(prefix string) (string, bool) {
+	uri, ok := subschemaNS[prefix]
+	return uri, ok
+}
+
+// Marshal renders the platform as an indented PDL XML document.
+func Marshal(pl *core.Platform) ([]byte, error) {
+	return MarshalIndent(pl, "  ")
+}
+
+// MarshalIndent renders the platform with the given indent unit ("" for a
+// compact single-line-per-element document).
+func MarshalIndent(pl *core.Platform, indent string) ([]byte, error) {
+	if pl == nil {
+		return nil, fmt.Errorf("pdlxml: nil platform")
+	}
+	var buf bytes.Buffer
+	e := &encoder{w: &buf, indent: indent}
+	if err := e.platform(pl); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Write marshals the platform onto w.
+func Write(w io.Writer, pl *core.Platform) error {
+	data, err := Marshal(pl)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
+}
+
+// WriteFile marshals the platform into the named file.
+func WriteFile(path string, pl *core.Platform) error {
+	data, err := Marshal(pl)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Unmarshal parses a PDL XML document. The result is structurally complete
+// but not machine-model validated; callers decide whether to enforce
+// core.Platform.Validate (cmd/pdlvalidate does, the query CLI does not, so
+// that partially written descriptors remain inspectable).
+func Unmarshal(data []byte) (*core.Platform, error) {
+	return Read(bytes.NewReader(data))
+}
+
+// ReadFile parses the named PDL XML file.
+func ReadFile(path string) (*core.Platform, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}

@@ -1,0 +1,380 @@
+package pdlxml
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+// listing1 is the paper's Listing 1 verbatim (modulo whitespace): an x86
+// Master controlling a gpu Worker over an rDMA interconnect.
+const listing1 = `<?xml version="1.0" encoding="UTF-8"?>
+<Master id="0" quantity="1">
+  <PUDescriptor>
+    <Property fixed="true">
+      <name>ARCHITECTURE</name>
+      <value>x86</value>
+    </Property>
+  </PUDescriptor>
+  <Worker quantity="1" id="1">
+    <PUDescriptor>
+      <Property fixed="true">
+        <name>ARCHITECTURE</name>
+        <value>gpu</value>
+      </Property>
+    </PUDescriptor>
+  </Worker>
+  <Interconnect type="rDMA" from="0" to="1" scheme=""/>
+</Master>`
+
+// listing2 reproduces the paper's Listing 2: concrete OpenCL-derived
+// properties using the ocl subschema via xsi:type.
+const listing2 = `<?xml version="1.0"?>
+<Platform name="gtx480" xmlns:xsi="http://www.w3.org/2001/XMLSchema-instance" xmlns:ocl="urn:pdl:subschema:opencl:1.0">
+  <Master id="0">
+    <Worker id="1">
+      <PUDescriptor>
+        <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+          <ocl:name>DEVICE_NAME</ocl:name>
+          <ocl:value>GeForce GTX 480</ocl:value>
+        </Property>
+        <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+          <ocl:name>MAX_COMPUTE_UNITS</ocl:name>
+          <ocl:value>15</ocl:value>
+        </Property>
+        <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+          <ocl:name>GLOBAL_MEM_SIZE</ocl:name>
+          <ocl:value unit="kB">1572864</ocl:value>
+        </Property>
+        <Property fixed="false" xsi:type="ocl:oclDevicePropertyType">
+          <ocl:name>LOCAL_MEM_SIZE</ocl:name>
+          <ocl:value unit="kB">48</ocl:value>
+        </Property>
+      </PUDescriptor>
+    </Worker>
+  </Master>
+</Platform>`
+
+func TestUnmarshalListing1(t *testing.T) {
+	pl, err := Unmarshal([]byte(listing1))
+	if err != nil {
+		t.Fatalf("Unmarshal listing1: %v", err)
+	}
+	if err := pl.Validate(); err != nil {
+		t.Fatalf("listing1 should validate: %v", err)
+	}
+	m := pl.FindPU("0")
+	if m == nil || m.Class != core.Master || m.Architecture() != "x86" {
+		t.Fatalf("master = %v", m)
+	}
+	w := pl.FindPU("1")
+	if w == nil || w.Class != core.Worker || w.Architecture() != "gpu" {
+		t.Fatalf("worker = %v", w)
+	}
+	ic, ok := pl.LinkBetween("0", "1")
+	if !ok || ic.Type != core.ICTypeRDMA {
+		t.Fatalf("interconnect = %v, %v", ic, ok)
+	}
+	p, _ := m.Descriptor.Get(core.PropArchitecture)
+	if !p.Fixed {
+		t.Fatal("ARCHITECTURE should be fixed")
+	}
+}
+
+func TestUnmarshalListing2Subschema(t *testing.T) {
+	pl, err := Unmarshal([]byte(listing2))
+	if err != nil {
+		t.Fatalf("Unmarshal listing2: %v", err)
+	}
+	w := pl.FindPU("1")
+	if w == nil {
+		t.Fatal("worker missing")
+	}
+	name, ok := w.Descriptor.Get("DEVICE_NAME")
+	if !ok || name.Value != "GeForce GTX 480" {
+		t.Fatalf("DEVICE_NAME = %v, %v", name, ok)
+	}
+	if name.Type != "ocl:oclDevicePropertyType" {
+		t.Fatalf("xsi:type not preserved: %q", name.Type)
+	}
+	if name.Fixed {
+		t.Fatal("OpenCL runtime properties are unfixed in the paper")
+	}
+	mem, _ := w.Descriptor.Get("GLOBAL_MEM_SIZE")
+	if mem.Unit != "kB" || mem.Value != "1572864" {
+		t.Fatalf("GLOBAL_MEM_SIZE = %v", mem)
+	}
+	if cu, ok := w.Descriptor.Int("MAX_COMPUTE_UNITS"); !ok || cu != 15 {
+		t.Fatalf("MAX_COMPUTE_UNITS = %d, %v", cu, ok)
+	}
+}
+
+func buildFixture(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("fixture").
+		Master("cpu", core.Arch("x86"), core.Qty(8),
+			core.WithProp(core.PropDeviceName, "Xeon X5550"),
+			core.WithUnitProp(core.PropClockMHz, "2660", "MHz"),
+			core.WithMemory("ram", 25165824),
+			core.InGroups("cpuset", "all")).
+		Hybrid("ppe", core.Arch("ppc")).
+		Worker("spe0", core.Arch("spe"), core.InGroups("speset")).
+		End().
+		Worker("gpu0", core.Arch("gpu"),
+			core.WithUnfixedProp(core.PropDeviceName, "GeForce GTX 480")).
+		Link(core.ICTypePCIe, "cpu", "gpu0", core.Bandwidth(5), core.Latency(10), core.Scheme("dma"), core.LinkID("pcie0")).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A typed subschema property on the worker.
+	pl.FindPU("gpu0").Descriptor.Set(core.Property{
+		Name: "GLOBAL_MEM_SIZE", Value: "1572864", Unit: "kB",
+		Fixed: false, Type: "ocl:oclDevicePropertyType",
+	})
+	return pl
+}
+
+func TestRoundTrip(t *testing.T) {
+	pl := buildFixture(t)
+	data, err := Marshal(pl)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal(Marshal(...)): %v\n%s", err, data)
+	}
+	normalize(pl)
+	normalize(back)
+	if !reflect.DeepEqual(pl, back) {
+		t.Fatalf("round trip not identity.\noriginal: %#v\nback: %#v\nxml:\n%s", pl, back, data)
+	}
+}
+
+// normalize forces Quantity to its effective value so DeepEqual compares the
+// model, not the 0-vs-1 encoding detail.
+func normalize(pl *core.Platform) {
+	pl.SchemaVersion = ""
+	pl.Walk(func(pu, _ *core.PU) bool {
+		pu.Quantity = pu.EffectiveQuantity()
+		return true
+	})
+}
+
+func TestMarshalDeclaresOnlyUsedNamespaces(t *testing.T) {
+	pl := buildFixture(t)
+	data, err := Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(data)
+	if !strings.Contains(s, `xmlns:ocl="urn:pdl:subschema:opencl:1.0"`) {
+		t.Error("ocl namespace not declared though used")
+	}
+	if strings.Contains(s, "xmlns:cuda") {
+		t.Error("cuda namespace declared though unused")
+	}
+	if !strings.Contains(s, `<ocl:name>GLOBAL_MEM_SIZE</ocl:name>`) {
+		t.Errorf("typed property children not prefixed:\n%s", s)
+	}
+	if !strings.Contains(s, `<ocl:value unit="kB">1572864</ocl:value>`) {
+		t.Errorf("typed value element wrong:\n%s", s)
+	}
+}
+
+func TestMarshalUnregisteredPrefixFails(t *testing.T) {
+	pl := buildFixture(t)
+	pl.FindPU("gpu0").Descriptor.Set(core.Property{Name: "X", Value: "1", Type: "mystery:thing"})
+	if _, err := Marshal(pl); err == nil {
+		t.Fatal("marshal with unregistered subschema prefix must fail")
+	}
+}
+
+func TestRegisterSubschema(t *testing.T) {
+	if err := RegisterSubschema("vhdl", "urn:pdl:subschema:vhdl:1.0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := RegisterSubschema("vhdl", "urn:pdl:subschema:vhdl:1.0"); err != nil {
+		t.Fatalf("identical re-registration should be a no-op: %v", err)
+	}
+	if err := RegisterSubschema("vhdl", "urn:other"); err == nil {
+		t.Fatal("conflicting re-registration must fail")
+	}
+	if err := RegisterSubschema("", "u"); err == nil {
+		t.Fatal("empty prefix must fail")
+	}
+	if uri, ok := SubschemaURI("ocl"); !ok || uri == "" {
+		t.Fatal("predefined ocl subschema missing")
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	cases := []struct {
+		name, doc, wantErr string
+	}{
+		{"empty", ``, "no Platform or Master"},
+		{"wrongRoot", `<Thing/>`, "unexpected document root"},
+		{"nestedMaster", `<Master id="a"><Master id="b"/></Master>`, "may not be nested"},
+		{"badQuantity", `<Master id="a" quantity="lots"/>`, "bad quantity"},
+		{"unknownChild", `<Master id="a"><Frobnicator/></Master>`, "unknown element"},
+		{"propNoName", `<Master id="a"><PUDescriptor><Property fixed="true"><value>x</value></Property></PUDescriptor></Master>`, "missing <name>"},
+		{"propNoValue", `<Master id="a"><PUDescriptor><Property fixed="true"><name>x</name></Property></PUDescriptor></Master>`, "missing <value>"},
+		{"platformNonMaster", `<Platform><Worker id="w"/></Platform>`, "only Master elements"},
+		{"junkInProperty", `<Master id="a"><PUDescriptor><Property><name>x</name><value>1</value><weird/></Property></PUDescriptor></Master>`, "unknown element inside Property"},
+		{"malformed", `<Master id="a">`, "XML syntax error"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Unmarshal([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("want error containing %q, got nil", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v; want substring %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUnmarshalUnresolvedPrefixStillParses(t *testing.T) {
+	// Same document as listing2 but WITHOUT the xmlns:ocl declaration; the
+	// decoder sees literal "ocl:name" locals and must still strip prefixes.
+	doc := strings.Replace(listing2, ` xmlns:ocl="urn:pdl:subschema:opencl:1.0"`, "", 1)
+	pl, err := Unmarshal([]byte(doc))
+	if err != nil {
+		t.Fatalf("Unmarshal without xmlns: %v", err)
+	}
+	if v := pl.FindPU("1").Descriptor.Value("DEVICE_NAME"); v != "GeForce GTX 480" {
+		t.Fatalf("DEVICE_NAME = %q", v)
+	}
+}
+
+func TestMarshalEscaping(t *testing.T) {
+	pl, err := core.NewBuilder(`evil "name" <&>`).
+		Master("m", core.WithProp("NOTE", `a<b&c>"d"`)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := Marshal(pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("escaped doc did not reparse: %v\n%s", err, data)
+	}
+	if back.Name != pl.Name {
+		t.Fatalf("name round trip: %q != %q", back.Name, pl.Name)
+	}
+	if v := back.FindPU("m").Descriptor.Value("NOTE"); v != `a<b&c>"d"` {
+		t.Fatalf("NOTE = %q", v)
+	}
+}
+
+func TestWriteReadFile(t *testing.T) {
+	pl := buildFixture(t)
+	path := t.TempDir() + "/p.pdl.xml"
+	if err := WriteFile(path, pl); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "fixture" {
+		t.Fatalf("name = %q", back.Name)
+	}
+	if _, err := ReadFile(path + ".missing"); err == nil {
+		t.Fatal("ReadFile on missing path must fail")
+	}
+}
+
+func TestMarshalNil(t *testing.T) {
+	if _, err := Marshal(nil); err == nil {
+		t.Fatal("Marshal(nil) must fail")
+	}
+}
+
+// Property-based: platforms with random property contents round-trip.
+func TestQuickRoundTripProperties(t *testing.T) {
+	f := func(name, value, unit string, fixed bool) bool {
+		// XML cannot carry control characters or invalid UTF-8; the schema
+		// layer rejects those. Restrict to printable ASCII here.
+		clean := func(s string) string {
+			var b strings.Builder
+			for _, r := range s {
+				if r >= 0x20 && r < 0x7f {
+					b.WriteRune(r)
+				}
+			}
+			return b.String()
+		}
+		name = clean(name)
+		value = clean(value)
+		unit = strings.ReplaceAll(clean(unit), " ", "")
+		if strings.TrimSpace(name) == "" || name != strings.TrimSpace(name) || value != strings.TrimSpace(value) {
+			return true
+		}
+		pl, err := core.NewBuilder("q").Master("m").Build()
+		if err != nil {
+			return false
+		}
+		pl.Masters[0].Descriptor.Set(core.Property{Name: name, Value: value, Unit: unit, Fixed: fixed})
+		data, err := Marshal(pl)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		got, ok := back.Masters[0].Descriptor.Get(name)
+		return ok && got.Value == value && got.Unit == unit && got.Fixed == fixed
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property-based: random builder-generated hierarchies round-trip to equal
+// structures.
+func TestQuickRoundTripHierarchy(t *testing.T) {
+	f := func(workers, hybrids, groups uint8) bool {
+		b := core.NewBuilder("q").Master("m", core.Arch("x86"), core.Qty(int(workers%3)+1))
+		for h := 0; h < int(hybrids%3); h++ {
+			b.Hybrid("", core.Arch("ppc"))
+			b.Worker("", core.Arch("spe"))
+			b.End()
+		}
+		for w := 0; w < int(workers%4)+1; w++ {
+			opts := []core.PUOption{core.Arch("gpu")}
+			if groups%2 == 0 {
+				opts = append(opts, core.InGroups("g"))
+			}
+			b.Worker("", opts...)
+		}
+		pl, err := b.Build()
+		if err != nil {
+			return false
+		}
+		data, err := Marshal(pl)
+		if err != nil {
+			return false
+		}
+		back, err := Unmarshal(data)
+		if err != nil {
+			return false
+		}
+		normalize(pl)
+		normalize(back)
+		return reflect.DeepEqual(pl, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

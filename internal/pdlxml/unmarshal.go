@@ -1,0 +1,333 @@
+package pdlxml
+
+import (
+	"encoding/xml"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// ParseError reports a structural problem in a PDL XML document.
+type ParseError struct {
+	Element string
+	Msg     string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("pdlxml: element <%s>: %s", e.Element, e.Msg)
+}
+
+// Read parses a PDL XML document from r. The root element may be <Platform>
+// or a bare <Master> (the paper's Listing 1 form).
+func Read(r io.Reader) (*core.Platform, error) {
+	d := xml.NewDecoder(r)
+	for {
+		tok, err := d.Token()
+		if err == io.EOF {
+			return nil, &ParseError{Element: "", Msg: "document contains no Platform or Master element"}
+		}
+		if err != nil {
+			return nil, fmt.Errorf("pdlxml: %w", err)
+		}
+		start, ok := tok.(xml.StartElement)
+		if !ok {
+			continue
+		}
+		switch start.Name.Local {
+		case "Platform":
+			return parsePlatform(d, start)
+		case "Master":
+			pu, err := parsePU(d, start, core.Master)
+			if err != nil {
+				return nil, err
+			}
+			return &core.Platform{Masters: []*core.PU{pu}}, nil
+		default:
+			return nil, &ParseError{Element: start.Name.Local, Msg: "unexpected document root; want Platform or Master"}
+		}
+	}
+}
+
+func attrValue(start xml.StartElement, local string) (string, bool) {
+	for _, a := range start.Attr {
+		if a.Name.Local == local && a.Name.Space != "xmlns" {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+func parsePlatform(d *xml.Decoder, start xml.StartElement) (*core.Platform, error) {
+	pl := &core.Platform{}
+	if v, ok := attrValue(start, "name"); ok {
+		pl.Name = v
+	}
+	if v, ok := attrValue(start, "schemaVersion"); ok {
+		pl.SchemaVersion = v
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "Master" {
+				return nil, &ParseError{Element: t.Name.Local, Msg: "only Master elements may appear directly under Platform"}
+			}
+			pu, err := parsePU(d, t, core.Master)
+			if err != nil {
+				return nil, err
+			}
+			pl.Masters = append(pl.Masters, pu)
+		case xml.EndElement:
+			return pl, nil
+		}
+	}
+}
+
+func parsePU(d *xml.Decoder, start xml.StartElement, class core.Class) (*core.PU, error) {
+	pu := &core.PU{Class: class, Quantity: 1}
+	if v, ok := attrValue(start, "id"); ok {
+		pu.ID = v
+	}
+	if v, ok := attrValue(start, "name"); ok {
+		pu.Name = v
+	}
+	if v, ok := attrValue(start, "quantity"); ok {
+		q, err := strconv.Atoi(strings.TrimSpace(v))
+		if err != nil {
+			return nil, &ParseError{Element: start.Name.Local, Msg: fmt.Sprintf("bad quantity %q", v)}
+		}
+		pu.Quantity = q
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return nil, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			switch t.Name.Local {
+			case "PUDescriptor":
+				desc, err := parseDescriptor(d, t)
+				if err != nil {
+					return nil, err
+				}
+				pu.Descriptor.Merge(desc)
+			case "LogicGroupAttribute":
+				txt, err := elementText(d, t)
+				if err != nil {
+					return nil, err
+				}
+				pu.Groups = append(pu.Groups, strings.TrimSpace(txt))
+			case "MemoryRegion":
+				mr, err := parseMemoryRegion(d, t)
+				if err != nil {
+					return nil, err
+				}
+				pu.Memory = append(pu.Memory, mr)
+			case "Interconnect":
+				ic, err := parseInterconnect(d, t)
+				if err != nil {
+					return nil, err
+				}
+				pu.Links = append(pu.Links, ic)
+			case "Worker":
+				c, err := parsePU(d, t, core.Worker)
+				if err != nil {
+					return nil, err
+				}
+				pu.Children = append(pu.Children, c)
+			case "Hybrid":
+				c, err := parsePU(d, t, core.Hybrid)
+				if err != nil {
+					return nil, err
+				}
+				pu.Children = append(pu.Children, c)
+			case "Master":
+				// Explicitly rejected so documents violating the model's
+				// strongest rule fail at parse time, not validation time.
+				return nil, &ParseError{Element: "Master", Msg: "Master elements may not be nested inside other PUs"}
+			default:
+				return nil, &ParseError{Element: t.Name.Local, Msg: "unknown element inside " + start.Name.Local}
+			}
+		case xml.EndElement:
+			return pu, nil
+		}
+	}
+}
+
+func parseMemoryRegion(d *xml.Decoder, start xml.StartElement) (core.MemoryRegion, error) {
+	mr := core.MemoryRegion{}
+	if v, ok := attrValue(start, "id"); ok {
+		mr.ID = v
+	}
+	if v, ok := attrValue(start, "name"); ok {
+		mr.Name = v
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return mr, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "MRDescriptor" {
+				return mr, &ParseError{Element: t.Name.Local, Msg: "unknown element inside MemoryRegion"}
+			}
+			desc, err := parseDescriptor(d, t)
+			if err != nil {
+				return mr, err
+			}
+			mr.Descriptor.Merge(desc)
+		case xml.EndElement:
+			return mr, nil
+		}
+	}
+}
+
+func parseInterconnect(d *xml.Decoder, start xml.StartElement) (core.Interconnect, error) {
+	ic := core.Interconnect{}
+	if v, ok := attrValue(start, "id"); ok {
+		ic.ID = v
+	}
+	if v, ok := attrValue(start, "type"); ok {
+		ic.Type = v
+	}
+	if v, ok := attrValue(start, "from"); ok {
+		ic.From = v
+	}
+	if v, ok := attrValue(start, "to"); ok {
+		ic.To = v
+	}
+	if v, ok := attrValue(start, "scheme"); ok {
+		ic.Scheme = v
+	}
+	if v, ok := attrValue(start, "duplex"); ok {
+		ic.Duplex = v == "true" || v == "1"
+	}
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return ic, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "ICDescriptor" {
+				return ic, &ParseError{Element: t.Name.Local, Msg: "unknown element inside Interconnect"}
+			}
+			desc, err := parseDescriptor(d, t)
+			if err != nil {
+				return ic, err
+			}
+			ic.Descriptor.Merge(desc)
+		case xml.EndElement:
+			return ic, nil
+		}
+	}
+}
+
+func parseDescriptor(d *xml.Decoder, start xml.StartElement) (core.Descriptor, error) {
+	var desc core.Descriptor
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return desc, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if t.Name.Local != "Property" {
+				return desc, &ParseError{Element: t.Name.Local, Msg: "unknown element inside " + start.Name.Local}
+			}
+			p, err := parseProperty(d, t)
+			if err != nil {
+				return desc, err
+			}
+			desc.Properties = append(desc.Properties, p)
+		case xml.EndElement:
+			return desc, nil
+		}
+	}
+}
+
+func parseProperty(d *xml.Decoder, start xml.StartElement) (core.Property, error) {
+	var p core.Property
+	for _, a := range start.Attr {
+		switch {
+		case a.Name.Local == "fixed":
+			p.Fixed = a.Value == "true" || a.Value == "1"
+		case a.Name.Local == "type" && (a.Name.Space == XSINamespace || a.Name.Space == "xsi"):
+			p.Type = a.Value
+		}
+	}
+	sawName, sawValue := false, false
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return p, fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			// Subschema polymorphism: <ocl:name> resolves to Local "name"
+			// when the prefix is declared; unresolved prefixes arrive as
+			// "ocl:name" in Local, so strip them too.
+			local := t.Name.Local
+			if i := strings.IndexByte(local, ':'); i >= 0 {
+				local = local[i+1:]
+			}
+			switch local {
+			case "name":
+				txt, err := elementText(d, t)
+				if err != nil {
+					return p, err
+				}
+				p.Name = strings.TrimSpace(txt)
+				sawName = true
+			case "value":
+				if u, ok := attrValue(t, "unit"); ok {
+					p.Unit = u
+				}
+				txt, err := elementText(d, t)
+				if err != nil {
+					return p, err
+				}
+				p.Value = strings.TrimSpace(txt)
+				sawValue = true
+			default:
+				return p, &ParseError{Element: t.Name.Local, Msg: "unknown element inside Property"}
+			}
+		case xml.EndElement:
+			if !sawName {
+				return p, &ParseError{Element: "Property", Msg: "missing <name> child"}
+			}
+			if !sawValue {
+				return p, &ParseError{Element: "Property", Msg: "missing <value> child"}
+			}
+			return p, nil
+		}
+	}
+}
+
+// elementText consumes the element opened by start and returns its character
+// data. Nested elements are rejected.
+func elementText(d *xml.Decoder, start xml.StartElement) (string, error) {
+	var b strings.Builder
+	for {
+		tok, err := d.Token()
+		if err != nil {
+			return "", fmt.Errorf("pdlxml: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.CharData:
+			b.Write(t)
+		case xml.EndElement:
+			return b.String(), nil
+		case xml.StartElement:
+			return "", &ParseError{Element: start.Name.Local, Msg: "unexpected child element <" + t.Name.Local + ">"}
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package perfmodel implements history-based performance models in the style
+// of StarPU's per-codelet, per-architecture models: execution times are
+// recorded per input size, and estimates for unseen sizes come from a
+// power-law fit t = a·size^b obtained by linear regression in log-log space.
+// Models persist as JSON so calibration survives across runs.
+package perfmodel
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+)
+
+// Sample is one observed execution: input size (an application-defined
+// measure such as total flops or bytes) and seconds taken.
+type Sample struct {
+	Size    float64 `json:"size"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Model accumulates samples for one (codelet, architecture) pair.
+type Model struct {
+	Codelet string   `json:"codelet"`
+	Arch    string   `json:"arch"`
+	Samples []Sample `json:"samples"`
+
+	mu     sync.Mutex
+	dirty  bool
+	coeffA float64 // t = coeffA * size^coeffB
+	coeffB float64
+}
+
+// Record adds an observation. Non-positive sizes or times are rejected
+// because they cannot participate in the log-space fit.
+func (m *Model) Record(size, seconds float64) error {
+	if size <= 0 || seconds <= 0 {
+		return fmt.Errorf("perfmodel: non-positive sample (size=%g, t=%g)", size, seconds)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.Samples = append(m.Samples, Sample{Size: size, Seconds: seconds})
+	m.dirty = true
+	return nil
+}
+
+// Len returns the number of recorded samples.
+func (m *Model) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.Samples)
+}
+
+// fit recomputes the power-law coefficients. Caller holds mu.
+func (m *Model) fit() {
+	n := float64(len(m.Samples))
+	if n == 0 {
+		m.coeffA, m.coeffB = 0, 0
+		m.dirty = false
+		return
+	}
+	if n == 1 {
+		// One sample: constant rate (linear through the point).
+		m.coeffB = 1
+		m.coeffA = m.Samples[0].Seconds / m.Samples[0].Size
+		m.dirty = false
+		return
+	}
+	var sx, sy, sxx, sxy float64
+	for _, s := range m.Samples {
+		x, y := math.Log(s.Size), math.Log(s.Seconds)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		// All sizes equal: average the times, constant model.
+		m.coeffB = 0
+		m.coeffA = math.Exp(sy / n)
+		m.dirty = false
+		return
+	}
+	m.coeffB = (n*sxy - sx*sy) / den
+	m.coeffA = math.Exp((sy - m.coeffB*sx) / n)
+	m.dirty = false
+}
+
+// Estimate predicts the execution time for the given size. ok is false when
+// the model has no samples.
+func (m *Model) Estimate(size float64) (seconds float64, ok bool) {
+	if size <= 0 {
+		return 0, false
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.Samples) == 0 {
+		return 0, false
+	}
+	if m.dirty {
+		m.fit()
+	}
+	return m.coeffA * math.Pow(size, m.coeffB), true
+}
+
+// Coefficients returns the fitted (a, b) of t = a·size^b.
+func (m *Model) Coefficients() (a, b float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirty {
+		m.fit()
+	}
+	return m.coeffA, m.coeffB
+}
+
+// Store holds models keyed by codelet and architecture.
+type Store struct {
+	mu     sync.Mutex
+	models map[string]*Model // key codelet + "\x00" + arch
+}
+
+// NewStore returns an empty model store.
+func NewStore() *Store {
+	return &Store{models: map[string]*Model{}}
+}
+
+func key(codelet, arch string) string { return codelet + "\x00" + arch }
+
+// Model returns (creating if needed) the model for a codelet/arch pair.
+func (s *Store) Model(codelet, arch string) *Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	k := key(codelet, arch)
+	m, ok := s.models[k]
+	if !ok {
+		m = &Model{Codelet: codelet, Arch: arch}
+		s.models[k] = m
+	}
+	return m
+}
+
+// Models returns all models sorted by codelet then arch.
+func (s *Store) Models() []*Model {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]*Model, 0, len(s.models))
+	for _, m := range s.models {
+		out = append(out, m)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Codelet != out[j].Codelet {
+			return out[i].Codelet < out[j].Codelet
+		}
+		return out[i].Arch < out[j].Arch
+	})
+	return out
+}
+
+// storeJSON is the serialised form.
+type storeJSON struct {
+	Models []*Model `json:"models"`
+}
+
+// Save writes the store as JSON to path.
+func (s *Store) Save(path string) error {
+	data, err := json.MarshalIndent(storeJSON{Models: s.Models()}, "", "  ")
+	if err != nil {
+		return fmt.Errorf("perfmodel: %w", err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// Load reads a store saved by Save. Loaded samples merge into any existing
+// models.
+func (s *Store) Load(path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sj storeJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return fmt.Errorf("perfmodel: %s: %w", path, err)
+	}
+	for _, lm := range sj.Models {
+		m := s.Model(lm.Codelet, lm.Arch)
+		m.mu.Lock()
+		m.Samples = append(m.Samples, lm.Samples...)
+		m.dirty = true
+		m.mu.Unlock()
+	}
+	return nil
+}

@@ -1,0 +1,200 @@
+package perfmodel
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+)
+
+func TestRecordValidation(t *testing.T) {
+	var m Model
+	if err := m.Record(0, 1); err == nil {
+		t.Fatal("zero size must fail")
+	}
+	if err := m.Record(1, -1); err == nil {
+		t.Fatal("negative time must fail")
+	}
+	if err := m.Record(100, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Len() != 1 {
+		t.Fatalf("len = %d", m.Len())
+	}
+}
+
+func TestEstimateEmpty(t *testing.T) {
+	var m Model
+	if _, ok := m.Estimate(10); ok {
+		t.Fatal("empty model should not estimate")
+	}
+	if _, ok := m.Estimate(0); ok {
+		t.Fatal("non-positive size should not estimate")
+	}
+	a, b := m.Coefficients()
+	if a != 0 || b != 0 {
+		t.Fatalf("empty coefficients = %g, %g", a, b)
+	}
+}
+
+func TestSingleSampleLinearExtrapolation(t *testing.T) {
+	var m Model
+	if err := m.Record(100, 2); err != nil {
+		t.Fatal(err)
+	}
+	// Rate = 50 units/s: size 200 -> 4 s.
+	got, ok := m.Estimate(200)
+	if !ok || math.Abs(got-4) > 1e-9 {
+		t.Fatalf("estimate = %g, %v", got, ok)
+	}
+}
+
+func TestPowerLawFitRecovery(t *testing.T) {
+	// Generate samples from t = 3e-9 * n^1.5 and verify recovery.
+	var m Model
+	for _, n := range []float64{1e3, 1e4, 1e5, 1e6, 1e7} {
+		if err := m.Record(n, 3e-9*math.Pow(n, 1.5)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, b := m.Coefficients()
+	if math.Abs(b-1.5) > 1e-6 {
+		t.Fatalf("exponent = %g; want 1.5", b)
+	}
+	if math.Abs(a-3e-9)/3e-9 > 1e-6 {
+		t.Fatalf("coefficient = %g; want 3e-9", a)
+	}
+	est, ok := m.Estimate(5e5)
+	want := 3e-9 * math.Pow(5e5, 1.5)
+	if !ok || math.Abs(est-want)/want > 1e-6 {
+		t.Fatalf("estimate(5e5) = %g; want %g", est, want)
+	}
+}
+
+func TestAllEqualSizesConstantModel(t *testing.T) {
+	var m Model
+	for _, s := range []float64{1.0, 2.0, 4.0} {
+		if err := m.Record(1000, s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, ok := m.Estimate(1000)
+	if !ok {
+		t.Fatal("estimate should succeed")
+	}
+	// Geometric mean of 1,2,4 = 2.
+	if math.Abs(est-2) > 1e-9 {
+		t.Fatalf("constant estimate = %g; want 2", est)
+	}
+	if _, b := m.Coefficients(); b != 0 {
+		t.Fatalf("exponent should be 0 for equal sizes, got %g", b)
+	}
+}
+
+func TestEstimateRefitsAfterRecord(t *testing.T) {
+	var m Model
+	_ = m.Record(10, 1)
+	if est, _ := m.Estimate(10); math.Abs(est-1) > 1e-9 {
+		t.Fatalf("est = %g", est)
+	}
+	_ = m.Record(20, 4)
+	// Now the model is a two-point power law passing through both points.
+	est10, _ := m.Estimate(10)
+	est20, _ := m.Estimate(20)
+	if math.Abs(est10-1) > 1e-6 || math.Abs(est20-4) > 1e-6 {
+		t.Fatalf("refit wrong: est(10)=%g est(20)=%g", est10, est20)
+	}
+}
+
+func TestStoreModelIdentityAndSorting(t *testing.T) {
+	s := NewStore()
+	m1 := s.Model("dgemm", "gpu")
+	m2 := s.Model("dgemm", "gpu")
+	if m1 != m2 {
+		t.Fatal("Model should return the same instance per key")
+	}
+	s.Model("dgemm", "x86")
+	s.Model("axpy", "x86")
+	models := s.Models()
+	if len(models) != 3 {
+		t.Fatalf("models = %d", len(models))
+	}
+	if models[0].Codelet != "axpy" || models[1].Arch != "gpu" {
+		t.Fatalf("sorting wrong: %v %v", models[0], models[1])
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "models.json")
+	s := NewStore()
+	m := s.Model("dgemm", "gpu")
+	for _, n := range []float64{1e6, 2e6, 4e6} {
+		if err := m.Record(n, n/1e9); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	s2 := NewStore()
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	m2 := s2.Model("dgemm", "gpu")
+	if m2.Len() != 3 {
+		t.Fatalf("loaded samples = %d", m2.Len())
+	}
+	e1, _ := m.Estimate(3e6)
+	e2, _ := m2.Estimate(3e6)
+	if math.Abs(e1-e2) > 1e-12 {
+		t.Fatalf("estimates diverge after reload: %g vs %g", e1, e2)
+	}
+	// Loading merges rather than replaces.
+	if err := s2.Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if m2.Len() != 6 {
+		t.Fatalf("merged samples = %d", m2.Len())
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("missing file must fail")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Load(bad); err == nil {
+		t.Fatal("malformed json must fail")
+	}
+}
+
+// Property-based: for power-law data the fit is monotone when b > 0.
+func TestQuickEstimateMonotone(t *testing.T) {
+	f := func(seed uint8) bool {
+		var m Model
+		b := 0.5 + float64(seed%20)/10 // 0.5..2.4
+		for _, n := range []float64{1e3, 1e4, 1e5} {
+			if err := m.Record(n, 1e-9*math.Pow(n, b)); err != nil {
+				return false
+			}
+		}
+		prev := 0.0
+		for _, n := range []float64{2e3, 2e4, 2e5, 2e6} {
+			est, ok := m.Estimate(n)
+			if !ok || est <= prev {
+				return false
+			}
+			prev = est
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

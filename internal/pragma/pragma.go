@@ -1,0 +1,253 @@
+// Package pragma parses Cascabel source-code annotations (paper Section
+// IV-A):
+//
+//	#pragma cascabel task : targetplatformlist
+//	    : taskidentifier
+//	    : taskname
+//	    : ( param : accessmode, ... )
+//
+//	#pragma cascabel execute taskidentifier
+//	    : executiongroup
+//	    ( param : distribution [: size], ... )
+//
+// The parser receives the full annotation text (the csrc scanner joins
+// continuation lines) and produces structured annotations. Access modes are
+// read / write / readwrite; distributions are BLOCK / CYCLIC / BLOCK_CYCLIC
+// with an optional size expression.
+package pragma
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/partition"
+	"repro/internal/taskrt"
+)
+
+// Param is one parameter declaration of a task annotation.
+type Param struct {
+	Name string
+	Mode taskrt.AccessMode
+}
+
+// TaskAnnotation is a parsed "#pragma cascabel task".
+type TaskAnnotation struct {
+	// Targets is the targetplatformlist: pattern names the following
+	// implementation is written for (e.g. "x86", "opencl").
+	Targets []string
+	// Interface is the task interface name shared by all implementations.
+	Interface string
+	// Name is the unique name of this implementation variant.
+	Name string
+	// Params declares parameter access modes.
+	Params []Param
+}
+
+// DistSpec is one parameter distribution of an execute annotation.
+type DistSpec struct {
+	Param string
+	Dist  partition.Dist
+	// Size is the optional size expression (e.g. "N"); empty when omitted.
+	Size string
+}
+
+// ExecuteAnnotation is a parsed "#pragma cascabel execute".
+type ExecuteAnnotation struct {
+	// Interface references the task interface to invoke.
+	Interface string
+	// Group is the executiongroup: a LogicGroupAttribute naming the PU
+	// subset the task should run on ("" = anywhere).
+	Group string
+	// Dists hold per-parameter data distributions.
+	Dists []DistSpec
+}
+
+// Kind discriminates parsed annotations.
+type Kind int
+
+const (
+	// KindTask marks a task-definition annotation.
+	KindTask Kind = iota
+	// KindExecute marks a call-site annotation.
+	KindExecute
+)
+
+// Annotation is the sum of the two annotation forms.
+type Annotation struct {
+	Kind    Kind
+	Task    *TaskAnnotation
+	Execute *ExecuteAnnotation
+}
+
+// Prefix is the pragma introducer all Cascabel annotations share.
+const Prefix = "#pragma cascabel"
+
+// IsCascabel reports whether a source line begins a Cascabel annotation.
+func IsCascabel(line string) bool {
+	return strings.HasPrefix(strings.TrimSpace(line), Prefix)
+}
+
+// Parse parses a complete annotation text (possibly spanning multiple
+// joined lines).
+func Parse(text string) (*Annotation, error) {
+	s := strings.TrimSpace(text)
+	if !strings.HasPrefix(s, Prefix) {
+		return nil, fmt.Errorf("pragma: not a cascabel annotation: %.40q", text)
+	}
+	s = strings.TrimSpace(s[len(Prefix):])
+	switch {
+	case strings.HasPrefix(s, "task"):
+		ta, err := parseTask(strings.TrimSpace(s[len("task"):]))
+		if err != nil {
+			return nil, err
+		}
+		return &Annotation{Kind: KindTask, Task: ta}, nil
+	case strings.HasPrefix(s, "execute"):
+		ea, err := parseExecute(strings.TrimSpace(s[len("execute"):]))
+		if err != nil {
+			return nil, err
+		}
+		return &Annotation{Kind: KindExecute, Execute: ea}, nil
+	}
+	return nil, fmt.Errorf("pragma: unknown cascabel annotation form: %.40q", s)
+}
+
+// splitTop splits s on the separator at paren nesting depth zero.
+func splitTop(s string, sep byte) []string {
+	var out []string
+	depth, start := 0, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '(':
+			depth++
+		case ')':
+			depth--
+		case sep:
+			if depth == 0 {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	out = append(out, s[start:])
+	return out
+}
+
+func parseTask(s string) (*TaskAnnotation, error) {
+	// Leading ':' before the first field is optional.
+	s = strings.TrimSpace(s)
+	s = strings.TrimPrefix(s, ":")
+	fields := splitTop(s, ':')
+	if len(fields) != 4 {
+		return nil, fmt.Errorf("pragma: task annotation needs 4 fields (targets : interface : name : params), got %d", len(fields))
+	}
+	ta := &TaskAnnotation{}
+	for _, t := range strings.Split(fields[0], ",") {
+		t = strings.TrimSpace(t)
+		if t != "" {
+			ta.Targets = append(ta.Targets, t)
+		}
+	}
+	if len(ta.Targets) == 0 {
+		return nil, fmt.Errorf("pragma: task annotation with empty targetplatformlist")
+	}
+	ta.Interface = strings.TrimSpace(fields[1])
+	ta.Name = strings.TrimSpace(fields[2])
+	if ta.Interface == "" || ta.Name == "" {
+		return nil, fmt.Errorf("pragma: task annotation needs non-empty interface and name")
+	}
+	params, err := parseParamList(strings.TrimSpace(fields[3]))
+	if err != nil {
+		return nil, err
+	}
+	ta.Params = params
+	return ta, nil
+}
+
+func parseParamList(s string) ([]Param, error) {
+	inner, err := stripParens(s)
+	if err != nil {
+		return nil, fmt.Errorf("pragma: parameter list: %w", err)
+	}
+	if strings.TrimSpace(inner) == "" {
+		return nil, nil
+	}
+	var out []Param
+	for _, item := range splitTop(inner, ',') {
+		parts := strings.SplitN(item, ":", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("pragma: parameter %q needs name:accessmode", strings.TrimSpace(item))
+		}
+		name := strings.TrimSpace(parts[0])
+		mode, err := taskrt.ParseAccessMode(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("pragma: parameter %q: %w", name, err)
+		}
+		if name == "" {
+			return nil, fmt.Errorf("pragma: parameter with empty name")
+		}
+		out = append(out, Param{Name: name, Mode: mode})
+	}
+	return out, nil
+}
+
+func stripParens(s string) (string, error) {
+	s = strings.TrimSpace(s)
+	if !strings.HasPrefix(s, "(") || !strings.HasSuffix(s, ")") {
+		return "", fmt.Errorf("expected parenthesised list, got %.40q", s)
+	}
+	return s[1 : len(s)-1], nil
+}
+
+func parseExecute(s string) (*ExecuteAnnotation, error) {
+	// Form: taskidentifier [: executiongroup] [(dists)]
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, fmt.Errorf("pragma: execute annotation needs a task identifier")
+	}
+	// Separate the optional trailing parenthesised distribution list.
+	distText := ""
+	if i := strings.IndexByte(s, '('); i >= 0 {
+		distText = strings.TrimSpace(s[i:])
+		s = strings.TrimSpace(s[:i])
+	}
+	fields := splitTop(s, ':')
+	ea := &ExecuteAnnotation{Interface: strings.TrimSpace(fields[0])}
+	if ea.Interface == "" {
+		return nil, fmt.Errorf("pragma: execute annotation needs a task identifier")
+	}
+	if len(fields) > 2 {
+		return nil, fmt.Errorf("pragma: execute annotation has too many fields")
+	}
+	if len(fields) == 2 {
+		ea.Group = strings.TrimSpace(fields[1])
+	}
+	if distText != "" {
+		inner, err := stripParens(distText)
+		if err != nil {
+			return nil, fmt.Errorf("pragma: distribution list: %w", err)
+		}
+		for _, item := range splitTop(inner, ',') {
+			if strings.TrimSpace(item) == "" {
+				continue
+			}
+			parts := strings.Split(item, ":")
+			if len(parts) < 2 || len(parts) > 3 {
+				return nil, fmt.Errorf("pragma: distribution %q needs param:DIST[:size]", strings.TrimSpace(item))
+			}
+			d, err := partition.ParseDist(parts[1])
+			if err != nil {
+				return nil, err
+			}
+			ds := DistSpec{Param: strings.TrimSpace(parts[0]), Dist: d}
+			if ds.Param == "" {
+				return nil, fmt.Errorf("pragma: distribution with empty parameter name")
+			}
+			if len(parts) == 3 {
+				ds.Size = strings.TrimSpace(parts[2])
+			}
+			ea.Dists = append(ea.Dists, ds)
+		}
+	}
+	return ea, nil
+}

@@ -1,0 +1,167 @@
+package pragma
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/partition"
+	"repro/internal/taskrt"
+)
+
+// The paper's Listing 3 task annotation, joined onto one line the way the
+// csrc scanner does.
+const paperTask = `#pragma cascabel task : x86
+    : Ivecadd
+    : vecadd01
+    : ( A: readwrite,
+        B : read )`
+
+const paperExecute = `#pragma cascabel execute Ivecadd
+    : executionset01
+    (A:BLOCK:N,
+     B:BLOCK:N)`
+
+func TestParsePaperTaskAnnotation(t *testing.T) {
+	a, err := Parse(paperTask)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a.Kind != KindTask || a.Task == nil {
+		t.Fatalf("a = %+v", a)
+	}
+	ta := a.Task
+	if len(ta.Targets) != 1 || ta.Targets[0] != "x86" {
+		t.Fatalf("targets = %v", ta.Targets)
+	}
+	if ta.Interface != "Ivecadd" || ta.Name != "vecadd01" {
+		t.Fatalf("iface/name = %q/%q", ta.Interface, ta.Name)
+	}
+	if len(ta.Params) != 2 {
+		t.Fatalf("params = %+v", ta.Params)
+	}
+	if ta.Params[0].Name != "A" || ta.Params[0].Mode != taskrt.ReadWrite {
+		t.Fatalf("param A = %+v", ta.Params[0])
+	}
+	if ta.Params[1].Name != "B" || ta.Params[1].Mode != taskrt.Read {
+		t.Fatalf("param B = %+v", ta.Params[1])
+	}
+}
+
+func TestParsePaperExecuteAnnotation(t *testing.T) {
+	a, err := Parse(paperExecute)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if a.Kind != KindExecute || a.Execute == nil {
+		t.Fatalf("a = %+v", a)
+	}
+	ea := a.Execute
+	if ea.Interface != "Ivecadd" || ea.Group != "executionset01" {
+		t.Fatalf("iface/group = %q/%q", ea.Interface, ea.Group)
+	}
+	if len(ea.Dists) != 2 {
+		t.Fatalf("dists = %+v", ea.Dists)
+	}
+	if ea.Dists[0] != (DistSpec{Param: "A", Dist: partition.Block, Size: "N"}) {
+		t.Fatalf("dist A = %+v", ea.Dists[0])
+	}
+}
+
+func TestParseMultiTargetTask(t *testing.T) {
+	a, err := Parse(`#pragma cascabel task : opencl, cuda , x86 : Idgemm : dgemm_gpu : (A:read, B:read, C:readwrite)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta := a.Task
+	if len(ta.Targets) != 3 || ta.Targets[1] != "cuda" {
+		t.Fatalf("targets = %v", ta.Targets)
+	}
+	if len(ta.Params) != 3 || ta.Params[2].Mode != taskrt.ReadWrite {
+		t.Fatalf("params = %+v", ta.Params)
+	}
+}
+
+func TestParseExecuteVariants(t *testing.T) {
+	// No group, no dists.
+	a, err := Parse(`#pragma cascabel execute Idgemm`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Execute.Interface != "Idgemm" || a.Execute.Group != "" || a.Execute.Dists != nil {
+		t.Fatalf("a = %+v", a.Execute)
+	}
+	// Group but no dists.
+	a, err = Parse(`#pragma cascabel execute Idgemm : gpuset`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Execute.Group != "gpuset" {
+		t.Fatalf("group = %q", a.Execute.Group)
+	}
+	// Dists without sizes; CYCLIC and BLOCK_CYCLIC spellings.
+	a, err = Parse(`#pragma cascabel execute I : g (X:CYCLIC, Y:BLOCK_CYCLIC:64)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Execute.Dists[0].Dist != partition.Cyclic || a.Execute.Dists[0].Size != "" {
+		t.Fatalf("dist X = %+v", a.Execute.Dists[0])
+	}
+	if a.Execute.Dists[1].Dist != partition.BlockCyclic || a.Execute.Dists[1].Size != "64" {
+		t.Fatalf("dist Y = %+v", a.Execute.Dists[1])
+	}
+	// Empty dist list is allowed.
+	a, err = Parse(`#pragma cascabel execute I : g ()`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Execute.Dists) != 0 {
+		t.Fatalf("dists = %+v", a.Execute.Dists)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ text, want string }{
+		{`#pragma omp parallel`, "not a cascabel"},
+		{`#pragma cascabel frobnicate`, "unknown cascabel annotation"},
+		{`#pragma cascabel task : x86 : I : n`, "needs 4 fields"},
+		{`#pragma cascabel task :  : I : n : (A:read)`, "empty targetplatformlist"},
+		{`#pragma cascabel task : x86 :  : n : (A:read)`, "non-empty interface"},
+		{`#pragma cascabel task : x86 : I : n : A`, "parenthesised"},
+		{`#pragma cascabel task : x86 : I : n : A:read`, "needs 4 fields"},
+		{`#pragma cascabel task : x86 : I : n : (A)`, "needs name:accessmode"},
+		{`#pragma cascabel task : x86 : I : n : (A:peek)`, "unknown access mode"},
+		{`#pragma cascabel task : x86 : I : n : (:read)`, "empty name"},
+		{`#pragma cascabel execute`, "needs a task identifier"},
+		{`#pragma cascabel execute I : g : h`, "too many fields"},
+		{`#pragma cascabel execute I : g (A)`, "needs param:DIST"},
+		{`#pragma cascabel execute I : g (A:SCATTER)`, "unknown distribution"},
+		{`#pragma cascabel execute I : g (A:BLOCK:N:extra)`, "needs param:DIST"},
+		{`#pragma cascabel execute I : g (:BLOCK)`, "empty parameter name"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.text)
+		if err == nil {
+			t.Errorf("Parse(%q) should fail", c.text)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v; want substring %q", c.text, err, c.want)
+		}
+	}
+}
+
+func TestIsCascabel(t *testing.T) {
+	if !IsCascabel("  #pragma cascabel task : x") {
+		t.Fatal("indented pragma not recognised")
+	}
+	if IsCascabel("#pragma omp for") {
+		t.Fatal("omp pragma misrecognised")
+	}
+}
+
+func TestSplitTopRespectsParens(t *testing.T) {
+	got := splitTop("a : (x:y) : b", ':')
+	if len(got) != 3 || strings.TrimSpace(got[1]) != "(x:y)" {
+		t.Fatalf("splitTop = %q", got)
+	}
+}

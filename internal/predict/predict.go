@@ -1,0 +1,162 @@
+// Package predict implements the paper's auto-tuning usage scenario
+// (Section II): "performance relevant observations can now be related not
+// only to concrete hardware parameters but also to abstract architectural
+// patterns expressed in the PDL. Moreover, expert-programmers can denote
+// specific optimizations for abstract classes of heterogeneous systems."
+//
+// A Tuner records execution-time observations keyed by (codelet,
+// architectural pattern) instead of by concrete machine. To predict a
+// codelet's performance on a platform never measured before, the tuner
+// computes which patterns the platform satisfies (pattern.Views) and uses
+// the model of the most specific satisfied pattern. The same machinery ranks
+// implementation variants for a target platform — the paper's "selection of
+// implementation variants, performance prediction" arrow in Figure 1.
+package predict
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/perfmodel"
+	"repro/internal/repo"
+)
+
+// Tuner accumulates pattern-keyed performance models.
+type Tuner struct {
+	store *perfmodel.Store
+}
+
+// NewTuner returns an empty tuner. The underlying model store is exposed so
+// callers can persist it (perfmodel JSON files).
+func NewTuner() *Tuner {
+	return &Tuner{store: perfmodel.NewStore()}
+}
+
+// Store returns the backing model store for persistence.
+func (t *Tuner) Store() *perfmodel.Store { return t.store }
+
+// Observe records one execution of a codelet on a platform: the sample is
+// attributed to every architectural pattern the platform satisfies, so
+// later predictions can start from the most specific pattern a new target
+// shares with past measurements.
+func (t *Tuner) Observe(pl *core.Platform, codelet string, size, seconds float64) error {
+	views, err := pattern.Views(pl)
+	if err != nil {
+		return err
+	}
+	if len(views) == 0 {
+		return fmt.Errorf("predict: platform %q satisfies no known pattern", pl.Name)
+	}
+	for _, v := range views {
+		if err := t.store.Model(codelet, v.Name).Record(size, seconds); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// specificity orders patterns: more roles and more constraints mean a more
+// specific (and therefore more predictive) pattern. Derived patterns are
+// the most specific of all.
+func specificity(p *pattern.Pattern) int {
+	score := 0
+	var rec func(n *pattern.Node)
+	rec = func(n *pattern.Node) {
+		score += 10
+		score += len(n.Constraints) * 5
+		if n.MinCount > 1 {
+			score += 2
+		}
+		for _, c := range n.Children {
+			rec(c)
+		}
+	}
+	rec(p.Root)
+	return score
+}
+
+// Prediction is one performance estimate.
+type Prediction struct {
+	Codelet string
+	Pattern string // the pattern whose model produced the estimate
+	Seconds float64
+	Samples int // observations backing the model
+}
+
+// Predict estimates the execution time of a codelet at the given size on a
+// platform, using the most specific satisfied pattern that has observations.
+func (t *Tuner) Predict(pl *core.Platform, codelet string, size float64) (Prediction, error) {
+	views, err := pattern.Views(pl)
+	if err != nil {
+		return Prediction{}, err
+	}
+	sort.SliceStable(views, func(i, j int) bool {
+		return specificity(views[i].Pattern) > specificity(views[j].Pattern)
+	})
+	for _, v := range views {
+		m := t.store.Model(codelet, v.Name)
+		if m.Len() == 0 {
+			continue
+		}
+		est, ok := m.Estimate(size)
+		if !ok {
+			continue
+		}
+		return Prediction{Codelet: codelet, Pattern: v.Name, Seconds: est, Samples: m.Len()}, nil
+	}
+	return Prediction{}, fmt.Errorf("predict: no observations cover platform %q for codelet %q", pl.Name, codelet)
+}
+
+// Ranked is one variant with its predicted execution time.
+type Ranked struct {
+	Variant    *repo.Variant
+	Prediction Prediction
+	// Err is set when no model covers the variant (unranked entries sort
+	// last).
+	Err error
+}
+
+// RankVariants orders the implementation variants of a task interface by
+// predicted execution time on the target platform (fastest first). Variants
+// whose target patterns the platform cannot satisfy are excluded entirely;
+// variants without observations sort after ranked ones.
+func (t *Tuner) RankVariants(r *repo.Repository, iface string, pl *core.Platform, size float64) ([]Ranked, error) {
+	variants := r.VariantsFor(iface)
+	if len(variants) == 0 {
+		return nil, fmt.Errorf("predict: no variants for interface %q", iface)
+	}
+	var out []Ranked
+	for _, v := range variants {
+		matched := false
+		for _, target := range v.Targets {
+			p, err := pattern.FromTarget(target)
+			if err != nil {
+				return nil, err
+			}
+			if pattern.Satisfies(p, pl) {
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			continue
+		}
+		pred, err := t.Predict(pl, v.Name, size)
+		out = append(out, Ranked{Variant: v, Prediction: pred, Err: err})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("predict: no variant of %q matches platform %q", iface, pl.Name)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if (out[i].Err == nil) != (out[j].Err == nil) {
+			return out[i].Err == nil
+		}
+		if out[i].Err != nil {
+			return false
+		}
+		return out[i].Prediction.Seconds < out[j].Prediction.Seconds
+	})
+	return out, nil
+}

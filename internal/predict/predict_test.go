@@ -1,0 +1,190 @@
+package predict
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/pattern"
+	"repro/internal/repo"
+)
+
+func TestObserveAndPredictSamePlatform(t *testing.T) {
+	tn := NewTuner()
+	pl := discover.MustPlatform("xeon-2gpu")
+	// t = 1e-10 * size (a 10 GFLOP/s machine).
+	for _, size := range []float64{1e9, 2e9, 4e9} {
+		if err := tn.Observe(pl, "dgemm", size, 1e-10*size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pred, err := tn.Predict(pl, "dgemm", 3e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(pred.Seconds-0.3)/0.3 > 1e-6 {
+		t.Fatalf("prediction = %g; want 0.3", pred.Seconds)
+	}
+	// The most specific pattern for the platform's own observations is its
+	// derived pattern.
+	if !strings.HasPrefix(pred.Pattern, "derived:") {
+		t.Fatalf("pattern = %q; want the derived (most specific) pattern", pred.Pattern)
+	}
+	if pred.Samples != 3 {
+		t.Fatalf("samples = %d", pred.Samples)
+	}
+}
+
+func TestPredictTransfersAcrossPlatformsViaSharedPattern(t *testing.T) {
+	tn := NewTuner()
+	source := discover.MustPlatform("xeon-2gpu")
+	for _, size := range []float64{1e9, 2e9} {
+		if err := tn.Observe(source, "dgemm", size, 1e-10*size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// gtx480 is a different platform (4 cores, 1 gpu) that shares the
+	// host-device/opencl/cuda patterns but not multi-gpu or the derived
+	// pattern of the source.
+	target := discover.MustPlatform("gtx480")
+	pred, err := tn.Predict(target, "dgemm", 1.5e9)
+	if err != nil {
+		t.Fatalf("prediction should transfer via shared patterns: %v", err)
+	}
+	if pred.Pattern == "derived:xeon-2gpu" {
+		t.Fatal("derived pattern of another machine must not match")
+	}
+	if pred.Seconds <= 0 {
+		t.Fatalf("prediction = %+v", pred)
+	}
+	// A cell blade shares only the seq pattern — prediction still works but
+	// falls back to the least specific shared pattern.
+	cell := discover.MustPlatform("cell-blade")
+	cellPred, err := tn.Predict(cell, "dgemm", 1.5e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cellPred.Pattern != "seq" {
+		t.Fatalf("cell prediction via %q; want seq fallback", cellPred.Pattern)
+	}
+}
+
+func TestPredictNoObservations(t *testing.T) {
+	tn := NewTuner()
+	if _, err := tn.Predict(discover.MustPlatform("xeon-cpu"), "dgemm", 1e9); err == nil {
+		t.Fatal("prediction without observations must fail")
+	}
+}
+
+func TestSpecificityOrdering(t *testing.T) {
+	seq, _ := pattern.FromTarget("seq")
+	hd, _ := pattern.FromTarget("host-device")
+	multi, _ := pattern.FromTarget("multi-gpu")
+	if !(specificity(hd) > specificity(seq)) {
+		t.Fatal("host-device should be more specific than seq")
+	}
+	if !(specificity(multi) > specificity(seq)) {
+		t.Fatal("multi-gpu should be more specific than seq")
+	}
+	derived, err := pattern.Derive(discover.MustPlatform("xeon-2gpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(specificity(derived) >= specificity(hd)) {
+		t.Fatal("derived pattern should be at least as specific as host-device")
+	}
+}
+
+func TestRankVariants(t *testing.T) {
+	tn := NewTuner()
+	r := repo.NewWithLibrary()
+	pl := discover.MustPlatform("xeon-2gpu")
+	// Observations: cublas is 10x faster than goto, naive is slowest.
+	for _, size := range []float64{1e9, 2e9} {
+		if err := tn.Observe(pl, "dgemm_cublas", size, 1e-11*size); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.Observe(pl, "dgemm_goto", size, 1e-10*size); err != nil {
+			t.Fatal(err)
+		}
+		if err := tn.Observe(pl, "dgemm_naive", size, 4e-10*size); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ranked, err := tn.RankVariants(r, repo.IfaceDGEMM, pl, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ranked) != 3 {
+		t.Fatalf("ranked = %d variants", len(ranked))
+	}
+	want := []string{"dgemm_cublas", "dgemm_goto", "dgemm_naive"}
+	for i, w := range want {
+		if ranked[i].Variant.Name != w {
+			t.Fatalf("rank %d = %s; want %s", i, ranked[i].Variant.Name, w)
+		}
+	}
+	// On the CPU-only box the gpu variant is excluded entirely.
+	cpuRanked, err := tn.RankVariants(r, repo.IfaceDGEMM, discover.MustPlatform("xeon-cpu"), 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rk := range cpuRanked {
+		if rk.Variant.Arch == "gpu" {
+			t.Fatal("gpu variant ranked on cpu-only platform")
+		}
+	}
+}
+
+func TestRankVariantsUnobservedSortLast(t *testing.T) {
+	tn := NewTuner()
+	r := repo.NewWithLibrary()
+	pl := discover.MustPlatform("xeon-cpu")
+	if err := tn.Observe(pl, "dgemm_goto", 1e9, 0.1); err != nil {
+		t.Fatal(err)
+	}
+	ranked, err := tn.RankVariants(r, repo.IfaceDGEMM, pl, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ranked[0].Variant.Name != "dgemm_goto" || ranked[0].Err != nil {
+		t.Fatalf("first = %+v", ranked[0])
+	}
+	last := ranked[len(ranked)-1]
+	if last.Err == nil {
+		t.Fatal("unobserved variant should carry an error and sort last")
+	}
+}
+
+func TestRankVariantsErrors(t *testing.T) {
+	tn := NewTuner()
+	r := repo.New()
+	pl := discover.MustPlatform("xeon-cpu")
+	if _, err := tn.RankVariants(r, "Inone", pl, 1); err == nil {
+		t.Fatal("unknown interface must fail")
+	}
+	_ = r.Add(&repo.Variant{Interface: "Ig", Name: "g", Targets: []string{"cuda"}, Arch: "gpu"})
+	if _, err := tn.RankVariants(r, "Ig", pl, 1); err == nil {
+		t.Fatal("no matching variant must fail")
+	}
+}
+
+func TestStoreExposedForPersistence(t *testing.T) {
+	tn := NewTuner()
+	pl := discover.MustPlatform("xeon-cpu")
+	if err := tn.Observe(pl, "k", 10, 1); err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/models.json"
+	if err := tn.Store().Save(path); err != nil {
+		t.Fatal(err)
+	}
+	tn2 := NewTuner()
+	if err := tn2.Store().Load(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tn2.Predict(pl, "k", 20); err != nil {
+		t.Fatalf("reloaded tuner cannot predict: %v", err)
+	}
+}

@@ -1,0 +1,350 @@
+// Package query implements the query API over PDL platform descriptions
+// referred to in the paper's case study: a compact path-selector language
+// (reminiscent of XPath, specialised to the machine model) plus a fluent
+// programmatic interface.
+//
+// Selector examples:
+//
+//	//Worker                          every Worker in the platform
+//	//Worker[ARCHITECTURE=gpu]        every gpu Worker
+//	/Master/Worker                    Workers directly controlled by a Master
+//	//Hybrid/Worker[ARCHITECTURE=spe] SPEs under Hybrids
+//	//*[group=gpuset]                 every PU in logic group "gpuset"
+//	//Worker[MAX_COMPUTE_UNITS>=15]   numeric property comparison
+//	//*[@id=gpu0]                     attribute match (@id, @name, @class, @quantity)
+//	//Worker[GLOBAL_MEM_SIZE]         property-existence test
+//
+// The selector grammar:
+//
+//	selector := path ("," path)*
+//	path     := step+
+//	step     := ("/" | "//") class pred*
+//	class    := "Master" | "Hybrid" | "Worker" | "*"
+//	pred     := "[" key (op value)? "]"
+//	key      := "@"ident | "group" | ident
+//	op       := "=" | "!=" | "<" | "<=" | ">" | ">="
+//
+// "/" selects direct children of the current node set (the virtual root's
+// children are the platform's Masters); "//" selects all descendants. A
+// comma unions independent paths: "//Master, //Worker[ARCHITECTURE=gpu]"
+// matches every Master plus the gpu Workers, deduplicated in document
+// order.
+package query
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Op is a predicate comparison operator.
+type Op int
+
+// Comparison operators in predicate expressions.
+const (
+	OpExists Op = iota // bare key: property present
+	OpEq
+	OpNe
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpExists:
+		return ""
+	case OpEq:
+		return "="
+	case OpNe:
+		return "!="
+	case OpLt:
+		return "<"
+	case OpLe:
+		return "<="
+	case OpGt:
+		return ">"
+	case OpGe:
+		return ">="
+	}
+	return "?"
+}
+
+// Pred is one [key op value] predicate.
+type Pred struct {
+	Key   string // property name, "group", or "@attr"
+	Op    Op
+	Value string
+}
+
+// Step is one /Class[pred]* component of a selector.
+type Step struct {
+	Descend bool // true for "//", false for "/"
+	Class   string
+	Preds   []Pred
+}
+
+// Selector is a parsed selector: one or more alternative paths whose
+// matches are unioned.
+type Selector struct {
+	Paths [][]Step
+	src   string
+}
+
+// Steps returns the steps of the first path, preserving the original
+// single-path API for the common case.
+func (s *Selector) Steps() []Step {
+	if len(s.Paths) == 0 {
+		return nil
+	}
+	return s.Paths[0]
+}
+
+// String returns the original selector source.
+func (s *Selector) String() string { return s.src }
+
+// ParseSelector parses a selector expression.
+func ParseSelector(src string) (*Selector, error) {
+	sel := &Selector{src: src}
+	depth := 0
+	start := 0
+	var parts []string
+	for i := 0; i <= len(src); i++ {
+		if i == len(src) {
+			parts = append(parts, src[start:])
+			break
+		}
+		switch src[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, src[start:i])
+				start = i + 1
+			}
+		}
+	}
+	for _, part := range parts {
+		p := &selParser{src: part}
+		steps, err := p.parse()
+		if err != nil {
+			return nil, fmt.Errorf("query: parse %q: %w", src, err)
+		}
+		sel.Paths = append(sel.Paths, steps)
+	}
+	return sel, nil
+}
+
+type selParser struct {
+	src string
+	pos int
+}
+
+func (p *selParser) parse() ([]Step, error) {
+	var steps []Step
+	p.skipSpace()
+	for p.pos < len(p.src) {
+		step, err := p.step()
+		if err != nil {
+			return nil, err
+		}
+		steps = append(steps, step)
+		p.skipSpace()
+	}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("empty selector")
+	}
+	return steps, nil
+}
+
+func (p *selParser) skipSpace() {
+	for p.pos < len(p.src) && (p.src[p.pos] == ' ' || p.src[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *selParser) step() (Step, error) {
+	var st Step
+	if !strings.HasPrefix(p.src[p.pos:], "/") {
+		return st, fmt.Errorf("position %d: step must start with / or //", p.pos)
+	}
+	p.pos++
+	if p.pos < len(p.src) && p.src[p.pos] == '/' {
+		st.Descend = true
+		p.pos++
+	}
+	start := p.pos
+	for p.pos < len(p.src) && (isIdentChar(p.src[p.pos]) || p.src[p.pos] == '*') {
+		p.pos++
+	}
+	st.Class = p.src[start:p.pos]
+	switch st.Class {
+	case "Master", "Hybrid", "Worker", "*":
+	case "":
+		return st, fmt.Errorf("position %d: missing class name (Master/Hybrid/Worker/*)", p.pos)
+	default:
+		return st, fmt.Errorf("unknown class %q", st.Class)
+	}
+	for p.pos < len(p.src) && p.src[p.pos] == '[' {
+		pred, err := p.pred()
+		if err != nil {
+			return st, err
+		}
+		st.Preds = append(st.Preds, pred)
+	}
+	return st, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '.' || c == '-'
+}
+
+func (p *selParser) pred() (Pred, error) {
+	var pr Pred
+	p.pos++ // consume '['
+	start := p.pos
+	if p.pos < len(p.src) && p.src[p.pos] == '@' {
+		p.pos++
+	}
+	for p.pos < len(p.src) && isIdentChar(p.src[p.pos]) {
+		p.pos++
+	}
+	pr.Key = p.src[start:p.pos]
+	if pr.Key == "" || pr.Key == "@" {
+		return pr, fmt.Errorf("position %d: empty predicate key", start)
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == ']' {
+		p.pos++
+		pr.Op = OpExists
+		return pr, nil
+	}
+	// operator
+	ops := []struct {
+		tok string
+		op  Op
+	}{{"!=", OpNe}, {"<=", OpLe}, {">=", OpGe}, {"=", OpEq}, {"<", OpLt}, {">", OpGt}}
+	matched := false
+	for _, o := range ops {
+		if strings.HasPrefix(p.src[p.pos:], o.tok) {
+			pr.Op = o.op
+			p.pos += len(o.tok)
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		return pr, fmt.Errorf("position %d: expected operator or ]", p.pos)
+	}
+	// value: quoted or bare until ']'
+	if p.pos < len(p.src) && (p.src[p.pos] == '\'' || p.src[p.pos] == '"') {
+		quote := p.src[p.pos]
+		p.pos++
+		vstart := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != quote {
+			p.pos++
+		}
+		if p.pos >= len(p.src) {
+			return pr, fmt.Errorf("unterminated quoted value")
+		}
+		pr.Value = p.src[vstart:p.pos]
+		p.pos++
+	} else {
+		vstart := p.pos
+		for p.pos < len(p.src) && p.src[p.pos] != ']' {
+			p.pos++
+		}
+		pr.Value = strings.TrimSpace(p.src[vstart:p.pos])
+	}
+	if p.pos >= len(p.src) || p.src[p.pos] != ']' {
+		return pr, fmt.Errorf("missing ] in predicate")
+	}
+	p.pos++
+	return pr, nil
+}
+
+// matches reports whether the predicate holds for the PU.
+func (pr Pred) matches(pu *core.PU) bool {
+	var have string
+	var present bool
+	switch {
+	case strings.HasPrefix(pr.Key, "@"):
+		switch pr.Key {
+		case "@id":
+			have, present = pu.ID, true
+		case "@name":
+			have, present = pu.Name, true
+		case "@class":
+			have, present = pu.Class.String(), true
+		case "@quantity":
+			have, present = strconv.Itoa(pu.EffectiveQuantity()), true
+		default:
+			return false
+		}
+	case pr.Key == "group":
+		if pr.Op == OpExists {
+			return len(pu.Groups) > 0
+		}
+		// group supports = and != only; ordered comparison is meaningless.
+		in := pu.InGroup(pr.Value)
+		if pr.Op == OpEq {
+			return in
+		}
+		if pr.Op == OpNe {
+			return !in
+		}
+		return false
+	default:
+		p, ok := pu.Descriptor.Get(pr.Key)
+		have, present = p.Value, ok
+	}
+	if pr.Op == OpExists {
+		return present
+	}
+	if !present {
+		return false
+	}
+	return compare(have, pr.Op, pr.Value)
+}
+
+// compare applies op using numeric comparison when both sides parse as
+// floats, falling back to string comparison otherwise.
+func compare(have string, op Op, want string) bool {
+	hf, herr := strconv.ParseFloat(have, 64)
+	wf, werr := strconv.ParseFloat(want, 64)
+	if herr == nil && werr == nil {
+		switch op {
+		case OpEq:
+			return hf == wf
+		case OpNe:
+			return hf != wf
+		case OpLt:
+			return hf < wf
+		case OpLe:
+			return hf <= wf
+		case OpGt:
+			return hf > wf
+		case OpGe:
+			return hf >= wf
+		}
+	}
+	switch op {
+	case OpEq:
+		return have == want
+	case OpNe:
+		return have != want
+	case OpLt:
+		return have < want
+	case OpLe:
+		return have <= want
+	case OpGt:
+		return have > want
+	case OpGe:
+		return have >= want
+	}
+	return false
+}

@@ -1,0 +1,135 @@
+package repo
+
+import (
+	"fmt"
+
+	"repro/internal/blas"
+	"repro/internal/pragma"
+	"repro/internal/taskrt"
+)
+
+// The built-in library variants of the paper's case study. The DGEMM
+// interface carries three implementations:
+//
+//   - dgemm_goto: the GotoBLAS2 stand-in, a cache-blocked Go kernel for x86
+//     (real-mode runnable);
+//   - dgemm_goto_par: the same kernel parallelised over the tile rows, used
+//     when one task should occupy several cores;
+//   - dgemm_cublas: the CuBLAS stand-in for gpu units — simulation-only,
+//     since no physical GPU is present; its cost comes from the PDL
+//     calibration.
+//
+// The vecadd interface mirrors the paper's annotation example.
+
+// GemmPayload is the payload convention of the dgemm variants: three matrix
+// views C += A·B.
+type GemmPayload struct {
+	A, B, C *blas.Matrix
+}
+
+func gemmKernel(blocked bool) func(*taskrt.TaskContext) error {
+	return func(tc *taskrt.TaskContext) error {
+		p, ok := tc.Payload(0).(*GemmPayload)
+		if !ok {
+			return fmt.Errorf("repo: dgemm payload is %T, want *GemmPayload", tc.Payload(0))
+		}
+		if blocked {
+			// The GotoBLAS2 stand-in uses the packing kernel, which keeps
+			// its locality on strided tile views.
+			return blas.GemmPacked(p.A, p.B, p.C, blas.DefaultBlock)
+		}
+		return blas.GemmNaive(p.A, p.B, p.C)
+	}
+}
+
+func vecaddKernel(tc *taskrt.TaskContext) error {
+	a, ok := tc.Payload(0).([]float64)
+	if !ok {
+		return fmt.Errorf("repo: vecadd payload 0 is %T, want []float64", tc.Payload(0))
+	}
+	b, ok := tc.Payload(1).([]float64)
+	if !ok {
+		return fmt.Errorf("repo: vecadd payload 1 is %T, want []float64", tc.Payload(1))
+	}
+	return blas.VecAdd(a, b)
+}
+
+// Interface names of the built-in library.
+const (
+	IfaceDGEMM  = "Idgemm"
+	IfaceVecAdd = "Ivecadd"
+)
+
+// WithLibrary registers the built-in library variants into r and returns r
+// for chaining.
+func WithLibrary(r *Repository) (*Repository, error) {
+	rwRead3 := []pragma.Param{
+		{Name: "A", Mode: taskrt.Read},
+		{Name: "B", Mode: taskrt.Read},
+		{Name: "C", Mode: taskrt.ReadWrite},
+	}
+	variants := []*Variant{
+		{
+			Interface: IfaceDGEMM, Name: "dgemm_goto",
+			Targets: []string{"x86", "smp", "starpu", "seq"},
+			Params:  rwRead3, Arch: "x86",
+			Kernel: gemmKernel(true), Origin: Library,
+		},
+		{
+			Interface: IfaceDGEMM, Name: "dgemm_naive",
+			Targets: []string{"x86", "seq"},
+			Params:  rwRead3, Arch: "x86",
+			Kernel: gemmKernel(false), SpeedFactor: 0.25, Origin: Library,
+		},
+		{
+			Interface: IfaceDGEMM, Name: "dgemm_cublas",
+			Targets: []string{"cuda", "opencl", "host-device", "multi-gpu"},
+			Params:  rwRead3, Arch: "gpu",
+			Origin: Library, // simulation-only: no physical GPU present
+		},
+		{
+			Interface: IfaceVecAdd, Name: "vecadd_x86",
+			Targets: []string{"x86", "smp", "starpu", "seq"},
+			Params: []pragma.Param{
+				{Name: "A", Mode: taskrt.ReadWrite},
+				{Name: "B", Mode: taskrt.Read},
+			},
+			Arch: "x86", Kernel: vecaddKernel, Origin: Library,
+		},
+		{
+			Interface: IfaceVecAdd, Name: "vecadd_gpu",
+			Targets: []string{"cuda", "opencl", "host-device"},
+			Params: []pragma.Param{
+				{Name: "A", Mode: taskrt.ReadWrite},
+				{Name: "B", Mode: taskrt.Read},
+			},
+			Arch: "gpu", Origin: Library,
+		},
+	}
+	for _, v := range variants {
+		if err := r.Add(v); err != nil {
+			return nil, err
+		}
+	}
+	return r, nil
+}
+
+// NewWithLibrary returns a repository preloaded with the built-in library.
+func NewWithLibrary() *Repository {
+	r, err := WithLibrary(New())
+	if err != nil {
+		panic(err) // static data; cannot fail
+	}
+	return r
+}
+
+// DefaultKernels maps the implementation names used in the examples'
+// annotated sources to runnable kernels, so user variants parsed from source
+// become executable (the repository's "binary" for that variant).
+func DefaultKernels() map[string]func(*taskrt.TaskContext) error {
+	return map[string]func(*taskrt.TaskContext) error{
+		"vecadd01":  vecaddKernel,
+		"dgemm_seq": gemmKernel(true),
+		"dgemm01":   gemmKernel(true),
+	}
+}

@@ -1,0 +1,62 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		KindString:    "string",
+		KindInt:       "int",
+		KindFloat:     "float",
+		KindBool:      "bool",
+		KindSize:      "size",
+		KindFrequency: "frequency",
+		KindBandwidth: "bandwidth",
+		KindDuration:  "duration",
+		KindEnum:      "enum",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q; want %q", int(k), got, want)
+		}
+	}
+	if got := Kind(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestBaseSpecsSortedAndComplete(t *testing.T) {
+	specs := Default().BaseSpecs()
+	if len(specs) < 10 {
+		t.Fatalf("base specs = %d", len(specs))
+	}
+	for i := 1; i < len(specs); i++ {
+		if specs[i-1].Name >= specs[i].Name {
+			t.Fatal("BaseSpecs not sorted")
+		}
+	}
+	// Every base spec has documentation (tooling renders it).
+	for _, s := range specs {
+		if s.Doc == "" {
+			t.Errorf("spec %s lacks a doc line", s.Name)
+		}
+	}
+}
+
+func TestSubschemaQualifiedType(t *testing.T) {
+	sub := &Subschema{Prefix: "ocl", TypeName: "oclDevicePropertyType"}
+	if sub.QualifiedType() != "ocl:oclDevicePropertyType" {
+		t.Fatal("QualifiedType wrong")
+	}
+}
+
+func TestAddBaseOverrides(t *testing.T) {
+	r := NewRegistry()
+	r.AddBase(Spec{Name: "X", Kind: KindInt})
+	r.AddBase(Spec{Name: "X", Kind: KindFloat})
+	if len(r.BaseSpecs()) != 1 || r.BaseSpecs()[0].Kind != KindFloat {
+		t.Fatal("AddBase should replace same-named specs")
+	}
+}

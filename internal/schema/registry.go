@@ -1,0 +1,218 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// Subschema is a named, versioned set of property specs. Subschemas inherit
+// the base vocabulary: a property validated against subschema type
+// "ocl:oclDevicePropertyType" may use any spec of the subschema or of the
+// base schema (the PDL's schema-inheritance rule).
+type Subschema struct {
+	Prefix   string // e.g. "ocl"
+	TypeName string // e.g. "oclDevicePropertyType"
+	Version  string // "major.minor"
+	Specs    map[string]Spec
+}
+
+// QualifiedType returns the xsi:type string of the subschema.
+func (s *Subschema) QualifiedType() string { return s.Prefix + ":" + s.TypeName }
+
+// Registry holds the base schema plus registered subschemas. The zero value
+// is unusable; use NewRegistry (empty base) or Default().
+type Registry struct {
+	mu    sync.RWMutex
+	base  map[string]Spec
+	subs  map[string]*Subschema // key: qualified type "pfx:Type"
+	byPfx map[string]*Subschema
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		base:  map[string]Spec{},
+		subs:  map[string]*Subschema{},
+		byPfx: map[string]*Subschema{},
+	}
+}
+
+// AddBase registers a base-schema property spec, replacing any previous spec
+// with the same name.
+func (r *Registry) AddBase(s Spec) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.base[s.Name] = s
+}
+
+// Register adds a subschema. The qualified type and the prefix must be new.
+func (r *Registry) Register(sub *Subschema) error {
+	if sub.Prefix == "" || sub.TypeName == "" {
+		return fmt.Errorf("schema: subschema needs prefix and type name")
+	}
+	if !validVersion(sub.Version) {
+		return fmt.Errorf("schema: subschema %s has bad version %q (want major.minor)", sub.QualifiedType(), sub.Version)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	qt := sub.QualifiedType()
+	if _, ok := r.subs[qt]; ok {
+		return fmt.Errorf("schema: subschema %s already registered", qt)
+	}
+	r.subs[qt] = sub
+	r.byPfx[sub.Prefix] = sub
+	return nil
+}
+
+func validVersion(v string) bool {
+	parts := strings.Split(v, ".")
+	if len(parts) != 2 {
+		return false
+	}
+	for _, p := range parts {
+		if p == "" {
+			return false
+		}
+		for _, c := range p {
+			if c < '0' || c > '9' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// CompatibleVersions reports whether two subschema versions are compatible:
+// equal major components (the minor component only adds specs).
+func CompatibleVersions(a, b string) bool {
+	if !validVersion(a) || !validVersion(b) {
+		return false
+	}
+	return strings.Split(a, ".")[0] == strings.Split(b, ".")[0]
+}
+
+// Lookup resolves the spec governing a property: the subschema named by its
+// Type (if any) first, then the base schema (inheritance). ok is false when
+// no spec constrains the property, which is allowed — the PDL property space
+// is open.
+func (r *Registry) Lookup(p core.Property) (Spec, bool, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if p.Type != "" {
+		sub, ok := r.subs[p.Type]
+		if !ok {
+			return Spec{}, false, fmt.Errorf("schema: property %s uses unregistered type %q", p.Name, p.Type)
+		}
+		if s, ok := sub.Specs[p.Name]; ok {
+			return s, true, nil
+		}
+	}
+	if s, ok := r.base[p.Name]; ok {
+		return s, true, nil
+	}
+	return Spec{}, false, nil
+}
+
+// Subschemas lists registered subschemas sorted by qualified type.
+func (r *Registry) Subschemas() []*Subschema {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*Subschema, 0, len(r.subs))
+	for _, s := range r.subs {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].QualifiedType() < out[j].QualifiedType() })
+	return out
+}
+
+// BaseSpecs lists base-schema specs sorted by name.
+func (r *Registry) BaseSpecs() []Spec {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]Spec, 0, len(r.base))
+	for _, s := range r.base {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+var (
+	defaultOnce sync.Once
+	defaultReg  *Registry
+)
+
+// Default returns the registry preloaded with the base vocabulary used by
+// the paper's examples and the predefined ocl/cuda/cell/sim subschemas.
+func Default() *Registry {
+	defaultOnce.Do(func() {
+		r := NewRegistry()
+		for _, s := range []Spec{
+			{Name: core.PropArchitecture, Kind: KindString, Doc: "core architecture tag (x86, gpu, spe, ppc, ...)"},
+			{Name: core.PropDeviceName, Kind: KindString, Doc: "marketing device name"},
+			{Name: core.PropVendor, Kind: KindString, Doc: "hardware vendor"},
+			{Name: core.PropCores, Kind: KindInt, Doc: "physical core count"},
+			{Name: core.PropClockMHz, Kind: KindFrequency, Doc: "core clock", NeedUnit: true},
+			{Name: core.PropMemSize, Kind: KindSize, Doc: "addressable memory size"},
+			{Name: core.PropLocalMem, Kind: KindSize, Doc: "per-unit local memory size"},
+			{Name: core.PropComputeUnits, Kind: KindInt, Doc: "compute units exposed by the runtime"},
+			{Name: core.PropWorkItemDims, Kind: KindInt, Doc: "work item dimensionality"},
+			{Name: core.PropGFlopsDP, Kind: KindFloat, Doc: "calibrated double-precision throughput (GFLOP/s)"},
+			{Name: core.PropRuntime, Kind: KindEnum, Enum: []string{"OpenCL", "Cuda", "CellSDK", "StarPU", "seq", "taskrt"}, Doc: "software runtime available on the unit"},
+			{Name: "BANDWIDTH", Kind: KindBandwidth, Doc: "link bandwidth", NeedUnit: true},
+			{Name: "LATENCY", Kind: KindDuration, Doc: "link latency", NeedUnit: true},
+		} {
+			r.AddBase(s)
+		}
+		must := func(err error) {
+			if err != nil {
+				panic(err)
+			}
+		}
+		must(r.Register(&Subschema{
+			Prefix: "ocl", TypeName: "oclDevicePropertyType", Version: "1.0",
+			Specs: map[string]Spec{
+				"DEVICE_NAME":              {Name: "DEVICE_NAME", Kind: KindString},
+				"MAX_COMPUTE_UNITS":        {Name: "MAX_COMPUTE_UNITS", Kind: KindInt},
+				"MAX_WORK_ITEM_DIMENSIONS": {Name: "MAX_WORK_ITEM_DIMENSIONS", Kind: KindInt},
+				"GLOBAL_MEM_SIZE":          {Name: "GLOBAL_MEM_SIZE", Kind: KindSize},
+				"LOCAL_MEM_SIZE":           {Name: "LOCAL_MEM_SIZE", Kind: KindSize},
+				"DEVICE_VERSION":           {Name: "DEVICE_VERSION", Kind: KindString},
+				"DRIVER_VERSION":           {Name: "DRIVER_VERSION", Kind: KindString},
+			},
+		}))
+		must(r.Register(&Subschema{
+			Prefix: "cuda", TypeName: "cudaDevicePropertyType", Version: "1.0",
+			Specs: map[string]Spec{
+				"DEVICE_NAME":        {Name: "DEVICE_NAME", Kind: KindString},
+				"COMPUTE_CAPABILITY": {Name: "COMPUTE_CAPABILITY", Kind: KindString},
+				"MULTIPROCESSORS":    {Name: "MULTIPROCESSORS", Kind: KindInt},
+				"GLOBAL_MEM_SIZE":    {Name: "GLOBAL_MEM_SIZE", Kind: KindSize},
+				"SHARED_MEM_PER_SM":  {Name: "SHARED_MEM_PER_SM", Kind: KindSize},
+			},
+		}))
+		must(r.Register(&Subschema{
+			Prefix: "cell", TypeName: "cellPropertyType", Version: "1.0",
+			Specs: map[string]Spec{
+				"SPE_COUNT":      {Name: "SPE_COUNT", Kind: KindInt},
+				"LOCAL_STORE":    {Name: "LOCAL_STORE", Kind: KindSize},
+				"EIB_BANDWIDTH":  {Name: "EIB_BANDWIDTH", Kind: KindBandwidth, NeedUnit: true},
+				"PPE_HW_THREADS": {Name: "PPE_HW_THREADS", Kind: KindInt},
+			},
+		}))
+		must(r.Register(&Subschema{
+			Prefix: "sim", TypeName: "simDevicePropertyType", Version: "1.0",
+			Specs: map[string]Spec{
+				"PEAK_GFLOPS_DP":   {Name: "PEAK_GFLOPS_DP", Kind: KindFloat},
+				"DGEMM_EFFICIENCY": {Name: "DGEMM_EFFICIENCY", Kind: KindFloat},
+				"KERNEL_LAUNCH_US": {Name: "KERNEL_LAUNCH_US", Kind: KindFloat},
+			},
+		}))
+		defaultReg = r
+	})
+	return defaultReg
+}

@@ -1,0 +1,208 @@
+// Package schema provides the typed layer above raw PDL properties: a
+// registry of property specifications grouped into versioned subschemas, unit
+// parsing for quantitative values, and a validator that checks a platform's
+// descriptors against the registered schemas.
+//
+// It plays the role the XML Schema Definition (XSD) plays in the paper:
+// predefined Descriptor/Property subschemas have unique identification and
+// versioning, new subschemas for novel platforms can be registered at any
+// time, and subschemas inherit the base property vocabulary (schema
+// inheritance).
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Kind classifies the value space of a property.
+type Kind int
+
+const (
+	// KindString accepts any value (the base key/value mechanism).
+	KindString Kind = iota
+	// KindInt requires a decimal integer.
+	KindInt
+	// KindFloat requires a decimal floating-point number.
+	KindFloat
+	// KindBool requires "true" or "false".
+	KindBool
+	// KindSize requires an integer with an optional size unit (B/kB/MB/GB).
+	KindSize
+	// KindFrequency requires a number with a frequency unit (Hz/kHz/MHz/GHz).
+	KindFrequency
+	// KindBandwidth requires a number with a rate unit (B/s .. GB/s).
+	KindBandwidth
+	// KindDuration requires a number with a time unit (ns/us/ms/s).
+	KindDuration
+	// KindEnum requires one of a fixed value set.
+	KindEnum
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindInt:
+		return "int"
+	case KindFloat:
+		return "float"
+	case KindBool:
+		return "bool"
+	case KindSize:
+		return "size"
+	case KindFrequency:
+		return "frequency"
+	case KindBandwidth:
+		return "bandwidth"
+	case KindDuration:
+		return "duration"
+	case KindEnum:
+		return "enum"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Spec describes one property: its value kind, whether a unit is mandatory,
+// and for enums the allowed values.
+type Spec struct {
+	Name     string
+	Kind     Kind
+	Enum     []string // allowed values for KindEnum
+	Doc      string   // one-line description for tooling output
+	NeedUnit bool     // quantitative kinds: require an explicit unit
+}
+
+// check validates a property value against the spec.
+func (s Spec) check(p core.Property) error {
+	fail := func(format string, args ...any) error {
+		return fmt.Errorf("property %s: "+format, append([]any{p.Name}, args...)...)
+	}
+	if s.NeedUnit && p.Unit == "" {
+		return fail("missing unit (kind %s)", s.Kind)
+	}
+	switch s.Kind {
+	case KindString:
+		return nil
+	case KindInt:
+		if _, err := strconv.ParseInt(p.Value, 10, 64); err != nil {
+			return fail("value %q is not an integer", p.Value)
+		}
+	case KindFloat:
+		if _, err := strconv.ParseFloat(p.Value, 64); err != nil {
+			return fail("value %q is not a number", p.Value)
+		}
+	case KindBool:
+		if p.Value != "true" && p.Value != "false" {
+			return fail("value %q is not a bool", p.Value)
+		}
+	case KindSize:
+		if _, err := ParseSize(p.Value, p.Unit); err != nil {
+			return fail("%v", err)
+		}
+	case KindFrequency:
+		if _, err := ParseFrequency(p.Value, p.Unit); err != nil {
+			return fail("%v", err)
+		}
+	case KindBandwidth:
+		if _, err := ParseBandwidth(p.Value, p.Unit); err != nil {
+			return fail("%v", err)
+		}
+	case KindDuration:
+		if _, err := ParseDuration(p.Value, p.Unit); err != nil {
+			return fail("%v", err)
+		}
+	case KindEnum:
+		for _, v := range s.Enum {
+			if p.Value == v {
+				return nil
+			}
+		}
+		return fail("value %q not in enum %v", p.Value, s.Enum)
+	}
+	return nil
+}
+
+// ParseSize converts a value/unit pair into bytes. An empty unit means bytes.
+func ParseSize(value, unit string) (uint64, error) {
+	n, err := strconv.ParseUint(strings.TrimSpace(value), 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("schema: bad size value %q", value)
+	}
+	switch strings.ToLower(unit) {
+	case "", "b":
+		return n, nil
+	case "kb", "kib":
+		return n << 10, nil
+	case "mb", "mib":
+		return n << 20, nil
+	case "gb", "gib":
+		return n << 30, nil
+	case "tb", "tib":
+		return n << 40, nil
+	}
+	return 0, fmt.Errorf("schema: unknown size unit %q", unit)
+}
+
+// ParseFrequency converts a value/unit pair into Hz. An empty unit means Hz.
+func ParseFrequency(value, unit string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("schema: bad frequency value %q", value)
+	}
+	switch strings.ToLower(unit) {
+	case "", "hz":
+		return f, nil
+	case "khz":
+		return f * 1e3, nil
+	case "mhz":
+		return f * 1e6, nil
+	case "ghz":
+		return f * 1e9, nil
+	}
+	return 0, fmt.Errorf("schema: unknown frequency unit %q", unit)
+}
+
+// ParseBandwidth converts a value/unit pair into bytes per second.
+func ParseBandwidth(value, unit string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("schema: bad bandwidth value %q", value)
+	}
+	switch strings.ToLower(unit) {
+	case "", "b/s":
+		return f, nil
+	case "kb/s":
+		return f * (1 << 10), nil
+	case "mb/s":
+		return f * (1 << 20), nil
+	case "gb/s":
+		return f * (1 << 30), nil
+	}
+	return 0, fmt.Errorf("schema: unknown bandwidth unit %q", unit)
+}
+
+// ParseDuration converts a value/unit pair into seconds. An empty unit means
+// seconds.
+func ParseDuration(value, unit string) (float64, error) {
+	f, err := strconv.ParseFloat(strings.TrimSpace(value), 64)
+	if err != nil {
+		return 0, fmt.Errorf("schema: bad duration value %q", value)
+	}
+	switch strings.ToLower(unit) {
+	case "", "s":
+		return f, nil
+	case "ms":
+		return f * 1e-3, nil
+	case "us", "µs":
+		return f * 1e-6, nil
+	case "ns":
+		return f * 1e-9, nil
+	}
+	return 0, fmt.Errorf("schema: unknown duration unit %q", unit)
+}

@@ -1,0 +1,284 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestParseSize(t *testing.T) {
+	cases := []struct {
+		value, unit string
+		want        uint64
+		ok          bool
+	}{
+		{"1", "", 1, true},
+		{"1", "B", 1, true},
+		{"1", "kB", 1024, true},
+		{"1572864", "kB", 1572864 * 1024, true},
+		{"2", "MB", 2 << 20, true},
+		{"3", "GB", 3 << 30, true},
+		{"1", "TB", 1 << 40, true},
+		{"1", "KiB", 1024, true},
+		{"-1", "kB", 0, false},
+		{"x", "kB", 0, false},
+		{"1", "parsecs", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseSize(c.value, c.unit)
+		if (err == nil) != c.ok {
+			t.Errorf("ParseSize(%q,%q) err=%v; want ok=%v", c.value, c.unit, err, c.ok)
+			continue
+		}
+		if c.ok && got != c.want {
+			t.Errorf("ParseSize(%q,%q) = %d; want %d", c.value, c.unit, got, c.want)
+		}
+	}
+}
+
+func TestParseFrequencyBandwidthDuration(t *testing.T) {
+	if hz, err := ParseFrequency("2660", "MHz"); err != nil || hz != 2.66e9 {
+		t.Errorf("ParseFrequency = %g, %v", hz, err)
+	}
+	if hz, err := ParseFrequency("2.66", "GHz"); err != nil || hz != 2.66e9 {
+		t.Errorf("ParseFrequency GHz = %g, %v", hz, err)
+	}
+	if _, err := ParseFrequency("1", "eV"); err == nil {
+		t.Error("bad frequency unit accepted")
+	}
+	if bw, err := ParseBandwidth("5", "GB/s"); err != nil || bw != 5*(1<<30) {
+		t.Errorf("ParseBandwidth = %g, %v", bw, err)
+	}
+	if _, err := ParseBandwidth("x", "GB/s"); err == nil {
+		t.Error("bad bandwidth value accepted")
+	}
+	if s, err := ParseDuration("10", "us"); err != nil || s < 9.9e-6 || s > 10.1e-6 {
+		t.Errorf("ParseDuration = %g, %v", s, err)
+	}
+	if _, err := ParseDuration("10", "fortnights"); err == nil {
+		t.Error("bad duration unit accepted")
+	}
+}
+
+func TestSpecCheckKinds(t *testing.T) {
+	cases := []struct {
+		spec Spec
+		prop core.Property
+		ok   bool
+	}{
+		{Spec{Kind: KindString}, core.Property{Name: "A", Value: "anything"}, true},
+		{Spec{Kind: KindInt}, core.Property{Name: "A", Value: "15"}, true},
+		{Spec{Kind: KindInt}, core.Property{Name: "A", Value: "15.5"}, false},
+		{Spec{Kind: KindFloat}, core.Property{Name: "A", Value: "2.66"}, true},
+		{Spec{Kind: KindFloat}, core.Property{Name: "A", Value: "fast"}, false},
+		{Spec{Kind: KindBool}, core.Property{Name: "A", Value: "true"}, true},
+		{Spec{Kind: KindBool}, core.Property{Name: "A", Value: "yes"}, false},
+		{Spec{Kind: KindSize}, core.Property{Name: "A", Value: "48", Unit: "kB"}, true},
+		{Spec{Kind: KindSize}, core.Property{Name: "A", Value: "48", Unit: "knots"}, false},
+		{Spec{Kind: KindEnum, Enum: []string{"OpenCL", "Cuda"}}, core.Property{Name: "A", Value: "Cuda"}, true},
+		{Spec{Kind: KindEnum, Enum: []string{"OpenCL", "Cuda"}}, core.Property{Name: "A", Value: "Brook"}, false},
+		{Spec{Kind: KindBandwidth, NeedUnit: true}, core.Property{Name: "A", Value: "5"}, false},
+		{Spec{Kind: KindBandwidth, NeedUnit: true}, core.Property{Name: "A", Value: "5", Unit: "GB/s"}, true},
+		{Spec{Kind: KindDuration}, core.Property{Name: "A", Value: "10", Unit: "us"}, true},
+		{Spec{Kind: KindFrequency}, core.Property{Name: "A", Value: "2660", Unit: "MHz"}, true},
+	}
+	for i, c := range cases {
+		err := c.spec.check(c.prop)
+		if (err == nil) != c.ok {
+			t.Errorf("case %d (%s): err = %v; want ok=%v", i, c.spec.Kind, err, c.ok)
+		}
+	}
+}
+
+func TestRegistryLookupInheritance(t *testing.T) {
+	reg := Default()
+	// Subschema-specific spec.
+	p := core.Property{Name: "MAX_COMPUTE_UNITS", Value: "15", Type: "ocl:oclDevicePropertyType"}
+	spec, ok, err := reg.Lookup(p)
+	if err != nil || !ok || spec.Kind != KindInt {
+		t.Fatalf("Lookup ocl = %v %v %v", spec, ok, err)
+	}
+	// Inherited base spec through a subschema type.
+	p2 := core.Property{Name: core.PropArchitecture, Value: "gpu", Type: "ocl:oclDevicePropertyType"}
+	if _, ok, err := reg.Lookup(p2); err != nil || !ok {
+		t.Fatalf("base inheritance failed: %v %v", ok, err)
+	}
+	// Unregistered type errors.
+	p3 := core.Property{Name: "X", Value: "1", Type: "nope:thing"}
+	if _, _, err := reg.Lookup(p3); err == nil {
+		t.Fatal("unregistered subschema type must error")
+	}
+	// Ungoverned plain property: allowed, not governed.
+	p4 := core.Property{Name: "MY_CUSTOM_TAG", Value: "1"}
+	if _, ok, err := reg.Lookup(p4); err != nil || ok {
+		t.Fatalf("open property should be ungoverned: %v %v", ok, err)
+	}
+}
+
+func TestRegisterErrors(t *testing.T) {
+	r := NewRegistry()
+	if err := r.Register(&Subschema{Prefix: "", TypeName: "t", Version: "1.0"}); err == nil {
+		t.Fatal("empty prefix must fail")
+	}
+	if err := r.Register(&Subschema{Prefix: "p", TypeName: "t", Version: "one"}); err == nil {
+		t.Fatal("bad version must fail")
+	}
+	ok := &Subschema{Prefix: "p", TypeName: "t", Version: "1.2", Specs: map[string]Spec{}}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Fatal("duplicate registration must fail")
+	}
+	if n := len(r.Subschemas()); n != 1 {
+		t.Fatalf("Subschemas() len = %d", n)
+	}
+}
+
+func TestCompatibleVersions(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"1.0", "1.5", true},
+		{"1.0", "2.0", false},
+		{"1.0", "1.0", true},
+		{"1", "1.0", false},
+		{"x.y", "1.0", false},
+	}
+	for _, c := range cases {
+		if got := CompatibleVersions(c.a, c.b); got != c.want {
+			t.Errorf("CompatibleVersions(%q,%q) = %v; want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func validFixture(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("fixture").
+		Master("cpu", core.Arch("x86"),
+			core.WithUnitProp(core.PropClockMHz, "2660", "MHz"),
+			core.WithProp(core.PropCores, "8")).
+		Worker("gpu0", core.Arch("gpu")).
+		Link(core.ICTypePCIe, "cpu", "gpu0", core.Bandwidth(5), core.Latency(10)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl.FindPU("gpu0").Descriptor.Set(core.Property{
+		Name: "MAX_COMPUTE_UNITS", Value: "15", Type: "ocl:oclDevicePropertyType",
+	})
+	return pl
+}
+
+func TestValidatePlatformOK(t *testing.T) {
+	rep := ValidatePlatform(validFixture(t), Default())
+	if !rep.OK() {
+		t.Fatalf("valid platform rejected: %v", rep.Errors)
+	}
+	if rep.Err() != nil {
+		t.Fatal("Err() should be nil for ok report")
+	}
+	if !strings.Contains(rep.String(), "ok") && len(rep.Warnings) == 0 {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestValidatePlatformTypedErrors(t *testing.T) {
+	pl := validFixture(t)
+	pl.FindPU("cpu").Descriptor.Set(core.Property{Name: core.PropCores, Value: "many", Fixed: true})
+	rep := ValidatePlatform(pl, Default())
+	if rep.OK() {
+		t.Fatal("non-integer CORES must be rejected")
+	}
+	if !strings.Contains(rep.Err().Error(), "not an integer") {
+		t.Fatalf("err = %v", rep.Err())
+	}
+}
+
+func TestValidatePlatformStructuralErrorsSurface(t *testing.T) {
+	pl := &core.Platform{} // no masters
+	rep := ValidatePlatform(pl, Default())
+	if rep.OK() {
+		t.Fatal("structurally invalid platform accepted")
+	}
+	found := false
+	for _, e := range rep.Errors {
+		if strings.Contains(e, "no Master") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("structural problem not in report: %v", rep.Errors)
+	}
+}
+
+func TestValidatePlatformWarnsOnOpenProperties(t *testing.T) {
+	pl := validFixture(t)
+	pl.FindPU("cpu").Descriptor.SetFixed("MY_SITE_LABEL", "rack42")
+	rep := ValidatePlatform(pl, Default())
+	if !rep.OK() {
+		t.Fatalf("open property must not be an error: %v", rep.Errors)
+	}
+	if len(rep.Warnings) == 0 || !strings.Contains(rep.Warnings[0], "MY_SITE_LABEL") {
+		t.Fatalf("warnings = %v", rep.Warnings)
+	}
+	if !strings.Contains(rep.String(), "warning:") {
+		t.Fatalf("String() = %q", rep.String())
+	}
+}
+
+func TestValidatePlatformEmptyPropertyName(t *testing.T) {
+	pl := validFixture(t)
+	pl.FindPU("cpu").Descriptor.Properties = append(pl.FindPU("cpu").Descriptor.Properties,
+		core.Property{Name: "  ", Value: "x"})
+	rep := ValidatePlatform(pl, Default())
+	if rep.OK() || !strings.Contains(rep.Err().Error(), "empty name") {
+		t.Fatalf("report = %+v", rep)
+	}
+}
+
+func TestValidatePlatformChecksLinkDescriptors(t *testing.T) {
+	pl := validFixture(t)
+	// Corrupt the interconnect bandwidth property.
+	m := pl.FindPU("cpu")
+	for i := range m.Links {
+		m.Links[i].Descriptor.Set(core.Property{Name: "BANDWIDTH", Value: "warp", Unit: "GB/s", Fixed: true})
+	}
+	rep := ValidatePlatform(pl, Default())
+	if rep.OK() {
+		t.Fatal("bad link bandwidth accepted")
+	}
+}
+
+// Property-based: ParseSize is monotone in the unit ladder.
+func TestQuickSizeUnitsMonotone(t *testing.T) {
+	f := func(n uint16) bool {
+		v := int64(n%1000) + 1
+		s := func(u string) uint64 {
+			b, err := ParseSize(strings.TrimSpace(fmtInt(v)), u)
+			if err != nil {
+				t.Fatalf("ParseSize: %v", err)
+			}
+			return b
+		}
+		return s("B") < s("kB") && s("kB") < s("MB") && s("MB") < s("GB")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func fmtInt(v int64) string {
+	if v == 0 {
+		return "0"
+	}
+	var digits []byte
+	for v > 0 {
+		digits = append([]byte{byte('0' + v%10)}, digits...)
+		v /= 10
+	}
+	return string(digits)
+}

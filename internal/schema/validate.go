@@ -1,0 +1,90 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Report collects validation findings at two severities. A platform with
+// errors is rejected; warnings flag open-vocabulary properties that no
+// registered schema constrains (legal, but worth surfacing to tooling).
+type Report struct {
+	Errors   []string
+	Warnings []string
+}
+
+// OK reports whether validation found no errors.
+func (r *Report) OK() bool { return len(r.Errors) == 0 }
+
+// Err returns an error summarising the report when it contains errors.
+func (r *Report) Err() error {
+	if r.OK() {
+		return nil
+	}
+	return fmt.Errorf("schema: %d error(s): %s", len(r.Errors), strings.Join(r.Errors, "; "))
+}
+
+// String renders the report for CLI output.
+func (r *Report) String() string {
+	var b strings.Builder
+	for _, e := range r.Errors {
+		fmt.Fprintf(&b, "error: %s\n", e)
+	}
+	for _, w := range r.Warnings {
+		fmt.Fprintf(&b, "warning: %s\n", w)
+	}
+	if r.OK() && len(r.Warnings) == 0 {
+		b.WriteString("ok\n")
+	}
+	return b.String()
+}
+
+// ValidatePlatform checks a platform against both the structural machine
+// model (core.Platform.Validate) and the typed property schemas in the
+// registry. Property names must be non-empty; values of schema-governed
+// properties must parse according to their spec kind; xsi-typed properties
+// must reference registered subschemas.
+func ValidatePlatform(pl *core.Platform, reg *Registry) *Report {
+	rep := &Report{}
+	if err := pl.Validate(); err != nil {
+		if ve, ok := core.AsValidationError(err); ok {
+			rep.Errors = append(rep.Errors, ve.Problems...)
+		} else {
+			rep.Errors = append(rep.Errors, err.Error())
+		}
+	}
+	checkDesc := func(where string, d core.Descriptor) {
+		for _, p := range d.Properties {
+			if strings.TrimSpace(p.Name) == "" {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: property with empty name", where))
+				continue
+			}
+			spec, governed, err := reg.Lookup(p)
+			if err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", where, err))
+				continue
+			}
+			if !governed {
+				rep.Warnings = append(rep.Warnings, fmt.Sprintf("%s: property %s not covered by any registered schema", where, p.Name))
+				continue
+			}
+			if err := spec.check(p); err != nil {
+				rep.Errors = append(rep.Errors, fmt.Sprintf("%s: %v", where, err))
+			}
+		}
+	}
+	pl.Walk(func(pu, _ *core.PU) bool {
+		where := fmt.Sprintf("%s %q", pu.Class, pu.ID)
+		checkDesc(where, pu.Descriptor)
+		for _, m := range pu.Memory {
+			checkDesc(fmt.Sprintf("%s memory %q", where, m.ID), m.Descriptor)
+		}
+		for _, ic := range pu.Links {
+			checkDesc(fmt.Sprintf("%s interconnect %q", where, ic.ID), ic.Descriptor)
+		}
+		return true
+	})
+	return rep
+}

@@ -1,0 +1,155 @@
+package taskrt
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/trace"
+)
+
+// runReal executes the task graph on goroutine workers. Only implementations
+// with a non-nil Func whose architecture matches the platform's Master
+// architecture are eligible — real GPUs are not available, which is exactly
+// why Sim mode exists. Dependencies are enforced by counters; ready tasks
+// flow through a channel drained by the worker pool (StarPU's eager policy).
+func (rt *Runtime) runReal() (*Report, error) {
+	if len(rt.cfg.Platform.Masters) == 0 {
+		return nil, fmt.Errorf("taskrt: platform has no master")
+	}
+	hostArch := rt.cfg.Platform.Masters[0].Architecture()
+	workers := rt.cfg.Workers
+	if workers <= 0 {
+		workers = 0
+		for _, m := range rt.cfg.Platform.Masters {
+			workers += m.EffectiveQuantity()
+		}
+	}
+	if workers < 1 {
+		workers = 1
+	}
+
+	// Pre-validate: every task must have a runnable implementation.
+	for _, t := range rt.tasks {
+		im := t.Codelet.ImplFor(hostArch)
+		if im == nil || im.Func == nil {
+			return nil, fmt.Errorf("taskrt: codelet %q has no real implementation for host arch %q", t.Codelet.Name, hostArch)
+		}
+	}
+
+	remaining := make([]int, len(rt.tasks))
+	ready := make(chan *Task, len(rt.tasks))
+	for i, t := range rt.tasks {
+		remaining[i] = len(t.deps)
+		if remaining[i] == 0 {
+			ready <- t
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		firstErr  error
+		completed int
+		busy      = make([]time.Duration, workers)
+		count     = make([]int, workers)
+		wg        sync.WaitGroup
+	)
+	done := make(chan struct{})
+	wg.Add(len(rt.tasks))
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		go func(worker int) {
+			for {
+				var t *Task
+				select {
+				case t = <-ready:
+				case <-done:
+					return
+				}
+				im := t.Codelet.ImplFor(hostArch)
+				mu.Lock()
+				failed := firstErr != nil
+				mu.Unlock()
+				if !failed {
+					tc := &TaskContext{WorkerID: worker, Arch: hostArch, Task: t}
+					for _, a := range t.Accesses {
+						tc.Data = append(tc.Data, a.Handle.Payload)
+					}
+					t0 := time.Now()
+					err := im.Func(tc)
+					d := time.Since(t0)
+					if rt.cfg.Trace != nil {
+						label := t.Label
+						if label == "" {
+							label = t.Codelet.Name
+						}
+						rt.cfg.Trace.Record(trace.Event{
+							Kind:  trace.Task,
+							Unit:  fmt.Sprintf("worker%d", worker),
+							Label: label,
+							Start: t0.Sub(start).Seconds(),
+							End:   t0.Add(d).Sub(start).Seconds(),
+						})
+					}
+					mu.Lock()
+					busy[worker] += d
+					count[worker]++
+					if err != nil && firstErr == nil {
+						firstErr = fmt.Errorf("taskrt: task %q (%s): %w", t.Codelet.Name, t.Label, err)
+					}
+					mu.Unlock()
+					if err == nil && rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
+						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
+					}
+				}
+				// Release dependents even on failure to avoid deadlock.
+				mu.Lock()
+				completed++
+				for _, dep := range t.dependents {
+					remaining[dep.id]--
+					if remaining[dep.id] == 0 {
+						ready <- dep
+					}
+				}
+				mu.Unlock()
+				wg.Done()
+			}
+		}(w)
+	}
+	<-done
+	elapsed := time.Since(start)
+
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	rep := &Report{
+		Mode:            Real,
+		Scheduler:       rt.cfg.Scheduler,
+		Tasks:           len(rt.tasks),
+		MakespanSeconds: elapsed.Seconds(),
+	}
+	for w := 0; w < workers; w++ {
+		rep.PerUnit = append(rep.PerUnit, UnitStats{
+			ID:          fmt.Sprintf("worker%d", w),
+			Arch:        hostArch,
+			Tasks:       count[w],
+			BusySeconds: busy[w].Seconds(),
+		})
+	}
+	return rep, nil
+}
+
+// HostArch returns the architecture tag real-mode kernels must target for
+// the given platform.
+func HostArch(pl *core.Platform) string {
+	if len(pl.Masters) == 0 {
+		return ""
+	}
+	return pl.Masters[0].Architecture()
+}

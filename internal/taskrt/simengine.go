@@ -1,0 +1,333 @@
+package taskrt
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/sim"
+	"repro/internal/simhw"
+	"repro/internal/trace"
+)
+
+// simUnit pairs a simulated hardware unit with its occupancy resource.
+type simUnit struct {
+	hw    *simhw.Unit
+	res   sim.Resource
+	tasks int
+}
+
+// simState is the mutable state of one simulated execution.
+type simState struct {
+	machine *simhw.Machine
+	units   []*simUnit
+	dma     []sim.Resource           // one DMA engine per memory node
+	valid   map[*Handle]map[int]bool // coherence: nodes holding a valid copy
+	rng     *rand.Rand
+	tracer  *trace.Trace
+
+	transferBytes int64
+	transferSecs  float64
+	transferCount int
+}
+
+// runSim executes the task graph in virtual time via greedy list scheduling
+// with the configured policy. The algorithm is deterministic for a given
+// (platform, task graph, scheduler, seed).
+func (rt *Runtime) runSim() (*Report, error) {
+	machine, err := simhw.FromPlatform(rt.cfg.Platform)
+	if err != nil {
+		return nil, err
+	}
+	st := &simState{
+		machine: machine,
+		dma:     make([]sim.Resource, machine.NumNodes()),
+		valid:   map[*Handle]map[int]bool{},
+		rng:     rand.New(rand.NewSource(rt.cfg.Seed)),
+		tracer:  rt.cfg.Trace,
+	}
+	for _, u := range machine.Units {
+		st.units = append(st.units, &simUnit{hw: u})
+	}
+	for _, h := range rt.handles {
+		st.valid[h] = map[int]bool{h.home: true}
+	}
+
+	// Dependency bookkeeping.
+	remaining := make(map[*Task]int, len(rt.tasks))
+	readyAt := make(map[*Task]sim.Time, len(rt.tasks))
+	var ready []*Task
+	for _, t := range rt.tasks {
+		remaining[t] = len(t.deps)
+		if remaining[t] == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	var makespan sim.Time
+	completed := 0
+	for completed < len(rt.tasks) {
+		if len(ready) == 0 {
+			return nil, fmt.Errorf("taskrt: task graph deadlock (cycle?) with %d tasks pending", len(rt.tasks)-completed)
+		}
+		ti := rt.pickTaskIndex(ready, st)
+		t := ready[ti]
+		ready = append(ready[:ti], ready[ti+1:]...)
+
+		u, err := rt.pickUnit(t, st, readyAt[t])
+		if err != nil {
+			return nil, err
+		}
+		end, err := st.execute(t, u, readyAt[t])
+		if err != nil {
+			return nil, err
+		}
+		if end > makespan {
+			makespan = end
+		}
+		completed++
+		for _, d := range t.dependents {
+			if end > readyAt[d] {
+				readyAt[d] = end
+			}
+			remaining[d]--
+			if remaining[d] == 0 {
+				ready = append(ready, d)
+			}
+		}
+	}
+
+	rep := &Report{
+		Mode:            Sim,
+		Scheduler:       rt.cfg.Scheduler,
+		Tasks:           len(rt.tasks),
+		MakespanSeconds: float64(makespan),
+		TransferBytes:   st.transferBytes,
+		TransferSeconds: st.transferSecs,
+		TransferCount:   st.transferCount,
+	}
+	for _, su := range st.units {
+		rep.PerUnit = append(rep.PerUnit, UnitStats{
+			ID: su.hw.ID, Arch: su.hw.Arch, Tasks: su.tasks, BusySeconds: float64(su.res.Busy()),
+		})
+	}
+	return rep, nil
+}
+
+// kernelSeconds returns the virtual execution time of t's implementation on
+// unit u, honouring per-codelet speed factors.
+func kernelSeconds(m *simhw.Machine, t *Task, u *simhw.Unit) float64 {
+	im := t.Codelet.ImplFor(u.Arch)
+	factor := im.SpeedFactor
+	if factor <= 0 {
+		factor = 1
+	}
+	return m.KernelTime(u, t.Flops/factor)
+}
+
+// execute commits task t onto unit u: stages the required transfers,
+// occupies the unit and updates coherence. It returns the completion time.
+func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, error) {
+	node := su.hw.MemNode
+	dataReady := ready
+	for _, a := range t.Accesses {
+		if !a.Mode.Reads() {
+			continue // pure writes need no inbound copy
+		}
+		v := st.valid[a.Handle]
+		if v[node] {
+			continue
+		}
+		_, dur, err := st.cheapestSource(a.Handle, node)
+		if err != nil {
+			return 0, err
+		}
+		s, e := st.dma[node].Acquire(ready, sim.Time(dur))
+		st.transferBytes += a.Handle.Bytes
+		st.transferSecs += dur
+		st.transferCount++
+		if st.tracer != nil {
+			st.tracer.Record(trace.Event{
+				Kind: trace.Transfer, Unit: fmt.Sprintf("node%d", node),
+				Label: a.Handle.Name, Start: float64(s), End: float64(e),
+				Bytes: a.Handle.Bytes,
+			})
+		}
+		if e > dataReady {
+			dataReady = e
+		}
+	}
+	dur := kernelSeconds(st.machine, t, su.hw)
+	start, end := su.res.Acquire(dataReady, sim.Time(dur))
+	su.tasks++
+	if st.tracer != nil {
+		label := t.Label
+		if label == "" {
+			label = t.Codelet.Name
+		}
+		st.tracer.Record(trace.Event{
+			Kind: trace.Task, Unit: su.hw.ID, Label: label,
+			Start: float64(start), End: float64(end),
+		})
+	}
+	// Commit coherence after execution.
+	for _, a := range t.Accesses {
+		if a.Mode.Writes() {
+			st.valid[a.Handle] = map[int]bool{node: true}
+		} else {
+			st.valid[a.Handle][node] = true
+		}
+	}
+	return end, nil
+}
+
+// cheapestSource picks the valid copy of h that is cheapest to move to dst.
+func (st *simState) cheapestSource(h *Handle, dst int) (src int, seconds float64, err error) {
+	best := -1
+	bestT := math.Inf(1)
+	for node, ok := range st.valid[h] {
+		if !ok {
+			continue
+		}
+		d, err := st.machine.TransferTime(node, dst, h.Bytes)
+		if err != nil {
+			continue
+		}
+		if d < bestT {
+			bestT, best = d, node
+		}
+	}
+	if best < 0 {
+		return 0, 0, fmt.Errorf("taskrt: no valid copy of handle %q reachable from node %d", h.Name, dst)
+	}
+	return best, bestT, nil
+}
+
+// estimateEFT predicts the earliest finish time of t on unit u given
+// current resource horizons — the dmda cost function.
+func (st *simState) estimateEFT(t *Task, su *simUnit, ready sim.Time) sim.Time {
+	node := su.hw.MemNode
+	dataReady := ready
+	for _, a := range t.Accesses {
+		if !a.Mode.Reads() {
+			continue
+		}
+		if st.valid[a.Handle][node] {
+			continue
+		}
+		_, dur, err := st.cheapestSource(a.Handle, node)
+		if err != nil {
+			return sim.Time(math.Inf(1))
+		}
+		s := ready
+		if st.dma[node].Available() > s {
+			s = st.dma[node].Available()
+		}
+		if e := s + sim.Time(dur); e > dataReady {
+			dataReady = e
+		}
+	}
+	start := dataReady
+	if su.res.Available() > start {
+		start = su.res.Available()
+	}
+	return start + sim.Time(kernelSeconds(st.machine, t, su.hw))
+}
+
+// compatibleUnits returns the units that have an implementation for t and
+// satisfy the task's Where placement constraint.
+func (st *simState) compatibleUnits(t *Task) []*simUnit {
+	var out []*simUnit
+	for _, su := range st.units {
+		if t.Codelet.ImplFor(su.hw.Arch) == nil {
+			continue
+		}
+		if len(t.Where) > 0 && !unitAllowed(su.hw.ID, t.Where) {
+			continue
+		}
+		out = append(out, su)
+	}
+	return out
+}
+
+// unitAllowed reports whether a (possibly quantity-expanded) unit id matches
+// one of the allowed PU ids.
+func unitAllowed(id string, where []string) bool {
+	for _, w := range where {
+		if id == w || (len(id) > len(w) && id[:len(w)] == w && id[len(w)] == '.') {
+			return true
+		}
+	}
+	return false
+}
+
+// pickTaskIndex chooses which ready task to schedule next.
+func (rt *Runtime) pickTaskIndex(ready []*Task, st *simState) int {
+	switch rt.cfg.Scheduler {
+	case "heft":
+		// Largest work first (a static upward-rank approximation).
+		best, bestFlops := 0, -1.0
+		for i, t := range ready {
+			if t.Flops > bestFlops {
+				best, bestFlops = i, t.Flops
+			}
+		}
+		return best
+	case "random":
+		return st.rng.Intn(len(ready))
+	default: // eager, dmda: priority then FIFO
+		best := 0
+		for i, t := range ready {
+			if t.Priority > ready[best].Priority ||
+				(t.Priority == ready[best].Priority && t.id < ready[best].id) {
+				best = i
+			}
+		}
+		return best
+	}
+}
+
+// pickUnit chooses the unit for task t.
+func (rt *Runtime) pickUnit(t *Task, st *simState, ready sim.Time) (*simUnit, error) {
+	cands := st.compatibleUnits(t)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("taskrt: no unit can run codelet %q (impls %v)", t.Codelet.Name, t.Codelet.Archs())
+	}
+	switch rt.cfg.Scheduler {
+	case "random":
+		return cands[st.rng.Intn(len(cands))], nil
+	case "ws":
+		// Work stealing: tasks are dealt round-robin to per-unit queues at
+		// submission; an idle unit steals when the owner is backed up. In
+		// list-scheduling terms: run on the owner unless another compatible
+		// unit would start strictly earlier.
+		owner := cands[t.id%len(cands)]
+		best := owner
+		for _, su := range cands {
+			if su.res.Available() < best.res.Available() {
+				best = su
+			}
+		}
+		if owner.res.Available() <= best.res.Available() || owner.res.Available() <= ready {
+			return owner, nil
+		}
+		return best, nil
+	case "dmda", "heft":
+		best := cands[0]
+		bestEFT := st.estimateEFT(t, best, ready)
+		for _, su := range cands[1:] {
+			if eft := st.estimateEFT(t, su, ready); eft < bestEFT {
+				best, bestEFT = su, eft
+			}
+		}
+		return best, nil
+	default: // eager: earliest-available compatible unit (central greedy queue)
+		best := cands[0]
+		for _, su := range cands[1:] {
+			if su.res.Available() < best.res.Available() {
+				best = su
+			}
+		}
+		return best, nil
+	}
+}

@@ -1,0 +1,250 @@
+// Package taskrt is a StarPU-like task runtime for heterogeneous platforms:
+// the scheduling and data-management substrate the paper's evaluation
+// (Section IV-D) targets. Applications register codelets with one
+// implementation per architecture, submit tasks whose data accesses carry
+// explicit modes (read / write / readwrite, matching the paper's task
+// annotations), and the runtime derives inter-task dependencies, moves data
+// between distinct memory spaces and maps tasks onto processing units.
+//
+// Two execution engines share the same task-graph front end:
+//
+//   - the real engine runs implementation functions on goroutine workers and
+//     reports wall-clock times — used for CPU-only configurations on the
+//     actual host; and
+//   - the simulated engine executes the graph in virtual time on a
+//     calibrated simhw.Machine built from a PDL description — the
+//     substitution for the paper's GPU testbed.
+//
+// Schedulers are pluggable: eager (StarPU's default greedy central queue),
+// dmda (deque model data aware: minimise estimated completion including
+// transfer costs), heft (dmda with largest-work-first ordering) and random.
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
+)
+
+// AccessMode declares how a task uses a data handle, mirroring the paper's
+// parameter access specifiers (A:readwrite, B:read).
+type AccessMode int
+
+const (
+	// Read declares a read-only access.
+	Read AccessMode = iota
+	// Write declares a write-only access (previous contents unused).
+	Write
+	// ReadWrite declares an in-place update.
+	ReadWrite
+)
+
+// String returns the annotation spelling of the mode.
+func (m AccessMode) String() string {
+	switch m {
+	case Read:
+		return "read"
+	case Write:
+		return "write"
+	case ReadWrite:
+		return "readwrite"
+	default:
+		return fmt.Sprintf("AccessMode(%d)", int(m))
+	}
+}
+
+// ParseAccessMode parses the annotation spelling ("read", "write",
+// "readwrite", and the abbreviations r/w/rw).
+func ParseAccessMode(s string) (AccessMode, error) {
+	switch s {
+	case "read", "r", "in":
+		return Read, nil
+	case "write", "w", "out":
+		return Write, nil
+	case "readwrite", "rw", "inout":
+		return ReadWrite, nil
+	}
+	return 0, fmt.Errorf("taskrt: unknown access mode %q", s)
+}
+
+// Reads reports whether the mode observes previous contents.
+func (m AccessMode) Reads() bool { return m == Read || m == ReadWrite }
+
+// Writes reports whether the mode produces new contents.
+func (m AccessMode) Writes() bool { return m == Write || m == ReadWrite }
+
+// Mode selects the execution engine.
+type Mode int
+
+const (
+	// Real executes implementation functions on goroutine workers.
+	Real Mode = iota
+	// Sim executes the graph in virtual time on the calibrated machine.
+	Sim
+)
+
+func (m Mode) String() string {
+	if m == Real {
+		return "real"
+	}
+	return "sim"
+}
+
+// Config configures a Runtime.
+type Config struct {
+	// Platform describes the machine. In Sim mode it parameterises the
+	// hardware simulator; in Real mode its x86 capacity bounds the worker
+	// count.
+	Platform *core.Platform
+	// Mode selects the engine (default Real).
+	Mode Mode
+	// Scheduler names the scheduling policy: "eager" (default), "dmda",
+	// "heft", "ws" (work stealing) or "random".
+	Scheduler string
+	// Workers overrides the Real-mode worker count (default: the platform's
+	// x86 unit count).
+	Workers int
+	// Seed seeds the random scheduler (default 1).
+	Seed int64
+	// Models, when non-nil, receives execution-time observations in Real
+	// mode (history-based performance models à la StarPU).
+	Models *perfmodel.Store
+	// Trace, when non-nil, receives one event per task execution and (in
+	// Sim mode) per data transfer.
+	Trace *trace.Trace
+}
+
+// Runtime accepts task submissions and executes them with Run.
+type Runtime struct {
+	cfg      Config
+	handles  []*Handle
+	tasks    []*Task
+	nextID   int
+	lastW    map[*Handle]*Task
+	readers  map[*Handle][]*Task
+	finished bool
+}
+
+// New creates a runtime. The platform must be a valid machine-model
+// instance.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Platform == nil {
+		return nil, fmt.Errorf("taskrt: nil platform")
+	}
+	if err := cfg.Platform.Validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Scheduler {
+	case "", "eager", "dmda", "heft", "random", "ws":
+	default:
+		return nil, fmt.Errorf("taskrt: unknown scheduler %q", cfg.Scheduler)
+	}
+	if cfg.Scheduler == "" {
+		cfg.Scheduler = "eager"
+	}
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	return &Runtime{
+		cfg:     cfg,
+		lastW:   map[*Handle]*Task{},
+		readers: map[*Handle][]*Task{},
+	}, nil
+}
+
+// Submit registers a task for execution and derives its dependencies from
+// the data-access history: readers depend on the last writer of each handle;
+// writers additionally depend on all readers since that write (anti/output
+// dependencies), exactly the implicit data-driven ordering StarPU applies.
+func (rt *Runtime) Submit(t *Task) error {
+	if rt.finished {
+		return fmt.Errorf("taskrt: runtime already ran; create a new one")
+	}
+	if t.Codelet == nil {
+		return fmt.Errorf("taskrt: task without codelet")
+	}
+	if len(t.Codelet.Impls) == 0 {
+		return fmt.Errorf("taskrt: codelet %q has no implementations", t.Codelet.Name)
+	}
+	seen := map[*Handle]bool{}
+	for _, a := range t.Accesses {
+		if a.Handle == nil {
+			return fmt.Errorf("taskrt: task %q accesses nil handle", t.Codelet.Name)
+		}
+		if seen[a.Handle] {
+			return fmt.Errorf("taskrt: task %q accesses handle %q twice", t.Codelet.Name, a.Handle.Name)
+		}
+		seen[a.Handle] = true
+	}
+	t.id = rt.nextID
+	rt.nextID++
+
+	addDep := func(dep *Task) {
+		if dep == nil || dep == t {
+			return
+		}
+		for _, d := range t.deps {
+			if d == dep {
+				return
+			}
+		}
+		t.deps = append(t.deps, dep)
+		dep.dependents = append(dep.dependents, t)
+	}
+	for _, dep := range t.After {
+		if dep == nil {
+			return fmt.Errorf("taskrt: task %q has nil explicit dependency", t.Codelet.Name)
+		}
+		found := false
+		for _, prior := range rt.tasks {
+			if prior == dep {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("taskrt: task %q depends on a task not yet submitted", t.Codelet.Name)
+		}
+		addDep(dep)
+	}
+	for _, a := range t.Accesses {
+		h := a.Handle
+		if a.Mode.Reads() || a.Mode == Write {
+			// Even pure writes must wait for the previous writer (output
+			// dependency) and for readers (anti dependency).
+			addDep(rt.lastW[h])
+		}
+		if a.Mode.Writes() {
+			for _, r := range rt.readers[h] {
+				addDep(r)
+			}
+			rt.readers[h] = nil
+			rt.lastW[h] = t
+		} else {
+			rt.readers[h] = append(rt.readers[h], t)
+		}
+	}
+	rt.tasks = append(rt.tasks, t)
+	return nil
+}
+
+// Tasks returns the number of submitted tasks.
+func (rt *Runtime) Tasks() int { return len(rt.tasks) }
+
+// Run executes every submitted task and returns the execution report. A
+// runtime is single-shot: after Run it rejects further submissions.
+func (rt *Runtime) Run() (*Report, error) {
+	if rt.finished {
+		return nil, fmt.Errorf("taskrt: runtime already ran")
+	}
+	rt.finished = true
+	switch rt.cfg.Mode {
+	case Sim:
+		return rt.runSim()
+	case Real:
+		return rt.runReal()
+	}
+	return nil, fmt.Errorf("taskrt: unknown mode %v", rt.cfg.Mode)
+}

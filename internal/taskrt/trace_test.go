@@ -1,0 +1,101 @@
+package taskrt
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/trace"
+)
+
+func TestSimTraceRecordsTasksAndTransfers(t *testing.T) {
+	tr := trace.New()
+	rt, err := New(Config{
+		Platform:  discover.MustPlatform("xeon-2gpu"),
+		Mode:      Sim,
+		Scheduler: "dmda",
+		Trace:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTiles(t, rt, 16, 4e9, 8<<20)
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One task event per task.
+	taskEvents := 0
+	transferEvents := 0
+	for _, e := range tr.Events() {
+		switch e.Kind {
+		case trace.Task:
+			taskEvents++
+			if e.End < e.Start {
+				t.Fatalf("negative duration event %+v", e)
+			}
+		case trace.Transfer:
+			transferEvents++
+		}
+	}
+	if taskEvents != rep.Tasks {
+		t.Fatalf("task events = %d; want %d", taskEvents, rep.Tasks)
+	}
+	if transferEvents != rep.TransferCount {
+		t.Fatalf("transfer events = %d; want %d", transferEvents, rep.TransferCount)
+	}
+	// Trace makespan agrees with the report.
+	if diff := tr.Makespan() - rep.MakespanSeconds; diff > 1e-12 || diff < -1e-12 {
+		t.Fatalf("trace makespan %g != report %g", tr.Makespan(), rep.MakespanSeconds)
+	}
+	if !strings.Contains(tr.Gantt(60), "#") {
+		t.Fatal("gantt empty")
+	}
+}
+
+func TestRealTraceRecordsTasks(t *testing.T) {
+	tr := trace.New()
+	rt, err := New(Config{Platform: cpuPlatform(t, 2), Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := noopCodelet(t, "traced")
+	for i := 0; i < 5; i++ {
+		h := rt.NewHandle("h", 8, nil)
+		if err := rt.Submit(&Task{Codelet: cl, Accesses: []Access{W(h)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Len() != 5 {
+		t.Fatalf("trace events = %d", tr.Len())
+	}
+	for _, e := range tr.Events() {
+		if e.Kind != trace.Task || !strings.HasPrefix(e.Unit, "worker") {
+			t.Fatalf("event = %+v", e)
+		}
+	}
+}
+
+func TestWSScheduler(t *testing.T) {
+	// ws completes everything deterministically and spreads independent
+	// tasks across cores.
+	rep := simRun(t, "xeon-cpu", "ws", 64, 2e9, 1<<20)
+	if rep.Tasks != 64 {
+		t.Fatalf("tasks = %d", rep.Tasks)
+	}
+	if rep.BusyUnits() != 8 {
+		t.Fatalf("busy units = %d; ws should spread work", rep.BusyUnits())
+	}
+	rep2 := simRun(t, "xeon-cpu", "ws", 64, 2e9, 1<<20)
+	if rep.MakespanSeconds != rep2.MakespanSeconds {
+		t.Fatal("ws nondeterministic")
+	}
+	// On the heterogeneous box it still uses the GPUs for some tasks.
+	het := simRun(t, "xeon-2gpu", "ws", 64, 2e9, 1<<20)
+	if het.TasksOnArch("gpu") == 0 {
+		t.Fatal("ws never stole onto the GPUs")
+	}
+}

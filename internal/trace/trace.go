@@ -1,0 +1,199 @@
+// Package trace records execution traces of the task runtime: one event per
+// task execution and per data transfer, with start/end times and placement.
+// Traces render as per-unit timelines (a textual Gantt chart) and aggregate
+// statistics, the kind of output StarPU's FxT tracing feeds into Vite and
+// the paper's Section II names as an auto-tuner/performance-prediction use
+// case for PDL information ("performance relevant observations can now be
+// related ... to abstract architectural patterns").
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Kind discriminates trace events.
+type Kind int
+
+const (
+	// Task marks a kernel execution on a processing unit.
+	Task Kind = iota
+	// Transfer marks a data movement into a memory node.
+	Transfer
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	if k == Task {
+		return "task"
+	}
+	return "transfer"
+}
+
+// Event is one traced occurrence. Times are seconds (virtual in sim mode,
+// wall-clock offsets in real mode).
+type Event struct {
+	Kind  Kind
+	Unit  string // executing PU id, or destination memory node for transfers
+	Label string // task label / handle name
+	Start float64
+	End   float64
+	Bytes int64 // transfers only
+}
+
+// Duration returns End - Start.
+func (e Event) Duration() float64 { return e.End - e.Start }
+
+// Trace collects events. It is safe for concurrent use (the real engine
+// records from multiple workers).
+type Trace struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// New returns an empty trace.
+func New() *Trace { return &Trace{} }
+
+// Record appends an event.
+func (t *Trace) Record(e Event) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.events = append(t.events, e)
+}
+
+// Events returns a copy of the recorded events sorted by start time (ties
+// broken by unit then label, so output is deterministic).
+func (t *Trace) Events() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := append([]Event(nil), t.events...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Start != out[j].Start {
+			return out[i].Start < out[j].Start
+		}
+		if out[i].Unit != out[j].Unit {
+			return out[i].Unit < out[j].Unit
+		}
+		return out[i].Label < out[j].Label
+	})
+	return out
+}
+
+// Len returns the number of recorded events.
+func (t *Trace) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.events)
+}
+
+// Makespan returns the latest End across all events (0 for empty traces).
+func (t *Trace) Makespan() float64 {
+	end := 0.0
+	for _, e := range t.Events() {
+		if e.End > end {
+			end = e.End
+		}
+	}
+	return end
+}
+
+// UnitStats aggregates one unit's activity.
+type UnitStats struct {
+	Unit      string
+	Tasks     int
+	Busy      float64
+	Transfers int
+	Bytes     int64
+}
+
+// ByUnit aggregates events per unit, sorted by unit id.
+func (t *Trace) ByUnit() []UnitStats {
+	agg := map[string]*UnitStats{}
+	for _, e := range t.Events() {
+		s := agg[e.Unit]
+		if s == nil {
+			s = &UnitStats{Unit: e.Unit}
+			agg[e.Unit] = s
+		}
+		switch e.Kind {
+		case Task:
+			s.Tasks++
+			s.Busy += e.Duration()
+		case Transfer:
+			s.Transfers++
+			s.Bytes += e.Bytes
+		}
+	}
+	out := make([]UnitStats, 0, len(agg))
+	for _, s := range agg {
+		out = append(out, *s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Unit < out[j].Unit })
+	return out
+}
+
+// Gantt renders a textual Gantt chart: one row per unit, `width` columns
+// spanning [0, makespan]. Task time renders as '#', transfer time as '~',
+// idle as '.'. Rows are sorted by unit id.
+func (t *Trace) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	events := t.Events()
+	if len(events) == 0 {
+		return "(empty trace)\n"
+	}
+	makespan := t.Makespan()
+	if makespan <= 0 {
+		return "(zero-length trace)\n"
+	}
+	rows := map[string][]byte{}
+	var units []string
+	cell := func(ts float64) int {
+		c := int(ts / makespan * float64(width))
+		if c >= width {
+			c = width - 1
+		}
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+	for _, e := range events {
+		row, ok := rows[e.Unit]
+		if !ok {
+			row = []byte(strings.Repeat(".", width))
+			rows[e.Unit] = row
+			units = append(units, e.Unit)
+		}
+		mark := byte('#')
+		if e.Kind == Transfer {
+			mark = '~'
+		}
+		for c := cell(e.Start); c <= cell(e.End); c++ {
+			// Tasks dominate transfers visually when both touch a cell.
+			if row[c] != '#' {
+				row[c] = mark
+			}
+		}
+	}
+	sort.Strings(units)
+	var b strings.Builder
+	fmt.Fprintf(&b, "gantt: %d events over %.6fs ('#'=compute '~'=transfer)\n", len(events), makespan)
+	for _, u := range units {
+		fmt.Fprintf(&b, "%-12s |%s|\n", u, rows[u])
+	}
+	return b.String()
+}
+
+// Summary renders per-unit aggregates.
+func (t *Trace) Summary() string {
+	var b strings.Builder
+	for _, s := range t.ByUnit() {
+		fmt.Fprintf(&b, "%-12s tasks=%-6d busy=%.6fs transfers=%d (%d bytes)\n",
+			s.Unit, s.Tasks, s.Busy, s.Transfers, s.Bytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,120 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func sample() *Trace {
+	t := New()
+	t.Record(Event{Kind: Task, Unit: "cpu0", Label: "t1", Start: 0, End: 2})
+	t.Record(Event{Kind: Task, Unit: "gpu0", Label: "t2", Start: 1, End: 3})
+	t.Record(Event{Kind: Transfer, Unit: "node1", Label: "A", Start: 0.5, End: 1, Bytes: 1024})
+	t.Record(Event{Kind: Task, Unit: "cpu0", Label: "t3", Start: 2, End: 4})
+	return t
+}
+
+func TestEventsSortedDeterministic(t *testing.T) {
+	tr := sample()
+	ev := tr.Events()
+	if len(ev) != 4 || tr.Len() != 4 {
+		t.Fatalf("events = %d", len(ev))
+	}
+	for i := 1; i < len(ev); i++ {
+		if ev[i].Start < ev[i-1].Start {
+			t.Fatalf("events unsorted at %d", i)
+		}
+	}
+	if ev[0].Label != "t1" || ev[3].Label != "t3" {
+		t.Fatalf("order = %v", ev)
+	}
+}
+
+func TestMakespanAndDuration(t *testing.T) {
+	tr := sample()
+	if tr.Makespan() != 4 {
+		t.Fatalf("makespan = %g", tr.Makespan())
+	}
+	if (Event{Start: 1, End: 3.5}).Duration() != 2.5 {
+		t.Fatal("Duration wrong")
+	}
+	if New().Makespan() != 0 {
+		t.Fatal("empty makespan should be 0")
+	}
+}
+
+func TestByUnit(t *testing.T) {
+	tr := sample()
+	stats := tr.ByUnit()
+	if len(stats) != 3 {
+		t.Fatalf("units = %d", len(stats))
+	}
+	// Sorted: cpu0, gpu0, node1.
+	if stats[0].Unit != "cpu0" || stats[0].Tasks != 2 || stats[0].Busy != 4 {
+		t.Fatalf("cpu0 = %+v", stats[0])
+	}
+	if stats[2].Unit != "node1" || stats[2].Transfers != 1 || stats[2].Bytes != 1024 {
+		t.Fatalf("node1 = %+v", stats[2])
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := sample()
+	g := tr.Gantt(40)
+	if !strings.Contains(g, "cpu0") || !strings.Contains(g, "gpu0") || !strings.Contains(g, "node1") {
+		t.Fatalf("gantt missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") || !strings.Contains(g, "~") {
+		t.Fatalf("gantt missing marks:\n%s", g)
+	}
+	// cpu0 is busy end to end: its row has no idle dots.
+	for _, line := range strings.Split(g, "\n") {
+		if strings.HasPrefix(line, "cpu0") && strings.Contains(line, ".") {
+			t.Fatalf("cpu0 should be fully busy:\n%s", g)
+		}
+	}
+	if New().Gantt(40) != "(empty trace)\n" {
+		t.Fatal("empty gantt wrong")
+	}
+	zero := New()
+	zero.Record(Event{Kind: Task, Unit: "u", Start: 0, End: 0})
+	if !strings.Contains(zero.Gantt(40), "zero-length") {
+		t.Fatal("zero-length gantt wrong")
+	}
+	// Tiny width is clamped.
+	if !strings.Contains(tr.Gantt(1), "cpu0") {
+		t.Fatal("width clamp broken")
+	}
+}
+
+func TestSummary(t *testing.T) {
+	s := sample().Summary()
+	if !strings.Contains(s, "cpu0") || !strings.Contains(s, "tasks=2") {
+		t.Fatalf("summary = %q", s)
+	}
+}
+
+func TestConcurrentRecord(t *testing.T) {
+	tr := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Record(Event{Kind: Task, Unit: "u", Start: float64(i), End: float64(i + 1)})
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Len() != 800 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if Task.String() != "task" || Transfer.String() != "transfer" {
+		t.Fatal("Kind.String wrong")
+	}
+}

@@ -9,6 +9,7 @@ package repro
 //	BenchmarkBandwidthSweep/* — Ext-C PCIe bandwidth ablation
 //	BenchmarkCrossover/*      — Ext-D problem-size crossover
 //	BenchmarkRealCPUScaling/* — Ext-E real-mode CPU scaling on this host
+//	BenchmarkFaultTolerance   — Ext-H in-flight GPU loss and recovery
 //	BenchmarkGemmKernels/*    — the raw BLAS substrate
 //	BenchmarkToolchain/*      — PDL codec / query / mapping / translation costs
 //
@@ -123,6 +124,22 @@ func BenchmarkFailover(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+func BenchmarkFaultTolerance(b *testing.B) {
+	var degradation float64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.FaultTolerance(benchN, benchTile, 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row[0] == "gpu-loss" {
+				fmt.Sscanf(row[3], "%f", &degradation)
+			}
+		}
+	}
+	b.ReportMetric(degradation, "degradation_x")
 }
 
 func BenchmarkStencil(b *testing.B) {

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	pdlbench -exp fig5 [-n 8192] [-tile 1024] [-sched dmda]
-//	pdlbench -exp sched|tiles|bw|crossover|realcpu
+//	pdlbench -exp sched|tiles|bw|crossover|failover|stencil|realcpu
+//	pdlbench -exp faults [-n 4096] [-tile 1024] [-seed 1]
 //	pdlbench -exp all
 package main
 
@@ -29,11 +30,12 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdlbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp   = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu or all")
+		exp   = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults or all")
 		n     = fs.Int("n", 8192, "matrix extent")
 		tile  = fs.Int("tile", 1024, "tile extent")
 		sched = fs.String("sched", "dmda", "scheduler for fig5/tiles")
 		realN = fs.Int("realn", 768, "matrix extent for the real-mode experiment")
+		seed  = fs.Int64("seed", 1, "fault-plan seed for the faults experiment")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -58,6 +60,12 @@ func run(args []string, stdout io.Writer) error {
 			res, err = experiments.StencilSweep(1<<24, 64, 32)
 		case "realcpu":
 			res, err = experiments.RealCPUScaling(*realN, *realN/4, nil)
+		case "faults":
+			fn, ftile := *n, *tile
+			if fn == 8192 && ftile == 1024 { // flag defaults target fig5; Ext-H's default is N=4096
+				fn = 4096
+			}
+			res, err = experiments.FaultTolerance(fn, ftile, *seed)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -68,7 +76,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig5", "sched", "tiles", "bw", "crossover", "failover", "stencil", "realcpu"} {
+		for _, name := range []string{"fig5", "sched", "tiles", "bw", "crossover", "failover", "stencil", "realcpu", "faults"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

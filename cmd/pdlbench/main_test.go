@@ -41,6 +41,19 @@ func TestRealCPUExperiment(t *testing.T) {
 	}
 }
 
+func TestFaultsExperiment(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-exp", "faults", "-n", "1024", "-tile", "256"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{"Ext-H", "gpu-loss", "cpu-only", "real-verify", "blacklisted [dev0 dev1]"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q:\n%s", want, s)
+		}
+	}
+}
+
 func TestUnknownExperiment(t *testing.T) {
 	var out bytes.Buffer
 	if err := run([]string{"-exp", "warp"}, &out); err == nil {

@@ -57,13 +57,18 @@ type Event struct {
 // Observer receives tracker events synchronously, in mutation order.
 type Observer func(Event)
 
-// Tracker maintains the dynamic state of one platform description.
+// Tracker maintains the dynamic state of one platform description. All
+// methods are safe for concurrent use; observer delivery is serialised and
+// ordered even when mutations race (engine goroutines blacklist units while
+// the application queries snapshots).
 type Tracker struct {
-	mu        sync.Mutex
-	base      *core.Platform
-	offline   map[string]bool
-	version   uint64
-	observers []Observer
+	mu          sync.Mutex
+	base        *core.Platform
+	offline     map[string]bool
+	version     uint64
+	observers   []Observer
+	queue       []Event // undelivered events, in version order
+	dispatching bool    // a goroutine is currently draining queue
 }
 
 // NewTracker wraps a validated platform. The tracker owns a private clone;
@@ -92,15 +97,37 @@ func (t *Tracker) OnChange(obs Observer) {
 	t.observers = append(t.observers, obs)
 }
 
-// notify is called with t.mu held; observers run synchronously outside the
-// lock to avoid deadlocks when they query the tracker.
-func (t *Tracker) emit(e Event) {
-	obs := append([]Observer(nil), t.observers...)
-	t.mu.Unlock()
-	for _, o := range obs {
-		o(e)
-	}
+// enqueue appends an event for delivery. Caller holds t.mu; the version bump
+// and the append are atomic, so queue order is version order.
+func (t *Tracker) enqueue(e Event) {
+	t.queue = append(t.queue, e)
+}
+
+// dispatch drains the event queue, delivering to observers outside the state
+// lock (observers may query — or even mutate — the tracker). Exactly one
+// goroutine drains at a time, so concurrent SetOffline/SetOnline callers see
+// their events delivered in version order; an observer that mutates the
+// tracker re-enters here, finds the drain active, and leaves delivery to the
+// already-running loop instead of deadlocking.
+func (t *Tracker) dispatch() {
 	t.mu.Lock()
+	if t.dispatching {
+		t.mu.Unlock()
+		return
+	}
+	t.dispatching = true
+	for len(t.queue) > 0 {
+		e := t.queue[0]
+		t.queue = t.queue[1:]
+		obs := append([]Observer(nil), t.observers...)
+		t.mu.Unlock()
+		for _, o := range obs {
+			o(e)
+		}
+		t.mu.Lock()
+	}
+	t.dispatching = false
+	t.mu.Unlock()
 }
 
 // SetOffline marks a unit as unavailable. Taking a Master offline is allowed
@@ -109,12 +136,13 @@ func (t *Tracker) emit(e Event) {
 // version.
 func (t *Tracker) SetOffline(puID string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	pu := t.base.FindPU(puID)
 	if pu == nil {
+		t.mu.Unlock()
 		return fmt.Errorf("dynamic: unknown PU %q", puID)
 	}
 	if t.offline[puID] {
+		t.mu.Unlock()
 		return nil
 	}
 	if pu.Class == core.Master {
@@ -125,28 +153,34 @@ func (t *Tracker) SetOffline(puID string) error {
 			}
 		}
 		if online <= 1 {
+			t.mu.Unlock()
 			return fmt.Errorf("dynamic: cannot take last online Master %q offline", puID)
 		}
 	}
 	t.offline[puID] = true
 	t.version++
-	t.emit(Event{Kind: Offline, PU: puID, Version: t.version})
+	t.enqueue(Event{Kind: Offline, PU: puID, Version: t.version})
+	t.mu.Unlock()
+	t.dispatch()
 	return nil
 }
 
 // SetOnline marks a unit as available again. Idempotent.
 func (t *Tracker) SetOnline(puID string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	if t.base.FindPU(puID) == nil {
+		t.mu.Unlock()
 		return fmt.Errorf("dynamic: unknown PU %q", puID)
 	}
 	if !t.offline[puID] {
+		t.mu.Unlock()
 		return nil
 	}
 	delete(t.offline, puID)
 	t.version++
-	t.emit(Event{Kind: Online, PU: puID, Version: t.version})
+	t.enqueue(Event{Kind: Online, PU: puID, Version: t.version})
+	t.mu.Unlock()
+	t.dispatch()
 	return nil
 }
 
@@ -176,16 +210,19 @@ func (t *Tracker) OfflineUnits() []string {
 // are refused by the underlying descriptor.
 func (t *Tracker) FillProperty(puID, name, value string) error {
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	pu := t.base.FindPU(puID)
 	if pu == nil {
+		t.mu.Unlock()
 		return fmt.Errorf("dynamic: unknown PU %q", puID)
 	}
 	if err := pu.Descriptor.Fill(name, value); err != nil {
+		t.mu.Unlock()
 		return err
 	}
 	t.version++
-	t.emit(Event{Kind: PropertyFilled, PU: puID, Property: name, Value: value, Version: t.version})
+	t.enqueue(Event{Kind: PropertyFilled, PU: puID, Property: name, Value: value, Version: t.version})
+	t.mu.Unlock()
+	t.dispatch()
 	return nil
 }
 

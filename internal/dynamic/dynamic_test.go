@@ -2,6 +2,7 @@ package dynamic
 
 import (
 	"strings"
+	"sync"
 	"testing"
 
 	"repro/internal/core"
@@ -210,5 +211,90 @@ func TestSnapshotUsableByQueries(t *testing.T) {
 	gpus := query.MustSelect(snap, "//Worker[ARCHITECTURE=gpu]")
 	if len(gpus) != 1 || gpus[0].ID != "dev0" {
 		t.Fatalf("gpus = %v", gpus)
+	}
+}
+
+// TestConcurrentDispatchOrdered hammers the tracker from many goroutines and
+// checks the guarantees the task runtime's fault-tolerance layer depends on:
+// observers see every state change exactly once, in version order, with no
+// data races (run under -race) and no deadlock when an observer re-enters the
+// tracker.
+func TestConcurrentDispatchOrdered(t *testing.T) {
+	tr := tracker(t)
+	var mu sync.Mutex
+	var versions []uint64
+	events := map[string]int{}
+	tr.OnChange(func(e Event) {
+		mu.Lock()
+		versions = append(versions, e.Version)
+		events[e.Kind.String()+":"+e.PU]++
+		mu.Unlock()
+	})
+	// A second, re-entrant observer: reading tracker state from inside the
+	// callback must not deadlock.
+	tr.OnChange(func(e Event) {
+		_ = tr.IsOnline(e.PU)
+		_ = tr.Version()
+	})
+
+	units := []string{"dev0", "dev1", "host"}
+	var wg sync.WaitGroup
+	const rounds = 50
+	for _, u := range units {
+		for g := 0; g < 4; g++ {
+			wg.Add(1)
+			go func(u string) {
+				defer wg.Done()
+				for i := 0; i < rounds; i++ {
+					_ = tr.SetOffline(u)
+					_ = tr.SetOnline(u)
+				}
+			}(u)
+		}
+	}
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	for i := 1; i < len(versions); i++ {
+		if versions[i] <= versions[i-1] {
+			t.Fatalf("event %d delivered out of order: version %d after %d", i, versions[i], versions[i-1])
+		}
+	}
+	if len(versions) == 0 {
+		t.Fatal("no events delivered")
+	}
+	if uint64(len(versions)) != tr.Version() {
+		t.Fatalf("delivered %d events, tracker version %d", len(versions), tr.Version())
+	}
+	// Offline/online must alternate per unit, so the counts can differ by at
+	// most... exactly: every successful SetOffline is eventually matched by
+	// at most one more SetOffline than SetOnline.
+	for _, u := range units {
+		off, on := events["offline:"+u], events["online:"+u]
+		if off < on || off > on+1 {
+			t.Fatalf("unit %s: %d offline vs %d online events", u, off, on)
+		}
+	}
+}
+
+// TestObserverMutatingTrackerDoesNotDeadlock re-enters the tracker with a
+// *mutation* from inside an observer: the nested event must still be
+// delivered (by the active drainer) without deadlock or recursion.
+func TestObserverMutatingTrackerDoesNotDeadlock(t *testing.T) {
+	tr := tracker(t)
+	var got []string
+	tr.OnChange(func(e Event) {
+		got = append(got, e.Kind.String()+":"+e.PU)
+		if e.Kind == Offline && e.PU == "dev0" {
+			_ = tr.SetOffline("dev1") // re-entrant mutation
+		}
+	})
+	if err := tr.SetOffline("dev0"); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"offline:dev0", "offline:dev1"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("events = %v, want %v", got, want)
 	}
 }

@@ -2,6 +2,7 @@ package taskrt
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -9,11 +10,25 @@ import (
 	"repro/internal/trace"
 )
 
+// errInjected marks an injected fault in real mode. Injected failures fire
+// at task launch, before the kernel touches data, so retries operate on
+// unmodified payloads.
+var errInjected = fmt.Errorf("taskrt: injected fault")
+
 // runReal executes the task graph on goroutine workers. Only implementations
 // with a non-nil Func whose architecture matches the platform's Master
 // architecture are eligible — real GPUs are not available, which is exactly
 // why Sim mode exists. Dependencies are enforced by counters; ready tasks
 // flow through a channel drained by the worker pool (StarPU's eager policy).
+//
+// With fault tolerance active (Config.Faults/Retry/Tracker) the engine
+// additionally: honours injected worker faults from the FaultPlan (unit ids
+// "worker0", "worker1", ...), retries failed tasks on other workers with
+// capped exponential backoff, blacklists failed workers (re-admitting them
+// after FaultEvent.RecoverAfter), and bounds every execution with a watchdog
+// timeout derived from the perfmodel estimate so a hung kernel cannot
+// deadlock Run. Without it, the first codelet error aborts the run — the
+// original fail-fast contract.
 func (rt *Runtime) runReal() (*Report, error) {
 	if len(rt.cfg.Platform.Masters) == 0 {
 		return nil, fmt.Errorf("taskrt: platform has no master")
@@ -38,7 +53,18 @@ func (rt *Runtime) runReal() (*Report, error) {
 		}
 	}
 
+	ft := rt.ftEnabled()
+	policy := rt.cfg.Retry.withDefaults()
+	faults := make([]*faultQueue, workers)
+	for w := 0; w < workers; w++ {
+		if evs := rt.cfg.Faults.forUnit(fmt.Sprintf("worker%d", w)); len(evs) > 0 {
+			faults[w] = &faultQueue{events: evs}
+		}
+	}
+
 	remaining := make([]int, len(rt.tasks))
+	// Capacity bound: a task occupies at most one slot at a time, even
+	// across retries.
 	ready := make(chan *Task, len(rt.tasks))
 	for i, t := range rt.tasks {
 		remaining[i] = len(t.deps)
@@ -48,83 +74,253 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 
 	var (
-		mu        sync.Mutex
-		firstErr  error
-		completed int
-		busy      = make([]time.Duration, workers)
-		count     = make([]int, workers)
-		wg        sync.WaitGroup
+		mu             sync.Mutex
+		firstErr       error
+		pending        = len(rt.tasks) // tasks not yet finally resolved
+		alive          = workers
+		recovering     = 0
+		busy           = make([]time.Duration, workers)
+		count          = make([]int, workers)
+		startedOn      = make([]int, workers)
+		attempts       = make([]int, len(rt.tasks))
+		retriedSet     = map[int]bool{}
+		failedAttempts = 0
+		watchdogTrips  = 0
+		blacklisted    = map[string]bool{}
 	)
-	done := make(chan struct{})
-	wg.Add(len(rt.tasks))
-	go func() {
-		wg.Wait()
-		close(done)
-	}()
+	done := make(chan struct{})  // closed when every task is resolved
+	abort := make(chan struct{}) // closed on the first fatal error
+	fail := func(err error) { // caller holds mu
+		if firstErr == nil {
+			firstErr = err
+			close(abort)
+		}
+	}
+	resolve := func() { // caller holds mu: one task reached a final state
+		pending--
+		if pending == 0 && firstErr == nil {
+			close(done)
+		}
+	}
+	release := func(t *Task) { // caller holds mu: successful completion
+		for _, dep := range t.dependents {
+			remaining[dep.id]--
+			if remaining[dep.id] == 0 {
+				ready <- dep
+			}
+		}
+	}
+	requeue := func(t *Task, after time.Duration) {
+		time.AfterFunc(after, func() {
+			select {
+			case ready <- t:
+			case <-abort:
+			}
+		})
+	}
 
 	start := time.Now()
+	traceEvent := func(kind trace.Kind, unit, label string, s, e time.Time) {
+		if rt.cfg.Trace == nil {
+			return
+		}
+		rt.cfg.Trace.Record(trace.Event{
+			Kind: kind, Unit: unit, Label: label,
+			Start: s.Sub(start).Seconds(), End: e.Sub(start).Seconds(),
+		})
+	}
+
+	var wgWorkers sync.WaitGroup
+	wgWorkers.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
+			defer wgWorkers.Done()
+			unitID := fmt.Sprintf("worker%d", worker)
 			for {
 				var t *Task
 				select {
 				case t = <-ready:
 				case <-done:
 					return
+				case <-abort:
+					return
 				}
-				im := t.Codelet.ImplFor(hostArch)
+
+				// Injected fault check: fires before the kernel runs, so
+				// payloads stay untouched and the retry is safe.
+				var inj *FaultEvent
 				mu.Lock()
-				failed := firstErr != nil
-				mu.Unlock()
-				if !failed {
-					tc := &TaskContext{WorkerID: worker, Arch: hostArch, Task: t}
-					for _, a := range t.Accesses {
-						tc.Data = append(tc.Data, a.Handle.Payload)
-					}
-					t0 := time.Now()
-					err := im.Func(tc)
-					d := time.Since(t0)
-					if rt.cfg.Trace != nil {
-						label := t.Label
-						if label == "" {
-							label = t.Codelet.Name
+				startedOn[worker]++
+				if ft && faults[worker] != nil {
+					if f := faults[worker].pending(); f != nil {
+						if (f.AfterTasks > 0 && startedOn[worker] >= f.AfterTasks) ||
+							(f.AtTime > 0 && time.Since(start).Seconds() >= f.AtTime) {
+							faults[worker].consume()
+							inj = f
 						}
-						rt.cfg.Trace.Record(trace.Event{
-							Kind:  trace.Task,
-							Unit:  fmt.Sprintf("worker%d", worker),
-							Label: label,
-							Start: t0.Sub(start).Seconds(),
-							End:   t0.Add(d).Sub(start).Seconds(),
-						})
+					}
+				}
+				mu.Unlock()
+
+				if inj != nil {
+					t0 := time.Now()
+					if inj.Hang {
+						// A hung launch: the watchdog converts it into a
+						// failure after the timeout.
+						d := rt.taskTimeout(t, hostArch, policy)
+						if d <= 0 {
+							d = policy.backoffDuration(policy.MaxAttempts) // bounded stand-in
+						}
+						select {
+						case <-time.After(d):
+						case <-abort:
+							return
+						}
+						mu.Lock()
+						watchdogTrips++
+						mu.Unlock()
+					}
+					traceEvent(trace.Failure, unitID, taskLabel(t), t0, time.Now())
+					mu.Lock()
+					failedAttempts++
+					retriedSet[t.id] = true
+					attempts[t.id]++
+					if attempts[t.id] >= policy.MaxAttempts {
+						fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts, last on %s: %w",
+							t.Codelet.Name, t.Label, attempts[t.id], unitID, errInjected))
+						resolve()
+						mu.Unlock()
+						return
+					}
+					requeue(t, policy.backoffDuration(attempts[t.id]))
+					// Blacklist this worker; other workers keep draining.
+					blacklisted[unitID] = true
+					alive--
+					if inj.RecoverAfter > 0 {
+						recovering++
+					}
+					if alive == 0 && recovering == 0 && pending > 0 {
+						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending))
+					}
+					mu.Unlock()
+					now := time.Now()
+					traceEvent(trace.Blacklist, unitID, "", now, now)
+					if rt.cfg.Tracker != nil {
+						_ = rt.cfg.Tracker.SetOffline(unitID) // best effort: tracker may not know worker ids
+					}
+					if inj.RecoverAfter <= 0 {
+						return // permanently dead
+					}
+					select {
+					case <-time.After(time.Duration(inj.RecoverAfter * float64(time.Second))):
+					case <-abort:
+						return
+					}
+					mu.Lock()
+					delete(blacklisted, unitID)
+					alive++
+					recovering--
+					mu.Unlock()
+					now = time.Now()
+					traceEvent(trace.Recover, unitID, "", now, now)
+					if rt.cfg.Tracker != nil {
+						_ = rt.cfg.Tracker.SetOnline(unitID)
+					}
+					continue
+				}
+
+				im := t.Codelet.ImplFor(hostArch)
+				tc := &TaskContext{WorkerID: worker, Arch: hostArch, Task: t}
+				for _, a := range t.Accesses {
+					tc.Data = append(tc.Data, a.Handle.Payload)
+				}
+				t0 := time.Now()
+				var err error
+				wdog := false
+				if timeout := rt.taskTimeout(t, hostArch, policy); ft && timeout > 0 {
+					// Watchdog: run the kernel aside and abandon it past the
+					// timeout (goroutines cannot be killed; the stuck kernel
+					// is orphaned and its worker blacklisted).
+					res := make(chan error, 1)
+					go func() { res <- im.Func(tc) }()
+					select {
+					case err = <-res:
+					case <-time.After(timeout):
+						err = fmt.Errorf("taskrt: watchdog: task %q (%s) exceeded %v on %s",
+							t.Codelet.Name, t.Label, timeout, unitID)
+						wdog = true
+					}
+				} else {
+					err = im.Func(tc)
+				}
+				d := time.Since(t0)
+				if err == nil {
+					traceEvent(trace.Task, unitID, taskLabel(t), t0, t0.Add(d))
+					if rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
+						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
 					}
 					mu.Lock()
 					busy[worker] += d
 					count[worker]++
-					if err != nil && firstErr == nil {
-						firstErr = fmt.Errorf("taskrt: task %q (%s): %w", t.Codelet.Name, t.Label, err)
+					release(t)
+					resolve()
+					mu.Unlock()
+					continue
+				}
+				// Failure path.
+				traceEvent(trace.Failure, unitID, taskLabel(t), t0, t0.Add(d))
+				mu.Lock()
+				busy[worker] += d
+				if !ft {
+					// Fail fast: the original no-recovery contract.
+					fail(fmt.Errorf("taskrt: task %q (%s): %w", t.Codelet.Name, t.Label, err))
+					resolve()
+					mu.Unlock()
+					return
+				}
+				failedAttempts++
+				retriedSet[t.id] = true
+				attempts[t.id]++
+				if wdog {
+					watchdogTrips++
+				}
+				if attempts[t.id] >= policy.MaxAttempts {
+					fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts: %w", t.Codelet.Name, t.Label, attempts[t.id], err))
+					resolve()
+					mu.Unlock()
+					return
+				}
+				requeue(t, policy.backoffDuration(attempts[t.id]))
+				if wdog {
+					// A hung kernel condemns its worker: the unit cannot be
+					// trusted (the orphaned goroutine may still hold it).
+					blacklisted[unitID] = true
+					alive--
+					if alive == 0 && recovering == 0 && pending > 0 {
+						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending))
 					}
 					mu.Unlock()
-					if err == nil && rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
-						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
+					now := time.Now()
+					traceEvent(trace.Blacklist, unitID, "", now, now)
+					if rt.cfg.Tracker != nil {
+						_ = rt.cfg.Tracker.SetOffline(unitID)
 					}
-				}
-				// Release dependents even on failure to avoid deadlock.
-				mu.Lock()
-				completed++
-				for _, dep := range t.dependents {
-					remaining[dep.id]--
-					if remaining[dep.id] == 0 {
-						ready <- dep
-					}
+					return
 				}
 				mu.Unlock()
-				wg.Done()
 			}
 		}(w)
 	}
-	<-done
-	elapsed := time.Since(start)
 
+	select {
+	case <-done:
+	case <-abort:
+	}
+	elapsed := time.Since(start)
+	wgWorkers.Wait() // let in-flight attempts finish before reading stats
+
+	mu.Lock()
+	defer mu.Unlock()
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -133,7 +329,14 @@ func (rt *Runtime) runReal() (*Report, error) {
 		Scheduler:       rt.cfg.Scheduler,
 		Tasks:           len(rt.tasks),
 		MakespanSeconds: elapsed.Seconds(),
+		FailedAttempts:  failedAttempts,
+		RetriedTasks:    len(retriedSet),
+		WatchdogTrips:   watchdogTrips,
 	}
+	for id := range blacklisted {
+		rep.Blacklisted = append(rep.Blacklisted, id)
+	}
+	sort.Strings(rep.Blacklisted)
 	for w := 0; w < workers; w++ {
 		rep.PerUnit = append(rep.PerUnit, UnitStats{
 			ID:          fmt.Sprintf("worker%d", w),
@@ -143,6 +346,21 @@ func (rt *Runtime) runReal() (*Report, error) {
 		})
 	}
 	return rep, nil
+}
+
+// taskTimeout derives the real-mode watchdog timeout for a task: perfmodel
+// estimate × WatchdogFactor when history exists, else the absolute
+// RetryPolicy.TaskTimeout (0 = no watchdog).
+func (rt *Runtime) taskTimeout(t *Task, arch string, policy RetryPolicy) time.Duration {
+	if rt.cfg.Models != nil && t.Flops > 0 {
+		if est, ok := rt.cfg.Models.Model(t.Codelet.Name, arch).Estimate(t.Flops); ok {
+			return time.Duration(est * policy.WatchdogFactor * float64(time.Second))
+		}
+	}
+	if policy.TaskTimeout > 0 {
+		return time.Duration(policy.TaskTimeout * float64(time.Second))
+	}
+	return 0
 }
 
 // HostArch returns the architecture tag real-mode kernels must target for

@@ -28,7 +28,23 @@ type Report struct {
 	TransferBytes   int64
 	TransferSeconds float64
 	TransferCount   int
+
+	// Fault-tolerance statistics (zero unless failures occurred).
+
+	// FailedAttempts counts task attempts that ended in failure (injected,
+	// codelet error, or watchdog) and were recovered from.
+	FailedAttempts int
+	// RetriedTasks counts distinct tasks that needed at least one retry.
+	RetriedTasks int
+	// WatchdogTrips counts hung attempts the watchdog converted to failures.
+	WatchdogTrips int
+	// Blacklisted lists the units taken out of scheduling by failures and
+	// still offline at the end of the run, sorted.
+	Blacklisted []string
 }
+
+// BlacklistedUnits returns how many units ended the run blacklisted.
+func (r *Report) BlacklistedUnits() int { return len(r.Blacklisted) }
 
 // BusyUnits returns how many units executed at least one task.
 func (r *Report) BusyUnits() int {
@@ -68,6 +84,10 @@ func (r *Report) String() string {
 	fmt.Fprintf(&b, "mode=%s sched=%s tasks=%d makespan=%.6fs", r.Mode, r.Scheduler, r.Tasks, r.MakespanSeconds)
 	if r.TransferCount > 0 {
 		fmt.Fprintf(&b, " transfers=%d (%.1f MB, %.6fs)", r.TransferCount, float64(r.TransferBytes)/(1<<20), r.TransferSeconds)
+	}
+	if r.FailedAttempts > 0 || len(r.Blacklisted) > 0 {
+		fmt.Fprintf(&b, " failures=%d retried=%d watchdog=%d blacklisted=%v",
+			r.FailedAttempts, r.RetriedTasks, r.WatchdogTrips, r.Blacklisted)
 	}
 	b.WriteString("\n")
 	units := append([]UnitStats(nil), r.PerUnit...)

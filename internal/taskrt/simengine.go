@@ -4,17 +4,43 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
+	"repro/internal/dynamic"
+	"repro/internal/perfmodel"
 	"repro/internal/sim"
 	"repro/internal/simhw"
 	"repro/internal/trace"
 )
 
-// simUnit pairs a simulated hardware unit with its occupancy resource.
+// simUnit pairs a simulated hardware unit with its occupancy resource and
+// its fault-tolerance state.
 type simUnit struct {
 	hw    *simhw.Unit
 	res   sim.Resource
 	tasks int
+
+	started   int         // attempts launched on this unit (fault triggers)
+	downUntil sim.Time    // transient blacklisting: unavailable before this
+	dead      bool        // permanent blacklisting: skipped by schedulers
+	faults    *faultQueue // injected events for this unit, in plan order
+}
+
+// availAt returns when the unit can next start work, accounting for both
+// occupancy and transient blacklisting.
+func (su *simUnit) availAt() sim.Time {
+	a := su.res.Available()
+	if su.downUntil > a {
+		a = su.downUntil
+	}
+	return a
+}
+
+// simFailure describes one failed attempt to the scheduling loop.
+type simFailure struct {
+	at       sim.Time // detection time
+	unit     string
+	watchdog bool
 }
 
 // simState is the mutable state of one simulated execution.
@@ -26,14 +52,24 @@ type simState struct {
 	rng     *rand.Rand
 	tracer  *trace.Trace
 
+	// Fault tolerance.
+	ft      bool
+	policy  RetryPolicy
+	tracker *dynamic.Tracker
+	models  *perfmodel.Store
+
 	transferBytes int64
 	transferSecs  float64
 	transferCount int
+
+	failedAttempts int
+	watchdogTrips  int
+	failedUnits    []string // permanently blacklisted by failures, in order
 }
 
 // runSim executes the task graph in virtual time via greedy list scheduling
 // with the configured policy. The algorithm is deterministic for a given
-// (platform, task graph, scheduler, seed).
+// (platform, task graph, scheduler, seed, fault plan).
 func (rt *Runtime) runSim() (*Report, error) {
 	machine, err := simhw.FromPlatform(rt.cfg.Platform)
 	if err != nil {
@@ -45,9 +81,29 @@ func (rt *Runtime) runSim() (*Report, error) {
 		valid:   map[*Handle]map[int]bool{},
 		rng:     rand.New(rand.NewSource(rt.cfg.Seed)),
 		tracer:  rt.cfg.Trace,
+		ft:      rt.ftEnabled(),
+		policy:  rt.cfg.Retry.withDefaults(),
+		tracker: rt.cfg.Tracker,
+		models:  rt.cfg.Models,
+	}
+	// Units the tracker already reports offline start blacklisted: the
+	// in-flight path honours the same descriptor state the re-plan path
+	// (dynamic.Tracker.Snapshot) would have pruned.
+	preOffline := map[string]bool{}
+	if st.tracker != nil {
+		for _, id := range st.tracker.OfflineUnits() {
+			preOffline[id] = true
+		}
 	}
 	for _, u := range machine.Units {
-		st.units = append(st.units, &simUnit{hw: u})
+		su := &simUnit{hw: u}
+		if evs := rt.cfg.Faults.forUnit(u.ID); len(evs) > 0 {
+			su.faults = &faultQueue{events: evs}
+		}
+		if preOffline[u.ID] || preOffline[baseUnitID(u.ID)] {
+			su.dead = true
+		}
+		st.units = append(st.units, su)
 	}
 	for _, h := range rt.handles {
 		st.valid[h] = map[int]bool{h.home: true}
@@ -56,6 +112,8 @@ func (rt *Runtime) runSim() (*Report, error) {
 	// Dependency bookkeeping.
 	remaining := make(map[*Task]int, len(rt.tasks))
 	readyAt := make(map[*Task]sim.Time, len(rt.tasks))
+	attempts := make(map[*Task]int)
+	retried := make(map[*Task]bool)
 	var ready []*Task
 	for _, t := range rt.tasks {
 		remaining[t] = len(t.deps)
@@ -78,9 +136,33 @@ func (rt *Runtime) runSim() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		end, err := st.execute(t, u, readyAt[t])
+		end, fail, err := st.execute(t, u, readyAt[t])
 		if err != nil {
 			return nil, err
+		}
+		if fail != nil {
+			// Failure recovery: re-queue the task with capped exponential
+			// backoff. The failed unit is blacklisted (permanently or until
+			// recovery), so the retry lands on a different unit — and when
+			// the whole PU class is gone, on a different implementation
+			// variant (GPU codelet → CPU variant) via compatibleUnits.
+			attempts[t]++
+			retried[t] = true
+			st.failedAttempts++
+			if attempts[t] >= st.policy.MaxAttempts {
+				return nil, fmt.Errorf("taskrt: task %q (%s) failed %d attempts, last on %s; giving up",
+					t.Codelet.Name, t.Label, attempts[t], fail.unit)
+			}
+			retryAt := fail.at + sim.Time(st.policy.backoff(attempts[t]))
+			if st.tracer != nil {
+				st.tracer.Record(trace.Event{
+					Kind: trace.Retry, Unit: fail.unit, Label: taskLabel(t),
+					Start: float64(fail.at), End: float64(retryAt),
+				})
+			}
+			readyAt[t] = retryAt
+			ready = append(ready, t)
+			continue
 		}
 		if end > makespan {
 			makespan = end
@@ -105,13 +187,43 @@ func (rt *Runtime) runSim() (*Report, error) {
 		TransferBytes:   st.transferBytes,
 		TransferSeconds: st.transferSecs,
 		TransferCount:   st.transferCount,
+		FailedAttempts:  st.failedAttempts,
+		RetriedTasks:    len(retried),
+		WatchdogTrips:   st.watchdogTrips,
 	}
+	rep.Blacklisted = append(rep.Blacklisted, st.failedUnits...)
+	sort.Strings(rep.Blacklisted)
 	for _, su := range st.units {
 		rep.PerUnit = append(rep.PerUnit, UnitStats{
 			ID: su.hw.ID, Arch: su.hw.Arch, Tasks: su.tasks, BusySeconds: float64(su.res.Busy()),
 		})
 	}
 	return rep, nil
+}
+
+// taskLabel names a task in traces.
+func taskLabel(t *Task) string {
+	if t.Label != "" {
+		return t.Label
+	}
+	return t.Codelet.Name
+}
+
+// baseUnitID maps a quantity-expanded instance id back to the descriptor id
+// it was expanded from ("host.3" → "host"); ids without an instance suffix
+// map to themselves.
+func baseUnitID(id string) string {
+	for i := len(id) - 1; i > 0; i-- {
+		c := id[i]
+		if c >= '0' && c <= '9' {
+			continue
+		}
+		if c == '.' && i < len(id)-1 {
+			return id[:i]
+		}
+		break
+	}
+	return id
 }
 
 // kernelSeconds returns the virtual execution time of t's implementation on
@@ -125,10 +237,27 @@ func kernelSeconds(m *simhw.Machine, t *Task, u *simhw.Unit) float64 {
 	return m.KernelTime(u, t.Flops/factor)
 }
 
+// watchdogTimeout derives the hang-detection timeout for task t on unit su:
+// per-codelet perfmodel estimate × factor when history exists, else the
+// simulator's own cost model × factor.
+func (st *simState) watchdogTimeout(t *Task, su *simUnit) float64 {
+	est := kernelSeconds(st.machine, t, su.hw)
+	if st.models != nil && t.Flops > 0 {
+		if e, ok := st.models.Model(t.Codelet.Name, su.hw.Arch).Estimate(t.Flops); ok {
+			est = e
+		}
+	}
+	return est * st.policy.WatchdogFactor
+}
+
 // execute commits task t onto unit u: stages the required transfers,
-// occupies the unit and updates coherence. It returns the completion time.
-func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, error) {
+// occupies the unit and updates coherence. It returns the completion time,
+// or a non-nil simFailure when an injected fault killed the attempt.
+func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *simFailure, error) {
 	node := su.hw.MemNode
+	if su.downUntil > ready {
+		ready = su.downUntil
+	}
 	dataReady := ready
 	for _, a := range t.Accesses {
 		if !a.Mode.Reads() {
@@ -140,7 +269,7 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, err
 		}
 		_, dur, err := st.cheapestSource(a.Handle, node)
 		if err != nil {
-			return 0, err
+			return 0, nil, err
 		}
 		s, e := st.dma[node].Acquire(ready, sim.Time(dur))
 		st.transferBytes += a.Handle.Bytes
@@ -157,16 +286,24 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, err
 			dataReady = e
 		}
 	}
-	dur := kernelSeconds(st.machine, t, su.hw)
-	start, end := su.res.Acquire(dataReady, sim.Time(dur))
+	dur := sim.Time(kernelSeconds(st.machine, t, su.hw))
+	start := dataReady
+	if a := su.res.Available(); a > start {
+		start = a
+	}
+	su.started++
+	if st.ft {
+		if fail, err := st.checkFault(t, su, start, dur); fail != nil || err != nil {
+			return 0, fail, err
+		}
+	}
+	// dataReady already accounts for downUntil, so Acquire's start matches
+	// the start the fault check used.
+	_, end := su.res.Acquire(dataReady, dur)
 	su.tasks++
 	if st.tracer != nil {
-		label := t.Label
-		if label == "" {
-			label = t.Codelet.Name
-		}
 		st.tracer.Record(trace.Event{
-			Kind: trace.Task, Unit: su.hw.ID, Label: label,
+			Kind: trace.Task, Unit: su.hw.ID, Label: taskLabel(t),
 			Start: float64(start), End: float64(end),
 		})
 	}
@@ -174,11 +311,138 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, err
 	for _, a := range t.Accesses {
 		if a.Mode.Writes() {
 			st.valid[a.Handle] = map[int]bool{node: true}
+			if st.ft && node != 0 {
+				// Checkpoint device writes to host RAM so recovery never
+				// depends on state held by a unit that may die: the
+				// write-back cost is charged to the host DMA engine and
+				// counted as a transfer.
+				st.mirrorToHost(a.Handle, node, end)
+			}
 		} else {
 			st.valid[a.Handle][node] = true
 		}
 	}
-	return end, nil
+	return end, nil, nil
+}
+
+// checkFault fires the unit's next injected fault if this attempt triggers
+// it: the unit is occupied for the wasted window, blacklisted (with optional
+// recovery), its device memory is invalidated, and the failure is traced and
+// mirrored into the dynamic tracker.
+func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simFailure, error) {
+	f := su.faults.pending()
+	if f == nil {
+		return nil, nil
+	}
+	var detect sim.Time
+	switch {
+	case f.AfterTasks > 0 && su.started >= f.AfterTasks:
+		// The kernel crashes halfway through its run.
+		detect = start + dur/2
+	case f.AtTime > 0 && float64(start+dur) > f.AtTime:
+		// The unit dies at AtTime: mid-kernel when the attempt spans it,
+		// at launch when the unit was already dead.
+		detect = sim.Time(f.AtTime)
+		if detect < start {
+			detect = start
+		}
+	default:
+		return nil, nil
+	}
+	if f.Hang {
+		// A hung kernel is only detected when the watchdog timeout (per-
+		// codelet estimate × factor) expires, so hangs waste more of the
+		// unit than crashes — but can never block the run forever.
+		detect = start + sim.Time(st.watchdogTimeout(t, su))
+		st.watchdogTrips++
+	}
+	su.faults.consume()
+	if wasted := detect - start; wasted > 0 {
+		su.res.Acquire(start, wasted)
+	}
+	if st.tracer != nil {
+		st.tracer.Record(trace.Event{
+			Kind: trace.Failure, Unit: su.hw.ID, Label: taskLabel(t),
+			Start: float64(start), End: float64(detect),
+		})
+	}
+	// Blacklist the unit. Tracker notifications are emitted in engine
+	// processing order; the trace events carry the virtual times.
+	if f.RecoverAfter > 0 {
+		su.downUntil = detect + sim.Time(f.RecoverAfter)
+		if st.tracer != nil {
+			st.tracer.Record(trace.Event{
+				Kind: trace.Blacklist, Unit: su.hw.ID,
+				Start: float64(detect), End: float64(detect),
+			})
+			st.tracer.Record(trace.Event{
+				Kind: trace.Recover, Unit: su.hw.ID,
+				Start: float64(su.downUntil), End: float64(su.downUntil),
+			})
+		}
+		if st.tracker != nil {
+			// Best effort: the tracker only knows descriptor-level ids.
+			if st.tracker.SetOffline(su.hw.ID) == nil {
+				_ = st.tracker.SetOnline(su.hw.ID)
+			}
+		}
+	} else {
+		su.dead = true
+		st.failedUnits = append(st.failedUnits, su.hw.ID)
+		if st.tracer != nil {
+			st.tracer.Record(trace.Event{
+				Kind: trace.Blacklist, Unit: su.hw.ID,
+				Start: float64(detect), End: float64(detect),
+			})
+		}
+		if st.tracker != nil {
+			_ = st.tracker.SetOffline(su.hw.ID)
+		}
+	}
+	// Never reuse state on the dead unit: every copy in its device memory is
+	// dropped, and later readers re-issue transfers from a surviving MSI
+	// copy (host RAM holds one for every handle thanks to write-back).
+	// Node 0 is shared host RAM — a dying CPU core does not lose it.
+	if node := su.hw.MemNode; node != 0 {
+		if err := st.invalidateNode(node); err != nil {
+			return nil, err
+		}
+	}
+	return &simFailure{at: detect, unit: su.hw.ID, watchdog: f.Hang}, nil
+}
+
+// invalidateNode drops every valid copy held by a failed device's memory.
+func (st *simState) invalidateNode(node int) error {
+	for h, set := range st.valid {
+		if !set[node] {
+			continue
+		}
+		delete(set, node)
+		if len(set) == 0 {
+			return fmt.Errorf("taskrt: handle %q lost its last valid copy with memory node %d", h.Name, node)
+		}
+	}
+	return nil
+}
+
+// mirrorToHost write-backs a freshly written device copy to host RAM.
+func (st *simState) mirrorToHost(h *Handle, node int, ready sim.Time) {
+	dur, err := st.machine.TransferTime(node, 0, h.Bytes)
+	if err != nil {
+		return // no route: node keeps the only copy
+	}
+	s, e := st.dma[0].Acquire(ready, sim.Time(dur))
+	st.transferBytes += h.Bytes
+	st.transferSecs += dur
+	st.transferCount++
+	if st.tracer != nil {
+		st.tracer.Record(trace.Event{
+			Kind: trace.Transfer, Unit: "node0",
+			Label: h.Name, Start: float64(s), End: float64(e),
+			Bytes: h.Bytes,
+		})
+	}
+	st.valid[h][0] = true
 }
 
 // cheapestSource picks the valid copy of h that is cheapest to move to dst.
@@ -207,6 +471,9 @@ func (st *simState) cheapestSource(h *Handle, dst int) (src int, seconds float64
 // current resource horizons — the dmda cost function.
 func (st *simState) estimateEFT(t *Task, su *simUnit, ready sim.Time) sim.Time {
 	node := su.hw.MemNode
+	if su.downUntil > ready {
+		ready = su.downUntil
+	}
 	dataReady := ready
 	for _, a := range t.Accesses {
 		if !a.Mode.Reads() {
@@ -228,17 +495,20 @@ func (st *simState) estimateEFT(t *Task, su *simUnit, ready sim.Time) sim.Time {
 		}
 	}
 	start := dataReady
-	if su.res.Available() > start {
-		start = su.res.Available()
+	if a := su.availAt(); a > start {
+		start = a
 	}
 	return start + sim.Time(kernelSeconds(st.machine, t, su.hw))
 }
 
-// compatibleUnits returns the units that have an implementation for t and
-// satisfy the task's Where placement constraint.
+// compatibleUnits returns the units that have an implementation for t,
+// satisfy the task's Where placement constraint and are not blacklisted.
 func (st *simState) compatibleUnits(t *Task) []*simUnit {
 	var out []*simUnit
 	for _, su := range st.units {
+		if su.dead {
+			continue // blacklisted by a failure (or offline in the tracker)
+		}
 		if t.Codelet.ImplFor(su.hw.Arch) == nil {
 			continue
 		}
@@ -291,7 +561,8 @@ func (rt *Runtime) pickTaskIndex(ready []*Task, st *simState) int {
 func (rt *Runtime) pickUnit(t *Task, st *simState, ready sim.Time) (*simUnit, error) {
 	cands := st.compatibleUnits(t)
 	if len(cands) == 0 {
-		return nil, fmt.Errorf("taskrt: no unit can run codelet %q (impls %v)", t.Codelet.Name, t.Codelet.Archs())
+		return nil, fmt.Errorf("taskrt: no unit can run codelet %q (impls %v; %d unit(s) blacklisted)",
+			t.Codelet.Name, t.Codelet.Archs(), len(st.failedUnits))
 	}
 	switch rt.cfg.Scheduler {
 	case "random":
@@ -304,11 +575,11 @@ func (rt *Runtime) pickUnit(t *Task, st *simState, ready sim.Time) (*simUnit, er
 		owner := cands[t.id%len(cands)]
 		best := owner
 		for _, su := range cands {
-			if su.res.Available() < best.res.Available() {
+			if su.availAt() < best.availAt() {
 				best = su
 			}
 		}
-		if owner.res.Available() <= best.res.Available() || owner.res.Available() <= ready {
+		if owner.availAt() <= best.availAt() || owner.availAt() <= ready {
 			return owner, nil
 		}
 		return best, nil
@@ -324,7 +595,7 @@ func (rt *Runtime) pickUnit(t *Task, st *simState, ready sim.Time) (*simUnit, er
 	default: // eager: earliest-available compatible unit (central greedy queue)
 		best := cands[0]
 		for _, su := range cands[1:] {
-			if su.res.Available() < best.res.Available() {
+			if su.availAt() < best.availAt() {
 				best = su
 			}
 		}

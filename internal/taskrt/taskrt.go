@@ -22,8 +22,10 @@ package taskrt
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/dynamic"
 	"repro/internal/perfmodel"
 	"repro/internal/trace"
 )
@@ -112,19 +114,44 @@ type Config struct {
 	// mode (history-based performance models à la StarPU).
 	Models *perfmodel.Store
 	// Trace, when non-nil, receives one event per task execution and (in
-	// Sim mode) per data transfer.
+	// Sim mode) per data transfer, plus failure/retry/blacklist/recover
+	// events when fault tolerance is active.
 	Trace *trace.Trace
+	// Faults, when non-nil, injects deterministic unit failures (see
+	// FaultPlan) and activates the fault-tolerance machinery: failed tasks
+	// are retried with capped exponential backoff, falling back to a
+	// different implementation variant when their unit class is gone, and
+	// failed units are blacklisted.
+	Faults *FaultPlan
+	// Retry tunes failure recovery; the zero value takes defaults. Setting
+	// any field activates fault tolerance even without a FaultPlan, so real
+	// codelet errors are retried instead of aborting the run.
+	Retry RetryPolicy
+	// Tracker, when non-nil, mirrors in-flight blacklisting into the dynamic
+	// platform descriptor: unit failures emit SetOffline, recoveries emit
+	// SetOnline, and units the tracker already reports offline are skipped
+	// by the schedulers from the start. Engine unit ids that the tracker
+	// does not know (expanded instances like "host.3", real-mode worker
+	// ids) are blacklisted locally only.
+	Tracker *dynamic.Tracker
 }
+
+// Run lifecycle states (Runtime.state).
+const (
+	stateIdle int32 = iota // accepting submissions
+	stateRunning
+	stateDone
+)
 
 // Runtime accepts task submissions and executes them with Run.
 type Runtime struct {
-	cfg      Config
-	handles  []*Handle
-	tasks    []*Task
-	nextID   int
-	lastW    map[*Handle]*Task
-	readers  map[*Handle][]*Task
-	finished bool
+	cfg     Config
+	handles []*Handle
+	tasks   []*Task
+	nextID  int
+	lastW   map[*Handle]*Task
+	readers map[*Handle][]*Task
+	state   atomic.Int32 // stateIdle → stateRunning → stateDone
 }
 
 // New creates a runtime. The platform must be a valid machine-model
@@ -147,6 +174,11 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	return &Runtime{
 		cfg:     cfg,
 		lastW:   map[*Handle]*Task{},
@@ -159,8 +191,11 @@ func New(cfg Config) (*Runtime, error) {
 // writers additionally depend on all readers since that write (anti/output
 // dependencies), exactly the implicit data-driven ordering StarPU applies.
 func (rt *Runtime) Submit(t *Task) error {
-	if rt.finished {
-		return fmt.Errorf("taskrt: runtime already ran; create a new one")
+	switch rt.state.Load() {
+	case stateRunning:
+		return fmt.Errorf("taskrt: Submit while Run is in progress; submit all tasks before Run")
+	case stateDone:
+		return fmt.Errorf("taskrt: Submit after Run; a runtime is single-shot, create a new one")
 	}
 	if t.Codelet == nil {
 		return fmt.Errorf("taskrt: task without codelet")
@@ -234,12 +269,17 @@ func (rt *Runtime) Submit(t *Task) error {
 func (rt *Runtime) Tasks() int { return len(rt.tasks) }
 
 // Run executes every submitted task and returns the execution report. A
-// runtime is single-shot: after Run it rejects further submissions.
+// runtime is single-shot: Run may be called exactly once, and submissions
+// are rejected from the moment it starts. Calling Run again — concurrently
+// or after completion — returns a descriptive error instead of rerunning.
 func (rt *Runtime) Run() (*Report, error) {
-	if rt.finished {
-		return nil, fmt.Errorf("taskrt: runtime already ran")
+	if !rt.state.CompareAndSwap(stateIdle, stateRunning) {
+		if rt.state.Load() == stateRunning {
+			return nil, fmt.Errorf("taskrt: Run called twice; a Run is already in progress")
+		}
+		return nil, fmt.Errorf("taskrt: Run called twice; the runtime already ran, create a new one")
 	}
-	rt.finished = true
+	defer rt.state.Store(stateDone)
 	switch rt.cfg.Mode {
 	case Sim:
 		return rt.runSim()

@@ -22,14 +22,36 @@ const (
 	Task Kind = iota
 	// Transfer marks a data movement into a memory node.
 	Transfer
+	// Failure marks a task attempt that died on its unit: Start..End spans
+	// the wasted occupancy from launch to failure detection.
+	Failure
+	// Retry marks a failed task being re-queued: Start is the detection
+	// time, End the time the task becomes ready again (after backoff).
+	Retry
+	// Blacklist marks a unit being taken out of scheduling after a failure.
+	Blacklist
+	// Recover marks a blacklisted unit being re-admitted.
+	Recover
 )
 
 // String names the kind.
 func (k Kind) String() string {
-	if k == Task {
+	switch k {
+	case Task:
 		return "task"
+	case Transfer:
+		return "transfer"
+	case Failure:
+		return "failure"
+	case Retry:
+		return "retry"
+	case Blacklist:
+		return "blacklist"
+	case Recover:
+		return "recover"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
 	}
-	return "transfer"
 }
 
 // Event is one traced occurrence. Times are seconds (virtual in sim mode,
@@ -99,6 +121,17 @@ func (t *Trace) Makespan() float64 {
 	return end
 }
 
+// OfKind returns the recorded events of one kind, in Events() order.
+func (t *Trace) OfKind(k Kind) []Event {
+	var out []Event
+	for _, e := range t.Events() {
+		if e.Kind == k {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
 // UnitStats aggregates one unit's activity.
 type UnitStats struct {
 	Unit      string
@@ -106,6 +139,7 @@ type UnitStats struct {
 	Busy      float64
 	Transfers int
 	Bytes     int64
+	Failures  int
 }
 
 // ByUnit aggregates events per unit, sorted by unit id.
@@ -124,6 +158,9 @@ func (t *Trace) ByUnit() []UnitStats {
 		case Transfer:
 			s.Transfers++
 			s.Bytes += e.Bytes
+		case Failure:
+			s.Failures++
+			s.Busy += e.Duration()
 		}
 	}
 	out := make([]UnitStats, 0, len(agg))
@@ -162,26 +199,33 @@ func (t *Trace) Gantt(width int) string {
 		return c
 	}
 	for _, e := range events {
+		var mark byte
+		switch e.Kind {
+		case Task:
+			mark = '#'
+		case Transfer:
+			mark = '~'
+		case Failure:
+			mark = 'X'
+		default:
+			continue // control events (retry/blacklist/recover) have no lane
+		}
 		row, ok := rows[e.Unit]
 		if !ok {
 			row = []byte(strings.Repeat(".", width))
 			rows[e.Unit] = row
 			units = append(units, e.Unit)
 		}
-		mark := byte('#')
-		if e.Kind == Transfer {
-			mark = '~'
-		}
 		for c := cell(e.Start); c <= cell(e.End); c++ {
-			// Tasks dominate transfers visually when both touch a cell.
-			if row[c] != '#' {
+			// Tasks and failures dominate transfers visually.
+			if row[c] != '#' && row[c] != 'X' {
 				row[c] = mark
 			}
 		}
 	}
 	sort.Strings(units)
 	var b strings.Builder
-	fmt.Fprintf(&b, "gantt: %d events over %.6fs ('#'=compute '~'=transfer)\n", len(events), makespan)
+	fmt.Fprintf(&b, "gantt: %d events over %.6fs ('#'=compute '~'=transfer 'X'=failure)\n", len(events), makespan)
 	for _, u := range units {
 		fmt.Fprintf(&b, "%-12s |%s|\n", u, rows[u])
 	}

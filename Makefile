@@ -1,0 +1,38 @@
+# Build / verify / bench entry points. Everything is stdlib-only Go; the
+# toolchain is the only dependency.
+
+GO ?= go
+BENCH_OUT ?= BENCH_gemm.json
+BENCH_N ?= 1024
+BENCH_WORKERS ?= 4
+
+.PHONY: build test vet race verify bench bench-kernels clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# The race subset covers the packages with real concurrency: the task
+# runtime (work-stealing engine, fault tolerance), the dynamic descriptors
+# and the parallel BLAS kernels.
+race:
+	$(GO) test -race ./internal/taskrt/... ./internal/dynamic/... ./internal/blas/...
+
+# verify is the tier-1 gate: build, full tests, vet, race subset.
+verify: build test vet race
+
+# bench runs the Ext-I pipeline: the Go benchmark pass over the GEMM
+# kernels, then the measured harness that writes $(BENCH_OUT).
+bench: bench-kernels
+	$(GO) run ./cmd/pdlbench -exp gemm -gemmn $(BENCH_N) -workers $(BENCH_WORKERS) -out $(BENCH_OUT)
+
+bench-kernels:
+	$(GO) test -run=^$$ -bench=Gemm -benchtime=1x .
+
+clean:
+	rm -f $(BENCH_OUT)

@@ -180,12 +180,13 @@ func BenchmarkGemmKernels(b *testing.B) {
 	a.FillRandom(1)
 	bb.FillRandom(2)
 	kernels := map[string]func(c *blas.Matrix) error{
-		"naive":    func(c *blas.Matrix) error { return blas.GemmNaive(a, bb, c) },
-		"blocked":  func(c *blas.Matrix) error { return blas.GemmBlocked(a, bb, c, blas.DefaultBlock) },
-		"packed":   func(c *blas.Matrix) error { return blas.GemmPacked(a, bb, c, blas.DefaultBlock) },
-		"parallel": func(c *blas.Matrix) error { return blas.GemmParallel(a, bb, c, blas.DefaultBlock, 0) },
+		"naive":           func(c *blas.Matrix) error { return blas.GemmNaive(a, bb, c) },
+		"blocked":         func(c *blas.Matrix) error { return blas.GemmBlocked(a, bb, c, blas.DefaultBlock) },
+		"packed":          func(c *blas.Matrix) error { return blas.GemmPacked(a, bb, c, blas.DefaultBlock) },
+		"packed-parallel": func(c *blas.Matrix) error { return blas.GemmPackedParallel(a, bb, c, blas.DefaultBlock, 4) },
+		"parallel":        func(c *blas.Matrix) error { return blas.GemmParallel(a, bb, c, blas.DefaultBlock, 0) },
 	}
-	for _, name := range []string{"naive", "blocked", "packed", "parallel"} {
+	for _, name := range []string{"naive", "blocked", "packed", "packed-parallel", "parallel"} {
 		b.Run(name, func(b *testing.B) {
 			run := kernels[name]
 			c := blas.NewMatrix(n, n)
@@ -196,6 +197,31 @@ func BenchmarkGemmKernels(b *testing.B) {
 				}
 			}
 			b.ReportMetric(blas.FlopsGEMM(n, n, n)*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOP/s")
+		})
+	}
+}
+
+// BenchmarkGemmDispatch measures real-engine dispatch overhead per scheduler
+// (Ext-I's A/B): a fork graph of 2000 no-op tasks on 4 workers, so the
+// metric is queue traffic, not kernel time.
+func BenchmarkGemmDispatch(b *testing.B) {
+	for _, sched := range []string{"eager", "ws"} {
+		b.Run(sched, func(b *testing.B) {
+			var us, steals float64
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.DispatchBench(2000, 4, 1, sched)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range points {
+					if p.Scheduler == sched {
+						us = p.MicrosPerTask
+						steals = float64(p.Steals)
+					}
+				}
+			}
+			b.ReportMetric(us, "us/task")
+			b.ReportMetric(steals, "steals")
 		})
 	}
 }

@@ -7,6 +7,7 @@
 //	pdlbench -exp fig5 [-n 8192] [-tile 1024] [-sched dmda]
 //	pdlbench -exp sched|tiles|bw|crossover|failover|stencil|realcpu
 //	pdlbench -exp faults [-n 4096] [-tile 1024] [-seed 1]
+//	pdlbench -exp gemm [-gemmn 1024] [-workers 0] [-out BENCH_gemm.json]
 //	pdlbench -exp all
 package main
 
@@ -30,12 +31,15 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdlbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp   = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults or all")
-		n     = fs.Int("n", 8192, "matrix extent")
-		tile  = fs.Int("tile", 1024, "tile extent")
-		sched = fs.String("sched", "dmda", "scheduler for fig5/tiles")
-		realN = fs.Int("realn", 768, "matrix extent for the real-mode experiment")
-		seed  = fs.Int64("seed", 1, "fault-plan seed for the faults experiment")
+		exp     = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults, gemm or all")
+		n       = fs.Int("n", 8192, "matrix extent")
+		tile    = fs.Int("tile", 1024, "tile extent")
+		sched   = fs.String("sched", "dmda", "scheduler for fig5/tiles")
+		realN   = fs.Int("realn", 768, "matrix extent for the real-mode experiment")
+		seed    = fs.Int64("seed", 1, "fault-plan seed for the faults experiment")
+		gemmN   = fs.Int("gemmn", 1024, "matrix extent for the gemm kernel bench")
+		workers = fs.Int("workers", 0, "worker count for the gemm bench (0 = GOMAXPROCS)")
+		out     = fs.String("out", "", "write the gemm bench as JSON to this path (e.g. BENCH_gemm.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,6 +70,18 @@ func run(args []string, stdout io.Writer) error {
 				fn = 4096
 			}
 			res, err = experiments.FaultTolerance(fn, ftile, *seed)
+		case "gemm":
+			var data *experiments.GemmBenchData
+			data, err = experiments.GemmBench(*gemmN, *workers)
+			if err == nil {
+				res = data.Result()
+				if *out != "" {
+					if werr := data.WriteJSON(*out); werr != nil {
+						return werr
+					}
+					fmt.Fprintf(stdout, "wrote %s\n", *out)
+				}
+			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -76,7 +92,7 @@ func run(args []string, stdout io.Writer) error {
 		return nil
 	}
 	if *exp == "all" {
-		for _, name := range []string{"fig5", "sched", "tiles", "bw", "crossover", "failover", "stencil", "realcpu", "faults"} {
+		for _, name := range []string{"fig5", "sched", "tiles", "bw", "crossover", "failover", "stencil", "realcpu", "faults", "gemm"} {
 			if err := runOne(name); err != nil {
 				return err
 			}

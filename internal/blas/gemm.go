@@ -3,7 +3,6 @@ package blas
 import (
 	"fmt"
 	"runtime"
-	"sync"
 )
 
 // shapeGEMM validates C = A·B conformability and returns m, n, k.
@@ -15,6 +14,38 @@ func shapeGEMM(a, b, c *Matrix) (m, n, k int, err error) {
 		return 0, 0, 0, fmt.Errorf("blas: gemm output %dx%d, want %dx%d", c.Rows, c.Cols, a.Rows, b.Cols)
 	}
 	return a.Rows, b.Cols, a.Cols, nil
+}
+
+// DefaultBlock is the cache-blocking factor of the blocked kernels, sized so
+// three blocks fit comfortably in a 256 kB L2.
+const DefaultBlock = 64
+
+// clampBlock normalizes a blocking-factor argument: non-positive values take
+// DefaultBlock. Every kernel accepting a block parameter validates it
+// through this one helper.
+func clampBlock(block int) int {
+	if block < 1 {
+		return DefaultBlock
+	}
+	return block
+}
+
+// clampWorkers normalizes a worker-count argument: non-positive values take
+// GOMAXPROCS, and the result is clamped to [1, limit] so callers never spawn
+// more goroutines than there are parallel grains (limit <= 0 means no upper
+// bound). Every kernel accepting a workers parameter validates it through
+// this one helper.
+func clampWorkers(workers, limit int) int {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if limit > 0 && workers > limit {
+		workers = limit
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return workers
 }
 
 // GemmNaive computes C += A·B with the textbook triple loop (ikj order so
@@ -41,20 +72,15 @@ func GemmNaive(a, b, c *Matrix) error {
 	return nil
 }
 
-// DefaultBlock is the cache-blocking factor of the blocked kernels, sized so
-// three blocks fit comfortably in a 256 kB L2.
-const DefaultBlock = 64
-
 // GemmBlocked computes C += A·B with three-level cache blocking, the
-// single-threaded "optimized BLAS" stand-in.
+// single-threaded scalar baseline the packed micro-kernel path is measured
+// against.
 func GemmBlocked(a, b, c *Matrix, block int) error {
 	m, n, k, err := shapeGEMM(a, b, c)
 	if err != nil {
 		return err
 	}
-	if block < 1 {
-		block = DefaultBlock
-	}
+	block = clampBlock(block)
 	for ii := 0; ii < m; ii += block {
 		iMax := min(ii+block, m)
 		for ll := 0; ll < k; ll += block {
@@ -80,51 +106,11 @@ func GemmBlocked(a, b, c *Matrix, block int) error {
 	return nil
 }
 
-// GemmParallel computes C += A·B by splitting C's rows across `workers`
-// goroutines, each running the blocked kernel on its stripe. workers <= 0
-// uses GOMAXPROCS. This is the data-parallel CPU implementation the
-// translator emits for the paper's "starpu" series when run in real mode.
+// GemmParallel computes C += A·B across `workers` goroutines. This is the
+// data-parallel CPU implementation the translator emits for the paper's
+// "starpu" series in real mode; it routes through the packed micro-kernel
+// path (GemmPackedParallel), so the parallel split and the per-core kernel
+// improve together.
 func GemmParallel(a, b, c *Matrix, block, workers int) error {
-	m, _, _, err := shapeGEMM(a, b, c)
-	if err != nil {
-		return err
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > m {
-		workers = m
-	}
-	if workers <= 1 {
-		return GemmBlocked(a, b, c, block)
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, workers)
-	rowsPer := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		start := w * rowsPer
-		if start >= m {
-			break
-		}
-		rows := min(rowsPer, m-start)
-		wg.Add(1)
-		go func(w, start, rows int) {
-			defer wg.Done()
-			errs[w] = GemmBlocked(a.Sub(start, 0, rows, a.Cols), b, c.Sub(start, 0, rows, c.Cols), block)
-		}(w, start, rows)
-	}
-	wg.Wait()
-	for _, e := range errs {
-		if e != nil {
-			return e
-		}
-	}
-	return nil
-}
-
-func min(a, b int) int {
-	if a < b {
-		return a
-	}
-	return b
+	return GemmPackedParallel(a, b, c, block, workers)
 }

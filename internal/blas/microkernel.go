@@ -1,0 +1,57 @@
+package blas
+
+// The packed GEMM path bottoms out in a register-tiled micro-kernel: one
+// microM×kb strip of packed A times one kb×microN strip of packed B,
+// accumulated into a contiguous microM×microN tile that the caller adds into
+// C. Both operand strips are k-major — element (p, i) of the A strip lives at
+// pa[p*microM+i], element (p, j) of the B strip at pb[p*microN+j] — so the
+// kernel streams both buffers with unit stride and keeps the whole
+// accumulator tile in registers, the structure GotoBLAS2 (the "highly
+// optimized" library of the paper's case study) builds its inner loop
+// around.
+const (
+	// microM×microN is the register tile: 4×8 doubles fills the 8 YMM
+	// accumulators of the AVX2 kernel and still fits the pure-Go fallback's
+	// live-value budget.
+	microM = 4
+	microN = 8
+)
+
+// microAccum is one micro-tile's k-sum, row-major.
+type microAccum [microM * microN]float64
+
+// microKernel points at the fastest implementation available on this CPU:
+// the portable Go reference below, or the AVX2/FMA assembly kernel installed
+// by init on amd64 hosts whose CPUID reports support. It overwrites out with
+// the full k-sum; callers add the valid sub-rectangle into C.
+var microKernel = microKernelGo
+
+// microKernelName labels the selected implementation for benchmark reports.
+var microKernelName = "go"
+
+// KernelISA reports which micro-kernel implementation is active ("avx2" or
+// "go"), so benchmark artifacts record what they measured.
+func KernelISA() string { return microKernelName }
+
+// microKernelGo is the portable reference micro-kernel. The accumulator tile
+// lives in a local array so the compiler can keep rows in registers; operand
+// strips are re-sliced once to hoist bounds checks out of the k loop.
+func microKernelGo(kb int, pa, pb []float64, out *microAccum) {
+	var acc microAccum
+	pa = pa[: kb*microM : kb*microM]
+	pb = pb[: kb*microN : kb*microN]
+	for p := 0; p < kb; p++ {
+		bv := pb[p*microN : p*microN+microN : p*microN+microN]
+		av := pa[p*microM : p*microM+microM]
+		for i, ai := range av {
+			if ai == 0 {
+				continue // padded rows of short strips contribute nothing
+			}
+			row := acc[i*microN : i*microN+microN]
+			for q, bq := range bv {
+				row[q] += ai * bq
+			}
+		}
+	}
+	*out = acc
+}

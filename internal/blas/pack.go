@@ -1,45 +1,194 @@
 package blas
 
-// GemmPacked computes C += A·B with the GotoBLAS-style packing strategy:
-// panels of B are copied into a contiguous buffer once per (l, j) block so
-// the innermost kernel streams unit-stride memory regardless of the source
-// stride. On strided tile views (Sub) this recovers most of the locality a
-// plain blocked loop loses, which is why GotoBLAS2 packs — the detail the
-// paper's case study leans on when it calls the library "highly optimized".
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Packed GEMM: the GotoBLAS-style kernel the paper's case study calls
+// "highly optimized". C += A·B is decomposed into kc-deep panels; within
+// each panel, B is packed once into strips of microN columns and A into
+// strips of microM rows, both k-major and zero-padded to full strips, so the
+// register-tiled micro-kernel (microkernel.go) streams unit-stride memory
+// regardless of the operands' strides. Pack buffers are recycled through a
+// sync.Pool so tiled task-runtime workloads (many GemmPacked calls on tile
+// views) allocate only on first use. The parallel variant splits the
+// row-panels of C across worker goroutines; every worker packs its own A
+// strips while sharing the read-only packed B panel, and workers claim
+// strips from an atomic counter so uneven strips cannot imbalance the pool.
+
+// packPanelCols bounds the width of one packed B panel: kc×packPanelCols
+// doubles must stay cache-resident, and a bound keeps the pack buffers small
+// for very wide matrices.
+const packPanelCols = 2048
+
+// packPool recycles pack buffers across calls (and across the goroutines of
+// the parallel path).
+var packPool = sync.Pool{New: func() any { return new([]float64) }}
+
+// packBuf returns a pooled buffer of length n.
+func packBuf(n int) *[]float64 {
+	p := packPool.Get().(*[]float64)
+	if cap(*p) < n {
+		*p = make([]float64, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+// roundUp returns v rounded up to a multiple of q.
+func roundUp(v, q int) int { return (v + q - 1) / q * q }
+
+// packPanelA copies the mb×kb block of a at (i0, p0) into pa as zero-padded
+// strips of microM rows, k-major: strip s holds rows i0+s*microM.. and its
+// element (p, r) lands at pa[s*kb*microM + p*microM + r].
+func packPanelA(a *Matrix, i0, p0, mb, kb int, pa []float64) {
+	idx := 0
+	for i := 0; i < mb; i += microM {
+		ih := min(microM, mb-i)
+		for p := 0; p < kb; p++ {
+			base := (i0+i)*a.Stride + p0 + p
+			for r := 0; r < microM; r++ {
+				v := 0.0
+				if r < ih {
+					v = a.Data[base+r*a.Stride]
+				}
+				pa[idx] = v
+				idx++
+			}
+		}
+	}
+}
+
+// packPanelB copies the kb×nb block of b at (p0, j0) into pb as zero-padded
+// strips of microN columns, k-major: strip s holds columns j0+s*microN.. and
+// its element (p, q) lands at pb[s*kb*microN + p*microN + q].
+func packPanelB(b *Matrix, p0, j0, kb, nb int, pb []float64) {
+	idx := 0
+	for j := 0; j < nb; j += microN {
+		jw := min(microN, nb-j)
+		for p := 0; p < kb; p++ {
+			base := (p0+p)*b.Stride + j0 + j
+			for q := 0; q < microN; q++ {
+				v := 0.0
+				if q < jw {
+					v = b.Data[base+q]
+				}
+				pb[idx] = v
+				idx++
+			}
+		}
+	}
+}
+
+// packedStrip multiplies one packed A row-strip against the shared packed B
+// panel and accumulates into C. pa holds the strip's packed panel (filled
+// here); pb is the caller's packed B panel for (p0, j0).
+func packedStrip(a, c *Matrix, pa, pb []float64, i0, p0, j0, mb, kb, nb int) {
+	packPanelA(a, i0, p0, mb, kb, pa)
+	var out microAccum
+	for i := 0; i < mb; i += microM {
+		ih := min(microM, mb-i)
+		sa := pa[(i/microM)*kb*microM:]
+		for j := 0; j < nb; j += microN {
+			jw := min(microN, nb-j)
+			sb := pb[(j/microN)*kb*microN:]
+			microKernel(kb, sa, sb, &out)
+			for r := 0; r < ih; r++ {
+				crow := c.Data[(i0+i+r)*c.Stride+j0+j:]
+				acc := out[r*microN : r*microN+microN]
+				if jw == microN {
+					crow = crow[:microN]
+					for q, v := range acc {
+						crow[q] += v
+					}
+				} else {
+					for q := 0; q < jw; q++ {
+						crow[q] += acc[q]
+					}
+				}
+			}
+		}
+	}
+}
+
+// GemmPacked computes C += A·B through the packed micro-kernel path,
+// single-threaded. block (clamped by clampBlock) sets the panel depth kc and
+// the row-panel height. On strided tile views (Sub) packing recovers the
+// locality a plain blocked loop loses; the register tile then turns the
+// recovered bandwidth into flops.
 func GemmPacked(a, b, c *Matrix, block int) error {
+	return gemmPacked(a, b, c, block, 1)
+}
+
+// GemmPackedParallel computes C += A·B on the packed micro-kernel path with
+// the row-panels of C split across workers goroutines (clamped by
+// clampWorkers). The panel decomposition — and therefore the floating-point
+// result — is identical for every worker count.
+func GemmPackedParallel(a, b, c *Matrix, block, workers int) error {
+	return gemmPacked(a, b, c, block, workers)
+}
+
+func gemmPacked(a, b, c *Matrix, block, workers int) error {
 	m, n, k, err := shapeGEMM(a, b, c)
 	if err != nil {
 		return err
 	}
-	if block < 1 {
-		block = DefaultBlock
+	if m == 0 || n == 0 || k == 0 {
+		return nil // degenerate: nothing to accumulate
 	}
-	packed := make([]float64, block*block)
-	for ll := 0; ll < k; ll += block {
-		lMax := min(ll+block, k)
-		for jj := 0; jj < n; jj += block {
-			jMax := min(jj+block, n)
-			// Pack B[ll:lMax, jj:jMax] row-major into the buffer.
-			pw := jMax - jj
-			for l := ll; l < lMax; l++ {
-				copy(packed[(l-ll)*pw:(l-ll)*pw+pw], b.Data[l*b.Stride+jj:l*b.Stride+jMax])
-			}
-			for ii := 0; ii < m; ii += block {
-				iMax := min(ii+block, m)
-				for i := ii; i < iMax; i++ {
-					crow := c.Data[i*c.Stride+jj : i*c.Stride+jMax]
-					for l := ll; l < lMax; l++ {
-						av := a.At(i, l)
-						if av == 0 {
-							continue
-						}
-						brow := packed[(l-ll)*pw : (l-ll)*pw+pw]
-						for j := range brow {
-							crow[j] += av * brow[j]
-						}
-					}
+	kc := clampBlock(block)
+	if kc > k {
+		kc = k
+	}
+	mc := roundUp(kc, microM)
+	nc := packPanelCols
+	if n < nc {
+		nc = n
+	}
+	strips := (m + mc - 1) / mc
+	workers = clampWorkers(workers, strips)
+
+	pb := packBuf(roundUp(nc, microN) * kc)
+	defer packPool.Put(pb)
+	paLen := func(kb int) int {
+		if mc > m {
+			return roundUp(m, microM) * kb
+		}
+		return mc * kb // mc is already a microM multiple
+	}
+	for p0 := 0; p0 < k; p0 += kc {
+		kb := min(kc, k-p0)
+		for j0 := 0; j0 < n; j0 += nc {
+			nb := min(nc, n-j0)
+			packPanelB(b, p0, j0, kb, nb, (*pb)[:roundUp(nb, microN)*kb])
+			if workers == 1 {
+				pa := packBuf(paLen(kb))
+				for i0 := 0; i0 < m; i0 += mc {
+					packedStrip(a, c, *pa, *pb, i0, p0, j0, min(mc, m-i0), kb, nb)
 				}
+				packPool.Put(pa)
+				continue
 			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					pa := packBuf(paLen(kb))
+					defer packPool.Put(pa)
+					for {
+						s := int(next.Add(1)) - 1
+						if s >= strips {
+							return
+						}
+						i0 := s * mc
+						packedStrip(a, c, *pa, *pb, i0, p0, j0, min(mc, m-i0), kb, nb)
+					}
+				}()
+			}
+			wg.Wait()
 		}
 	}
 	return nil

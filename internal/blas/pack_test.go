@@ -62,6 +62,65 @@ func TestGemmPackedShapeAndDefaults(t *testing.T) {
 	}
 }
 
+// TestGemmPackedDegenerateShapes cross-checks the packed kernels against the
+// naive kernel on the shapes that stress panel edges: single-row, single-
+// column, single-inner-dim, and empty (m, n or k zero — a no-op by the
+// C += A·B contract).
+func TestGemmPackedDegenerateShapes(t *testing.T) {
+	shapes := []struct{ m, n, k int }{
+		{1, 64, 64}, {64, 1, 64}, {64, 64, 1},
+		{1, 1, 64}, {1, 64, 1}, {64, 1, 1}, {1, 1, 1},
+		{0, 8, 8}, {8, 0, 8}, {8, 8, 0}, {0, 0, 0},
+		{3, 129, 65}, {129, 3, 7},
+	}
+	for _, s := range shapes {
+		a, b := NewMatrix(s.m, s.k), NewMatrix(s.k, s.n)
+		a.FillRandom(int64(s.m*1000 + s.n*100 + s.k))
+		b.FillRandom(int64(s.n*1000 + s.k*100 + s.m))
+		ref := NewMatrix(s.m, s.n)
+		if err := GemmNaive(a, b, ref); err != nil {
+			t.Fatalf("%+v: naive: %v", s, err)
+		}
+		c1 := NewMatrix(s.m, s.n)
+		if err := GemmPacked(a, b, c1, 32); err != nil {
+			t.Fatalf("%+v: packed: %v", s, err)
+		}
+		if d := MaxDiff(ref, c1); d > 1e-9 {
+			t.Errorf("%+v: packed maxdiff %g", s, d)
+		}
+		for _, workers := range []int{1, 2, 3, 5} {
+			c2 := NewMatrix(s.m, s.n)
+			if err := GemmPackedParallel(a, b, c2, 32, workers); err != nil {
+				t.Fatalf("%+v w=%d: packed-parallel: %v", s, workers, err)
+			}
+			if d := MaxDiff(ref, c2); d > 1e-9 {
+				t.Errorf("%+v w=%d: packed-parallel maxdiff %g", s, workers, d)
+			}
+		}
+	}
+}
+
+// Property-based: packed-parallel agrees with naive for any worker count on
+// random non-block-multiple shapes.
+func TestQuickGemmPackedParallelAgreesWithNaive(t *testing.T) {
+	f := func(mm, nn, kk, bb, ww uint8, seed int64) bool {
+		m, n, k := int(mm%33)+1, int(nn%33)+1, int(kk%33)+1
+		block := int(bb%13) + 1
+		workers := int(ww%6) + 1
+		a, b := NewMatrix(m, k), NewMatrix(k, n)
+		a.FillRandom(seed)
+		b.FillRandom(seed + 1)
+		ref, c := NewMatrix(m, n), NewMatrix(m, n)
+		if GemmNaive(a, b, ref) != nil || GemmPackedParallel(a, b, c, block, workers) != nil {
+			return false
+		}
+		return MaxDiff(ref, c) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // Property-based: packed and blocked agree on random shapes and blocks.
 func TestQuickGemmPackedAgreesWithBlocked(t *testing.T) {
 	f := func(mm, nn, kk, bb uint8, seed int64) bool {

@@ -2,7 +2,6 @@ package blas
 
 import (
 	"fmt"
-	"runtime"
 	"sync"
 )
 
@@ -23,12 +22,7 @@ func VecAddParallel(a, b []float64, workers int) error {
 	if len(a) != len(b) {
 		return fmt.Errorf("blas: vecadd length mismatch %d != %d", len(a), len(b))
 	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(a) {
-		workers = len(a)
-	}
+	workers = clampWorkers(workers, len(a))
 	if workers <= 1 {
 		return VecAdd(a, b)
 	}

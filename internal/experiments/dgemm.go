@@ -31,7 +31,7 @@ func realGemmTile(tc *taskrt.TaskContext) error {
 	if !okA || !okB || !okC {
 		return fmt.Errorf("experiments: dgemm payloads are (%T,%T,%T)", tc.Payload(0), tc.Payload(1), tc.Payload(2))
 	}
-	return blas.GemmBlocked(a, b, c, blas.DefaultBlock)
+	return blas.GemmPacked(a, b, c, blas.DefaultBlock)
 }
 
 // SubmitTiledGEMM builds the StarPU-style tiled DGEMM task graph for

@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/discover"
+	"repro/internal/taskrt"
+)
+
+// Ext-I: the measurable bench pipeline for the hot-path overhaul. Two
+// instruments in one harness:
+//
+//   - kernel throughput: GFLOP/s of the GEMM kernel ladder (naive, blocked,
+//     packed, packed-parallel) at one problem size, so the packed
+//     micro-kernel's win over the scalar blocked baseline is a number, not a
+//     claim; and
+//   - dispatch overhead: wall time per task for a graph of trivial tasks
+//     under the "eager" single-queue dispatcher versus the "ws" work-stealing
+//     dispatcher, with steal counts — isolating scheduler cost from kernel
+//     cost (the tasks do no work).
+//
+// Results serialise to BENCH_gemm.json via WriteJSON so before/after runs
+// diff mechanically.
+
+// KernelPoint is one kernel measurement.
+type KernelPoint struct {
+	Kernel  string  `json:"kernel"`
+	N       int     `json:"n"`
+	Block   int     `json:"block"`
+	Workers int     `json:"workers,omitempty"` // parallel kernels only
+	Seconds float64 `json:"seconds"`           // best of reps
+	GFlops  float64 `json:"gflops"`
+}
+
+// DispatchPoint is one scheduler-overhead measurement: a graph of `Tasks`
+// independent no-op tasks executed on `Workers` real workers.
+type DispatchPoint struct {
+	Scheduler     string  `json:"scheduler"`
+	Workers       int     `json:"workers"`
+	Tasks         int     `json:"tasks"`
+	Seconds       float64 `json:"seconds"` // best-of-reps makespan
+	MicrosPerTask float64 `json:"us_per_task"`
+	Steals        int     `json:"steals"`
+}
+
+// GemmBenchData is the serialised form of one Ext-I run.
+type GemmBenchData struct {
+	Experiment  string          `json:"experiment"`  // "gemm-bench"
+	MicroKernel string          `json:"microkernel"` // "avx2" or "go"
+	GOMAXPROCS  int             `json:"gomaxprocs"`
+	Kernels     []KernelPoint   `json:"kernels"`
+	Dispatch    []DispatchPoint `json:"dispatch"`
+}
+
+// bestOf runs f reps times and returns the fastest wall time. Minimum (not
+// mean) because scheduling noise only ever adds time.
+func bestOf(reps int, f func() error) (time.Duration, error) {
+	best := time.Duration(0)
+	for r := 0; r < reps; r++ {
+		t0 := time.Now()
+		if err := f(); err != nil {
+			return 0, err
+		}
+		if d := time.Since(t0); best == 0 || d < best {
+			best = d
+		}
+	}
+	return best, nil
+}
+
+// GemmKernelBench measures the kernel ladder at one size. The naive kernel
+// is skipped above n=512: at ~1 GFLOP/s it would dominate the harness
+// runtime without adding information.
+func GemmKernelBench(n, block, workers, reps int) ([]KernelPoint, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	a, b := blas.NewMatrix(n, n), blas.NewMatrix(n, n)
+	a.FillRandom(1)
+	b.FillRandom(2)
+	c := blas.NewMatrix(n, n)
+	flops := blas.FlopsGEMM(n, n, n)
+	type entry struct {
+		name    string
+		workers int
+		run     func() error
+	}
+	entries := []entry{
+		{"blocked", 0, func() error { return blas.GemmBlocked(a, b, c, block) }},
+		{"packed", 0, func() error { return blas.GemmPacked(a, b, c, block) }},
+		{"packed-parallel", workers, func() error { return blas.GemmPackedParallel(a, b, c, block, workers) }},
+	}
+	if n <= 512 {
+		entries = append([]entry{{"naive", 0, func() error { return blas.GemmNaive(a, b, c) }}}, entries...)
+	}
+	var out []KernelPoint
+	for _, e := range entries {
+		d, err := bestOf(reps, func() error {
+			c.Zero()
+			return e.run()
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: gemm bench %s: %w", e.name, err)
+		}
+		out = append(out, KernelPoint{
+			Kernel: e.name, N: n, Block: block, Workers: e.workers,
+			Seconds: d.Seconds(), GFlops: flops / d.Seconds() / 1e9,
+		})
+	}
+	return out, nil
+}
+
+// DispatchBench measures real-engine dispatch overhead: a fork graph of one
+// no-op root with tasks-1 no-op dependents on `workers` workers under each
+// scheduler. Task bodies are empty, so the makespan is almost entirely queue
+// traffic — push, wake, take, steal. The fork shape makes the work-stealing
+// path observable: completing the root parks every dependent on one worker's
+// deque, and the other workers must steal to participate.
+func DispatchBench(tasks, workers, reps int, scheds ...string) ([]DispatchPoint, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	if len(scheds) == 0 {
+		scheds = []string{"eager", "ws"}
+	}
+	noop, err := taskrt.NewCodelet("noop", taskrt.Impl{
+		Arch: "x86",
+		Func: func(*taskrt.TaskContext) error { return nil },
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []DispatchPoint
+	for _, sched := range scheds {
+		var steals int
+		run := func() error {
+			pl, err := discover.Platform("this-host")
+			if err != nil {
+				return err
+			}
+			rt, err := taskrt.New(taskrt.Config{
+				Platform: pl, Mode: taskrt.Real, Scheduler: sched, Workers: workers,
+			})
+			if err != nil {
+				return err
+			}
+			root := &taskrt.Task{Codelet: noop, Label: "root"}
+			if err := rt.Submit(root); err != nil {
+				return err
+			}
+			for i := 1; i < tasks; i++ {
+				if err := rt.Submit(&taskrt.Task{
+					Codelet: noop,
+					Label:   fmt.Sprintf("noop%d", i),
+					After:   []*taskrt.Task{root},
+				}); err != nil {
+					return err
+				}
+			}
+			rep, err := rt.Run()
+			if err != nil {
+				return err
+			}
+			steals = rep.Steals
+			return nil
+		}
+		d, err := bestOf(reps, run)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: dispatch bench %s: %w", sched, err)
+		}
+		out = append(out, DispatchPoint{
+			Scheduler: sched, Workers: workers, Tasks: tasks,
+			Seconds:       d.Seconds(),
+			MicrosPerTask: d.Seconds() / float64(tasks) * 1e6,
+			Steals:        steals,
+		})
+	}
+	return out, nil
+}
+
+// GemmBench runs Ext-I: the kernel ladder at extent n plus the dispatch
+// overhead A/B. workers <= 0 takes GOMAXPROCS; dispatch always uses at least
+// 4 workers so stealing has victims even on small hosts.
+func GemmBench(n, workers int) (*GemmBenchData, error) {
+	if n <= 0 {
+		n = 1024
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	kernels, err := GemmKernelBench(n, blas.DefaultBlock, workers, 3)
+	if err != nil {
+		return nil, err
+	}
+	dw := workers
+	if dw < 4 {
+		dw = 4
+	}
+	dispatch, err := DispatchBench(2000, dw, 3)
+	if err != nil {
+		return nil, err
+	}
+	return &GemmBenchData{
+		Experiment:  "gemm-bench",
+		MicroKernel: blas.KernelISA(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Kernels:     kernels,
+		Dispatch:    dispatch,
+	}, nil
+}
+
+// WriteJSON writes the run to path (the BENCH_gemm.json artefact).
+func (g *GemmBenchData) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(g, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// Result renders the run as the usual experiment table.
+func (g *GemmBenchData) Result() *Result {
+	res := &Result{
+		Name:    fmt.Sprintf("Ext-I: GEMM kernel + dispatch overhead (microkernel=%s, GOMAXPROCS=%d)", g.MicroKernel, g.GOMAXPROCS),
+		Headers: []string{"bench", "config", "wall[s]", "GFLOP/s", "us/task", "steals"},
+	}
+	var blocked, packed float64
+	for _, k := range g.Kernels {
+		cfg := fmt.Sprintf("n=%d b=%d", k.N, k.Block)
+		if k.Workers > 0 {
+			cfg += fmt.Sprintf(" w=%d", k.Workers)
+		}
+		res.AddRow("kernel/"+k.Kernel, cfg, f4(k.Seconds), f2(k.GFlops), "-", "-")
+		switch k.Kernel {
+		case "blocked":
+			blocked = k.GFlops
+		case "packed":
+			packed = k.GFlops
+		}
+	}
+	for _, d := range g.Dispatch {
+		res.AddRow("dispatch/"+d.Scheduler,
+			fmt.Sprintf("tasks=%d w=%d", d.Tasks, d.Workers),
+			f4(d.Seconds), "-", f2(d.MicrosPerTask), fmt.Sprint(d.Steals))
+	}
+	if blocked > 0 && packed > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("packed/blocked kernel speedup: %.2fx", packed/blocked))
+	}
+	return res
+}

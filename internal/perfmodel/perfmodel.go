@@ -31,6 +31,25 @@ type Model struct {
 	dirty  bool
 	coeffA float64 // t = coeffA * size^coeffB
 	coeffB float64
+
+	// Running log-space regression sums, updated on every added sample so
+	// refitting after each observation is O(1) instead of an O(n) rescan —
+	// the real engine records a sample per completed task, which made fit
+	// cost quadratic in task count over a run. Accumulated in insertion
+	// order, so the coefficients are bit-identical to a full rescan.
+	sx, sy, sxx, sxy float64
+}
+
+// addSample appends one sample and folds it into the running sums. Caller
+// holds mu.
+func (m *Model) addSample(s Sample) {
+	m.Samples = append(m.Samples, s)
+	x, y := math.Log(s.Size), math.Log(s.Seconds)
+	m.sx += x
+	m.sy += y
+	m.sxx += x * x
+	m.sxy += x * y
+	m.dirty = true
 }
 
 // Record adds an observation. Non-positive sizes or times are rejected
@@ -41,8 +60,7 @@ func (m *Model) Record(size, seconds float64) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.Samples = append(m.Samples, Sample{Size: size, Seconds: seconds})
-	m.dirty = true
+	m.addSample(Sample{Size: size, Seconds: seconds})
 	return nil
 }
 
@@ -53,40 +71,30 @@ func (m *Model) Len() int {
 	return len(m.Samples)
 }
 
-// fit recomputes the power-law coefficients. Caller holds mu.
+// fit recomputes the power-law coefficients from the running sums in O(1).
+// Caller holds mu.
 func (m *Model) fit() {
 	n := float64(len(m.Samples))
+	m.dirty = false
 	if n == 0 {
 		m.coeffA, m.coeffB = 0, 0
-		m.dirty = false
 		return
 	}
 	if n == 1 {
 		// One sample: constant rate (linear through the point).
 		m.coeffB = 1
 		m.coeffA = m.Samples[0].Seconds / m.Samples[0].Size
-		m.dirty = false
 		return
 	}
-	var sx, sy, sxx, sxy float64
-	for _, s := range m.Samples {
-		x, y := math.Log(s.Size), math.Log(s.Seconds)
-		sx += x
-		sy += y
-		sxx += x * x
-		sxy += x * y
-	}
-	den := n*sxx - sx*sx
+	den := n*m.sxx - m.sx*m.sx
 	if math.Abs(den) < 1e-12 {
 		// All sizes equal: average the times, constant model.
 		m.coeffB = 0
-		m.coeffA = math.Exp(sy / n)
-		m.dirty = false
+		m.coeffA = math.Exp(m.sy / n)
 		return
 	}
-	m.coeffB = (n*sxy - sx*sy) / den
-	m.coeffA = math.Exp((sy - m.coeffB*sx) / n)
-	m.dirty = false
+	m.coeffB = (n*m.sxy - m.sx*m.sy) / den
+	m.coeffA = math.Exp((m.sy - m.coeffB*m.sx) / n)
 }
 
 // Estimate predicts the execution time for the given size. ok is false when
@@ -187,8 +195,9 @@ func (s *Store) Load(path string) error {
 	for _, lm := range sj.Models {
 		m := s.Model(lm.Codelet, lm.Arch)
 		m.mu.Lock()
-		m.Samples = append(m.Samples, lm.Samples...)
-		m.dirty = true
+		for _, smp := range lm.Samples {
+			m.addSample(smp)
+		}
 		m.mu.Unlock()
 	}
 	return nil

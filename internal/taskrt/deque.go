@@ -1,0 +1,77 @@
+package taskrt
+
+import "sync/atomic"
+
+// wsDeque is a fixed-capacity Chase-Lev work-stealing deque: the owning
+// worker pushes and pops at the bottom (LIFO, cache-hot depth-first order)
+// while thieves steal from the top (FIFO, oldest work first). The only
+// synchronisation is one CAS on the top index per steal — and per pop of the
+// final element, where owner and thieves race.
+//
+// The capacity is fixed at construction. The real engine sizes every deque
+// for the entire task graph and a task occupies at most one queue slot at a
+// time, so bottom-top can never exceed the capacity and the growth protocol
+// (and its subtle buffer-swap memory ordering) of the original algorithm is
+// unnecessary. Go's atomics are sequentially consistent, which is stronger
+// than the fences the published algorithm requires.
+type wsDeque struct {
+	bottom atomic.Int64 // next push slot; written by the owner only
+	top    atomic.Int64 // next steal slot; CAS-advanced by anyone
+	mask   int64
+	buf    []atomic.Pointer[Task]
+}
+
+// newWSDeque returns a deque that can hold at least capacity tasks. One
+// spare slot guards the wrap-around aliasing case (bottom-top == bufsize).
+func newWSDeque(capacity int) *wsDeque {
+	n := int64(1)
+	for n < int64(capacity)+1 {
+		n <<= 1
+	}
+	return &wsDeque{mask: n - 1, buf: make([]atomic.Pointer[Task], n)}
+}
+
+// push appends t at the bottom. Owner only.
+func (d *wsDeque) push(t *Task) {
+	b := d.bottom.Load()
+	d.buf[b&d.mask].Store(t)
+	d.bottom.Store(b + 1)
+}
+
+// pop removes the most recently pushed task, or returns nil when the deque
+// is empty or a thief won the race for the last element. Owner only.
+func (d *wsDeque) pop() *Task {
+	b := d.bottom.Load() - 1
+	d.bottom.Store(b)
+	t := d.top.Load()
+	if t > b {
+		// Empty: undo the reservation.
+		d.bottom.Store(b + 1)
+		return nil
+	}
+	task := d.buf[b&d.mask].Load()
+	if t == b {
+		// Last element: race thieves for it via the top index.
+		if !d.top.CompareAndSwap(t, t+1) {
+			task = nil // a thief got there first
+		}
+		d.bottom.Store(b + 1)
+	}
+	return task
+}
+
+// steal removes the oldest task, or returns nil when the deque is empty or
+// another thief (or the owner, on the last element) won the race. Safe from
+// any goroutine.
+func (d *wsDeque) steal() *Task {
+	t := d.top.Load()
+	b := d.bottom.Load()
+	if t >= b {
+		return nil
+	}
+	task := d.buf[t&d.mask].Load()
+	if !d.top.CompareAndSwap(t, t+1) {
+		return nil
+	}
+	return task
+}

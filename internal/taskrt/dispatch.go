@@ -1,0 +1,152 @@
+package taskrt
+
+import (
+	"runtime"
+	"sync"
+)
+
+// dispatcher abstracts how ready tasks reach real-engine workers. Both
+// implementations share a credit discipline: push enqueues the task and then
+// deposits one credit on the ready channel; a worker first acquires a credit
+// (or learns the run is over) and only then calls take, which is guaranteed
+// to find a task somewhere. The invariant "queued tasks >= outstanding
+// acquired credits" holds because every push adds exactly one task and one
+// credit, and every acquired credit removes exactly one task.
+//
+//   - chanDispatcher is the single shared FIFO the engine used historically
+//     (StarPU's eager central queue): one buffered channel every worker
+//     drains, selected by Scheduler "eager". It is kept both as the
+//     behavioural baseline and so the bench pipeline can measure the
+//     dispatch-overhead delta against the stealing engine in one binary.
+//   - stealDispatcher gives each worker a Chase-Lev deque plus one shared
+//     injector for pushes from outside the pool. A worker that completes a
+//     task pushes newly-ready dependents onto its own deque and pops them
+//     back LIFO — the locality hint: dependents run on the worker that just
+//     produced their inputs, with their data still cache-hot (the real-engine
+//     analogue of the sim engine's data-aware dmda policy). Idle workers
+//     first drain the injector, then steal FIFO from victims.
+type dispatcher interface {
+	// push makes t runnable. from identifies the pushing worker so the task
+	// can land on its own deque; from < 0 marks pushes from outside the pool
+	// (initial seeding, requeue timers), which go to the shared injector.
+	push(from int, t *Task)
+	// ready returns the credit channel: one receive per available task.
+	ready() <-chan struct{}
+	// take returns a task for worker w after a credit was acquired. It only
+	// returns nil when abort closes mid-sweep.
+	take(w int, abort <-chan struct{}) *Task
+	// stolen reports how many tasks worker w has obtained by stealing.
+	stolen(w int) int
+}
+
+// chanDispatcher: the single-channel baseline.
+type chanDispatcher struct {
+	queue  chan *Task
+	notify chan struct{}
+}
+
+// newChanDispatcher sizes both channels so pushes never block: a task
+// occupies at most one slot at a time, even across retries.
+func newChanDispatcher(tasks int) *chanDispatcher {
+	return &chanDispatcher{
+		queue:  make(chan *Task, tasks),
+		notify: make(chan struct{}, tasks),
+	}
+}
+
+func (d *chanDispatcher) push(from int, t *Task) {
+	d.queue <- t
+	d.notify <- struct{}{}
+}
+
+func (d *chanDispatcher) ready() <-chan struct{} { return d.notify }
+
+func (d *chanDispatcher) take(w int, abort <-chan struct{}) *Task {
+	select {
+	case t := <-d.queue:
+		return t
+	case <-abort:
+		return nil
+	}
+}
+
+func (d *chanDispatcher) stolen(int) int { return 0 }
+
+// stealDispatcher: per-worker Chase-Lev deques, a shared injector, and
+// per-worker steal counters (owner-written, merged after shutdown).
+type stealDispatcher struct {
+	deques []*wsDeque
+	steals []int64
+
+	injMu  sync.Mutex
+	inj    []*Task
+	notify chan struct{}
+}
+
+func newStealDispatcher(workers, tasks int) *stealDispatcher {
+	d := &stealDispatcher{
+		deques: make([]*wsDeque, workers),
+		steals: make([]int64, workers),
+		notify: make(chan struct{}, tasks),
+	}
+	for w := range d.deques {
+		d.deques[w] = newWSDeque(tasks)
+	}
+	return d
+}
+
+func (d *stealDispatcher) push(from int, t *Task) {
+	if from >= 0 {
+		d.deques[from].push(t)
+	} else {
+		d.injMu.Lock()
+		d.inj = append(d.inj, t)
+		d.injMu.Unlock()
+	}
+	d.notify <- struct{}{}
+}
+
+func (d *stealDispatcher) ready() <-chan struct{} { return d.notify }
+
+// popInjector removes the oldest injected task.
+func (d *stealDispatcher) popInjector() *Task {
+	d.injMu.Lock()
+	defer d.injMu.Unlock()
+	if len(d.inj) == 0 {
+		return nil
+	}
+	t := d.inj[0]
+	d.inj = d.inj[1:]
+	return t
+}
+
+func (d *stealDispatcher) take(w int, abort <-chan struct{}) *Task {
+	for {
+		if t := d.deques[w].pop(); t != nil {
+			return t
+		}
+		if t := d.popInjector(); t != nil {
+			return t
+		}
+		// Steal sweep, starting at the next worker so victims differ across
+		// thieves. Blacklisted workers' deques stay stealable, so a dying
+		// worker never strands its queued tasks.
+		for i := 1; i < len(d.deques); i++ {
+			if t := d.deques[(w+i)%len(d.deques)].steal(); t != nil {
+				d.steals[w]++
+				return t
+			}
+		}
+		// The credit guarantees a task exists; we only get here on transient
+		// races (a concurrent pop/steal between our scans). Yield and rescan
+		// unless the run is aborting.
+		select {
+		case <-abort:
+			return nil
+		default:
+		}
+		runtime.Gosched()
+	}
+}
+
+func (d *stealDispatcher) stolen(w int) int { return int(d.steals[w]) }

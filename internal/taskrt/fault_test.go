@@ -14,8 +14,8 @@ import (
 
 func TestFaultPlanValidate(t *testing.T) {
 	bad := []FaultPlan{
-		{Events: []FaultEvent{{AtTime: 1}}},                            // no unit
-		{Events: []FaultEvent{{Unit: "dev0"}}},                         // no trigger
+		{Events: []FaultEvent{{AtTime: 1}}},                              // no unit
+		{Events: []FaultEvent{{Unit: "dev0"}}},                           // no trigger
 		{Events: []FaultEvent{{Unit: "dev0", AtTime: 1, AfterTasks: 1}}}, // both triggers
 		{Events: []FaultEvent{{Unit: "dev0", AtTime: 1, RecoverAfter: -1}}},
 	}

@@ -2,8 +2,10 @@ package taskrt
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 
 	"repro/internal/discover"
 )
@@ -15,8 +17,14 @@ import (
 // structural invariants instead).
 func buildRandomDAG(t testing.TB, rt *Runtime, seed int64, layers, width int) int {
 	t.Helper()
+	return buildRandomDAGWith(t, rt, dgemmCodelet(t), seed, layers, width)
+}
+
+// buildRandomDAGWith is buildRandomDAG with a caller-chosen codelet, so
+// real-mode tests can count executions from the implementation function.
+func buildRandomDAGWith(t testing.TB, rt *Runtime, cl *Codelet, seed int64, layers, width int) int {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	cl := dgemmCodelet(t)
 	var prev []*Handle
 	total := 0
 	for l := 0; l < layers; l++ {
@@ -95,6 +103,64 @@ func TestQuickRandomDAGsComplete(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Property-based: the real work-stealing engine executes every task of a
+// random DAG exactly once — no task is lost in a deque, stolen twice, or
+// double-run off the injector — and the per-unit task and steal counts are
+// consistent with the totals. Task bodies sleep briefly so workers genuinely
+// interleave (and steal) even on a single-core host.
+func TestQuickRealWSExactlyOnce(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		var mu sync.Mutex
+		counts := map[*Task]int{}
+		cl, err := NewCodelet("count", Impl{Arch: "x86", Func: func(tc *TaskContext) error {
+			time.Sleep(200 * time.Microsecond)
+			mu.Lock()
+			counts[tc.Task]++
+			mu.Unlock()
+			return nil
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt, err := New(Config{
+			Platform:  cpuPlatform(t, 4),
+			Mode:      Real,
+			Scheduler: "ws",
+			Workers:   4,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := buildRandomDAGWith(t, rt, cl, seed, 4, 6)
+		rep, err := rt.Run()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if rep.Tasks != want {
+			t.Fatalf("seed %d: report says %d tasks, submitted %d", seed, rep.Tasks, want)
+		}
+		if len(counts) != want {
+			t.Fatalf("seed %d: %d distinct tasks executed, want %d", seed, len(counts), want)
+		}
+		for task, n := range counts {
+			if n != 1 {
+				t.Errorf("seed %d: task %q executed %d times", seed, task.Label, n)
+			}
+		}
+		sumTasks, sumSteals := 0, 0
+		for _, u := range rep.PerUnit {
+			sumTasks += u.Tasks
+			sumSteals += u.Steals
+		}
+		if sumTasks != want {
+			t.Errorf("seed %d: per-unit task counts sum to %d, want %d", seed, sumTasks, want)
+		}
+		if sumSteals != rep.Steals {
+			t.Errorf("seed %d: per-unit steals sum to %d, report total %d", seed, sumSteals, rep.Steals)
+		}
 	}
 }
 

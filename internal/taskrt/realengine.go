@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -18,8 +19,17 @@ var errInjected = fmt.Errorf("taskrt: injected fault")
 // runReal executes the task graph on goroutine workers. Only implementations
 // with a non-nil Func whose architecture matches the platform's Master
 // architecture are eligible — real GPUs are not available, which is exactly
-// why Sim mode exists. Dependencies are enforced by counters; ready tasks
-// flow through a channel drained by the worker pool (StarPU's eager policy).
+// why Sim mode exists.
+//
+// Dispatch is work-stealing by default: each worker owns a Chase-Lev deque,
+// completions push newly-ready dependents onto the completing worker's own
+// deque (the locality hint — the dependent's inputs are still hot in that
+// worker's cache), and idle workers steal FIFO from victims. Scheduler
+// "eager" selects the historical single-shared-channel dispatch instead, so
+// the two can be compared in one binary (see dispatch.go). The hot path is
+// lock-free: dependency counters and the pending count are atomics, and
+// per-worker statistics live in worker-owned state merged after shutdown —
+// the engine's one mutex now guards only the failure slow path.
 //
 // With fault tolerance active (Config.Faults/Retry/Tracker) the engine
 // additionally: honours injected worker faults from the FaultPlan (unit ids
@@ -27,8 +37,11 @@ var errInjected = fmt.Errorf("taskrt: injected fault")
 // capped exponential backoff, blacklists failed workers (re-admitting them
 // after FaultEvent.RecoverAfter), and bounds every execution with a watchdog
 // timeout derived from the perfmodel estimate so a hung kernel cannot
-// deadlock Run. Without it, the first codelet error aborts the run — the
-// original fail-fast contract.
+// deadlock Run. A blacklisted worker's deque stays stealable, so its queued
+// tasks migrate to surviving workers. Retry backoff timers are registered
+// and stopped on abort, so a failed run never leaves timers firing into a
+// dead run. Without fault tolerance, the first codelet error aborts the run
+// — the original fail-fast contract.
 func (rt *Runtime) runReal() (*Report, error) {
 	if len(rt.cfg.Platform.Masters) == 0 {
 		return nil, fmt.Errorf("taskrt: platform has no master")
@@ -55,68 +68,103 @@ func (rt *Runtime) runReal() (*Report, error) {
 
 	ft := rt.ftEnabled()
 	policy := rt.cfg.Retry.withDefaults()
-	faults := make([]*faultQueue, workers)
+
+	// Worker-owned hot state: no lock is ever taken to update it. The main
+	// goroutine reads it only after wgWorkers.Wait().
+	type workerState struct {
+		busy      time.Duration
+		count     int
+		startedOn int // attempts started, drives AfterTasks fault triggers
+		faults    *faultQueue
+	}
+	ws := make([]workerState, workers)
 	for w := 0; w < workers; w++ {
 		if evs := rt.cfg.Faults.forUnit(fmt.Sprintf("worker%d", w)); len(evs) > 0 {
-			faults[w] = &faultQueue{events: evs}
+			ws[w].faults = &faultQueue{events: evs}
 		}
 	}
 
-	remaining := make([]int, len(rt.tasks))
-	// Capacity bound: a task occupies at most one slot at a time, even
-	// across retries.
-	ready := make(chan *Task, len(rt.tasks))
+	var disp dispatcher
+	if rt.cfg.Scheduler == "eager" {
+		disp = newChanDispatcher(len(rt.tasks))
+	} else {
+		disp = newStealDispatcher(workers, len(rt.tasks))
+	}
+
+	// Dependency counters and the unresolved-task count are atomics: the
+	// completion hot path touches no lock.
+	remaining := make([]atomic.Int32, len(rt.tasks))
 	for i, t := range rt.tasks {
-		remaining[i] = len(t.deps)
-		if remaining[i] == 0 {
-			ready <- t
-		}
+		remaining[i].Store(int32(len(t.deps)))
 	}
 
 	var (
-		mu             sync.Mutex
+		mu             sync.Mutex // guards the failure slow path below
 		firstErr       error
-		pending        = len(rt.tasks) // tasks not yet finally resolved
-		alive          = workers
-		recovering     = 0
-		busy           = make([]time.Duration, workers)
-		count          = make([]int, workers)
-		startedOn      = make([]int, workers)
 		attempts       = make([]int, len(rt.tasks))
 		retriedSet     = map[int]bool{}
 		failedAttempts = 0
 		watchdogTrips  = 0
+		alive          = workers
+		recovering     = 0
 		blacklisted    = map[string]bool{}
+		timers         = map[*time.Timer]struct{}{} // outstanding requeue timers
+
+		failed  atomic.Bool
+		pending atomic.Int64 // tasks not yet finally resolved
 	)
+	pending.Store(int64(len(rt.tasks)))
 	done := make(chan struct{})  // closed when every task is resolved
 	abort := make(chan struct{}) // closed on the first fatal error
+	if len(rt.tasks) == 0 {
+		close(done)
+	}
 	fail := func(err error) { // caller holds mu
 		if firstErr == nil {
 			firstErr = err
+			failed.Store(true)
 			close(abort)
+			// Stop outstanding retry timers: nothing may fire into a dead run.
+			for tm := range timers {
+				tm.Stop()
+			}
+			clear(timers)
 		}
 	}
-	resolve := func() { // caller holds mu: one task reached a final state
-		pending--
-		if pending == 0 && firstErr == nil {
+	resolve := func() { // one task reached a final state
+		if pending.Add(-1) == 0 && !failed.Load() {
 			close(done)
 		}
 	}
-	release := func(t *Task) { // caller holds mu: successful completion
+	release := func(worker int, t *Task) { // successful completion on worker
 		for _, dep := range t.dependents {
-			remaining[dep.id]--
-			if remaining[dep.id] == 0 {
-				ready <- dep
+			if remaining[dep.id].Add(-1) == 0 {
+				disp.push(worker, dep)
 			}
 		}
 	}
-	requeue := func(t *Task, after time.Duration) {
-		time.AfterFunc(after, func() {
-			select {
-			case ready <- t:
-			case <-abort:
+	requeue := func(t *Task, after time.Duration) { // caller holds mu
+		if firstErr != nil {
+			return // aborting: the retry would fire into a dead run
+		}
+		var tm *time.Timer
+		tm = time.AfterFunc(after, func() {
+			mu.Lock()
+			delete(timers, tm)
+			dead := firstErr != nil
+			mu.Unlock()
+			if !dead {
+				disp.push(-1, t)
 			}
 		})
+		timers[tm] = struct{}{}
+	}
+
+	// Seed the dispatcher with the dependency-free tasks.
+	for i, t := range rt.tasks {
+		if remaining[i].Load() == 0 {
+			disp.push(-1, t)
+		}
 	}
 
 	start := time.Now()
@@ -135,32 +183,40 @@ func (rt *Runtime) runReal() (*Report, error) {
 	for w := 0; w < workers; w++ {
 		go func(worker int) {
 			defer wgWorkers.Done()
+			st := &ws[worker]
 			unitID := fmt.Sprintf("worker%d", worker)
 			for {
-				var t *Task
 				select {
-				case t = <-ready:
+				case <-disp.ready():
 				case <-done:
 					return
 				case <-abort:
 					return
 				}
+				stolenBefore := disp.stolen(worker)
+				t := disp.take(worker, abort)
+				if t == nil {
+					return // aborted mid-sweep
+				}
+				if rt.cfg.Trace != nil && disp.stolen(worker) > stolenBefore {
+					now := time.Now()
+					traceEvent(trace.Steal, unitID, taskLabel(t), now, now)
+				}
 
 				// Injected fault check: fires before the kernel runs, so
-				// payloads stay untouched and the retry is safe.
+				// payloads stay untouched and the retry is safe. Worker-owned
+				// state: no lock.
+				st.startedOn++
 				var inj *FaultEvent
-				mu.Lock()
-				startedOn[worker]++
-				if ft && faults[worker] != nil {
-					if f := faults[worker].pending(); f != nil {
-						if (f.AfterTasks > 0 && startedOn[worker] >= f.AfterTasks) ||
+				if ft && st.faults != nil {
+					if f := st.faults.pending(); f != nil {
+						if (f.AfterTasks > 0 && st.startedOn >= f.AfterTasks) ||
 							(f.AtTime > 0 && time.Since(start).Seconds() >= f.AtTime) {
-							faults[worker].consume()
+							st.faults.consume()
 							inj = f
 						}
 					}
 				}
-				mu.Unlock()
 
 				if inj != nil {
 					t0 := time.Now()
@@ -188,19 +244,20 @@ func (rt *Runtime) runReal() (*Report, error) {
 					if attempts[t.id] >= policy.MaxAttempts {
 						fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts, last on %s: %w",
 							t.Codelet.Name, t.Label, attempts[t.id], unitID, errInjected))
-						resolve()
 						mu.Unlock()
+						resolve()
 						return
 					}
 					requeue(t, policy.backoffDuration(attempts[t.id]))
-					// Blacklist this worker; other workers keep draining.
+					// Blacklist this worker; other workers keep draining (its
+					// deque remains stealable).
 					blacklisted[unitID] = true
 					alive--
 					if inj.RecoverAfter > 0 {
 						recovering++
 					}
-					if alive == 0 && recovering == 0 && pending > 0 {
-						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending))
+					if alive == 0 && recovering == 0 && pending.Load() > 0 {
+						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending.Load()))
 					}
 					mu.Unlock()
 					now := time.Now()
@@ -259,25 +316,24 @@ func (rt *Runtime) runReal() (*Report, error) {
 					if rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
 						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
 					}
-					mu.Lock()
-					busy[worker] += d
-					count[worker]++
-					release(t)
+					st.busy += d
+					st.count++
+					release(worker, t)
 					resolve()
-					mu.Unlock()
 					continue
 				}
 				// Failure path.
 				traceEvent(trace.Failure, unitID, taskLabel(t), t0, t0.Add(d))
-				mu.Lock()
-				busy[worker] += d
+				st.busy += d
 				if !ft {
 					// Fail fast: the original no-recovery contract.
+					mu.Lock()
 					fail(fmt.Errorf("taskrt: task %q (%s): %w", t.Codelet.Name, t.Label, err))
-					resolve()
 					mu.Unlock()
+					resolve()
 					return
 				}
+				mu.Lock()
 				failedAttempts++
 				retriedSet[t.id] = true
 				attempts[t.id]++
@@ -286,8 +342,8 @@ func (rt *Runtime) runReal() (*Report, error) {
 				}
 				if attempts[t.id] >= policy.MaxAttempts {
 					fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts: %w", t.Codelet.Name, t.Label, attempts[t.id], err))
-					resolve()
 					mu.Unlock()
+					resolve()
 					return
 				}
 				requeue(t, policy.backoffDuration(attempts[t.id]))
@@ -296,8 +352,8 @@ func (rt *Runtime) runReal() (*Report, error) {
 					// trusted (the orphaned goroutine may still hold it).
 					blacklisted[unitID] = true
 					alive--
-					if alive == 0 && recovering == 0 && pending > 0 {
-						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending))
+					if alive == 0 && recovering == 0 && pending.Load() > 0 {
+						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending.Load()))
 					}
 					mu.Unlock()
 					now := time.Now()
@@ -338,11 +394,14 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 	sort.Strings(rep.Blacklisted)
 	for w := 0; w < workers; w++ {
+		steals := disp.stolen(w)
+		rep.Steals += steals
 		rep.PerUnit = append(rep.PerUnit, UnitStats{
 			ID:          fmt.Sprintf("worker%d", w),
 			Arch:        hostArch,
-			Tasks:       count[w],
-			BusySeconds: busy[w].Seconds(),
+			Tasks:       ws[w].count,
+			BusySeconds: ws[w].busy.Seconds(),
+			Steals:      steals,
 		})
 	}
 	return rep, nil

@@ -13,6 +13,9 @@ type UnitStats struct {
 	Tasks int
 	// BusySeconds is virtual time in Sim mode, wall time in Real mode.
 	BusySeconds float64
+	// Steals counts tasks this unit obtained from other units' queues
+	// (real-mode work-stealing dispatch only).
+	Steals int
 }
 
 // Report is the outcome of Runtime.Run.
@@ -41,6 +44,9 @@ type Report struct {
 	// Blacklisted lists the units taken out of scheduling by failures and
 	// still offline at the end of the run, sorted.
 	Blacklisted []string
+	// Steals totals the per-unit steal counts (real-mode work-stealing
+	// dispatch only; 0 under the "eager" single-queue dispatch and in Sim).
+	Steals int
 }
 
 // BlacklistedUnits returns how many units ended the run blacklisted.
@@ -82,6 +88,9 @@ func (r *Report) TasksOnArch(arch string) int {
 func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "mode=%s sched=%s tasks=%d makespan=%.6fs", r.Mode, r.Scheduler, r.Tasks, r.MakespanSeconds)
+	if r.Steals > 0 {
+		fmt.Fprintf(&b, " steals=%d", r.Steals)
+	}
 	if r.TransferCount > 0 {
 		fmt.Fprintf(&b, " transfers=%d (%.1f MB, %.6fs)", r.TransferCount, float64(r.TransferBytes)/(1<<20), r.TransferSeconds)
 	}

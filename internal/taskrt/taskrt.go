@@ -102,8 +102,9 @@ type Config struct {
 	Platform *core.Platform
 	// Mode selects the engine (default Real).
 	Mode Mode
-	// Scheduler names the scheduling policy: "eager" (default), "dmda",
-	// "heft", "ws" (work stealing) or "random".
+	// Scheduler names the scheduling policy: "eager", "dmda", "heft", "ws"
+	// (work stealing) or "random". Empty defaults to "ws" in Real mode
+	// (per-worker deques with stealing) and "eager" in Sim mode.
 	Scheduler string
 	// Workers overrides the Real-mode worker count (default: the platform's
 	// x86 unit count).
@@ -169,7 +170,11 @@ func New(cfg Config) (*Runtime, error) {
 		return nil, fmt.Errorf("taskrt: unknown scheduler %q", cfg.Scheduler)
 	}
 	if cfg.Scheduler == "" {
-		cfg.Scheduler = "eager"
+		if cfg.Mode == Real {
+			cfg.Scheduler = "ws"
+		} else {
+			cfg.Scheduler = "eager"
+		}
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1

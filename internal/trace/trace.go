@@ -32,6 +32,9 @@ const (
 	Blacklist
 	// Recover marks a blacklisted unit being re-admitted.
 	Recover
+	// Steal marks a worker obtaining a task from another worker's queue
+	// (real-mode work-stealing dispatch). Start == End: it is an instant.
+	Steal
 )
 
 // String names the kind.
@@ -49,6 +52,8 @@ func (k Kind) String() string {
 		return "blacklist"
 	case Recover:
 		return "recover"
+	case Steal:
+		return "steal"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}

@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_gemm.json
 BENCH_N ?= 1024
 BENCH_WORKERS ?= 4
 
-.PHONY: build test vet race verify bench bench-kernels clean
+.PHONY: build test vet race verify bench bench-kernels bench-server serve clean
 
 build:
 	$(GO) build ./...
@@ -18,10 +18,11 @@ vet:
 	$(GO) vet ./...
 
 # The race subset covers the packages with real concurrency: the task
-# runtime (work-stealing engine, fault tolerance), the dynamic descriptors
-# and the parallel BLAS kernels.
+# runtime (work-stealing engine, fault tolerance), the dynamic descriptors,
+# the parallel BLAS kernels, and the registry/server/query stack behind
+# pdlserved (copy-on-write snapshots, LRU query cache, shared query roots).
 race:
-	$(GO) test -race ./internal/taskrt/... ./internal/dynamic/... ./internal/blas/...
+	$(GO) test -race ./internal/taskrt/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/...
 
 # verify is the tier-1 gate: build, full tests, vet, race subset.
 verify: build test vet race
@@ -33,6 +34,15 @@ bench: bench-kernels
 
 bench-kernels:
 	$(GO) test -run=^$$ -bench=Gemm -benchtime=1x .
+
+# bench-server measures the pdlserved HTTP query path (cached vs uncached),
+# so cache effectiveness shows up in the perf trajectory.
+bench-server:
+	$(GO) test -run=^$$ -bench=ServerQuery -benchtime=200x .
+
+# serve runs the registry service locally with the example platforms loaded.
+serve:
+	$(GO) run ./cmd/pdlserved -addr :8080 -preload internal/pdlxml/testdata
 
 clean:
 	rm -f $(BENCH_OUT)

@@ -19,6 +19,8 @@ package repro
 
 import (
 	"fmt"
+	"io"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/blas"
@@ -28,7 +30,9 @@ import (
 	"repro/internal/mapping"
 	"repro/internal/pdlxml"
 	"repro/internal/query"
+	"repro/internal/registry"
 	"repro/internal/repo"
+	"repro/internal/server"
 )
 
 // benchN is the default simulated problem size. The paper uses N=8192; the
@@ -283,4 +287,44 @@ func BenchmarkToolchain(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkServerQuery measures the pdlserved HTTP query path in-process
+// (httptest): the cached series hits the registry's LRU of compiled query
+// results, the uncached series disables it, so the gap between the two is
+// the cache's contribution to the serving hot path.
+func BenchmarkServerQuery(b *testing.B) {
+	doc, err := pdlxml.Marshal(discover.MustPlatform("xeon-2gpu"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	bench := func(b *testing.B, cacheSize int) {
+		reg := registry.New(registry.WithCacheSize(cacheSize))
+		if _, _, err := reg.Put("xeon-2gpu", doc); err != nil {
+			b.Fatal(err)
+		}
+		srv := httptest.NewServer(server.New(server.Config{Registry: reg}).Handler())
+		defer srv.Close()
+		url := srv.URL + "/platforms/xeon-2gpu/pus?kind=worker&arch=gpu"
+		client := srv.Client()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resp, err := client.Get(url)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := io.Copy(io.Discard, resp.Body); err != nil {
+				b.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != 200 {
+				b.Fatalf("status %d", resp.StatusCode)
+			}
+		}
+		b.StopTimer()
+		st := reg.CacheStats()
+		b.ReportMetric(st.HitRatio(), "cache_hit_ratio")
+	}
+	b.Run("cached", func(b *testing.B) { bench(b, 256) })
+	b.Run("uncached", func(b *testing.B) { bench(b, 0) })
 }

@@ -1,14 +1,22 @@
-// Command pdlquery evaluates selector expressions against a PDL document:
-// the query-API counterpart the paper positions next to hwloc and the OpenCL
-// platform query functions.
+// Command pdlquery evaluates selector expressions and filter arguments
+// against a PDL document: the query-API counterpart the paper positions
+// next to hwloc and the OpenCL platform query functions.
 //
 // Usage:
 //
 //	pdlquery -f platform.pdl.xml '//Worker[ARCHITECTURE=gpu]'
+//	pdlquery -f platform.pdl.xml kind=worker arch=gpu
+//	pdlquery -f platform.pdl.xml kind=worker group=devset prop=VENDOR:Nvidia
 //	pdlquery -f platform.pdl.xml -props '//Worker[@id=dev0]'
 //	pdlquery -f platform.pdl.xml -groups
 //	pdlquery -f platform.pdl.xml -route host,dev0
 //	pdlquery -f platform.pdl.xml -tree
+//
+// Filter arguments use the same key=value DSL the pdlserved HTTP API accepts
+// on /platforms/{name}/pus, so a query debugged here pastes directly into a
+// URL (and vice versa). A single non-key=value argument is treated as a
+// selector expression. Invalid filter arguments are all reported in one
+// pass, not one at a time.
 package main
 
 import (
@@ -18,6 +26,7 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/core"
 	"repro/internal/pdlxml"
 	"repro/internal/query"
 )
@@ -43,7 +52,7 @@ func run(args []string, stdout io.Writer) error {
 		return err
 	}
 	if *file == "" {
-		return fmt.Errorf("usage: pdlquery -f <file.pdl.xml> [selector]")
+		return fmt.Errorf("usage: pdlquery -f <file.pdl.xml> [selector | key=value ...]")
 	}
 	pl, err := pdlxml.ReadFile(*file)
 	if err != nil {
@@ -80,10 +89,7 @@ func run(args []string, stdout io.Writer) error {
 		}
 		return nil
 	}
-	if fs.NArg() != 1 {
-		return fmt.Errorf("pass exactly one selector expression (or -tree/-groups/-route)")
-	}
-	matched, err := query.Select(pl, fs.Arg(0))
+	matched, err := evaluate(pl, fs.Args())
 	if err != nil {
 		return err
 	}
@@ -97,4 +103,36 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "%d match(es)\n", len(matched))
 	return nil
+}
+
+// evaluate runs either a single selector expression or a set of key=value
+// DSL filters (the same vocabulary the pdlserved HTTP API accepts).
+func evaluate(pl *core.Platform, args []string) ([]*core.PU, error) {
+	if len(args) == 0 {
+		return nil, fmt.Errorf("pass a selector, key=value filters, or -tree/-groups/-route")
+	}
+	// A single argument that starts with '/' (or carries no '=') is the
+	// classic selector form; everything else is key=value DSL filters.
+	if len(args) == 1 && (strings.HasPrefix(args[0], "/") || !strings.Contains(args[0], "=")) {
+		return query.Select(pl, args[0])
+	}
+	// Otherwise: DSL filters. All invalid arguments are reported in one
+	// pass via *query.FilterError.
+	filters, err := query.ParseFilterArgs(args)
+	if err != nil {
+		if fe, ok := query.AsFilterError(err); ok {
+			var b strings.Builder
+			fmt.Fprintf(&b, "%d invalid filter argument(s):\n", len(fe.Problems))
+			for _, p := range fe.Problems {
+				fmt.Fprintf(&b, "  - %s\n", p)
+			}
+			return nil, fmt.Errorf("%s", strings.TrimSuffix(b.String(), "\n"))
+		}
+		return nil, err
+	}
+	q, err := filters.Apply(query.New(pl))
+	if err != nil {
+		return nil, err
+	}
+	return q.All(), nil
 }

@@ -111,3 +111,54 @@ func TestErrors(t *testing.T) {
 		t.Fatal("bad selector must fail")
 	}
 }
+
+// The key=value DSL shares its parser with the pdlserved HTTP API.
+func TestFilterDSL(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	if err := run([]string{"-f", path, "kind=worker", "arch=gpu"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "dev0") || !strings.Contains(s, "dev1") || !strings.Contains(s, "2 match(es)") {
+		t.Fatalf("output = %q", s)
+	}
+	out.Reset()
+	if err := run([]string{"-f", path, "group=devset", "prop=ARCHITECTURE:gpu", "limit=1"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 match(es)") {
+		t.Fatalf("output = %q", out.String())
+	}
+	// A single key=value argument is DSL, not a selector.
+	out.Reset()
+	if err := run([]string{"-f", path, "kind=master"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 match(es)") {
+		t.Fatalf("output = %q", out.String())
+	}
+}
+
+// Satellite regression: every invalid filter argument is reported in one
+// pass instead of bailing on the first.
+func TestFilterDSLReportsAllErrors(t *testing.T) {
+	path := fixtureFile(t)
+	var out bytes.Buffer
+	err := run([]string{"-f", path, "kind=banana", "bogus=1", "limit=x", "notkeyvalue", "arch=gpu"}, &out)
+	if err == nil {
+		t.Fatal("invalid filters must fail")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "4 invalid filter argument(s)") {
+		t.Fatalf("error does not aggregate: %q", msg)
+	}
+	for _, frag := range []string{"kind:", "bogus", "limit:", "notkeyvalue"} {
+		if !strings.Contains(msg, frag) {
+			t.Fatalf("error %q missing %q", msg, frag)
+		}
+	}
+	if strings.Contains(msg, "- arch") {
+		t.Fatalf("valid filter reported as a problem: %q", msg)
+	}
+}

@@ -1,0 +1,159 @@
+// Command pdlserved serves the PDL platform registry over HTTP: upload and
+// validate platform descriptions, evaluate the query DSL shared with
+// pdlquery, record observations and get perfmodel-backed predictions, and
+// scrape Prometheus-style metrics.
+//
+// Usage:
+//
+//	pdlserved -addr :8080
+//	pdlserved -addr :8080 -preload internal/pdlxml/testdata
+//	pdlserved -addr :8080 -rate 100 -burst 200 -max-body 1048576
+//
+// Endpoints:
+//
+//	PUT    /platforms/{name}           upload + validate PDL XML
+//	GET    /platforms                  list stored platforms
+//	GET    /platforms/{name}           canonical XML (ETag / If-None-Match)
+//	DELETE /platforms/{name}           remove a platform
+//	GET    /platforms/{name}/pus       query DSL: ?kind=worker&group=...&prop=...
+//	GET    /platforms/{name}/predict   ?codelet=...&size=...
+//	GET    /platforms/{name}/rank      ?iface=...&size=...
+//	POST   /platforms/{name}/observe   {"codelet":..., "size":..., "seconds":...}
+//	GET    /healthz                    liveness + store version
+//	GET    /metrics                    Prometheus text format
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"repro/internal/registry"
+	"repro/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlserved:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdlserved", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address")
+		preload      = fs.String("preload", "", "directory of *.pdl.xml documents to load at boot")
+		cacheSize    = fs.Int("cache", 256, "query-result cache capacity (0 disables)")
+		rate         = fs.Float64("rate", 0, "per-client request rate limit in req/s (0 disables)")
+		burst        = fs.Float64("burst", 0, "rate-limit burst (default 2x rate)")
+		maxBody      = fs.Int64("max-body", 4<<20, "maximum upload body size in bytes")
+		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
+		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		accessLog    = fs.String("access-log", "-", "access log destination: '-' for stderr, a path, or '' to disable")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var logDst io.Writer
+	switch *accessLog {
+	case "":
+	case "-":
+		logDst = os.Stderr
+	default:
+		f, err := os.OpenFile(*accessLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		logDst = f
+	}
+
+	reg := registry.New(registry.WithCacheSize(*cacheSize))
+	if *preload != "" {
+		n, err := preloadDir(reg, *preload)
+		if err != nil {
+			return err
+		}
+		log.Printf("pdlserved: preloaded %d platform(s) from %s", n, *preload)
+	}
+
+	srv := server.New(server.Config{
+		Registry:     reg,
+		MaxBodyBytes: *maxBody,
+		RateLimit:    *rate,
+		RateBurst:    *burst,
+		AccessLog:    logDst,
+	})
+
+	httpSrv := &http.Server{
+		Addr:         *addr,
+		Handler:      srv.Handler(),
+		ReadTimeout:  *readTimeout,
+		WriteTimeout: *writeTimeout,
+		IdleTimeout:  *idleTimeout,
+	}
+
+	// Graceful shutdown: on SIGINT/SIGTERM stop accepting, then drain
+	// in-flight requests for up to -drain before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("pdlserved: listening on %s", *addr)
+		if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("pdlserved: shutting down, draining for up to %s", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return <-errc
+}
+
+// preloadDir uploads every *.pdl.xml under dir into the registry, keyed by
+// the file's base name without the .pdl.xml suffix.
+func preloadDir(reg *registry.Registry, dir string) (int, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.pdl.xml"))
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return n, err
+		}
+		name := filepath.Base(p)
+		name = name[:len(name)-len(".pdl.xml")]
+		if _, _, err := reg.Put(name, data); err != nil {
+			return n, fmt.Errorf("preload %s: %w", p, err)
+		}
+		n++
+	}
+	return n, nil
+}

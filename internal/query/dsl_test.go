@@ -1,0 +1,155 @@
+package query
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFiltersBasics(t *testing.T) {
+	f, err := ParseFilters(map[string][]string{
+		"kind":  {"worker"},
+		"arch":  {"gpu"},
+		"group": {"devset"},
+		"prop":  {"VENDOR:Nvidia", "GLOBAL_MEM_SIZE"},
+		"limit": {"2"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != "Worker" || f.Arch != "gpu" || f.Group != "devset" || f.Limit != 2 {
+		t.Fatalf("filters = %+v", f)
+	}
+	if len(f.Props) != 2 || !f.Props[0].HasValue || f.Props[1].HasValue {
+		t.Fatalf("props = %+v", f.Props)
+	}
+	if f.Empty() {
+		t.Fatal("non-trivial filters report Empty")
+	}
+}
+
+func TestParseFiltersKindCanonicalisation(t *testing.T) {
+	for _, v := range []string{"worker", "Worker", "WORKER", "wORKER"} {
+		f, err := ParseFilters(map[string][]string{"kind": {v}})
+		if err != nil {
+			t.Fatalf("kind=%q: %v", v, err)
+		}
+		if f.Kind != "Worker" {
+			t.Fatalf("kind=%q parsed to %q", v, f.Kind)
+		}
+	}
+	// Explicit wildcard means no class filter.
+	f, err := ParseFilters(map[string][]string{"kind": {"*"}})
+	if err != nil || f.Kind != "" {
+		t.Fatalf("kind=*: %+v, %v", f, err)
+	}
+}
+
+// All problems must surface in one pass, deterministically ordered.
+func TestParseFiltersReportsAllProblems(t *testing.T) {
+	_, err := ParseFilters(map[string][]string{
+		"kind":   {"banana"},
+		"limit":  {"x"},
+		"select": {"//Nope"},
+		"bogus":  {"1"},
+		"group":  {""},
+	})
+	if err == nil {
+		t.Fatal("want error")
+	}
+	fe, ok := AsFilterError(err)
+	if !ok {
+		t.Fatalf("error %T is not *FilterError", err)
+	}
+	if len(fe.Problems) != 5 {
+		t.Fatalf("problems = %v; want all 5", fe.Problems)
+	}
+	// Sorted by key: bogus, group, kind, limit, select.
+	wantPrefixes := []string{"unknown filter key", "group:", "kind:", "limit:", "select:"}
+	for i, p := range fe.Problems {
+		if !strings.HasPrefix(p, wantPrefixes[i]) {
+			t.Fatalf("problem[%d] = %q; want prefix %q (all: %v)", i, p, wantPrefixes[i], fe.Problems)
+		}
+	}
+	if !strings.Contains(fe.Error(), "5 invalid filter(s)") {
+		t.Fatalf("Error() = %q", fe.Error())
+	}
+}
+
+func TestParseFilterArgs(t *testing.T) {
+	f, err := ParseFilterArgs([]string{"kind=worker", "prop=VENDOR:Nvidia", "prop=CORES"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Kind != "Worker" || len(f.Props) != 2 {
+		t.Fatalf("filters = %+v", f)
+	}
+
+	// Malformed args and bad values are all reported together.
+	_, err = ParseFilterArgs([]string{"noequals", "kind=banana", "=value", "limit=-1"})
+	fe, ok := AsFilterError(err)
+	if !ok {
+		t.Fatalf("error %T", err)
+	}
+	if len(fe.Problems) != 4 {
+		t.Fatalf("problems = %v; want 4", fe.Problems)
+	}
+}
+
+func TestFiltersApply(t *testing.T) {
+	pl := fixture(t)
+	q := New(pl)
+	cases := []struct {
+		args []string
+		want []string
+	}{
+		{[]string{"kind=worker"}, []string{"gpu0", "gpu1", "spe0", "spe1"}},
+		{[]string{"kind=worker", "arch=gpu"}, []string{"gpu0", "gpu1"}},
+		{[]string{"group=gpuset"}, []string{"gpu0", "gpu1"}},
+		{[]string{"id=spe0"}, []string{"spe0"}},
+		{[]string{"prop=MAX_COMPUTE_UNITS"}, []string{"gpu0", "gpu1"}},
+		{[]string{"prop=MAX_COMPUTE_UNITS:30"}, []string{"gpu1"}},
+		{[]string{"kind=worker", "limit=2"}, []string{"gpu0", "gpu1"}},
+		{[]string{"select=//Worker[ARCHITECTURE=spe]"}, []string{"spe0", "spe1"}},
+		{[]string{"kind=worker", "select=//*[group=gpuset]"}, []string{"gpu0", "gpu1"}},
+		{[]string{}, []string{"cpu", "gpu0", "gpu1", "ppe", "spe0", "spe1"}},
+	}
+	for _, c := range cases {
+		f, err := ParseFilterArgs(c.args)
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		got, err := f.Apply(q)
+		if err != nil {
+			t.Fatalf("%v: %v", c.args, err)
+		}
+		if !reflect.DeepEqual(got.IDs(), c.want) {
+			t.Fatalf("%v => %v; want %v", c.args, got.IDs(), c.want)
+		}
+	}
+}
+
+// CacheKey must be canonical: the same filter set renders identically no
+// matter the construction order, and different sets differ.
+func TestFiltersCacheKeyCanonical(t *testing.T) {
+	a, _ := ParseFilterArgs([]string{"prop=B", "prop=A", "kind=worker"})
+	b, _ := ParseFilterArgs([]string{"kind=Worker", "prop=A", "prop=B"})
+	if a.CacheKey() != b.CacheKey() {
+		t.Fatalf("keys differ: %q vs %q", a.CacheKey(), b.CacheKey())
+	}
+	c, _ := ParseFilterArgs([]string{"kind=worker", "prop=A"})
+	if a.CacheKey() == c.CacheKey() {
+		t.Fatalf("distinct filters share key %q", a.CacheKey())
+	}
+	empty, _ := ParseFilterArgs(nil)
+	if empty.CacheKey() != "" || !empty.Empty() {
+		t.Fatalf("empty filters: key=%q", empty.CacheKey())
+	}
+}
+
+func TestFiltersString(t *testing.T) {
+	f, _ := ParseFilterArgs([]string{"kind=worker", "arch=gpu"})
+	if got := f.String(); got != "kind=Worker arch=gpu" {
+		t.Fatalf("String() = %q", got)
+	}
+}

@@ -112,6 +112,15 @@ func (q *Q) Select(src string) (*Q, error) {
 	return q.Filter(func(p *core.PU) bool { return in[p] }), nil
 }
 
+// Head keeps the first n matched PUs in document order.
+func (q *Q) Head(n int) *Q {
+	all := q.All()
+	if n < len(all) {
+		all = all[:n]
+	}
+	return q.derive(all)
+}
+
 // All returns the matched PUs in document order.
 func (q *Q) All() []*core.PU {
 	out := append([]*core.PU(nil), q.nodes...)

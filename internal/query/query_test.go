@@ -1,8 +1,10 @@
 package query
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -243,5 +245,88 @@ func TestQuickSelectorPartition(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: every terminal (All, IDs, First) must materialise in document
+// order — the order Platform.Walk visits — no matter how the set was built
+// or how map-iteration scrambled it along the way. The registry caches
+// compiled results keyed on the filter expression, so a nondeterministic
+// order would poison the cache with an arbitrary permutation.
+func TestWalkOrderingStable(t *testing.T) {
+	pl := fixture(t)
+	var walkOrder []string
+	pl.Walk(func(pu, _ *core.PU) bool {
+		walkOrder = append(walkOrder, pu.ID)
+		return true
+	})
+	if !reflect.DeepEqual(walkOrder, []string{"cpu", "gpu0", "gpu1", "ppe", "spe0", "spe1"}) {
+		t.Fatalf("walk order changed: %v", walkOrder)
+	}
+	q := New(pl)
+	if !reflect.DeepEqual(q.IDs(), walkOrder) {
+		t.Fatalf("New(pl).IDs() = %v; want walk order %v", q.IDs(), walkOrder)
+	}
+	// Selector evaluation goes through map-keyed union/dedup internally;
+	// results must still come back in document order, repeatably.
+	for i := 0; i < 20; i++ {
+		got, err := q.Select("//Worker, //Hybrid, /Master")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.IDs(), walkOrder) {
+			t.Fatalf("iteration %d: %v; want %v", i, got.IDs(), walkOrder)
+		}
+	}
+	// Filters preserve relative document order too.
+	workers := q.Workers()
+	if !reflect.DeepEqual(workers.IDs(), []string{"gpu0", "gpu1", "spe0", "spe1"}) {
+		t.Fatalf("workers = %v", workers.IDs())
+	}
+	if workers.First().ID != "gpu0" {
+		t.Fatalf("First = %v", workers.First())
+	}
+	if workers.Head(2).Count() != 2 {
+		t.Fatalf("Head(2).Count = %d", workers.Head(2).Count())
+	}
+}
+
+// Two goroutines chain filters over one shared Q root: derivation must not
+// mutate shared state, so the registry can hand the same compiled root to
+// every concurrent HTTP request. Run under -race via the Makefile race
+// subset.
+func TestConcurrentReadersShareRoot(t *testing.T) {
+	pl := fixture(t)
+	root := New(pl)
+	var wg sync.WaitGroup
+	errs := make(chan string, 2)
+	reader := func(chain func() []string, want []string) {
+		defer wg.Done()
+		for i := 0; i < 500; i++ {
+			if got := chain(); !reflect.DeepEqual(got, want) {
+				errs <- fmt.Sprintf("got %v; want %v", got, want)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go reader(func() []string {
+		return root.Workers().WithArch("gpu").IDs()
+	}, []string{"gpu0", "gpu1"})
+	go reader(func() []string {
+		q, err := root.InGroup("gpuset").Select("//*[MAX_COMPUTE_UNITS>=15]")
+		if err != nil {
+			return []string{err.Error()}
+		}
+		return q.IDs()
+	}, []string{"gpu0", "gpu1"})
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	// The shared root itself is untouched.
+	if root.Count() != 6 {
+		t.Fatalf("root mutated: count = %d", root.Count())
 	}
 }

@@ -1,0 +1,132 @@
+package registry
+
+import (
+	"container/list"
+	"strings"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU for compiled query results. Keys embed the
+// platform name and content hash (see queryKey), so a platform update can
+// never serve a stale result; InvalidatePlatform additionally drops the dead
+// entries eagerly instead of waiting for LRU aging to push them out.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List               // front = most recently used
+	items map[string]*list.Element // key → element; element value is *cacheEntry
+
+	hits          uint64
+	misses        uint64
+	evictions     uint64
+	invalidations uint64
+}
+
+type cacheEntry struct {
+	key   string
+	value any
+}
+
+// NewCache returns an LRU holding at most capacity entries. A capacity of
+// zero or below disables caching entirely (every Get misses, Put is a no-op)
+// — useful for benchmarking the uncached path.
+func NewCache(capacity int) *Cache {
+	return &Cache{cap: capacity, ll: list.New(), items: map[string]*list.Element{}}
+}
+
+// Get returns the cached value for key, marking it most recently used.
+func (c *Cache) Get(key string) (any, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).value, true
+}
+
+// Put stores value under key, evicting the least recently used entry when
+// the cache is full.
+func (c *Cache) Put(key string, value any) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).value = value
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.ll.PushFront(&cacheEntry{key: key, value: value})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+}
+
+// InvalidatePlatform drops every entry belonging to the named platform
+// (keys are prefixed with name + "\x00" by queryKey). Returns the number of
+// entries dropped.
+func (c *Cache) InvalidatePlatform(name string) int {
+	prefix := name + "\x00"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	n := 0
+	for el := c.ll.Front(); el != nil; {
+		next := el.Next()
+		if ce := el.Value.(*cacheEntry); strings.HasPrefix(ce.key, prefix) {
+			c.ll.Remove(el)
+			delete(c.items, ce.key)
+			n++
+		}
+		el = next
+	}
+	c.invalidations += uint64(n)
+	return n
+}
+
+// Len returns the number of live entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// CacheStats is a snapshot of cache effectiveness counters.
+type CacheStats struct {
+	Hits          uint64 `json:"hits"`
+	Misses        uint64 `json:"misses"`
+	Evictions     uint64 `json:"evictions"`
+	Invalidations uint64 `json:"invalidations"`
+	Entries       int    `json:"entries"`
+	Capacity      int    `json:"capacity"`
+}
+
+// HitRatio returns hits / (hits+misses), or 0 with no lookups yet.
+func (s CacheStats) HitRatio() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// Stats returns a consistent snapshot of the counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Hits:          c.hits,
+		Misses:        c.misses,
+		Evictions:     c.evictions,
+		Invalidations: c.invalidations,
+		Entries:       c.ll.Len(),
+		Capacity:      c.cap,
+	}
+}

@@ -1,0 +1,133 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+)
+
+// statusWriter records the status code and bytes written, for access logs
+// and metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	n, err := w.ResponseWriter.Write(p)
+	w.bytes += int64(n)
+	return n, err
+}
+
+// tokenBucket is one client's budget under the rate limiter.
+type tokenBucket struct {
+	tokens float64
+	last   time.Time
+}
+
+// rateLimiter applies a token bucket per client key. A zero/negative rate
+// disables limiting.
+type rateLimiter struct {
+	mu      sync.Mutex
+	rate    float64 // tokens added per second
+	burst   float64 // bucket capacity
+	clients map[string]*tokenBucket
+	now     func() time.Time // injectable for tests
+}
+
+func newRateLimiter(rate, burst float64) *rateLimiter {
+	if burst < 1 {
+		burst = 1
+	}
+	return &rateLimiter{rate: rate, burst: burst, clients: map[string]*tokenBucket{}, now: time.Now}
+}
+
+// allow consumes one token for the client, refilling by elapsed time first.
+func (l *rateLimiter) allow(client string) bool {
+	if l.rate <= 0 {
+		return true
+	}
+	now := l.now()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	b, ok := l.clients[client]
+	if !ok {
+		// Prune idle clients opportunistically so the map stays bounded by
+		// the set of recently active peers rather than every address ever
+		// seen.
+		if len(l.clients) >= 4096 {
+			for k, old := range l.clients {
+				if now.Sub(old.last) > time.Minute {
+					delete(l.clients, k)
+				}
+			}
+		}
+		b = &tokenBucket{tokens: l.burst, last: now}
+		l.clients[client] = b
+	}
+	b.tokens += now.Sub(b.last).Seconds() * l.rate
+	if b.tokens > l.burst {
+		b.tokens = l.burst
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}
+
+// clientKey extracts the peer identity used for rate limiting: the remote
+// host without the ephemeral port.
+func clientKey(r *http.Request) string {
+	host, _, err := net.SplitHostPort(r.RemoteAddr)
+	if err != nil {
+		return r.RemoteAddr
+	}
+	return host
+}
+
+// accessRecord is one structured access-log line (JSON, one object per line).
+type accessRecord struct {
+	Time   string  `json:"ts"`
+	Client string  `json:"client"`
+	Method string  `json:"method"`
+	Path   string  `json:"path"`
+	Status int     `json:"status"`
+	Bytes  int64   `json:"bytes"`
+	Millis float64 `json:"ms"`
+	Route  string  `json:"route,omitempty"`
+}
+
+// accessLogger serialises log writes; safe for concurrent handlers.
+type accessLogger struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+func (a *accessLogger) log(rec accessRecord) {
+	if a == nil || a.w == nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.w.Write(append(line, '\n'))
+}

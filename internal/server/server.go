@@ -1,0 +1,426 @@
+// Package server exposes the platform registry over HTTP: upload+validate
+// of PDL XML, the query DSL shared with cmd/pdlquery, perfmodel-backed
+// prediction and variant ranking, plus health and Prometheus-style metrics.
+// The paper positions the PDL next to hwloc and the OpenCL platform query
+// API; pdlserved is that query API lifted out of process, so runtimes,
+// auto-tuners and remote workers consult one authoritative descriptor store
+// instead of each re-parsing XML from disk.
+//
+// Production posture: bounded request bodies, per-client token-bucket rate
+// limiting, structured JSON access logs, bounded-cardinality metrics keyed
+// by route pattern, and handlers that evaluate queries against immutable
+// registry snapshots so no request ever blocks an upload (or vice versa)
+// beyond the map swap itself.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/predict"
+	"repro/internal/query"
+	"repro/internal/registry"
+	"repro/internal/repo"
+)
+
+// Config wires the server's dependencies and limits.
+type Config struct {
+	Registry *registry.Registry // required
+	Tuner    *predict.Tuner     // optional; NewTuner when nil
+	Repo     *repo.Repository   // optional; NewWithLibrary when nil
+
+	MaxBodyBytes int64   // upload size cap; default 4 MiB
+	RateLimit    float64 // requests/second per client; <= 0 disables
+	RateBurst    float64 // bucket capacity; default 2*RateLimit (min 1)
+
+	AccessLog io.Writer // JSON lines; nil disables
+}
+
+// Server is the HTTP facade over the registry.
+type Server struct {
+	cfg     Config
+	reg     *registry.Registry
+	tuner   *predict.Tuner
+	repo    *repo.Repository
+	metrics *metrics
+	limiter *rateLimiter
+	logger  *accessLogger
+	mux     *http.ServeMux
+}
+
+// New builds a Server. The zero limits get production defaults.
+func New(cfg Config) *Server {
+	if cfg.Registry == nil {
+		cfg.Registry = registry.New()
+	}
+	if cfg.Tuner == nil {
+		cfg.Tuner = predict.NewTuner()
+	}
+	if cfg.Repo == nil {
+		cfg.Repo = repo.NewWithLibrary()
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 4 << 20
+	}
+	if cfg.RateBurst <= 0 {
+		cfg.RateBurst = 2 * cfg.RateLimit
+	}
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		tuner:   cfg.Tuner,
+		repo:    cfg.Repo,
+		metrics: newMetrics(),
+		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
+		logger:  &accessLogger{w: cfg.AccessLog},
+		mux:     http.NewServeMux(),
+	}
+	s.routes()
+	return s
+}
+
+// route registers a pattern with the full middleware chain; the pattern
+// (not the raw path) keys the metrics, keeping label cardinality bounded.
+func (s *Server) route(pattern string, h http.HandlerFunc) {
+	s.mux.Handle(pattern, s.wrap(pattern, h))
+}
+
+func (s *Server) routes() {
+	s.route("GET /healthz", s.handleHealthz)
+	s.route("GET /metrics", s.handleMetrics)
+	s.route("GET /platforms", s.handleList)
+	s.route("PUT /platforms/{name}", s.handlePut)
+	s.route("GET /platforms/{name}", s.handleGetXML)
+	s.route("DELETE /platforms/{name}", s.handleDelete)
+	s.route("GET /platforms/{name}/pus", s.handleQuery)
+	s.route("GET /platforms/{name}/predict", s.handlePredict)
+	s.route("GET /platforms/{name}/rank", s.handleRank)
+	s.route("POST /platforms/{name}/observe", s.handleObserve)
+}
+
+// Handler returns the root handler (for http.Server or httptest).
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// wrap applies rate limiting, body bounding, metrics and access logging.
+func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w}
+		client := clientKey(r)
+
+		s.metrics.addInflight(1)
+		defer s.metrics.addInflight(-1)
+
+		if !s.limiter.allow(client) {
+			s.metrics.incRateLimited()
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded")
+		} else {
+			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
+			h(sw, r)
+		}
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		dur := time.Since(start)
+		s.metrics.observe(r.Method, pattern, sw.status, dur)
+		s.logger.log(accessRecord{
+			Time:   start.UTC().Format(time.RFC3339Nano),
+			Client: client,
+			Method: r.Method,
+			Path:   r.URL.Path,
+			Status: sw.status,
+			Bytes:  sw.bytes,
+			Millis: float64(dur.Microseconds()) / 1000,
+			Route:  pattern,
+		})
+	})
+}
+
+// errorBody is the uniform JSON error envelope.
+type errorBody struct {
+	Error    string   `json:"error"`
+	Problems []string `json:"problems,omitempty"`
+}
+
+func writeError(w http.ResponseWriter, code int, msg string, problems ...string) {
+	writeJSON(w, code, errorBody{Error: msg, Problems: problems})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"platforms": s.reg.Len(),
+		"version":   s.reg.Version(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	cs := s.reg.CacheStats()
+	var b strings.Builder
+	s.metrics.render(&b, gaugeSet{
+		storeVersion:  s.reg.Version(),
+		platforms:     s.reg.Len(),
+		cacheHits:     cs.Hits,
+		cacheMisses:   cs.Misses,
+		cacheEntries:  cs.Entries,
+		cacheHitRatio: cs.HitRatio(),
+	})
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	io.WriteString(w, b.String())
+}
+
+// platformInfo is the JSON projection of a registry entry (sans document).
+type platformInfo struct {
+	Name     string   `json:"name"`
+	Platform string   `json:"platform"` // the document's own name attribute
+	ETag     string   `json:"etag"`
+	Revision uint64   `json:"revision"`
+	Units    int      `json:"units"`
+	Warnings []string `json:"warnings,omitempty"`
+}
+
+func infoOf(e *registry.Entry) platformInfo {
+	return platformInfo{
+		Name:     e.Name,
+		Platform: e.Platform.Name,
+		ETag:     e.ETag,
+		Revision: e.Revision,
+		Units:    e.Platform.TotalUnits(),
+		Warnings: e.Warnings,
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	entries := s.reg.List()
+	out := make([]platformInfo, 0, len(entries))
+	for _, e := range entries {
+		out = append(out, infoOf(e))
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"platforms": out, "version": s.reg.Version()})
+}
+
+func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	body, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			s.metrics.incBodyTooBig()
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Sprintf("body exceeds %d byte limit", tooBig.Limit))
+			return
+		}
+		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	entry, changed, err := s.reg.Put(name, body)
+	if err != nil {
+		if ve, ok := registry.AsValidationError(err); ok {
+			writeError(w, http.StatusUnprocessableEntity, "platform failed validation", ve.Problems...)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("ETag", entry.ETag)
+	code := http.StatusOK
+	if changed && entry.Revision == 1 {
+		code = http.StatusCreated
+	}
+	writeJSON(w, code, map[string]any{
+		"platform": infoOf(entry),
+		"changed":  changed,
+		"version":  s.reg.Version(),
+	})
+}
+
+func (s *Server) handleGetXML(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown platform")
+		return
+	}
+	w.Header().Set("ETag", e.ETag)
+	if match := r.Header.Get("If-None-Match"); ifNoneMatchHits(match, e.ETag) {
+		w.WriteHeader(http.StatusNotModified)
+		return
+	}
+	w.Header().Set("Content-Type", "application/xml")
+	w.Write(e.XML)
+}
+
+// ifNoneMatchHits implements the strong-comparison subset of RFC 9110
+// If-None-Match: a comma-separated list of entity tags, or "*".
+func ifNoneMatchHits(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, tag := range strings.Split(header, ",") {
+		if strings.TrimSpace(tag) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	if !s.reg.Delete(r.PathValue("name")) {
+		writeError(w, http.StatusNotFound, "unknown platform")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "version": s.reg.Version()})
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	filters, err := query.ParseFilters(r.URL.Query())
+	if err != nil {
+		if fe, ok := query.AsFilterError(err); ok {
+			writeError(w, http.StatusBadRequest, "invalid query", fe.Problems...)
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	views, cached, err := s.reg.Query(name, filters)
+	if err != nil {
+		code := http.StatusBadRequest
+		if strings.Contains(err.Error(), "unknown platform") {
+			code = http.StatusNotFound
+		}
+		writeError(w, code, err.Error())
+		return
+	}
+	if cached {
+		w.Header().Set("X-Cache", "hit")
+	} else {
+		w.Header().Set("X-Cache", "miss")
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"platform": name,
+		"query":    filters.CacheKey(),
+		"count":    len(views),
+		"pus":      views,
+	})
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown platform")
+		return
+	}
+	codelet := r.URL.Query().Get("codelet")
+	sizeStr := r.URL.Query().Get("size")
+	if codelet == "" || sizeStr == "" {
+		writeError(w, http.StatusBadRequest, "codelet and size query parameters are required")
+		return
+	}
+	size, err := strconv.ParseFloat(sizeStr, 64)
+	if err != nil || size <= 0 {
+		writeError(w, http.StatusBadRequest, "size must be a positive number")
+		return
+	}
+	pred, err := s.tuner.Predict(e.Platform, codelet, size)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"codelet": pred.Codelet,
+		"pattern": pred.Pattern,
+		"seconds": pred.Seconds,
+		"samples": pred.Samples,
+	})
+}
+
+func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown platform")
+		return
+	}
+	iface := r.URL.Query().Get("iface")
+	sizeStr := r.URL.Query().Get("size")
+	if iface == "" || sizeStr == "" {
+		writeError(w, http.StatusBadRequest, "iface and size query parameters are required")
+		return
+	}
+	size, err := strconv.ParseFloat(sizeStr, 64)
+	if err != nil || size <= 0 {
+		writeError(w, http.StatusBadRequest, "size must be a positive number")
+		return
+	}
+	ranked, err := s.tuner.RankVariants(s.repo, iface, e.Platform, size)
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	type rankedOut struct {
+		Variant string  `json:"variant"`
+		Seconds float64 `json:"seconds,omitempty"`
+		Pattern string  `json:"pattern,omitempty"`
+		Error   string  `json:"error,omitempty"`
+	}
+	out := make([]rankedOut, 0, len(ranked))
+	for _, rk := range ranked {
+		ro := rankedOut{Variant: rk.Variant.Name}
+		if rk.Err != nil {
+			ro.Error = rk.Err.Error()
+		} else {
+			ro.Seconds = rk.Prediction.Seconds
+			ro.Pattern = rk.Prediction.Pattern
+		}
+		out = append(out, ro)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"iface": iface, "ranked": out})
+}
+
+// observation is the POST /platforms/{name}/observe payload.
+type observation struct {
+	Codelet string  `json:"codelet"`
+	Size    float64 `json:"size"`
+	Seconds float64 `json:"seconds"`
+}
+
+func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
+	e, ok := s.reg.Get(r.PathValue("name"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown platform")
+		return
+	}
+	var obs observation
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&obs); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding observation: "+err.Error())
+		return
+	}
+	if obs.Codelet == "" || obs.Size <= 0 || obs.Seconds <= 0 {
+		writeError(w, http.StatusBadRequest, "observation needs codelet, positive size and positive seconds")
+		return
+	}
+	if err := s.tuner.Observe(e.Platform, obs.Codelet, obs.Size, obs.Seconds); err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]any{"recorded": true})
+}

@@ -33,6 +33,7 @@ import (
 	"repro/internal/registry"
 	"repro/internal/repo"
 	"repro/internal/server"
+	"repro/internal/trace"
 )
 
 // benchN is the default simulated problem size. The paper uses N=8192; the
@@ -207,9 +208,11 @@ func BenchmarkGemmKernels(b *testing.B) {
 
 // BenchmarkGemmDispatch measures real-engine dispatch overhead per scheduler
 // (Ext-I's A/B): a fork graph of 2000 no-op tasks on 4 workers, so the
-// metric is queue traffic, not kernel time.
+// metric is queue traffic, not kernel time. The "ws+trace" variant repeats
+// the work-stealing point with causal tracing enabled — its delta against
+// "ws" is the tracing overhead.
 func BenchmarkGemmDispatch(b *testing.B) {
-	for _, sched := range []string{"eager", "ws"} {
+	for _, sched := range []string{"eager", "ws", "ws+trace"} {
 		b.Run(sched, func(b *testing.B) {
 			var us, steals float64
 			for i := 0; i < b.N; i++ {
@@ -226,6 +229,32 @@ func BenchmarkGemmDispatch(b *testing.B) {
 			}
 			b.ReportMetric(us, "us/task")
 			b.ReportMetric(steals, "steals")
+		})
+	}
+}
+
+// BenchmarkRealGemmTracing measures tracing overhead at realistic task
+// granularity: the real-engine tiled DGEMM (384², 96² tiles) with and
+// without causal tracing, identical code path either way. Tile kernels run
+// for milliseconds, so the fixed per-event recording cost (~140ns, visible
+// in BenchmarkGemmDispatch/ws+trace where tasks are no-ops) vanishes into
+// the noise — the "off" vs "on" delta is the overhead a real workload pays
+// for always-on tracing.
+func BenchmarkRealGemmTracing(b *testing.B) {
+	for _, name := range []string{"off", "on"} {
+		traced := name == "on"
+		b.Run(name, func(b *testing.B) {
+			pl := discover.MustPlatform("this-host")
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var tr *trace.Trace
+				if traced {
+					tr = trace.New()
+				}
+				if _, err := experiments.RealDGEMMWithTrace(pl, 384, 96, 4, false, tr); err != nil {
+					b.Fatal(err)
+				}
+			}
 		})
 	}
 }

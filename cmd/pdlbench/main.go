@@ -7,7 +7,7 @@
 //	pdlbench -exp fig5 [-n 8192] [-tile 1024] [-sched dmda]
 //	pdlbench -exp sched|tiles|bw|crossover|failover|stencil|realcpu
 //	pdlbench -exp faults [-n 4096] [-tile 1024] [-seed 1]
-//	pdlbench -exp gemm [-gemmn 1024] [-workers 0] [-out BENCH_gemm.json]
+//	pdlbench -exp gemm [-gemmn 1024] [-workers 0] [-out BENCH_gemm.json] [-trace out.json]
 //	pdlbench -exp all
 package main
 
@@ -40,6 +40,7 @@ func run(args []string, stdout io.Writer) error {
 		gemmN   = fs.Int("gemmn", 1024, "matrix extent for the gemm kernel bench")
 		workers = fs.Int("workers", 0, "worker count for the gemm bench (0 = GOMAXPROCS)")
 		out     = fs.String("out", "", "write the gemm bench as JSON to this path (e.g. BENCH_gemm.json)")
+		traceTo = fs.String("trace", "", "gemm only: run a traced real-mode tiled DGEMM and write the Chrome trace here (open in Perfetto)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +81,19 @@ func run(args []string, stdout io.Writer) error {
 						return werr
 					}
 					fmt.Fprintf(stdout, "wrote %s\n", *out)
+				}
+				if *traceTo != "" {
+					// A traced real-mode tiled DGEMM: per-worker lanes,
+					// dependency arrows and steal arrows in one artefact.
+					tr, rep, terr := experiments.TraceGemmRun(*realN, *realN/4, *workers, false)
+					if terr != nil {
+						return terr
+					}
+					if terr := tr.WriteChromeFile(*traceTo); terr != nil {
+						return terr
+					}
+					fmt.Fprintf(stdout, "wrote %s (%d events, %d tasks, %d steals; load in https://ui.perfetto.dev)\n",
+						*traceTo, tr.Len(), rep.Tasks, rep.Steals)
 				}
 			}
 		default:

@@ -21,6 +21,7 @@
 //	POST   /platforms/{name}/observe   {"codelet":..., "size":..., "seconds":...}
 //	GET    /healthz                    liveness + store version
 //	GET    /metrics                    Prometheus text format
+//	GET    /debug/trace                last published run trace (?format=chrome|jsonl)
 package main
 
 import (
@@ -39,6 +40,13 @@ import (
 
 	"repro/internal/registry"
 	"repro/internal/server"
+	"repro/internal/trace"
+
+	// Register the task runtime's taskrt_* families in metrics.Default so
+	// /metrics exposes runtime activity next to the pdlserved_* families
+	// (net/http/pprof-style side-effect import; any in-process taskrt run —
+	// embedded or future — reports through the same registry).
+	_ "repro/internal/taskrt"
 )
 
 func main() {
@@ -62,6 +70,7 @@ func run(args []string) error {
 		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
 		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
 		accessLog    = fs.String("access-log", "-", "access log destination: '-' for stderr, a path, or '' to disable")
+		traceFile    = fs.String("trace", "", "trace file (Chrome JSON or pdltrace JSONL) to serve at /debug/trace")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,6 +88,15 @@ func run(args []string) error {
 		}
 		defer f.Close()
 		logDst = f
+	}
+
+	if *traceFile != "" {
+		tr, err := trace.ReadFile(*traceFile)
+		if err != nil {
+			return err
+		}
+		trace.Publish(tr)
+		log.Printf("pdlserved: serving trace %s (%d events) at /debug/trace", *traceFile, tr.Len())
 	}
 
 	reg := registry.New(registry.WithCacheSize(*cacheSize))

@@ -1,0 +1,245 @@
+// Command pdltrace inspects and converts runtime traces recorded by the
+// task runtime (Config.Trace): summarize per-unit utilization and the
+// critical path, convert between the Chrome trace_event JSON and pdltrace
+// JSONL formats, and diff two traces A/B. Both input formats are sniffed, so
+// any trace written by pdlbench -trace, examples/dgemm -trace or pdlserved's
+// /debug/trace endpoint works everywhere a file is expected.
+//
+// Usage:
+//
+//	pdltrace summarize out.json
+//	pdltrace convert out.json out.jsonl
+//	pdltrace convert -to chrome out.jsonl perfetto.json
+//	pdltrace diff before.json after.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "pdltrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: pdltrace <summarize|convert|diff> [args]")
+	}
+	switch cmd := args[0]; cmd {
+	case "summarize":
+		return summarize(args[1:], stdout)
+	case "convert":
+		return convert(args[1:], stdout)
+	case "diff":
+		return diff(args[1:], stdout)
+	default:
+		return fmt.Errorf("unknown command %q (want summarize, convert or diff)", cmd)
+	}
+}
+
+// summarize prints run metadata, the critical path, and per-unit
+// utilization with the steal/retry/failure breakdown.
+func summarize(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdltrace summarize", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	gantt := fs.Bool("gantt", false, "also render the textual Gantt chart")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pdltrace summarize [-gantt] <trace-file>")
+	}
+	tr, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	makespan := tr.Makespan()
+	units := tr.ByUnit()
+	tasks, steals, retries, failures, transfers := 0, 0, 0, 0, 0
+	for _, u := range units {
+		tasks += u.Tasks
+		steals += u.Steals
+		retries += u.Retries
+		failures += u.Failures
+		transfers += u.Transfers
+	}
+	fmt.Fprintf(stdout, "trace: %d events, makespan %.6fs, %d task executions on %d units\n",
+		tr.Len(), makespan, tasks, len(units))
+	if meta := tr.Meta(); len(meta) > 0 {
+		var pairs []string
+		for _, k := range sortedKeys(meta) {
+			pairs = append(pairs, fmt.Sprintf("%s=%s", k, meta[k]))
+		}
+		fmt.Fprintf(stdout, "meta:  %s\n", strings.Join(pairs, " "))
+	}
+	if steals+retries+failures+transfers > 0 {
+		fmt.Fprintf(stdout, "flow:  %d steals, %d retries, %d failures, %d transfers\n",
+			steals, retries, failures, transfers)
+	}
+
+	cp := tr.CriticalPath()
+	if len(cp.TaskIDs) > 0 {
+		frac := 0.0
+		if makespan > 0 {
+			frac = cp.Length / makespan * 100
+		}
+		fmt.Fprintf(stdout, "critical path: %d tasks, %.6fs (%.0f%% of makespan)\n",
+			len(cp.TaskIDs), cp.Length, frac)
+		for i, e := range cp.Events {
+			if i == 8 && len(cp.Events) > 9 {
+				fmt.Fprintf(stdout, "  ... %d more\n", len(cp.Events)-i)
+				break
+			}
+			fmt.Fprintf(stdout, "  #%-5d %-10s %.6fs  %s\n", cp.TaskIDs[i], e.Unit, e.Duration(), e.Label)
+		}
+	}
+
+	fmt.Fprintf(stdout, "%-12s %6s %10s %6s %7s %8s %9s\n",
+		"unit", "tasks", "busy[s]", "util", "steals", "retries", "failures")
+	for _, u := range units {
+		util := 0.0
+		if makespan > 0 {
+			util = u.Busy / makespan * 100
+		}
+		fmt.Fprintf(stdout, "%-12s %6d %10.6f %5.0f%% %7d %8d %9d\n",
+			u.Unit, u.Tasks, u.Busy, util, u.Steals, u.Retries, u.Failures)
+	}
+	if *gantt {
+		fmt.Fprint(stdout, tr.Gantt(72))
+	}
+	return nil
+}
+
+// convert rewrites a trace into the other format (or an explicit -to).
+func convert(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdltrace convert", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	to := fs.String("to", "", "output format: chrome or jsonl (default: by output extension, .jsonl → jsonl)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: pdltrace convert [-to chrome|jsonl] <in> <out>")
+	}
+	in, out := fs.Arg(0), fs.Arg(1)
+	format := *to
+	if format == "" {
+		if strings.HasSuffix(out, ".jsonl") {
+			format = "jsonl"
+		} else {
+			format = "chrome"
+		}
+	}
+	tr, err := trace.ReadFile(in)
+	if err != nil {
+		return err
+	}
+	switch format {
+	case "chrome":
+		err = tr.WriteChromeFile(out)
+	case "jsonl":
+		err = tr.WriteJSONLFile(out)
+	default:
+		return fmt.Errorf("unknown format %q (want chrome or jsonl)", format)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "wrote %s (%s, %d events)\n", out, format, tr.Len())
+	return nil
+}
+
+// diff compares two traces: totals first, then per-unit busy-time deltas.
+func diff(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdltrace diff", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: pdltrace diff <before> <after>")
+	}
+	a, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := trace.ReadFile(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+
+	type totals struct {
+		makespan, critical               float64
+		tasks, steals, retries, failures int
+	}
+	tally := func(t *trace.Trace) totals {
+		var out totals
+		out.makespan = t.Makespan()
+		out.critical = t.CriticalPath().Length
+		for _, u := range t.ByUnit() {
+			out.tasks += u.Tasks
+			out.steals += u.Steals
+			out.retries += u.Retries
+			out.failures += u.Failures
+		}
+		return out
+	}
+	ta, tb := tally(a), tally(b)
+
+	rel := func(x, y float64) string {
+		if x == 0 {
+			return "-"
+		}
+		return fmt.Sprintf("%+.1f%%", (y-x)/x*100)
+	}
+	fmt.Fprintf(stdout, "%-14s %14s %14s %8s\n", "metric", "before", "after", "delta")
+	row := func(name string, x, y float64, format string) {
+		fmt.Fprintf(stdout, "%-14s "+format+" "+format+" %8s\n", name, x, y, rel(x, y))
+	}
+	row("makespan[s]", ta.makespan, tb.makespan, "%14.6f")
+	row("critpath[s]", ta.critical, tb.critical, "%14.6f")
+	row("tasks", float64(ta.tasks), float64(tb.tasks), "%14.0f")
+	row("steals", float64(ta.steals), float64(tb.steals), "%14.0f")
+	row("retries", float64(ta.retries), float64(tb.retries), "%14.0f")
+	row("failures", float64(ta.failures), float64(tb.failures), "%14.0f")
+
+	// Per-unit busy deltas for units present in both traces.
+	busyA := map[string]float64{}
+	for _, u := range a.ByUnit() {
+		busyA[u.Unit] = u.Busy
+	}
+	printedHeader := false
+	for _, u := range b.ByUnit() {
+		before, ok := busyA[u.Unit]
+		if !ok {
+			continue
+		}
+		if !printedHeader {
+			fmt.Fprintf(stdout, "%-14s %14s %14s %8s\n", "unit busy[s]", "before", "after", "delta")
+			printedHeader = true
+		}
+		fmt.Fprintf(stdout, "%-14s %14.6f %14.6f %8s\n", u.Unit, before, u.Busy, rel(before, u.Busy))
+	}
+	return nil
+}
+
+// sortedKeys returns the map's keys in sorted order.
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+)
+
+func writeSample(t *testing.T, path string) {
+	t.Helper()
+	tr := trace.New()
+	tr.SetMeta("scheduler", "ws")
+	tr.Record(trace.Event{Kind: trace.Task, Unit: "worker0", Label: "root", Start: 0, End: 1, TaskID: 0})
+	tr.Record(trace.Event{Kind: trace.Steal, Unit: "worker1", Start: 1, End: 1, TaskID: 1, Worker: 1, From: "worker0"})
+	tr.Record(trace.Event{Kind: trace.Task, Unit: "worker1", Label: "leaf", Start: 1, End: 3, TaskID: 1, ParentIDs: []int{0}, Worker: 1})
+	if err := tr.WriteChromeFile(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	in := filepath.Join(t.TempDir(), "t.json")
+	writeSample(t, in)
+	var out strings.Builder
+	if err := run([]string{"summarize", "-gantt", in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"3 events", "2 task executions on 2 units",
+		"scheduler=ws", "1 steals",
+		"critical path: 2 tasks, 3.000000s (100% of makespan)",
+		"worker0", "worker1", "gantt:",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("summarize lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestConvertRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "t.json")
+	writeSample(t, in)
+	jsonl := filepath.Join(dir, "t.jsonl")
+	back := filepath.Join(dir, "back.json")
+	var out strings.Builder
+	if err := run([]string{"convert", in, jsonl}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"convert", "-to", "chrome", jsonl, back}, &out); err != nil {
+		t.Fatal(err)
+	}
+	a, err := trace.ReadFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := trace.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != b.Len() || a.Makespan() != b.Makespan() {
+		t.Fatalf("round trip drifted: %d/%g vs %d/%g", a.Len(), a.Makespan(), b.Len(), b.Makespan())
+	}
+}
+
+func TestDiff(t *testing.T) {
+	dir := t.TempDir()
+	in := filepath.Join(dir, "t.json")
+	writeSample(t, in)
+	var out strings.Builder
+	if err := run([]string{"diff", in, in}, &out); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"makespan[s]", "+0.0%", "unit busy[s]", "worker1"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("diff lacks %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestBadInvocations(t *testing.T) {
+	var out strings.Builder
+	for _, args := range [][]string{
+		nil,
+		{"frobnicate"},
+		{"summarize"},
+		{"convert", "only-one"},
+		{"diff", "one"},
+		{"summarize", filepath.Join(t.TempDir(), "missing.json")},
+	} {
+		if err := run(args, &out); err == nil {
+			t.Fatalf("run(%v) succeeded; want error", args)
+		}
+	}
+}

@@ -23,6 +23,7 @@ func main() {
 	n := flag.Int("n", 8192, "matrix extent")
 	tile := flag.Int("tile", 1024, "tile extent")
 	sched := flag.String("sched", "dmda", "scheduler")
+	traceTo := flag.String("trace", "", "write a Chrome trace of the real-mode cross-check here")
 	flag.Parse()
 
 	// Figure 5: same input program, three PDL descriptors.
@@ -33,8 +34,22 @@ func main() {
 	fmt.Print(res.Table())
 
 	// Real-mode cross-check on this host: the tiled task graph computes the
-	// same result as the serial blocked kernel.
+	// same result as the serial blocked kernel. With -trace, the run records
+	// causal spans and writes a Perfetto-loadable Chrome trace.
 	fmt.Println()
+	if *traceTo != "" {
+		tr, rep, err := experiments.TraceGemmRun(256, 64, 0, true)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tr.WriteChromeFile(*traceTo); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("real-mode cross-check (N=256): %d tasks in %.4fs, result verified\n",
+			rep.Tasks, rep.MakespanSeconds)
+		fmt.Printf("wrote %s (%d events; load in https://ui.perfetto.dev)\n", *traceTo, tr.Len())
+		return
+	}
 	host := discover.MustPlatform("this-host")
 	rep, err := experiments.RealDGEMM(host, 256, 64, 0, true)
 	if err != nil {

@@ -2,11 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/discover"
 	"repro/internal/partition"
 	"repro/internal/taskrt"
+	"repro/internal/trace"
 )
 
 // dgemmCodelet mirrors the case study's DGEMM task interface: a GotoBLAS-
@@ -133,7 +136,19 @@ func SimDGEMM(pl *core.Platform, n, tile int, scheduler string) (*taskrt.Report,
 // RealDGEMM runs the tiled DGEMM graph on real goroutine workers and
 // verifies the numerical result against the serial kernel for small sizes.
 func RealDGEMM(pl *core.Platform, n, tile, workers int, verify bool) (*taskrt.Report, error) {
-	rt, err := taskrt.New(taskrt.Config{Platform: pl, Mode: taskrt.Real, Workers: workers})
+	return realDGEMM(pl, n, tile, workers, verify, nil)
+}
+
+// RealDGEMMWithTrace is RealDGEMM recording causal spans into tr (nil runs
+// untraced) — the A/B pair behind the tracing-overhead benchmark at
+// realistic task granularity, where tile kernels run for milliseconds and
+// the per-event recording cost disappears into the noise.
+func RealDGEMMWithTrace(pl *core.Platform, n, tile, workers int, verify bool, tr *trace.Trace) (*taskrt.Report, error) {
+	return realDGEMM(pl, n, tile, workers, verify, tr)
+}
+
+func realDGEMM(pl *core.Platform, n, tile, workers int, verify bool, tr *trace.Trace) (*taskrt.Report, error) {
+	rt, err := taskrt.New(taskrt.Config{Platform: pl, Mode: taskrt.Real, Workers: workers, Trace: tr})
 	if err != nil {
 		return nil, err
 	}
@@ -155,4 +170,25 @@ func RealDGEMM(pl *core.Platform, n, tile, workers int, verify bool) (*taskrt.Re
 		}
 	}
 	return rep, nil
+}
+
+// TraceGemmRun executes the real-mode tiled DGEMM on this host with causal
+// tracing enabled and returns the trace, annotated with the dispatcher, the
+// selected GEMM micro-kernel ISA and the problem size — the artefact behind
+// `pdlbench -exp gemm -trace out.json` and the README tracing walkthrough.
+func TraceGemmRun(n, tile, workers int, verify bool) (*trace.Trace, *taskrt.Report, error) {
+	pl, err := discover.Platform("this-host")
+	if err != nil {
+		return nil, nil, err
+	}
+	tr := trace.New()
+	rep, err := realDGEMM(pl, n, tile, workers, verify, tr)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr.SetMeta("dispatcher", rep.Scheduler)
+	tr.SetMeta("microkernel", blas.KernelISA())
+	tr.SetMeta("n", strconv.Itoa(n))
+	tr.SetMeta("tile", strconv.Itoa(tile))
+	return tr, rep, nil
 }

@@ -5,11 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/blas"
 	"repro/internal/discover"
 	"repro/internal/taskrt"
+	"repro/internal/trace"
 )
 
 // Ext-I: the measurable bench pipeline for the hot-path overhaul. Two
@@ -121,6 +123,10 @@ func GemmKernelBench(n, block, workers, reps int) ([]KernelPoint, error) {
 // traffic — push, wake, take, steal. The fork shape makes the work-stealing
 // path observable: completing the root parks every dependent on one worker's
 // deque, and the other workers must steal to participate.
+//
+// A "+trace" suffix on a scheduler name (e.g. "ws+trace") runs that point
+// with causal tracing enabled, so the tracing overhead is an A/B row in the
+// same table instead of a separate experiment.
 func DispatchBench(tasks, workers, reps int, scheds ...string) ([]DispatchPoint, error) {
 	if reps < 1 {
 		reps = 3
@@ -136,16 +142,21 @@ func DispatchBench(tasks, workers, reps int, scheds ...string) ([]DispatchPoint,
 		return nil, err
 	}
 	var out []DispatchPoint
-	for _, sched := range scheds {
+	for _, name := range scheds {
+		sched, traced := strings.CutSuffix(name, "+trace")
 		var steals int
 		run := func() error {
 			pl, err := discover.Platform("this-host")
 			if err != nil {
 				return err
 			}
-			rt, err := taskrt.New(taskrt.Config{
+			cfg := taskrt.Config{
 				Platform: pl, Mode: taskrt.Real, Scheduler: sched, Workers: workers,
-			})
+			}
+			if traced {
+				cfg.Trace = trace.New()
+			}
+			rt, err := taskrt.New(cfg)
 			if err != nil {
 				return err
 			}
@@ -171,10 +182,10 @@ func DispatchBench(tasks, workers, reps int, scheds ...string) ([]DispatchPoint,
 		}
 		d, err := bestOf(reps, run)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: dispatch bench %s: %w", sched, err)
+			return nil, fmt.Errorf("experiments: dispatch bench %s: %w", name, err)
 		}
 		out = append(out, DispatchPoint{
-			Scheduler: sched, Workers: workers, Tasks: tasks,
+			Scheduler: name, Workers: workers, Tasks: tasks,
 			Seconds:       d.Seconds(),
 			MicrosPerTask: d.Seconds() / float64(tasks) * 1e6,
 			Steals:        steals,
@@ -201,7 +212,9 @@ func GemmBench(n, workers int) (*GemmBenchData, error) {
 	if dw < 4 {
 		dw = 4
 	}
-	dispatch, err := DispatchBench(2000, dw, 3)
+	// "ws+trace" repeats the work-stealing point with causal tracing on, so
+	// every BENCH_gemm.json carries the tracing-overhead A/B.
+	dispatch, err := DispatchBench(2000, dw, 3, "eager", "ws", "ws+trace")
 	if err != nil {
 		return nil, err
 	}

@@ -1,11 +1,10 @@
 package server
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
+
+	"repro/internal/metrics"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -13,157 +12,62 @@ import (
 // to second-scale uploads.
 var latencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5}
 
-// metrics collects request counters and a latency histogram, rendered in
-// Prometheus text exposition format by WriteTo. Everything is guarded by one
-// mutex; the critical sections are a few array writes, far off the request
-// hot path's real costs.
-type metrics struct {
-	mu          sync.Mutex
-	requests    map[routeKey]uint64
-	bucketCount []uint64 // per latencyBuckets bound; +Inf is implicit in count
-	latencySum  float64
-	latencyN    uint64
-	inflight    int64
-	rateLimited uint64
-	bodyTooBig  uint64
+// serverMetrics instruments the HTTP layer on the shared internal/metrics
+// substrate. Each Server owns its own registry (so tests can spin up many
+// servers without family-name collisions); /metrics renders it followed by
+// metrics.Default, where the task runtime registers its taskrt_* families —
+// one scrape covers the service and any in-process runtime activity.
+type serverMetrics struct {
+	reg         *metrics.Registry
+	requests    *metrics.CounterVec // method, route pattern, status code
+	latency     *metrics.Histogram
+	inflight    *metrics.Gauge
+	rateLimited *metrics.Counter
+	bodyTooBig  *metrics.Counter
 }
 
-type routeKey struct {
-	method string
-	route  string // the registered pattern, not the raw path (bounded cardinality)
-	code   int
-}
-
-func newMetrics() *metrics {
-	return &metrics{
-		requests:    map[routeKey]uint64{},
-		bucketCount: make([]uint64, len(latencyBuckets)),
+func newMetrics() *serverMetrics {
+	reg := metrics.New()
+	return &serverMetrics{
+		reg: reg,
+		requests: reg.CounterVec("pdlserved_requests_total",
+			"Requests served, by method, route pattern and status code.",
+			"method", "route", "code"),
+		latency: reg.Histogram("pdlserved_request_seconds",
+			"Request latency histogram.", latencyBuckets),
+		inflight: reg.Gauge("pdlserved_inflight_requests",
+			"Requests currently being served."),
+		rateLimited: reg.Counter("pdlserved_ratelimited_total",
+			"Requests rejected by the per-client rate limiter."),
+		bodyTooBig: reg.Counter("pdlserved_body_too_large_total",
+			"Uploads rejected for exceeding the body limit."),
 	}
 }
 
-func (m *metrics) observe(method, route string, code int, dur time.Duration) {
-	s := dur.Seconds()
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.requests[routeKey{method, route, code}]++
-	m.latencySum += s
-	m.latencyN++
-	for i, bound := range latencyBuckets {
-		if s <= bound {
-			m.bucketCount[i]++
-		}
-	}
+func (m *serverMetrics) observe(method, route string, code int, dur time.Duration) {
+	m.requests.With(method, route, strconv.Itoa(code)).Inc()
+	m.latency.Observe(dur.Seconds())
 }
 
-func (m *metrics) addInflight(d int64) {
-	m.mu.Lock()
-	m.inflight += d
-	m.mu.Unlock()
-}
-
-func (m *metrics) incRateLimited() {
-	m.mu.Lock()
-	m.rateLimited++
-	m.mu.Unlock()
-}
-
-func (m *metrics) incBodyTooBig() {
-	m.mu.Lock()
-	m.bodyTooBig++
-	m.mu.Unlock()
-}
-
-// requestCount returns the total requests observed for a route pattern
-// (any method/code); used by tests to assert counters advance.
-func (m *metrics) requestCount(route string) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var n uint64
-	for k, v := range m.requests {
-		if k.route == route {
-			n += v
-		}
-	}
-	return n
-}
-
-// gauges the server layer injects at render time.
-type gaugeSet struct {
-	storeVersion  uint64
-	platforms     int
-	cacheHits     uint64
-	cacheMisses   uint64
-	cacheEntries  int
-	cacheHitRatio float64
-}
-
-// render writes the Prometheus text format.
-func (m *metrics) render(b *strings.Builder, g gaugeSet) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-
-	fmt.Fprintf(b, "# HELP pdlserved_requests_total Requests served, by method, route pattern and status code.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_requests_total counter\n")
-	keys := make([]routeKey, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		a, c := keys[i], keys[j]
-		if a.route != c.route {
-			return a.route < c.route
-		}
-		if a.method != c.method {
-			return a.method < c.method
-		}
-		return a.code < c.code
-	})
-	for _, k := range keys {
-		fmt.Fprintf(b, "pdlserved_requests_total{method=%q,route=%q,code=\"%d\"} %d\n", k.method, k.route, k.code, m.requests[k])
-	}
-
-	fmt.Fprintf(b, "# HELP pdlserved_request_seconds Request latency histogram.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_request_seconds histogram\n")
-	for i, bound := range latencyBuckets {
-		fmt.Fprintf(b, "pdlserved_request_seconds_bucket{le=\"%g\"} %d\n", bound, m.bucketCount[i])
-	}
-	fmt.Fprintf(b, "pdlserved_request_seconds_bucket{le=\"+Inf\"} %d\n", m.latencyN)
-	fmt.Fprintf(b, "pdlserved_request_seconds_sum %g\n", m.latencySum)
-	fmt.Fprintf(b, "pdlserved_request_seconds_count %d\n", m.latencyN)
-
-	fmt.Fprintf(b, "# HELP pdlserved_inflight_requests Requests currently being served.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_inflight_requests gauge\n")
-	fmt.Fprintf(b, "pdlserved_inflight_requests %d\n", m.inflight)
-
-	fmt.Fprintf(b, "# HELP pdlserved_ratelimited_total Requests rejected by the per-client rate limiter.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_ratelimited_total counter\n")
-	fmt.Fprintf(b, "pdlserved_ratelimited_total %d\n", m.rateLimited)
-
-	fmt.Fprintf(b, "# HELP pdlserved_body_too_large_total Uploads rejected for exceeding the body limit.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_body_too_large_total counter\n")
-	fmt.Fprintf(b, "pdlserved_body_too_large_total %d\n", m.bodyTooBig)
-
-	fmt.Fprintf(b, "# HELP pdlserved_store_version Registry store version (committed changes).\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_store_version gauge\n")
-	fmt.Fprintf(b, "pdlserved_store_version %d\n", g.storeVersion)
-
-	fmt.Fprintf(b, "# HELP pdlserved_platforms Platforms currently stored.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_platforms gauge\n")
-	fmt.Fprintf(b, "pdlserved_platforms %d\n", g.platforms)
-
-	fmt.Fprintf(b, "# HELP pdlserved_query_cache_hits_total Query-cache hits.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_query_cache_hits_total counter\n")
-	fmt.Fprintf(b, "pdlserved_query_cache_hits_total %d\n", g.cacheHits)
-
-	fmt.Fprintf(b, "# HELP pdlserved_query_cache_misses_total Query-cache misses.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_query_cache_misses_total counter\n")
-	fmt.Fprintf(b, "pdlserved_query_cache_misses_total %d\n", g.cacheMisses)
-
-	fmt.Fprintf(b, "# HELP pdlserved_query_cache_entries Live query-cache entries.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_query_cache_entries gauge\n")
-	fmt.Fprintf(b, "pdlserved_query_cache_entries %d\n", g.cacheEntries)
-
-	fmt.Fprintf(b, "# HELP pdlserved_query_cache_hit_ratio Hits over lookups since start.\n")
-	fmt.Fprintf(b, "# TYPE pdlserved_query_cache_hit_ratio gauge\n")
-	fmt.Fprintf(b, "pdlserved_query_cache_hit_ratio %g\n", g.cacheHitRatio)
+// registerGauges wires the render-time gauges over registry/cache state.
+// Called once from New, after the Server's dependencies exist.
+func (m *serverMetrics) registerGauges(s *Server) {
+	m.reg.GaugeFunc("pdlserved_store_version",
+		"Registry store version (committed changes).",
+		func() float64 { return float64(s.reg.Version()) })
+	m.reg.GaugeFunc("pdlserved_platforms",
+		"Platforms currently stored.",
+		func() float64 { return float64(s.reg.Len()) })
+	m.reg.CounterFunc("pdlserved_query_cache_hits_total",
+		"Query-cache hits.",
+		func() float64 { return float64(s.reg.CacheStats().Hits) })
+	m.reg.CounterFunc("pdlserved_query_cache_misses_total",
+		"Query-cache misses.",
+		func() float64 { return float64(s.reg.CacheStats().Misses) })
+	m.reg.GaugeFunc("pdlserved_query_cache_entries",
+		"Live query-cache entries.",
+		func() float64 { return float64(s.reg.CacheStats().Entries) })
+	m.reg.GaugeFunc("pdlserved_query_cache_hit_ratio",
+		"Hits over lookups since start.",
+		func() float64 { return s.reg.CacheStats().HitRatio() })
 }

@@ -23,10 +23,12 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/predict"
 	"repro/internal/query"
 	"repro/internal/registry"
 	"repro/internal/repo"
+	"repro/internal/trace"
 )
 
 // Config wires the server's dependencies and limits.
@@ -40,6 +42,11 @@ type Config struct {
 	RateBurst    float64 // bucket capacity; default 2*RateLimit (min 1)
 
 	AccessLog io.Writer // JSON lines; nil disables
+
+	// RuntimeMetrics is rendered on /metrics after the server's own
+	// families; nil takes metrics.Default, where the task runtime registers
+	// its taskrt_* instruments.
+	RuntimeMetrics *metrics.Registry
 }
 
 // Server is the HTTP facade over the registry.
@@ -48,7 +55,7 @@ type Server struct {
 	reg     *registry.Registry
 	tuner   *predict.Tuner
 	repo    *repo.Repository
-	metrics *metrics
+	metrics *serverMetrics
 	limiter *rateLimiter
 	logger  *accessLogger
 	mux     *http.ServeMux
@@ -71,6 +78,9 @@ func New(cfg Config) *Server {
 	if cfg.RateBurst <= 0 {
 		cfg.RateBurst = 2 * cfg.RateLimit
 	}
+	if cfg.RuntimeMetrics == nil {
+		cfg.RuntimeMetrics = metrics.Default
+	}
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
@@ -81,6 +91,7 @@ func New(cfg Config) *Server {
 		logger:  &accessLogger{w: cfg.AccessLog},
 		mux:     http.NewServeMux(),
 	}
+	s.metrics.registerGauges(s)
 	s.routes()
 	return s
 }
@@ -102,6 +113,7 @@ func (s *Server) routes() {
 	s.route("GET /platforms/{name}/predict", s.handlePredict)
 	s.route("GET /platforms/{name}/rank", s.handleRank)
 	s.route("POST /platforms/{name}/observe", s.handleObserve)
+	s.route("GET /debug/trace", s.handleDebugTrace)
 }
 
 // Handler returns the root handler (for http.Server or httptest).
@@ -114,11 +126,11 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 		sw := &statusWriter{ResponseWriter: w}
 		client := clientKey(r)
 
-		s.metrics.addInflight(1)
-		defer s.metrics.addInflight(-1)
+		s.metrics.inflight.Inc()
+		defer s.metrics.inflight.Dec()
 
 		if !s.limiter.allow(client) {
-			s.metrics.incRateLimited()
+			s.metrics.rateLimited.Inc()
 			sw.Header().Set("Retry-After", "1")
 			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded")
 		} else {
@@ -170,18 +182,40 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	cs := s.reg.CacheStats()
 	var b strings.Builder
-	s.metrics.render(&b, gaugeSet{
-		storeVersion:  s.reg.Version(),
-		platforms:     s.reg.Len(),
-		cacheHits:     cs.Hits,
-		cacheMisses:   cs.Misses,
-		cacheEntries:  cs.Entries,
-		cacheHitRatio: cs.HitRatio(),
-	})
+	s.metrics.reg.WritePrometheus(&b)
+	if s.cfg.RuntimeMetrics != nil {
+		// The runtime layer: taskrt_* families registered in the shared
+		// registry, so one scrape covers HTTP service and task runtime.
+		s.cfg.RuntimeMetrics.WritePrometheus(&b)
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
+}
+
+// handleDebugTrace serves the most recently published execution trace in
+// Chrome trace_event JSON (default, loadable in Perfetto) or JSONL
+// (?format=jsonl) — the HTTP face of the causal span layer.
+func (s *Server) handleDebugTrace(w http.ResponseWriter, r *http.Request) {
+	tr := trace.Published()
+	if tr == nil {
+		writeError(w, http.StatusNotFound, "no trace has been recorded in this process")
+		return
+	}
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "chrome":
+		w.Header().Set("Content-Type", "application/json")
+		if err := tr.WriteChrome(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	case "jsonl":
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		if err := tr.WriteJSONL(w); err != nil {
+			writeError(w, http.StatusInternalServerError, err.Error())
+		}
+	default:
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("unknown trace format %q (want chrome or jsonl)", format))
+	}
 }
 
 // platformInfo is the JSON projection of a registry entry (sans document).
@@ -220,7 +254,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		var tooBig *http.MaxBytesError
 		if errors.As(err, &tooBig) {
-			s.metrics.incBodyTooBig()
+			s.metrics.bodyTooBig.Inc()
 			writeError(w, http.StatusRequestEntityTooLarge,
 				fmt.Sprintf("body exceeds %d byte limit", tooBig.Limit))
 			return

@@ -1,6 +1,9 @@
 package taskrt
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // TaskContext is handed to real-mode implementation functions.
 type TaskContext struct {
@@ -141,6 +144,9 @@ type Task struct {
 	id         int
 	deps       []*Task
 	dependents []*Task
+	// attempt counts failed attempts so far: the failure slow path stores,
+	// the next executing worker loads it to stamp its trace spans.
+	attempt atomic.Int32
 }
 
 // Deps returns the tasks this task waits for (for tests and tooling).

@@ -60,6 +60,16 @@ func (d *wsDeque) pop() *Task {
 	return task
 }
 
+// size approximates the queued-task count from a racy snapshot of the two
+// indices — good enough for the metrics sampler, never for control flow. It
+// can transiently read one high (owner mid-pop) and is clamped at zero.
+func (d *wsDeque) size() int {
+	if n := d.bottom.Load() - d.top.Load(); n > 0 {
+		return int(n)
+	}
+	return 0
+}
+
 // steal removes the oldest task, or returns nil when the deque is empty or
 // another thief (or the owner, on the last element) won the race. Safe from
 // any goroutine.

@@ -99,8 +99,12 @@ func TestStealDispatcherCountsSteals(t *testing.T) {
 	d.push(0, task)
 	<-d.ready()
 	abort := make(chan struct{})
-	if got := d.take(1, abort); got != task {
+	got, victim := d.take(1, abort)
+	if got != task {
 		t.Fatalf("take(1) = %v, want the parked task", got)
+	}
+	if victim != 0 {
+		t.Fatalf("take(1) victim = %d, want 0", victim)
 	}
 	if d.stolen(1) != 1 {
 		t.Fatalf("stolen(1) = %d, want 1", d.stolen(1))
@@ -111,8 +115,12 @@ func TestStealDispatcherCountsSteals(t *testing.T) {
 	// Injector pushes (from < 0) are not steals.
 	d.push(-1, task)
 	<-d.ready()
-	if got := d.take(1, abort); got != task {
+	got, victim = d.take(1, abort)
+	if got != task {
 		t.Fatal("injected task not delivered")
+	}
+	if victim != -1 {
+		t.Fatalf("injector take reported victim %d, want -1", victim)
 	}
 	if d.stolen(1) != 1 {
 		t.Fatalf("injector take counted as steal: stolen(1) = %d", d.stolen(1))

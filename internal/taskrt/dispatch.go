@@ -33,10 +33,15 @@ type dispatcher interface {
 	// ready returns the credit channel: one receive per available task.
 	ready() <-chan struct{}
 	// take returns a task for worker w after a credit was acquired. It only
-	// returns nil when abort closes mid-sweep.
-	take(w int, abort <-chan struct{}) *Task
+	// returns nil when abort closes mid-sweep. The second result is the
+	// victim worker the task was stolen from, or -1 when it came from the
+	// worker's own queue or the shared pool — steal provenance for traces.
+	take(w int, abort <-chan struct{}) (*Task, int)
 	// stolen reports how many tasks worker w has obtained by stealing.
 	stolen(w int) int
+	// depth approximates worker w's queue length (w < 0: the shared queue).
+	// A racy snapshot for the metrics sampler, never for control flow.
+	depth(w int) int
 }
 
 // chanDispatcher: the single-channel baseline.
@@ -61,16 +66,23 @@ func (d *chanDispatcher) push(from int, t *Task) {
 
 func (d *chanDispatcher) ready() <-chan struct{} { return d.notify }
 
-func (d *chanDispatcher) take(w int, abort <-chan struct{}) *Task {
+func (d *chanDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 	select {
 	case t := <-d.queue:
-		return t
+		return t, -1
 	case <-abort:
-		return nil
+		return nil, -1
 	}
 }
 
 func (d *chanDispatcher) stolen(int) int { return 0 }
+
+func (d *chanDispatcher) depth(w int) int {
+	if w < 0 {
+		return len(d.queue)
+	}
+	return 0
+}
 
 // stealDispatcher: per-worker Chase-Lev deques, a shared injector, and
 // per-worker steal counters (owner-written, merged after shutdown).
@@ -120,21 +132,22 @@ func (d *stealDispatcher) popInjector() *Task {
 	return t
 }
 
-func (d *stealDispatcher) take(w int, abort <-chan struct{}) *Task {
+func (d *stealDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 	for {
 		if t := d.deques[w].pop(); t != nil {
-			return t
+			return t, -1
 		}
 		if t := d.popInjector(); t != nil {
-			return t
+			return t, -1
 		}
 		// Steal sweep, starting at the next worker so victims differ across
 		// thieves. Blacklisted workers' deques stay stealable, so a dying
 		// worker never strands its queued tasks.
 		for i := 1; i < len(d.deques); i++ {
-			if t := d.deques[(w+i)%len(d.deques)].steal(); t != nil {
+			victim := (w + i) % len(d.deques)
+			if t := d.deques[victim].steal(); t != nil {
 				d.steals[w]++
-				return t
+				return t, victim
 			}
 		}
 		// The credit guarantees a task exists; we only get here on transient
@@ -142,7 +155,7 @@ func (d *stealDispatcher) take(w int, abort <-chan struct{}) *Task {
 		// unless the run is aborting.
 		select {
 		case <-abort:
-			return nil
+			return nil, -1
 		default:
 		}
 		runtime.Gosched()
@@ -150,3 +163,12 @@ func (d *stealDispatcher) take(w int, abort <-chan struct{}) *Task {
 }
 
 func (d *stealDispatcher) stolen(w int) int { return int(d.steals[w]) }
+
+func (d *stealDispatcher) depth(w int) int {
+	if w >= 0 {
+		return d.deques[w].size()
+	}
+	d.injMu.Lock()
+	defer d.injMu.Unlock()
+	return len(d.inj)
+}

@@ -1,0 +1,102 @@
+package taskrt
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+)
+
+// Runtime metrics: every engine run instruments the shared metrics.Default
+// registry, so any process that links taskrt (pdlserved, benches, services
+// embedding the runtime) exposes one taskrt_* family set per scrape.
+// Counters are cumulative across runs in the process; per-unit labels are
+// bounded by the worker/unit count, never by task count.
+//
+// Sim-mode runs record *virtual* seconds into the same families (labelled
+// by PDL unit id rather than workerN); the busy/latency figures are only
+// comparable within one mode.
+//
+// Hot-path cost: one histogram observation per task execution (three atomic
+// ops via a per-worker cached handle); everything else is updated on the
+// failure slow path or merged once at the end of the run.
+
+// taskSecondsBuckets span µs-scale no-op dispatch tasks up to second-scale
+// kernels.
+var taskSecondsBuckets = []float64{
+	1e-6, 1e-5, 1e-4, 1e-3, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+var rtm = struct {
+	runs        *metrics.CounterVec   // {mode}
+	runSeconds  *metrics.CounterVec   // {mode}
+	tasks       *metrics.CounterVec   // {unit}
+	taskSeconds *metrics.HistogramVec // {unit}
+	busySeconds *metrics.CounterVec   // {unit}
+	busyRatio   *metrics.GaugeVec     // {unit}
+	queueDepth  *metrics.GaugeVec     // {unit}
+	steals      *metrics.CounterVec   // {unit}
+	retries     *metrics.Counter
+	failures    *metrics.Counter
+	watchdog    *metrics.Counter
+	blacklisted *metrics.GaugeVec // {unit}
+	transfers   *metrics.Counter
+	transferB   *metrics.Counter
+}{
+	runs: metrics.Default.CounterVec("taskrt_runs_total",
+		"Completed Runtime.Run executions, by engine mode.", "mode"),
+	runSeconds: metrics.Default.CounterVec("taskrt_run_seconds_total",
+		"Summed makespan of completed runs (wall in real mode, virtual in sim), by engine mode.", "mode"),
+	tasks: metrics.Default.CounterVec("taskrt_tasks_total",
+		"Tasks executed successfully, by PDL unit id.", "unit"),
+	taskSeconds: metrics.Default.HistogramVec("taskrt_task_seconds",
+		"Task execution latency, by PDL unit id.", taskSecondsBuckets, "unit"),
+	busySeconds: metrics.Default.CounterVec("taskrt_worker_busy_seconds_total",
+		"Summed kernel execution time, by PDL unit id.", "unit"),
+	busyRatio: metrics.Default.GaugeVec("taskrt_worker_busy_ratio",
+		"Busy/makespan ratio of the unit in the most recent run.", "unit"),
+	queueDepth: metrics.Default.GaugeVec("taskrt_queue_depth",
+		"Sampled ready-queue depth, by worker deque (real mode; 'injector' is the shared inject queue).", "unit"),
+	steals: metrics.Default.CounterVec("taskrt_steals_total",
+		"Tasks obtained by stealing from another worker's deque, by thief unit.", "unit"),
+	retries: metrics.Default.Counter("taskrt_retries_total",
+		"Failed task attempts re-queued for retry."),
+	failures: metrics.Default.Counter("taskrt_failed_attempts_total",
+		"Task attempts that ended in failure (injected, codelet error, or watchdog)."),
+	watchdog: metrics.Default.Counter("taskrt_watchdog_trips_total",
+		"Hung attempts converted to failures by the watchdog."),
+	blacklisted: metrics.Default.GaugeVec("taskrt_unit_blacklisted",
+		"1 while the unit is blacklisted by the fault-tolerance layer, else 0.", "unit"),
+	transfers: metrics.Default.Counter("taskrt_transfers_total",
+		"Data transfers staged between memory nodes (sim mode)."),
+	transferB: metrics.Default.Counter("taskrt_transfer_bytes_total",
+		"Bytes moved between memory nodes (sim mode)."),
+}
+
+// workerUnitID names real-mode worker w in metrics and traces.
+func workerUnitID(w int) string { return fmt.Sprintf("worker%d", w) }
+
+// recordReport merges a completed run's aggregate statistics into the
+// process-wide families.
+func recordReport(rep *Report) {
+	mode := rep.Mode.String()
+	rtm.runs.With(mode).Inc()
+	rtm.runSeconds.With(mode).Add(rep.MakespanSeconds)
+	for _, u := range rep.PerUnit {
+		rtm.tasks.With(u.ID).Add(float64(u.Tasks))
+		rtm.busySeconds.With(u.ID).Add(u.BusySeconds)
+		if u.Steals > 0 {
+			rtm.steals.With(u.ID).Add(float64(u.Steals))
+		}
+		if rep.MakespanSeconds > 0 {
+			rtm.busyRatio.With(u.ID).Set(u.BusySeconds / rep.MakespanSeconds)
+		}
+	}
+	rtm.retries.Add(float64(rep.RetriedTasks))
+	rtm.failures.Add(float64(rep.FailedAttempts))
+	rtm.watchdog.Add(float64(rep.WatchdogTrips))
+	rtm.transfers.Add(float64(rep.TransferCount))
+	rtm.transferB.Add(float64(rep.TransferBytes))
+	for _, id := range rep.Blacklisted {
+		rtm.blacklisted.With(id).Set(1)
+	}
+}

@@ -3,11 +3,13 @@ package taskrt
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 )
 
@@ -79,7 +81,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 	ws := make([]workerState, workers)
 	for w := 0; w < workers; w++ {
-		if evs := rt.cfg.Faults.forUnit(fmt.Sprintf("worker%d", w)); len(evs) > 0 {
+		if evs := rt.cfg.Faults.forUnit(workerUnitID(w)); len(evs) > 0 {
 			ws[w].faults = &faultQueue{events: evs}
 		}
 	}
@@ -167,16 +169,74 @@ func (rt *Runtime) runReal() (*Report, error) {
 		}
 	}
 
-	start := time.Now()
-	traceEvent := func(kind trace.Kind, unit, label string, s, e time.Time) {
-		if rt.cfg.Trace == nil {
-			return
+	// Causal-span preparation: resolve every task's parent ids once, up
+	// front, so the recording hot path copies a shared slice header instead
+	// of walking t.deps under load.
+	tracing := rt.cfg.Trace != nil
+	var parents [][]int
+	shardCap := 0
+	if tracing {
+		// One flat backing array for all parent lists: a single allocation
+		// instead of one tiny slice per task.
+		total := 0
+		for _, t := range rt.tasks {
+			total += len(t.deps)
 		}
-		rt.cfg.Trace.Record(trace.Event{
-			Kind: kind, Unit: unit, Label: label,
-			Start: s.Sub(start).Seconds(), End: e.Sub(start).Seconds(),
-		})
+		backing := make([]int, 0, total)
+		parents = make([][]int, len(rt.tasks))
+		for _, t := range rt.tasks {
+			if len(t.deps) == 0 {
+				continue
+			}
+			off := len(backing)
+			for _, d := range t.deps {
+				backing = append(backing, d.id)
+			}
+			parents[t.id] = backing[off:len(backing):len(backing)]
+		}
+		// Bound each shard to the run's size (x2 for retry/steal/failure
+		// events) rather than the 64k default, so a worker can never buffer
+		// more than the run could have produced.
+		shardCap = 2*len(rt.tasks) + 64
+		if shardCap > trace.DefaultShardCapacity {
+			shardCap = trace.DefaultShardCapacity
+		}
+		rt.cfg.Trace.SetMeta("workers", strconv.Itoa(workers))
 	}
+
+	start := time.Now()
+
+	// Queue-depth sampler: a low-rate observer feeding the taskrt_queue_depth
+	// gauges while the run is live. Depth reads are racy snapshots (atomic
+	// deque indices, channel length) and never touch the dispatch hot path.
+	samplerStop := make(chan struct{})
+	var samplerWG sync.WaitGroup
+	samplerWG.Add(1)
+	go func() {
+		defer samplerWG.Done()
+		gauges := make([]*metrics.Gauge, workers)
+		for w := range gauges {
+			gauges[w] = rtm.queueDepth.With(workerUnitID(w))
+		}
+		injector := rtm.queueDepth.With("injector")
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		for {
+			select {
+			case <-samplerStop:
+				for _, g := range gauges {
+					g.Set(0)
+				}
+				injector.Set(0)
+				return
+			case <-tick.C:
+				for w, g := range gauges {
+					g.Set(float64(disp.depth(w)))
+				}
+				injector.Set(float64(disp.depth(-1)))
+			}
+		}
+	}()
 
 	var wgWorkers sync.WaitGroup
 	wgWorkers.Add(workers)
@@ -184,7 +244,35 @@ func (rt *Runtime) runReal() (*Report, error) {
 		go func(worker int) {
 			defer wgWorkers.Done()
 			st := &ws[worker]
-			unitID := fmt.Sprintf("worker%d", worker)
+			unitID := workerUnitID(worker)
+			hist := rtm.taskSeconds.With(unitID)
+			blGauge := rtm.blacklisted.With(unitID)
+			blGauge.Set(0)
+			// Spans buffer into a worker-owned shard (lock-free appends) and
+			// merge into the Trace when the worker exits.
+			var sh *trace.Shard
+			if tracing {
+				sh = rt.cfg.Trace.NewShard(shardCap)
+				defer sh.Flush()
+			}
+			// rec buffers one causal span. t is nil for unit-level events
+			// (blacklist/recover), which carry no task identity.
+			rec := func(kind trace.Kind, t *Task, attempt int, s, e time.Time, from string) {
+				if sh == nil {
+					return
+				}
+				ev := trace.Event{
+					Kind: kind, Unit: unitID, Worker: worker, TaskID: trace.NoTask,
+					Start: s.Sub(start).Seconds(), End: e.Sub(start).Seconds(),
+					Attempt: attempt, From: from,
+				}
+				if t != nil {
+					ev.Label = taskLabel(t)
+					ev.TaskID = t.id
+					ev.ParentIDs = parents[t.id]
+				}
+				sh.Record(ev)
+			}
 			for {
 				select {
 				case <-disp.ready():
@@ -193,14 +281,14 @@ func (rt *Runtime) runReal() (*Report, error) {
 				case <-abort:
 					return
 				}
-				stolenBefore := disp.stolen(worker)
-				t := disp.take(worker, abort)
+				t, victim := disp.take(worker, abort)
 				if t == nil {
 					return // aborted mid-sweep
 				}
-				if rt.cfg.Trace != nil && disp.stolen(worker) > stolenBefore {
+				attempt := int(t.attempt.Load())
+				if victim >= 0 {
 					now := time.Now()
-					traceEvent(trace.Steal, unitID, taskLabel(t), now, now)
+					rec(trace.Steal, t, attempt, now, now, workerUnitID(victim))
 				}
 
 				// Injected fault check: fires before the kernel runs, so
@@ -236,19 +324,23 @@ func (rt *Runtime) runReal() (*Report, error) {
 						watchdogTrips++
 						mu.Unlock()
 					}
-					traceEvent(trace.Failure, unitID, taskLabel(t), t0, time.Now())
+					detected := time.Now()
+					rec(trace.Failure, t, attempt, t0, detected, "")
 					mu.Lock()
 					failedAttempts++
 					retriedSet[t.id] = true
 					attempts[t.id]++
-					if attempts[t.id] >= policy.MaxAttempts {
+					n := attempts[t.id]
+					t.attempt.Store(int32(n))
+					if n >= policy.MaxAttempts {
 						fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts, last on %s: %w",
-							t.Codelet.Name, t.Label, attempts[t.id], unitID, errInjected))
+							t.Codelet.Name, t.Label, n, unitID, errInjected))
 						mu.Unlock()
 						resolve()
 						return
 					}
-					requeue(t, policy.backoffDuration(attempts[t.id]))
+					backoff := policy.backoffDuration(n)
+					requeue(t, backoff)
 					// Blacklist this worker; other workers keep draining (its
 					// deque remains stealable).
 					blacklisted[unitID] = true
@@ -260,8 +352,10 @@ func (rt *Runtime) runReal() (*Report, error) {
 						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending.Load()))
 					}
 					mu.Unlock()
+					rec(trace.Retry, t, n, detected, detected.Add(backoff), "")
+					blGauge.Set(1)
 					now := time.Now()
-					traceEvent(trace.Blacklist, unitID, "", now, now)
+					rec(trace.Blacklist, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
 						_ = rt.cfg.Tracker.SetOffline(unitID) // best effort: tracker may not know worker ids
 					}
@@ -278,8 +372,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 					alive++
 					recovering--
 					mu.Unlock()
+					blGauge.Set(0)
 					now = time.Now()
-					traceEvent(trace.Recover, unitID, "", now, now)
+					rec(trace.Recover, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
 						_ = rt.cfg.Tracker.SetOnline(unitID)
 					}
@@ -312,7 +407,8 @@ func (rt *Runtime) runReal() (*Report, error) {
 				}
 				d := time.Since(t0)
 				if err == nil {
-					traceEvent(trace.Task, unitID, taskLabel(t), t0, t0.Add(d))
+					rec(trace.Task, t, attempt, t0, t0.Add(d), "")
+					hist.Observe(d.Seconds())
 					if rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
 						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
 					}
@@ -323,7 +419,8 @@ func (rt *Runtime) runReal() (*Report, error) {
 					continue
 				}
 				// Failure path.
-				traceEvent(trace.Failure, unitID, taskLabel(t), t0, t0.Add(d))
+				detected := t0.Add(d)
+				rec(trace.Failure, t, attempt, t0, detected, "")
 				st.busy += d
 				if !ft {
 					// Fail fast: the original no-recovery contract.
@@ -337,16 +434,19 @@ func (rt *Runtime) runReal() (*Report, error) {
 				failedAttempts++
 				retriedSet[t.id] = true
 				attempts[t.id]++
+				n := attempts[t.id]
+				t.attempt.Store(int32(n))
 				if wdog {
 					watchdogTrips++
 				}
-				if attempts[t.id] >= policy.MaxAttempts {
-					fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts: %w", t.Codelet.Name, t.Label, attempts[t.id], err))
+				if n >= policy.MaxAttempts {
+					fail(fmt.Errorf("taskrt: task %q (%s) failed %d attempts: %w", t.Codelet.Name, t.Label, n, err))
 					mu.Unlock()
 					resolve()
 					return
 				}
-				requeue(t, policy.backoffDuration(attempts[t.id]))
+				backoff := policy.backoffDuration(n)
+				requeue(t, backoff)
 				if wdog {
 					// A hung kernel condemns its worker: the unit cannot be
 					// trusted (the orphaned goroutine may still hold it).
@@ -356,14 +456,17 @@ func (rt *Runtime) runReal() (*Report, error) {
 						fail(fmt.Errorf("taskrt: all %d workers blacklisted with %d task(s) pending", workers, pending.Load()))
 					}
 					mu.Unlock()
+					rec(trace.Retry, t, n, detected, detected.Add(backoff), "")
+					blGauge.Set(1)
 					now := time.Now()
-					traceEvent(trace.Blacklist, unitID, "", now, now)
+					rec(trace.Blacklist, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
 						_ = rt.cfg.Tracker.SetOffline(unitID)
 					}
 					return
 				}
 				mu.Unlock()
+				rec(trace.Retry, t, n, detected, detected.Add(backoff), "")
 			}
 		}(w)
 	}
@@ -374,6 +477,8 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 	elapsed := time.Since(start)
 	wgWorkers.Wait() // let in-flight attempts finish before reading stats
+	close(samplerStop)
+	samplerWG.Wait()
 
 	mu.Lock()
 	defer mu.Unlock()
@@ -397,7 +502,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 		steals := disp.stolen(w)
 		rep.Steals += steals
 		rep.PerUnit = append(rep.PerUnit, UnitStats{
-			ID:          fmt.Sprintf("worker%d", w),
+			ID:          workerUnitID(w),
 			Arch:        hostArch,
 			Tasks:       ws[w].count,
 			BusySeconds: ws[w].busy.Seconds(),

@@ -17,6 +17,7 @@ import (
 // its fault-tolerance state.
 type simUnit struct {
 	hw    *simhw.Unit
+	idx   int // lane index, stamped into trace spans as Worker
 	res   sim.Resource
 	tasks int
 
@@ -40,6 +41,7 @@ func (su *simUnit) availAt() sim.Time {
 type simFailure struct {
 	at       sim.Time // detection time
 	unit     string
+	unitIdx  int
 	watchdog bool
 }
 
@@ -96,7 +98,7 @@ func (rt *Runtime) runSim() (*Report, error) {
 		}
 	}
 	for _, u := range machine.Units {
-		su := &simUnit{hw: u}
+		su := &simUnit{hw: u, idx: len(st.units)}
 		if evs := rt.cfg.Faults.forUnit(u.ID); len(evs) > 0 {
 			su.faults = &faultQueue{events: evs}
 		}
@@ -136,7 +138,7 @@ func (rt *Runtime) runSim() (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		end, fail, err := st.execute(t, u, readyAt[t])
+		end, fail, err := st.execute(t, u, readyAt[t], attempts[t])
 		if err != nil {
 			return nil, err
 		}
@@ -158,6 +160,7 @@ func (rt *Runtime) runSim() (*Report, error) {
 				st.tracer.Record(trace.Event{
 					Kind: trace.Retry, Unit: fail.unit, Label: taskLabel(t),
 					Start: float64(fail.at), End: float64(retryAt),
+					TaskID: t.id, Attempt: attempts[t], Worker: fail.unitIdx,
 				})
 			}
 			readyAt[t] = retryAt
@@ -209,6 +212,19 @@ func taskLabel(t *Task) string {
 	return t.Codelet.Name
 }
 
+// taskParents resolves a task's dependency ids for trace spans (nil when the
+// task is a DAG root).
+func taskParents(t *Task) []int {
+	if len(t.deps) == 0 {
+		return nil
+	}
+	ps := make([]int, len(t.deps))
+	for i, d := range t.deps {
+		ps[i] = d.id
+	}
+	return ps
+}
+
 // baseUnitID maps a quantity-expanded instance id back to the descriptor id
 // it was expanded from ("host.3" → "host"); ids without an instance suffix
 // map to themselves.
@@ -253,7 +269,8 @@ func (st *simState) watchdogTimeout(t *Task, su *simUnit) float64 {
 // execute commits task t onto unit u: stages the required transfers,
 // occupies the unit and updates coherence. It returns the completion time,
 // or a non-nil simFailure when an injected fault killed the attempt.
-func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *simFailure, error) {
+// attempt numbers this try of t (0 = first), stamped into trace spans.
+func (st *simState) execute(t *Task, su *simUnit, ready sim.Time, attempt int) (sim.Time, *simFailure, error) {
 	node := su.hw.MemNode
 	if su.downUntil > ready {
 		ready = su.downUntil
@@ -267,7 +284,7 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 		if v[node] {
 			continue
 		}
-		_, dur, err := st.cheapestSource(a.Handle, node)
+		src, dur, err := st.cheapestSource(a.Handle, node)
 		if err != nil {
 			return 0, nil, err
 		}
@@ -279,7 +296,8 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 			st.tracer.Record(trace.Event{
 				Kind: trace.Transfer, Unit: fmt.Sprintf("node%d", node),
 				Label: a.Handle.Name, Start: float64(s), End: float64(e),
-				Bytes: a.Handle.Bytes,
+				Bytes:  a.Handle.Bytes,
+				TaskID: t.id, Worker: su.idx, From: fmt.Sprintf("node%d", src),
 			})
 		}
 		if e > dataReady {
@@ -293,7 +311,7 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 	}
 	su.started++
 	if st.ft {
-		if fail, err := st.checkFault(t, su, start, dur); fail != nil || err != nil {
+		if fail, err := st.checkFault(t, su, start, dur, attempt); fail != nil || err != nil {
 			return 0, fail, err
 		}
 	}
@@ -301,10 +319,12 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 	// the start the fault check used.
 	_, end := su.res.Acquire(dataReady, dur)
 	su.tasks++
+	rtm.taskSeconds.With(su.hw.ID).Observe(float64(dur))
 	if st.tracer != nil {
 		st.tracer.Record(trace.Event{
 			Kind: trace.Task, Unit: su.hw.ID, Label: taskLabel(t),
 			Start: float64(start), End: float64(end),
+			TaskID: t.id, ParentIDs: taskParents(t), Attempt: attempt, Worker: su.idx,
 		})
 	}
 	// Commit coherence after execution.
@@ -316,7 +336,7 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 				// depends on state held by a unit that may die: the
 				// write-back cost is charged to the host DMA engine and
 				// counted as a transfer.
-				st.mirrorToHost(a.Handle, node, end)
+				st.mirrorToHost(a.Handle, node, end, t.id)
 			}
 		} else {
 			st.valid[a.Handle][node] = true
@@ -329,7 +349,7 @@ func (st *simState) execute(t *Task, su *simUnit, ready sim.Time) (sim.Time, *si
 // it: the unit is occupied for the wasted window, blacklisted (with optional
 // recovery), its device memory is invalidated, and the failure is traced and
 // mirrored into the dynamic tracker.
-func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simFailure, error) {
+func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time, attempt int) (*simFailure, error) {
 	f := su.faults.pending()
 	if f == nil {
 		return nil, nil
@@ -364,6 +384,7 @@ func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simF
 		st.tracer.Record(trace.Event{
 			Kind: trace.Failure, Unit: su.hw.ID, Label: taskLabel(t),
 			Start: float64(start), End: float64(detect),
+			TaskID: t.id, ParentIDs: taskParents(t), Attempt: attempt, Worker: su.idx,
 		})
 	}
 	// Blacklist the unit. Tracker notifications are emitted in engine
@@ -374,10 +395,12 @@ func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simF
 			st.tracer.Record(trace.Event{
 				Kind: trace.Blacklist, Unit: su.hw.ID,
 				Start: float64(detect), End: float64(detect),
+				TaskID: trace.NoTask, Worker: su.idx,
 			})
 			st.tracer.Record(trace.Event{
 				Kind: trace.Recover, Unit: su.hw.ID,
 				Start: float64(su.downUntil), End: float64(su.downUntil),
+				TaskID: trace.NoTask, Worker: su.idx,
 			})
 		}
 		if st.tracker != nil {
@@ -393,6 +416,7 @@ func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simF
 			st.tracer.Record(trace.Event{
 				Kind: trace.Blacklist, Unit: su.hw.ID,
 				Start: float64(detect), End: float64(detect),
+				TaskID: trace.NoTask, Worker: su.idx,
 			})
 		}
 		if st.tracker != nil {
@@ -408,7 +432,7 @@ func (st *simState) checkFault(t *Task, su *simUnit, start, dur sim.Time) (*simF
 			return nil, err
 		}
 	}
-	return &simFailure{at: detect, unit: su.hw.ID, watchdog: f.Hang}, nil
+	return &simFailure{at: detect, unit: su.hw.ID, unitIdx: su.idx, watchdog: f.Hang}, nil
 }
 
 // invalidateNode drops every valid copy held by a failed device's memory.
@@ -426,7 +450,8 @@ func (st *simState) invalidateNode(node int) error {
 }
 
 // mirrorToHost write-backs a freshly written device copy to host RAM.
-func (st *simState) mirrorToHost(h *Handle, node int, ready sim.Time) {
+// taskID attributes the transfer to the task whose write is checkpointed.
+func (st *simState) mirrorToHost(h *Handle, node int, ready sim.Time, taskID int) {
 	dur, err := st.machine.TransferTime(node, 0, h.Bytes)
 	if err != nil {
 		return // no route: node keeps the only copy
@@ -439,7 +464,8 @@ func (st *simState) mirrorToHost(h *Handle, node int, ready sim.Time) {
 		st.tracer.Record(trace.Event{
 			Kind: trace.Transfer, Unit: "node0",
 			Label: h.Name, Start: float64(s), End: float64(e),
-			Bytes: h.Bytes,
+			Bytes:  h.Bytes,
+			TaskID: taskID, Worker: -1, From: fmt.Sprintf("node%d", node),
 		})
 	}
 	st.valid[h][0] = true

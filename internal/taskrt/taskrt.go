@@ -22,6 +22,7 @@ package taskrt
 
 import (
 	"fmt"
+	"strconv"
 	"sync/atomic"
 
 	"repro/internal/core"
@@ -285,11 +286,28 @@ func (rt *Runtime) Run() (*Report, error) {
 		return nil, fmt.Errorf("taskrt: Run called twice; the runtime already ran, create a new one")
 	}
 	defer rt.state.Store(stateDone)
+	var (
+		rep *Report
+		err error
+	)
 	switch rt.cfg.Mode {
 	case Sim:
-		return rt.runSim()
+		rep, err = rt.runSim()
 	case Real:
-		return rt.runReal()
+		rep, err = rt.runReal()
+	default:
+		return nil, fmt.Errorf("taskrt: unknown mode %v", rt.cfg.Mode)
 	}
-	return nil, fmt.Errorf("taskrt: unknown mode %v", rt.cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	recordReport(rep)
+	if tr := rt.cfg.Trace; tr != nil {
+		tr.SetMeta("mode", rt.cfg.Mode.String())
+		tr.SetMeta("scheduler", rt.cfg.Scheduler)
+		tr.SetMeta("tasks", strconv.Itoa(rep.Tasks))
+		// The most recent traced run backs pdlserved's /debug/trace.
+		trace.Publish(tr)
+	}
+	return rep, nil
 }

@@ -79,6 +79,102 @@ func TestRealTraceRecordsTasks(t *testing.T) {
 	}
 }
 
+// The causal span layer: real-mode Task events carry the task id, the
+// parent ids (DAG edges), the executing worker, and attempt 0; the runtime
+// stamps run metadata and publishes the trace for /debug/trace.
+func TestRealTraceCausalSpans(t *testing.T) {
+	tr := trace.New()
+	rt, err := New(Config{Platform: cpuPlatform(t, 2), Scheduler: "ws", Trace: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cl := noopCodelet(t, "span")
+	root := &Task{Codelet: cl, Label: "root"}
+	if err := rt.Submit(root); err != nil {
+		t.Fatal(err)
+	}
+	var mids []*Task
+	for i := 0; i < 3; i++ {
+		m := &Task{Codelet: cl, After: []*Task{root}}
+		if err := rt.Submit(m); err != nil {
+			t.Fatal(err)
+		}
+		mids = append(mids, m)
+	}
+	join := &Task{Codelet: cl, Label: "join", After: mids}
+	if err := rt.Submit(join); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	events := tr.OfKind(trace.Task)
+	if len(events) != 5 {
+		t.Fatalf("task events = %d; want 5", len(events))
+	}
+	byID := map[int]trace.Event{}
+	for _, e := range events {
+		if e.TaskID < 0 || e.Attempt != 0 || e.Worker < 0 {
+			t.Fatalf("span fields incomplete: %+v", e)
+		}
+		byID[e.TaskID] = e
+	}
+	if e := byID[root.ID()]; len(e.ParentIDs) != 0 || e.Label != "root" {
+		t.Fatalf("root span = %+v", e)
+	}
+	for _, m := range mids {
+		if e := byID[m.ID()]; len(e.ParentIDs) != 1 || e.ParentIDs[0] != root.ID() {
+			t.Fatalf("middle span parents = %+v", e)
+		}
+	}
+	if e := byID[join.ID()]; len(e.ParentIDs) != 3 {
+		t.Fatalf("join span parents = %+v", e)
+	}
+
+	// The diamond's critical path is root → some middle → join.
+	if cp := tr.CriticalPath(); len(cp.TaskIDs) != 3 ||
+		cp.TaskIDs[0] != root.ID() || cp.TaskIDs[2] != join.ID() {
+		t.Fatalf("critical path = %v", cp.TaskIDs)
+	}
+
+	meta := tr.Meta()
+	if meta["mode"] != "real" || meta["scheduler"] != "ws" || meta["tasks"] != "5" || meta["workers"] != "2" {
+		t.Fatalf("meta = %v", meta)
+	}
+	if trace.Published() != tr {
+		t.Fatal("Run did not publish the trace")
+	}
+}
+
+// Sim-mode spans carry the same causal identity as real-mode ones.
+func TestSimTraceCausalSpans(t *testing.T) {
+	tr := trace.New()
+	rt, err := New(Config{
+		Platform:  discover.MustPlatform("xeon-2gpu"),
+		Mode:      Sim,
+		Scheduler: "dmda",
+		Trace:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTiles(t, rt, 8, 4e9, 8<<20)
+	if _, err := rt.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr.OfKind(trace.Task) {
+		if e.TaskID < 0 || e.Worker < 0 {
+			t.Fatalf("sim span incomplete: %+v", e)
+		}
+	}
+	for _, e := range tr.OfKind(trace.Transfer) {
+		if e.From == "" || e.Worker < -1 {
+			t.Fatalf("transfer span lacks source node: %+v", e)
+		}
+	}
+}
+
 func TestWSScheduler(t *testing.T) {
 	// ws completes everything deterministically and spreads independent
 	// tasks across cores.

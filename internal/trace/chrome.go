@@ -1,0 +1,266 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// Chrome trace_event export: the JSON object format consumed by Perfetto
+// and chrome://tracing. Each unit becomes one named thread lane under a
+// single "pdl" process; task/transfer/failure/retry spans are complete ("X")
+// events, steals/blacklists/recoveries are instants ("i"), dependency edges
+// and steal provenance are flow events ("s"/"f") drawn as arrows between
+// lanes. Timestamps are microseconds, per the format.
+//
+// The exporter writes every span's causal identifiers (kind, task, parents,
+// attempt, worker, from, bytes, unit) into args, so ReadChrome can
+// reconstruct the original Trace losslessly — the Chrome file is a full
+// serialisation, not just a rendering.
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	ID   int            `json:"id,omitempty"`
+	BP   string         `json:"bp,omitempty"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeFile struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+const chromePid = 0
+
+// usec converts trace seconds to trace_event microseconds.
+func usec(s float64) float64 { return s * 1e6 }
+
+// eventArgs serialises the span identifiers for lossless re-import.
+func eventArgs(e Event) map[string]any {
+	args := map[string]any{
+		"kind": e.Kind.String(),
+		"unit": e.Unit,
+		"task": e.TaskID,
+	}
+	if len(e.ParentIDs) > 0 {
+		args["parents"] = e.ParentIDs
+	}
+	if e.Attempt != 0 {
+		args["attempt"] = e.Attempt
+	}
+	if e.Worker != 0 {
+		args["worker"] = e.Worker
+	}
+	if e.Bytes != 0 {
+		args["bytes"] = e.Bytes
+	}
+	if e.From != "" {
+		args["from"] = e.From
+	}
+	if e.Label != "" {
+		args["label"] = e.Label
+	}
+	return args
+}
+
+// WriteChrome writes the trace in Chrome trace_event JSON. Output is
+// deterministic for a given trace: lanes are sorted by unit id, events by
+// (start, unit, label), flow ids assigned in that order.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	events := t.Events()
+	meta := t.Meta()
+
+	// Lane assignment: sorted unit ids → tids 0..n-1.
+	laneOf := map[string]int{}
+	var units []string
+	for _, e := range events {
+		if _, ok := laneOf[e.Unit]; !ok && e.Unit != "" {
+			laneOf[e.Unit] = 0
+			units = append(units, e.Unit)
+		}
+	}
+	sort.Strings(units)
+	for i, u := range units {
+		laneOf[u] = i
+	}
+
+	var out []chromeEvent
+	out = append(out, chromeEvent{
+		Name: "process_name", Ph: "M", Pid: chromePid,
+		Args: map[string]any{"name": "pdl"},
+	})
+	for i, u := range units {
+		out = append(out, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: i,
+			Args: map[string]any{"name": u},
+		})
+		out = append(out, chromeEvent{
+			Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: i,
+			Args: map[string]any{"sort_index": i},
+		})
+	}
+
+	// Successful executions by task id, for dependency flow endpoints.
+	taskEvent := map[int]Event{}
+	for _, e := range events {
+		if e.Kind != Task || e.TaskID < 0 {
+			continue
+		}
+		if prev, ok := taskEvent[e.TaskID]; !ok || e.End > prev.End {
+			taskEvent[e.TaskID] = e
+		}
+	}
+
+	name := func(e Event) string {
+		if e.Label != "" {
+			return e.Label
+		}
+		return e.Kind.String()
+	}
+
+	flowID := 0
+	for _, e := range events {
+		lane := laneOf[e.Unit]
+		switch e.Kind {
+		case Task, Transfer, Failure, Retry:
+			out = append(out, chromeEvent{
+				Name: name(e), Cat: e.Kind.String(), Ph: "X",
+				Ts: usec(e.Start), Dur: usec(e.Duration()),
+				Pid: chromePid, Tid: lane, Args: eventArgs(e),
+			})
+			if e.Kind != Task {
+				break
+			}
+			// Dependency arrows: parent end → child start.
+			for _, p := range e.ParentIDs {
+				pe, ok := taskEvent[p]
+				if !ok {
+					continue
+				}
+				flowID++
+				out = append(out,
+					chromeEvent{
+						Name: "dep", Cat: "dep", Ph: "s", ID: flowID,
+						Ts: usec(pe.End), Pid: chromePid, Tid: laneOf[pe.Unit],
+					},
+					chromeEvent{
+						Name: "dep", Cat: "dep", Ph: "f", BP: "e", ID: flowID,
+						Ts: usec(e.Start), Pid: chromePid, Tid: lane,
+					})
+			}
+		case Steal, Blacklist, Recover:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Cat: e.Kind.String(), Ph: "i",
+				Ts: usec(e.Start), Pid: chromePid, Tid: lane, S: "t",
+				Args: eventArgs(e),
+			})
+			// Steal arrows: victim lane → thief lane.
+			if e.Kind == Steal && e.From != "" {
+				if victim, ok := laneOf[e.From]; ok {
+					flowID++
+					out = append(out,
+						chromeEvent{
+							Name: "steal", Cat: "steal", Ph: "s", ID: flowID,
+							Ts: usec(e.Start), Pid: chromePid, Tid: victim,
+						},
+						chromeEvent{
+							Name: "steal", Cat: "steal", Ph: "f", BP: "e", ID: flowID,
+							Ts: usec(e.Start), Pid: chromePid, Tid: lane,
+						})
+				}
+			}
+		}
+	}
+
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(chromeFile{
+		TraceEvents:     out,
+		DisplayTimeUnit: "ms",
+		OtherData:       meta,
+	})
+}
+
+// WriteChromeFile writes the Chrome trace to a file.
+func (t *Trace) WriteChromeFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteChrome(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadChrome reconstructs a Trace from Chrome trace_event JSON previously
+// produced by WriteChrome (metadata and flow events are consumed, spans are
+// rebuilt from the args written by the exporter).
+func ReadChrome(r io.Reader) (*Trace, error) {
+	var file chromeFile
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&file); err != nil {
+		return nil, fmt.Errorf("trace: decoding chrome trace: %w", err)
+	}
+	return fromChrome(&file)
+}
+
+func fromChrome(file *chromeFile) (*Trace, error) {
+	t := New()
+	for k, v := range file.OtherData {
+		t.SetMeta(k, v)
+	}
+	for _, ce := range file.TraceEvents {
+		if ce.Ph != "X" && ce.Ph != "i" {
+			continue // metadata and flow events carry no spans
+		}
+		kindStr, _ := ce.Args["kind"].(string)
+		if kindStr == "" {
+			return nil, fmt.Errorf("trace: chrome event %q lacks args.kind (not a pdl trace?)", ce.Name)
+		}
+		kind, err := ParseKind(kindStr)
+		if err != nil {
+			return nil, err
+		}
+		e := Event{
+			Kind:   kind,
+			Start:  ce.Ts / 1e6,
+			End:    (ce.Ts + ce.Dur) / 1e6,
+			TaskID: argInt(ce.Args, "task", NoTask),
+			Worker: argInt(ce.Args, "worker", 0),
+		}
+		e.Unit, _ = ce.Args["unit"].(string)
+		e.Label, _ = ce.Args["label"].(string)
+		e.From, _ = ce.Args["from"].(string)
+		e.Attempt = argInt(ce.Args, "attempt", 0)
+		e.Bytes = int64(argInt(ce.Args, "bytes", 0))
+		if ps, ok := ce.Args["parents"].([]any); ok {
+			for _, p := range ps {
+				if f, ok := p.(float64); ok {
+					e.ParentIDs = append(e.ParentIDs, int(f))
+				}
+			}
+		}
+		t.Record(e)
+	}
+	return t, nil
+}
+
+// argInt reads an integer arg (decoded by encoding/json as float64).
+func argInt(args map[string]any, key string, def int) int {
+	if f, ok := args[key].(float64); ok {
+		return int(f)
+	}
+	return def
+}

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A known diamond DAG: 0 → {1, 2} → 3, where the 0→2→3 arm carries the most
+// execution time, so it must be the critical path.
+func TestCriticalPathKnownDAG(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 0, Start: 0, End: 2})
+	tr.Record(Event{Kind: Task, Unit: "b", TaskID: 1, ParentIDs: []int{0}, Start: 2, End: 3})
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 2, ParentIDs: []int{0}, Start: 2, End: 6})
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 3, ParentIDs: []int{1, 2}, Start: 6, End: 7})
+	cp := tr.CriticalPath()
+	if !reflect.DeepEqual(cp.TaskIDs, []int{0, 2, 3}) {
+		t.Fatalf("path = %v; want [0 2 3]", cp.TaskIDs)
+	}
+	if cp.Length != 2+4+1 {
+		t.Fatalf("length = %g; want 7", cp.Length)
+	}
+	if len(cp.Events) != 3 || cp.Events[1].TaskID != 2 {
+		t.Fatalf("events = %+v", cp.Events)
+	}
+}
+
+// A retried task contributes its successful (latest) execution to the path;
+// the failed attempt's span never counts.
+func TestCriticalPathUsesLatestAttempt(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 0, Start: 0, End: 1})
+	tr.Record(Event{Kind: Failure, Unit: "b", TaskID: 1, ParentIDs: []int{0}, Start: 1, End: 9})
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 1, ParentIDs: []int{0}, Attempt: 1, Start: 2, End: 4})
+	cp := tr.CriticalPath()
+	if !reflect.DeepEqual(cp.TaskIDs, []int{0, 1}) {
+		t.Fatalf("path = %v", cp.TaskIDs)
+	}
+	if cp.Length != 1+2 {
+		t.Fatalf("length = %g; want 3 (failure span must not count)", cp.Length)
+	}
+	if cp.Events[1].Attempt != 1 {
+		t.Fatalf("path picked attempt %d; want the retry", cp.Events[1].Attempt)
+	}
+}
+
+// Parents that never produced a Task event (untraced, or only failed) are
+// treated as roots rather than breaking extraction.
+func TestCriticalPathUntracedParent(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 5, ParentIDs: []int{99}, Start: 0, End: 3})
+	cp := tr.CriticalPath()
+	if !reflect.DeepEqual(cp.TaskIDs, []int{5}) || cp.Length != 3 {
+		t.Fatalf("path = %v length = %g", cp.TaskIDs, cp.Length)
+	}
+}
+
+func TestCriticalPathEmpty(t *testing.T) {
+	cp := New().CriticalPath()
+	if cp.Length != 0 || cp.TaskIDs != nil || cp.Events != nil {
+		t.Fatalf("empty path = %+v", cp)
+	}
+	// Unit-level events alone carry no task DAG.
+	tr := New()
+	tr.Record(Event{Kind: Blacklist, Unit: "a", TaskID: NoTask})
+	if got := tr.CriticalPath(); len(got.TaskIDs) != 0 {
+		t.Fatalf("path = %+v", got)
+	}
+}
+
+// A (malformed) dependency cycle must not hang or crash extraction.
+func TestCriticalPathCycleGuard(t *testing.T) {
+	tr := New()
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 0, ParentIDs: []int{1}, Start: 0, End: 1})
+	tr.Record(Event{Kind: Task, Unit: "a", TaskID: 1, ParentIDs: []int{0}, Start: 1, End: 2})
+	cp := tr.CriticalPath()
+	if len(cp.TaskIDs) == 0 || cp.Length <= 0 {
+		t.Fatalf("cycle guard returned %+v", cp)
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// richSample builds a trace exercising every event kind and causal field.
+// All times are chosen so the seconds→microseconds→seconds round trip is
+// exact in float64.
+func richSample() *Trace {
+	t := New()
+	t.SetMeta("scheduler", "ws")
+	t.SetMeta("mode", "real")
+	t.Record(Event{Kind: Task, Unit: "worker0", Label: "root", Start: 0, End: 1, TaskID: 0})
+	t.Record(Event{Kind: Transfer, Unit: "node1", Label: "A", Start: 0.5, End: 0.75, Bytes: 4096, TaskID: 1, Worker: 1, From: "node0"})
+	t.Record(Event{Kind: Steal, Unit: "worker1", Start: 1, End: 1, TaskID: 1, Worker: 1, From: "worker0"})
+	t.Record(Event{Kind: Task, Unit: "worker1", Label: "left", Start: 1, End: 2.25, TaskID: 1, ParentIDs: []int{0}, Worker: 1})
+	t.Record(Event{Kind: Failure, Unit: "worker0", Label: "right", Start: 1, End: 1.5, TaskID: 2, ParentIDs: []int{0}})
+	t.Record(Event{Kind: Blacklist, Unit: "worker0", Start: 1.5, End: 1.5, TaskID: NoTask})
+	t.Record(Event{Kind: Retry, Unit: "worker0", Label: "right", Start: 1.5, End: 1.75, TaskID: 2, Attempt: 1})
+	t.Record(Event{Kind: Task, Unit: "worker1", Label: "right", Start: 2.25, End: 3, TaskID: 2, ParentIDs: []int{0}, Attempt: 1, Worker: 1})
+	t.Record(Event{Kind: Recover, Unit: "worker0", Start: 2, End: 2, TaskID: NoTask})
+	t.Record(Event{Kind: Task, Unit: "worker1", Label: "join", Start: 3, End: 3.5, TaskID: 3, ParentIDs: []int{1, 2}, Worker: 1})
+	return t
+}
+
+// sameTrace asserts two traces carry identical events and metadata.
+func sameTrace(t *testing.T, want, got *Trace) {
+	t.Helper()
+	we, ge := want.Events(), got.Events()
+	if len(we) != len(ge) {
+		t.Fatalf("event count = %d; want %d", len(ge), len(we))
+	}
+	for i := range we {
+		if !reflect.DeepEqual(we[i], ge[i]) {
+			t.Fatalf("event %d:\n got %+v\nwant %+v", i, ge[i], we[i])
+		}
+	}
+	if !reflect.DeepEqual(want.Meta(), got.Meta()) {
+		t.Fatalf("meta = %v; want %v", got.Meta(), want.Meta())
+	}
+}
+
+// The Chrome exporter's output is deterministic, so it is pinned to a golden
+// file (refresh with go test ./internal/trace -run Golden -update).
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := richSample().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome.golden.json")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome output drifted from %s (re-run with -update if intended):\n%s", golden, buf.String())
+	}
+}
+
+// The Chrome file carries full span identity in args, so importing it back
+// must reproduce the original trace exactly — including flow-event sources
+// being skipped rather than misread as spans.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := richSample()
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, tr, got)
+}
+
+func TestChromeFlowEvents(t *testing.T) {
+	var buf bytes.Buffer
+	if err := richSample().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	// Dependency arrows: join has two parents, left/right one each → 4 flow
+	// pairs; the steal adds one more.
+	if n := strings.Count(out, `"name": "dep"`); n != 8 {
+		t.Fatalf("dep flow events = %d; want 8 (4 s/f pairs)", n)
+	}
+	if n := strings.Count(out, `"name": "steal"`); n != 3 {
+		// One instant event plus the s/f arrow pair.
+		t.Fatalf("steal events = %d; want 3", n)
+	}
+	for _, want := range []string{`"name": "process_name"`, `"name": "thread_name"`, `"name": "thread_sort_index"`, `"displayTimeUnit": "ms"`, `"scheduler": "ws"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome output lacks %s", want)
+		}
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	tr := richSample()
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Header first, one event per line.
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+tr.Len() {
+		t.Fatalf("lines = %d; want %d", len(lines), 1+tr.Len())
+	}
+	if !strings.Contains(lines[0], `"format":"pdltrace"`) {
+		t.Fatalf("header = %s", lines[0])
+	}
+	got, err := ReadJSONL(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, tr, got)
+}
+
+// ReadBytes sniffs the format, so both exporters feed the same readers
+// (pdltrace convert, pdlserved -trace).
+func TestReadBytesSniffsBothFormats(t *testing.T) {
+	tr := richSample()
+	var chrome, jsonl bytes.Buffer
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	for name, data := range map[string][]byte{"chrome": chrome.Bytes(), "jsonl": jsonl.Bytes()} {
+		got, err := ReadBytes(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		sameTrace(t, tr, got)
+	}
+}
+
+func TestReadBytesRejectsGarbage(t *testing.T) {
+	for _, data := range []string{"", "not json", `{"some":"object"}`, `{"format":"other","version":1}`} {
+		if _, err := ReadBytes([]byte(data)); err == nil {
+			t.Fatalf("ReadBytes(%q) accepted garbage", data)
+		}
+	}
+}
+
+func TestReadFileRoundTrip(t *testing.T) {
+	tr := richSample()
+	dir := t.TempDir()
+	chrome := filepath.Join(dir, "t.json")
+	jsonl := filepath.Join(dir, "t.jsonl")
+	if err := tr.WriteChromeFile(chrome); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.WriteJSONLFile(jsonl); err != nil {
+		t.Fatal(err)
+	}
+	for _, path := range []string{chrome, jsonl} {
+		got, err := ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameTrace(t, tr, got)
+	}
+}
+
+func TestPublish(t *testing.T) {
+	prev := Published()
+	defer Publish(prev)
+	tr := richSample()
+	Publish(tr)
+	if Published() != tr {
+		t.Fatal("Published did not return the published trace")
+	}
+}

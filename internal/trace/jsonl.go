@@ -1,0 +1,139 @@
+package trace
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// JSONL stream format: line 1 is a header object naming the format and
+// carrying trace metadata, every following line is one Event. The format is
+// append-friendly (a crashed run keeps every line written so far) and
+// streams through standard line tooling, while WriteChrome targets the
+// Perfetto UI.
+
+// jsonlHeader is the first line of a JSONL trace.
+type jsonlHeader struct {
+	Format  string            `json:"format"` // "pdltrace"
+	Version int               `json:"version"`
+	Events  int               `json:"events"`
+	Dropped uint64            `json:"dropped,omitempty"`
+	Meta    map[string]string `json:"meta,omitempty"`
+}
+
+const jsonlFormat = "pdltrace"
+
+// WriteJSONL writes the trace as a JSONL stream: header line, then one
+// event per line in deterministic (start, unit, label) order.
+func (t *Trace) WriteJSONL(w io.Writer) error {
+	events := t.Events()
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonlHeader{
+		Format:  jsonlFormat,
+		Version: 1,
+		Events:  len(events),
+		Dropped: t.Dropped(),
+		Meta:    t.Meta(),
+	}); err != nil {
+		return err
+	}
+	for _, e := range events {
+		if err := enc.Encode(e); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteJSONLFile writes the JSONL stream to a file.
+func (t *Trace) WriteJSONLFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteJSONL(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadJSONL reconstructs a Trace from a JSONL stream.
+func ReadJSONL(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("trace: empty JSONL trace")
+	}
+	var hdr jsonlHeader
+	if err := json.Unmarshal(sc.Bytes(), &hdr); err != nil {
+		return nil, fmt.Errorf("trace: decoding JSONL header: %w", err)
+	}
+	if hdr.Format != jsonlFormat {
+		return nil, fmt.Errorf("trace: not a pdltrace JSONL stream (format %q)", hdr.Format)
+	}
+	t := New()
+	for k, v := range hdr.Meta {
+		t.SetMeta(k, v)
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(sc.Bytes(), &e); err != nil {
+			return nil, fmt.Errorf("trace: JSONL line %d: %w", line, err)
+		}
+		t.Record(e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// ReadBytes parses a serialised trace in either supported format, sniffing
+// the header: a Chrome trace is one JSON object with a traceEvents key, a
+// JSONL stream starts with the pdltrace header line.
+func ReadBytes(data []byte) (*Trace, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if nl := bytes.IndexByte(trimmed, '\n'); nl >= 0 {
+		var hdr jsonlHeader
+		if json.Unmarshal(trimmed[:nl], &hdr) == nil && hdr.Format == jsonlFormat {
+			return ReadJSONL(bytes.NewReader(trimmed))
+		}
+	} else {
+		// A single line can still be a (header-only) JSONL trace.
+		var hdr jsonlHeader
+		if json.Unmarshal(trimmed, &hdr) == nil && hdr.Format == jsonlFormat {
+			return ReadJSONL(bytes.NewReader(trimmed))
+		}
+	}
+	var file chromeFile
+	if err := json.Unmarshal(trimmed, &file); err == nil && file.TraceEvents != nil {
+		return fromChrome(&file)
+	}
+	return nil, fmt.Errorf("trace: unrecognised trace format (want Chrome trace_event JSON or pdltrace JSONL)")
+}
+
+// ReadFile parses a trace file in either supported format.
+func ReadFile(path string) (*Trace, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	t, err := ReadBytes(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,17 +1,27 @@
-// Package trace records execution traces of the task runtime: one event per
-// task execution and per data transfer, with start/end times and placement.
-// Traces render as per-unit timelines (a textual Gantt chart) and aggregate
-// statistics, the kind of output StarPU's FxT tracing feeds into Vite and
-// the paper's Section II names as an auto-tuner/performance-prediction use
-// case for PDL information ("performance relevant observations can now be
-// related ... to abstract architectural patterns").
+// Package trace records causal execution traces of the task runtime: one
+// span per task execution, data transfer or fault-tolerance action, with
+// start/end times, placement, and the causal identifiers (task id, parent
+// ids, attempt, worker) that link spans into the task DAG. Traces render as
+// per-unit timelines (a textual Gantt chart), aggregate statistics, a
+// critical path, and export to Chrome trace_event JSON (loadable in Perfetto
+// or chrome://tracing) and a JSONL stream — the role StarPU's FxT tracing
+// plays for Vite, and the paper's Section II names as an auto-tuner /
+// performance-prediction use case for PDL information ("performance relevant
+// observations can now be related ... to abstract architectural patterns").
+//
+// Recording is cheap on hot paths: workers record into per-worker Shards
+// (lock-free single-producer ring buffers) that merge into the Trace at
+// Flush, so the work-stealing dispatch loop never contends on the trace
+// mutex.
 package trace
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 )
 
 // Kind discriminates trace events.
@@ -59,25 +69,79 @@ func (k Kind) String() string {
 	}
 }
 
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k := Task; k <= Steal; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// MarshalJSON encodes the kind by name, keeping JSONL traces readable and
+// stable across reorderings of the Kind constants.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON decodes a kind name.
+func (k *Kind) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	parsed, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
+}
+
+// NoTask marks events that are not attributable to a task (unit-level
+// blacklist/recover events).
+const NoTask = -1
+
 // Event is one traced occurrence. Times are seconds (virtual in sim mode,
 // wall-clock offsets in real mode).
 type Event struct {
-	Kind  Kind
-	Unit  string // executing PU id, or destination memory node for transfers
-	Label string // task label / handle name
-	Start float64
-	End   float64
-	Bytes int64 // transfers only
+	Kind  Kind    `json:"kind"`
+	Unit  string  `json:"unit"`            // executing PU id, or destination memory node for transfers
+	Label string  `json:"label,omitempty"` // task label / handle name
+	Start float64 `json:"start"`
+	End   float64 `json:"end"`
+	Bytes int64   `json:"bytes,omitempty"` // transfers only
+
+	// Causal span identifiers.
+
+	// TaskID is the submission-order id of the task this event belongs to,
+	// or NoTask for unit-level events. For transfers it identifies the
+	// consuming task.
+	TaskID int `json:"task"`
+	// ParentIDs are the task ids this task depends on (the DAG edges), set
+	// on Task events so exporters can draw dependency arrows and the
+	// critical path can be extracted.
+	ParentIDs []int `json:"parents,omitempty"`
+	// Attempt numbers the execution attempt of the task (0 = first try).
+	Attempt int `json:"attempt,omitempty"`
+	// Worker is the executing worker/unit index, or -1 when unknown.
+	Worker int `json:"worker"`
+	// From names the victim unit on Steal events (the queue the task was
+	// taken from), so exporters can draw steal arrows between lanes.
+	From string `json:"from,omitempty"`
 }
 
 // Duration returns End - Start.
 func (e Event) Duration() float64 { return e.End - e.Start }
 
 // Trace collects events. It is safe for concurrent use (the real engine
-// records from multiple workers).
+// records from multiple workers); hot paths should prefer per-worker Shards
+// over direct Record calls.
 type Trace struct {
-	mu     sync.Mutex
-	events []Event
+	mu      sync.Mutex
+	events  []Event   // direct Record() appends
+	blocks  [][]Event // chunks transferred whole from flushed Shards
+	meta    map[string]string
+	dropped uint64
 }
 
 // New returns an empty trace.
@@ -90,12 +154,62 @@ func (t *Trace) Record(e Event) {
 	t.events = append(t.events, e)
 }
 
-// Events returns a copy of the recorded events sorted by start time (ties
-// broken by unit then label, so output is deterministic).
-func (t *Trace) Events() []Event {
+// SetMeta attaches a metadata key/value to the trace (scheduler, kernel ISA,
+// problem size...). Exporters carry metadata through both formats.
+func (t *Trace) SetMeta(key, value string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	out := append([]Event(nil), t.events...)
+	if t.meta == nil {
+		t.meta = map[string]string{}
+	}
+	t.meta[key] = value
+}
+
+// Meta returns a copy of the trace metadata.
+func (t *Trace) Meta() map[string]string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[string]string, len(t.meta))
+	for k, v := range t.meta {
+		out[k] = v
+	}
+	return out
+}
+
+// Dropped reports how many events were overwritten in shard ring buffers
+// before they could be merged (0 unless a run overflowed its shards).
+func (t *Trace) Dropped() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// lenLocked counts all recorded events. Callers hold t.mu.
+func (t *Trace) lenLocked() int {
+	n := len(t.events)
+	for _, b := range t.blocks {
+		n += len(b)
+	}
+	return n
+}
+
+// eachLocked visits every recorded event: flushed shard blocks first, then
+// direct records. Callers hold t.mu. Aggregates iterate in place instead of
+// flattening, so reads never copy the event set.
+func (t *Trace) eachLocked(f func(e *Event)) {
+	for _, b := range t.blocks {
+		for i := range b {
+			f(&b[i])
+		}
+	}
+	for i := range t.events {
+		f(&t.events[i])
+	}
+}
+
+// sortEvents orders events by start time, ties broken by unit then label,
+// so exported output is deterministic.
+func sortEvents(out []Event) {
 	sort.Slice(out, func(i, j int) bool {
 		if out[i].Start != out[j].Start {
 			return out[i].Start < out[j].Start
@@ -105,35 +219,63 @@ func (t *Trace) Events() []Event {
 		}
 		return out[i].Label < out[j].Label
 	})
+}
+
+// Events returns a copy of the recorded events sorted by start time (ties
+// broken by unit then label, so output is deterministic). This is the one
+// O(n log n) entry point, paid per export; the aggregate helpers below
+// compute over the raw slice instead.
+func (t *Trace) Events() []Event {
+	out := t.snapshot()
+	sortEvents(out)
 	return out
+}
+
+// snapshot flattens all recorded events into one exact-size slice without
+// sorting.
+func (t *Trace) snapshot() []Event {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Event, 0, t.lenLocked())
+	for _, b := range t.blocks {
+		out = append(out, b...)
+	}
+	return append(out, t.events...)
 }
 
 // Len returns the number of recorded events.
 func (t *Trace) Len() int {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	return len(t.events)
+	return t.lenLocked()
 }
 
 // Makespan returns the latest End across all events (0 for empty traces).
+// Computed in place under the lock: no copy, no sort.
 func (t *Trace) Makespan() float64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	end := 0.0
-	for _, e := range t.Events() {
+	t.eachLocked(func(e *Event) {
 		if e.End > end {
 			end = e.End
 		}
-	}
+	})
 	return end
 }
 
-// OfKind returns the recorded events of one kind, in Events() order.
+// OfKind returns the recorded events of one kind in deterministic order.
+// Only the matching subset is sorted, not the whole trace.
 func (t *Trace) OfKind(k Kind) []Event {
+	t.mu.Lock()
 	var out []Event
-	for _, e := range t.Events() {
+	t.eachLocked(func(e *Event) {
 		if e.Kind == k {
-			out = append(out, e)
+			out = append(out, *e)
 		}
-	}
+	})
+	t.mu.Unlock()
+	sortEvents(out)
 	return out
 }
 
@@ -145,12 +287,16 @@ type UnitStats struct {
 	Transfers int
 	Bytes     int64
 	Failures  int
+	Steals    int
+	Retries   int
 }
 
-// ByUnit aggregates events per unit, sorted by unit id.
+// ByUnit aggregates events per unit, sorted by unit id. Aggregation is
+// order-independent, so it runs over the raw slice under the lock.
 func (t *Trace) ByUnit() []UnitStats {
+	t.mu.Lock()
 	agg := map[string]*UnitStats{}
-	for _, e := range t.Events() {
+	t.eachLocked(func(e *Event) {
 		s := agg[e.Unit]
 		if s == nil {
 			s = &UnitStats{Unit: e.Unit}
@@ -166,8 +312,13 @@ func (t *Trace) ByUnit() []UnitStats {
 		case Failure:
 			s.Failures++
 			s.Busy += e.Duration()
+		case Steal:
+			s.Steals++
+		case Retry:
+			s.Retries++
 		}
-	}
+	})
+	t.mu.Unlock()
 	out := make([]UnitStats, 0, len(agg))
 	for _, s := range agg {
 		out = append(out, *s)
@@ -187,7 +338,12 @@ func (t *Trace) Gantt(width int) string {
 	if len(events) == 0 {
 		return "(empty trace)\n"
 	}
-	makespan := t.Makespan()
+	makespan := 0.0
+	for _, e := range events {
+		if e.End > makespan {
+			makespan = e.End
+		}
+	}
 	if makespan <= 0 {
 		return "(zero-length trace)\n"
 	}
@@ -213,7 +369,7 @@ func (t *Trace) Gantt(width int) string {
 		case Failure:
 			mark = 'X'
 		default:
-			continue // control events (retry/blacklist/recover) have no lane
+			continue // control events (retry/blacklist/recover/steal) have no lane
 		}
 		row, ok := rows[e.Unit]
 		if !ok {
@@ -246,3 +402,15 @@ func (t *Trace) Summary() string {
 	}
 	return b.String()
 }
+
+// published is the process-global "last run" slot backing pdlserved's
+// /debug/trace endpoint: engines publish their trace at the end of Run, the
+// server serves whatever was published last (net/http/pprof-style global
+// observability state).
+var published atomic.Pointer[Trace]
+
+// Publish makes t the process's most recent trace.
+func Publish(t *Trace) { published.Store(t) }
+
+// Published returns the most recently published trace, or nil.
+func Published() *Trace { return published.Load() }

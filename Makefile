@@ -19,11 +19,13 @@ vet:
 
 # The race subset covers the packages with real concurrency: the task
 # runtime (work-stealing engine, fault tolerance), the trace shards and
-# metrics instruments it updates from every worker, the dynamic descriptors,
-# the parallel BLAS kernels, and the registry/server/query stack behind
-# pdlserved (copy-on-write snapshots, LRU query cache, shared query roots).
+# metrics instruments it updates from every worker, the performance models
+# recorded from every worker while Save snapshots them, the dynamic
+# descriptors, the parallel BLAS kernels, and the registry/server/query stack
+# behind pdlserved (copy-on-write snapshots, LRU query cache, shared query
+# roots).
 race:
-	$(GO) test -race ./internal/taskrt/... ./internal/trace/... ./internal/metrics/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/...
+	$(GO) test -race ./internal/taskrt/... ./internal/trace/... ./internal/metrics/... ./internal/perfmodel/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/...
 
 # verify is the tier-1 gate: build, full tests, vet, race subset.
 verify: build test vet race

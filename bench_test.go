@@ -210,9 +210,10 @@ func BenchmarkGemmKernels(b *testing.B) {
 // (Ext-I's A/B): a fork graph of 2000 no-op tasks on 4 workers, so the
 // metric is queue traffic, not kernel time. The "ws+trace" variant repeats
 // the work-stealing point with causal tracing enabled — its delta against
-// "ws" is the tracing overhead.
+// "ws" is the tracing overhead — and "dmda" prices the model-driven
+// push-time placement.
 func BenchmarkGemmDispatch(b *testing.B) {
-	for _, sched := range []string{"eager", "ws", "ws+trace"} {
+	for _, sched := range []string{"eager", "ws", "ws+trace", "dmda"} {
 		b.Run(sched, func(b *testing.B) {
 			var us, steals float64
 			for i := 0; i < b.N; i++ {
@@ -229,6 +230,32 @@ func BenchmarkGemmDispatch(b *testing.B) {
 			}
 			b.ReportMetric(us, "us/task")
 			b.ReportMetric(steals, "steals")
+		})
+	}
+}
+
+// BenchmarkHeteroDispatch compares blind work-stealing against model-driven
+// dmda placement on a skewed pool (one fast worker, three 20× slower ones)
+// at realistic millisecond task granularity — the setting dmda exists for.
+// The fast_share metric is the fraction of tasks the fast worker executed.
+func BenchmarkHeteroDispatch(b *testing.B) {
+	for _, sched := range []string{"ws", "dmda"} {
+		b.Run(sched, func(b *testing.B) {
+			var makespan, fastShare float64
+			for i := 0; i < b.N; i++ {
+				points, err := experiments.HeteroDispatchBench(120, 3, 1, sched)
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, p := range points {
+					if p.Scheduler == sched {
+						makespan = p.Seconds
+						fastShare = p.FastShare
+					}
+				}
+			}
+			b.ReportMetric(makespan, "makespan_s")
+			b.ReportMetric(fastShare, "fast_share")
 		})
 	}
 }

@@ -9,7 +9,9 @@ import (
 	"time"
 
 	"repro/internal/blas"
+	"repro/internal/core"
 	"repro/internal/discover"
+	"repro/internal/perfmodel"
 	"repro/internal/taskrt"
 	"repro/internal/trace"
 )
@@ -50,6 +52,20 @@ type DispatchPoint struct {
 	Steals        int     `json:"steals"`
 }
 
+// HeteroPoint is one heterogeneous-dispatch measurement: `Tasks` independent
+// simulated kernels on one fast worker plus `SlowWorkers` workers of an
+// architecture heteroSlowdown× slower — the setting where model-driven
+// placement (dmda) should beat blind work-stealing (ws).
+type HeteroPoint struct {
+	Scheduler   string  `json:"scheduler"`
+	FastWorkers int     `json:"fast_workers"`
+	SlowWorkers int     `json:"slow_workers"`
+	Tasks       int     `json:"tasks"`
+	Seconds     float64 `json:"seconds"`    // best-of-reps makespan
+	FastShare   float64 `json:"fast_share"` // fraction of tasks the fast worker executed
+	Steals      int     `json:"steals"`
+}
+
 // GemmBenchData is the serialised form of one Ext-I run.
 type GemmBenchData struct {
 	Experiment  string          `json:"experiment"`  // "gemm-bench"
@@ -57,6 +73,7 @@ type GemmBenchData struct {
 	GOMAXPROCS  int             `json:"gomaxprocs"`
 	Kernels     []KernelPoint   `json:"kernels"`
 	Dispatch    []DispatchPoint `json:"dispatch"`
+	Hetero      []HeteroPoint   `json:"hetero,omitempty"`
 }
 
 // bestOf runs f reps times and returns the fastest wall time. Minimum (not
@@ -194,6 +211,94 @@ func DispatchBench(tasks, workers, reps int, scheds ...string) ([]DispatchPoint,
 	return out, nil
 }
 
+// heteroSlowdown is the speed ratio between the fast and slow simulated
+// architectures in HeteroDispatchBench.
+const heteroSlowdown = 20.0
+
+// HeteroDispatchBench measures scheduler makespan on a skewed heterogeneous
+// pool: one fast "x86" worker plus slowWorkers workers of an "x86slow"
+// architecture that runs every kernel heteroSlowdown× slower (simulated by
+// sleeping in proportion to task flops, so the measurement is pure placement
+// quality, not kernel throughput). Performance models for both architectures
+// are pre-warmed, so dmda places from history immediately; ws routes blindly
+// and pays for every task a slow worker grabs near the end of the run.
+func HeteroDispatchBench(tasks, slowWorkers, reps int, scheds ...string) ([]HeteroPoint, error) {
+	if reps < 1 {
+		reps = 3
+	}
+	if len(scheds) == 0 {
+		scheds = []string{"ws", "dmda"}
+	}
+	// 2 ms on the fast arch, 40 ms on the slow one: big enough that Go's
+	// sleep granularity (~1 ms under load) does not flatten the 20× ratio.
+	const flops = 2e9
+	kernel := func(scale float64) func(*taskrt.TaskContext) error {
+		return func(tc *taskrt.TaskContext) error {
+			time.Sleep(time.Duration(tc.Task.Flops / 1e12 * scale * float64(time.Second)))
+			return nil
+		}
+	}
+	cl, err := taskrt.NewCodelet("hetero",
+		taskrt.Impl{Arch: "x86", Func: kernel(1)},
+		taskrt.Impl{Arch: "x86slow", Func: kernel(heteroSlowdown)})
+	if err != nil {
+		return nil, err
+	}
+	pl, err := core.NewBuilder("hetero").
+		Master("fast", core.Arch("x86"), core.Qty(1)).
+		Master("slow", core.Arch("x86slow"), core.Qty(slowWorkers)).
+		Build()
+	if err != nil {
+		return nil, err
+	}
+	var out []HeteroPoint
+	for _, sched := range scheds {
+		var fastShare float64
+		var steals int
+		run := func() error {
+			models := perfmodel.NewStore()
+			for _, sz := range []float64{1e8, 2e8, 4e8} {
+				if err := models.Model("hetero", "x86").Record(sz, sz/1e12); err != nil {
+					return err
+				}
+				if err := models.Model("hetero", "x86slow").Record(sz, sz/1e12*heteroSlowdown); err != nil {
+					return err
+				}
+			}
+			rt, err := taskrt.New(taskrt.Config{
+				Platform: pl, Mode: taskrt.Real, Scheduler: sched,
+				Workers: 1 + slowWorkers, Models: models,
+			})
+			if err != nil {
+				return err
+			}
+			for i := 0; i < tasks; i++ {
+				if err := rt.Submit(&taskrt.Task{Codelet: cl, Flops: flops}); err != nil {
+					return err
+				}
+			}
+			rep, err := rt.Run()
+			if err != nil {
+				return err
+			}
+			steals = rep.Steals
+			if u, ok := rep.UnitByID("worker0"); ok && tasks > 0 {
+				fastShare = float64(u.Tasks) / float64(tasks)
+			}
+			return nil
+		}
+		d, err := bestOf(reps, run)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: hetero dispatch bench %s: %w", sched, err)
+		}
+		out = append(out, HeteroPoint{
+			Scheduler: sched, FastWorkers: 1, SlowWorkers: slowWorkers,
+			Tasks: tasks, Seconds: d.Seconds(), FastShare: fastShare, Steals: steals,
+		})
+	}
+	return out, nil
+}
+
 // GemmBench runs Ext-I: the kernel ladder at extent n plus the dispatch
 // overhead A/B. workers <= 0 takes GOMAXPROCS; dispatch always uses at least
 // 4 workers so stealing has victims even on small hosts.
@@ -213,8 +318,15 @@ func GemmBench(n, workers int) (*GemmBenchData, error) {
 		dw = 4
 	}
 	// "ws+trace" repeats the work-stealing point with causal tracing on, so
-	// every BENCH_gemm.json carries the tracing-overhead A/B.
-	dispatch, err := DispatchBench(2000, dw, 3, "eager", "ws", "ws+trace")
+	// every BENCH_gemm.json carries the tracing-overhead A/B; "dmda" adds the
+	// model-driven dispatcher as a standing overhead row.
+	dispatch, err := DispatchBench(2000, dw, 3, "eager", "ws", "ws+trace", "dmda")
+	if err != nil {
+		return nil, err
+	}
+	// Skewed-pool placement quality: ws versus dmda at realistic (ms-scale)
+	// task granularity on one fast plus three slow workers.
+	hetero, err := HeteroDispatchBench(120, 3, 3, "ws", "dmda")
 	if err != nil {
 		return nil, err
 	}
@@ -224,6 +336,7 @@ func GemmBench(n, workers int) (*GemmBenchData, error) {
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		Kernels:     kernels,
 		Dispatch:    dispatch,
+		Hetero:      hetero,
 	}, nil
 }
 
@@ -260,6 +373,11 @@ func (g *GemmBenchData) Result() *Result {
 		res.AddRow("dispatch/"+d.Scheduler,
 			fmt.Sprintf("tasks=%d w=%d", d.Tasks, d.Workers),
 			f4(d.Seconds), "-", f2(d.MicrosPerTask), fmt.Sprint(d.Steals))
+	}
+	for _, h := range g.Hetero {
+		res.AddRow("hetero/"+h.Scheduler,
+			fmt.Sprintf("tasks=%d w=%d+%dslow fastshare=%.2f", h.Tasks, h.FastWorkers, h.SlowWorkers, h.FastShare),
+			f4(h.Seconds), "-", "-", fmt.Sprint(h.Steals))
 	}
 	if blocked > 0 && packed > 0 {
 		res.Notes = append(res.Notes, fmt.Sprintf("packed/blocked kernel speedup: %.2fx", packed/blocked))

@@ -172,9 +172,29 @@ type storeJSON struct {
 	Models []*Model `json:"models"`
 }
 
-// Save writes the store as JSON to path.
+// snapshot returns a deep copy of the model's serialisable state, taken
+// under the model's lock so it never observes a concurrent Record mid-append.
+func (m *Model) snapshot() *Model {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return &Model{
+		Codelet: m.Codelet,
+		Arch:    m.Arch,
+		Samples: append([]Sample(nil), m.Samples...),
+	}
+}
+
+// Save writes the store as JSON to path. It marshals locked deep snapshots
+// of every model: the real engine records one sample per completed task (and
+// pdlserved's /observe endpoint records more), so serialising the live
+// Samples slices would race with concurrent appends.
 func (s *Store) Save(path string) error {
-	data, err := json.MarshalIndent(storeJSON{Models: s.Models()}, "", "  ")
+	live := s.Models()
+	models := make([]*Model, len(live))
+	for i, m := range live {
+		models[i] = m.snapshot()
+	}
+	data, err := json.MarshalIndent(storeJSON{Models: models}, "", "  ")
 	if err != nil {
 		return fmt.Errorf("perfmodel: %w", err)
 	}

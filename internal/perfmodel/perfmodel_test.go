@@ -4,6 +4,7 @@ import (
 	"math"
 	"os"
 	"path/filepath"
+	"sync"
 	"testing"
 	"testing/quick"
 )
@@ -196,5 +197,56 @@ func TestQuickEstimateMonotone(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// Regression: Save used to marshal the live Samples slices without taking
+// Model.mu, racing with the per-task Record calls the real engine (and
+// pdlserved's /observe endpoint) performs. Run under -race, this test fails
+// on the pre-snapshot code. Every saved file must also be a loadable,
+// internally consistent snapshot.
+func TestSaveRecordConcurrent(t *testing.T) {
+	s := NewStore()
+	m := s.Model("dgemm", "x86")
+	path := filepath.Join(t.TempDir(), "models.json")
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 2; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 1; i <= 3000; i++ {
+				if err := m.Record(float64(i), float64(i)*1e-3); err != nil {
+					t.Error(err)
+					return
+				}
+				// A second codelet/arch keeps Store.Model churning too.
+				_ = s.Model("dgemm", "gpu").Record(float64(i), float64(g+i)*1e-3)
+			}
+		}(g)
+	}
+	go func() { wg.Wait(); close(done) }()
+	saves := 0
+	for running := true; running || saves < 5; {
+		select {
+		case <-done:
+			running = false
+		default:
+		}
+		if err := s.Save(path); err != nil {
+			t.Fatal(err)
+		}
+		saves++
+	}
+
+	loaded := NewStore()
+	if err := loaded.Load(path); err != nil {
+		t.Fatalf("last saved snapshot does not load: %v", err)
+	}
+	for _, lm := range loaded.Models() {
+		if lm.Len() == 0 && m.Len() > 0 && lm.Arch == "x86" {
+			t.Fatalf("snapshot lost every sample of %s/%s", lm.Codelet, lm.Arch)
+		}
 	}
 }

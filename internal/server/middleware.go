@@ -33,6 +33,19 @@ func (w *statusWriter) Write(p []byte) (int, error) {
 	return n, err
 }
 
+// Flush passes through to the underlying writer so wrapped handlers keep
+// streaming (the plain struct embedding satisfies http.Flusher only if the
+// method is forwarded explicitly — interface assertions on the wrapper would
+// otherwise fail and handlers would silently buffer).
+func (w *statusWriter) Flush() {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	if f, ok := w.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
 // tokenBucket is one client's budget under the rate limiter.
 type tokenBucket struct {
 	tokens float64

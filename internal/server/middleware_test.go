@@ -1,0 +1,51 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// Regression: statusWriter embeds the http.ResponseWriter interface, which
+// does not promote the concrete writer's Flush method, so wrapped handlers
+// asserting http.Flusher saw the assertion fail and silently buffered their
+// streaming output (e.g. the JSONL trace feed). The wrapper must forward
+// Flush explicitly.
+func TestStatusWriterFlush(t *testing.T) {
+	rec := httptest.NewRecorder()
+	sw := &statusWriter{ResponseWriter: rec}
+
+	f, ok := interface{}(sw).(http.Flusher)
+	if !ok {
+		t.Fatal("statusWriter does not implement http.Flusher")
+	}
+	f.Flush()
+	if !rec.Flushed {
+		t.Fatal("Flush did not reach the underlying writer")
+	}
+	if sw.status != http.StatusOK {
+		t.Fatalf("status after Flush = %d, want %d (flushing commits headers)", sw.status, http.StatusOK)
+	}
+}
+
+// The full middleware chain must hand streaming handlers a flushable writer.
+func TestWrapPreservesFlusher(t *testing.T) {
+	s := New(Config{})
+	sawFlusher := false
+	h := s.wrap("/stream", func(w http.ResponseWriter, r *http.Request) {
+		f, ok := w.(http.Flusher)
+		sawFlusher = ok
+		if ok {
+			w.Write([]byte("chunk\n"))
+			f.Flush()
+		}
+	})
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/stream", nil))
+	if !sawFlusher {
+		t.Fatal("handler behind wrap did not receive an http.Flusher")
+	}
+	if !rec.Flushed {
+		t.Fatal("handler Flush did not propagate through the middleware chain")
+	}
+}

@@ -147,6 +147,10 @@ type Task struct {
 	// attempt counts failed attempts so far: the failure slow path stores,
 	// the next executing worker loads it to stamp its trace spans.
 	attempt atomic.Int32
+	// estNanos is the execution-time prediction the dmda dispatcher charged
+	// to a worker's backlog when it placed this task; released by finished.
+	// Guarded by the owning queue's mutex hand-off, never concurrent.
+	estNanos int64
 }
 
 // Deps returns the tasks this task waits for (for tests and tooling).

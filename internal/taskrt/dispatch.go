@@ -3,6 +3,11 @@ package taskrt
 import (
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/perfmodel"
 )
 
 // dispatcher abstracts how ready tasks reach real-engine workers. Both
@@ -25,6 +30,12 @@ import (
 //     produced their inputs, with their data still cache-hot (the real-engine
 //     analogue of the sim engine's data-aware dmda policy). Idle workers
 //     first drain the injector, then steal FIFO from victims.
+//   - dmdaDispatcher routes every push to the worker with the earliest
+//     model-predicted finish time (StarPU's dmda policy on the real engine):
+//     per-worker outstanding-work estimates plus a perfmodel prediction for
+//     that worker's architecture, falling back to the worker's observed mean
+//     task time, then to round-robin while models are cold. The steal path
+//     mops up mispredictions.
 type dispatcher interface {
 	// push makes t runnable. from identifies the pushing worker so the task
 	// can land on its own deque; from < 0 marks pushes from outside the pool
@@ -42,6 +53,18 @@ type dispatcher interface {
 	// depth approximates worker w's queue length (w < 0: the shared queue).
 	// A racy snapshot for the metrics sampler, never for control flow.
 	depth(w int) int
+	// finished tells the dispatcher worker w is done with t (success or
+	// failure), releasing any outstanding-work accounting. ran is false when
+	// the attempt never executed the kernel (injected fault at launch), so
+	// observed-time statistics stay honest.
+	finished(w int, t *Task, d time.Duration, ran bool)
+}
+
+// offlineAware is implemented by dispatchers that route at push time and
+// therefore must know which workers the fault-tolerance layer has
+// blacklisted. Queues of offline workers stay stealable either way.
+type offlineAware interface {
+	setOffline(w int, offline bool)
 }
 
 // chanDispatcher: the single-channel baseline.
@@ -76,6 +99,8 @@ func (d *chanDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 }
 
 func (d *chanDispatcher) stolen(int) int { return 0 }
+
+func (d *chanDispatcher) finished(int, *Task, time.Duration, bool) {}
 
 func (d *chanDispatcher) depth(w int) int {
 	if w < 0 {
@@ -164,6 +189,8 @@ func (d *stealDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 
 func (d *stealDispatcher) stolen(w int) int { return int(d.steals[w]) }
 
+func (d *stealDispatcher) finished(int, *Task, time.Duration, bool) {}
+
 func (d *stealDispatcher) depth(w int) int {
 	if w >= 0 {
 		return d.deques[w].size()
@@ -171,4 +198,221 @@ func (d *stealDispatcher) depth(w int) int {
 	d.injMu.Lock()
 	defer d.injMu.Unlock()
 	return len(d.inj)
+}
+
+// Placement-decision sources, in falling confidence order. They label the
+// taskrt_sched_decisions_total metrics family and the trace.Place events.
+const (
+	placeModel    = "model"    // perfmodel estimate for the worker's arch
+	placeFallback = "fallback" // worker's observed mean task time
+	placeCold     = "cold"     // no history anywhere: round-robin warm-up
+)
+
+// dmdaWorker is one worker's routing state under the dmda dispatcher. The
+// queue is a mutex-protected deque (pushes come from arbitrary goroutines,
+// so the owner-only Chase-Lev protocol does not apply): the owner pops FIFO
+// from the front — the order the model placed them — and thieves steal from
+// the back.
+type dmdaWorker struct {
+	mu sync.Mutex
+	q  []*Task
+
+	arch    string
+	offline atomic.Bool
+	// outstanding is the predicted nanoseconds of work queued on or running
+	// on this worker — the queued-work term of the EFT score.
+	outstanding atomic.Int64
+	// busyNanos/completed feed the observed-mean fallback estimate.
+	busyNanos atomic.Int64
+	completed atomic.Int64
+	steals    atomic.Int64
+}
+
+// dmdaDispatcher implements StarPU's dmda (deque model, data aware) policy
+// on the real engine: push scores every online worker with an expected
+// finish time — its outstanding-work backlog plus the predicted execution
+// time of the task on that worker's architecture — and routes the task to
+// the minimum. Prediction sources fall back in order: perfmodel history for
+// (codelet, arch), the worker's observed mean task time, and round-robin
+// over history-less workers so every architecture warms its model. Workers
+// whose own queue runs dry steal from victims, so a misprediction costs a
+// steal rather than idle time.
+type dmdaDispatcher struct {
+	workers []dmdaWorker
+	models  *perfmodel.Store
+	notify  chan struct{}
+	rr      atomic.Int64 // round-robin cursor for cold placements
+
+	// Cached decision counters (taskrt_sched_decisions_total{policy="dmda"}).
+	decModel, decFallback, decCold *metrics.Counter
+	// onPlace, when non-nil, observes every placement (trace recording).
+	onPlace func(w int, t *Task, reason string)
+}
+
+func newDmdaDispatcher(archs []string, tasks int, models *perfmodel.Store) *dmdaDispatcher {
+	d := &dmdaDispatcher{
+		workers:     make([]dmdaWorker, len(archs)),
+		models:      models,
+		notify:      make(chan struct{}, tasks),
+		decModel:    rtm.schedDecisions.With("dmda", placeModel),
+		decFallback: rtm.schedDecisions.With("dmda", placeFallback),
+		decCold:     rtm.schedDecisions.With("dmda", placeCold),
+	}
+	for w := range d.workers {
+		d.workers[w].arch = archs[w]
+	}
+	return d
+}
+
+// estimate predicts t's execution time on worker w in nanoseconds, tagged
+// with the prediction source.
+func (d *dmdaDispatcher) estimate(t *Task, w int) (nanos int64, source string) {
+	if d.models != nil && t.Flops > 0 {
+		if sec, ok := d.models.Model(t.Codelet.Name, d.workers[w].arch).Estimate(t.Flops); ok {
+			return int64(sec * 1e9), placeModel
+		}
+	}
+	if n := d.workers[w].completed.Load(); n > 0 {
+		return d.workers[w].busyNanos.Load() / n, placeFallback
+	}
+	return 0, placeCold
+}
+
+// choose scores the online workers and returns the winner, the decision
+// source, and the predicted nanoseconds charged to its backlog.
+func (d *dmdaDispatcher) choose(t *Task) (int, string, int64) {
+	best, bestEFT, bestEst := -1, int64(0), int64(0)
+	bestSrc := placeCold
+	var cold []int
+	for w := range d.workers {
+		if d.workers[w].offline.Load() {
+			continue
+		}
+		est, src := d.estimate(t, w)
+		if src == placeCold {
+			cold = append(cold, w)
+			continue
+		}
+		eft := d.workers[w].outstanding.Load() + est
+		if best < 0 || eft < bestEFT {
+			best, bestEFT, bestEst, bestSrc = w, eft, est, src
+		}
+	}
+	if len(cold) > 0 {
+		// History-less workers take absolute priority: each needs samples
+		// before the model can rank it, so spread warm-up round-robin.
+		return cold[int(d.rr.Add(1)-1)%len(cold)], placeCold, 0
+	}
+	if best < 0 {
+		// Every worker offline: place round-robin anyway — the queue stays
+		// stealable, and the engine aborts if no worker can ever recover.
+		w := int(d.rr.Add(1)-1) % len(d.workers)
+		est, _ := d.estimate(t, w)
+		return w, placeFallback, est
+	}
+	return best, bestSrc, bestEst
+}
+
+func (d *dmdaDispatcher) push(from int, t *Task) {
+	w, reason, est := d.choose(t)
+	switch reason {
+	case placeModel:
+		d.decModel.Inc()
+	case placeFallback:
+		d.decFallback.Inc()
+	default:
+		d.decCold.Inc()
+	}
+	t.estNanos = est
+	wk := &d.workers[w]
+	wk.outstanding.Add(est)
+	wk.mu.Lock()
+	wk.q = append(wk.q, t)
+	wk.mu.Unlock()
+	if d.onPlace != nil {
+		d.onPlace(w, t, reason)
+	}
+	d.notify <- struct{}{}
+}
+
+func (d *dmdaDispatcher) ready() <-chan struct{} { return d.notify }
+
+// popOwn removes the oldest task the model placed on worker w.
+func (d *dmdaDispatcher) popOwn(w int) *Task {
+	wk := &d.workers[w]
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	if len(wk.q) == 0 {
+		return nil
+	}
+	t := wk.q[0]
+	wk.q = wk.q[1:]
+	return t
+}
+
+// stealFrom takes the newest task from the victim's queue (the one that
+// would have waited longest behind the victim's backlog) and transfers its
+// outstanding-work charge to the thief at the thief's own estimate.
+func (d *dmdaDispatcher) stealFrom(thief, victim int) *Task {
+	vk := &d.workers[victim]
+	vk.mu.Lock()
+	n := len(vk.q)
+	if n == 0 {
+		vk.mu.Unlock()
+		return nil
+	}
+	t := vk.q[n-1]
+	vk.q = vk.q[:n-1]
+	vk.mu.Unlock()
+	vk.outstanding.Add(-t.estNanos)
+	est, _ := d.estimate(t, thief)
+	t.estNanos = est
+	d.workers[thief].outstanding.Add(est)
+	return t
+}
+
+func (d *dmdaDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
+	for {
+		if t := d.popOwn(w); t != nil {
+			return t, -1
+		}
+		for i := 1; i < len(d.workers); i++ {
+			victim := (w + i) % len(d.workers)
+			if t := d.stealFrom(w, victim); t != nil {
+				d.workers[w].steals.Add(1)
+				return t, victim
+			}
+		}
+		select {
+		case <-abort:
+			return nil, -1
+		default:
+		}
+		runtime.Gosched()
+	}
+}
+
+func (d *dmdaDispatcher) stolen(w int) int { return int(d.workers[w].steals.Load()) }
+
+func (d *dmdaDispatcher) depth(w int) int {
+	if w < 0 {
+		return 0 // every push is routed; there is no shared queue
+	}
+	wk := &d.workers[w]
+	wk.mu.Lock()
+	defer wk.mu.Unlock()
+	return len(wk.q)
+}
+
+func (d *dmdaDispatcher) finished(w int, t *Task, dur time.Duration, ran bool) {
+	wk := &d.workers[w]
+	wk.outstanding.Add(-t.estNanos)
+	if ran {
+		wk.busyNanos.Add(int64(dur))
+		wk.completed.Add(1)
+	}
+}
+
+func (d *dmdaDispatcher) setOffline(w int, offline bool) {
+	d.workers[w].offline.Store(offline)
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/discover"
 	"repro/internal/dynamic"
+	"repro/internal/perfmodel"
 	"repro/internal/trace"
 )
 
@@ -391,6 +392,60 @@ func TestRealFaultInjectionRetriesAndBlacklists(t *testing.T) {
 	}
 	if u, ok := rep.UnitByID("worker1"); !ok || u.Tasks != 0 {
 		t.Fatalf("dead worker1 completed %d tasks", u.Tasks)
+	}
+}
+
+// Heterogeneous workers under dmda: killing the fast worker on its first
+// attempt must not lose tasks — the retry path re-routes them, setOffline
+// keeps further placements away from the dead worker, and the steal sweep
+// drains anything already sitting in its queue.
+func TestRealDmdaFaultHeteroCompletes(t *testing.T) {
+	var runs atomic.Int64
+	kernel := func(*TaskContext) error {
+		runs.Add(1)
+		time.Sleep(2 * time.Millisecond)
+		return nil
+	}
+	cl, err := NewCodelet("hcount",
+		Impl{Arch: "x86", Func: kernel},
+		Impl{Arch: "x86slow", Func: kernel})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := New(Config{
+		Platform:  heteroPlatform(t, 3),
+		Mode:      Real,
+		Scheduler: "dmda",
+		Workers:   4,
+		Models:    perfmodel.NewStore(), // cold: exercises the warm-up paths
+		Faults: &FaultPlan{Events: []FaultEvent{
+			{Unit: "worker0", AfterTasks: 1},
+		}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 24
+	for i := 0; i < n; i++ {
+		if err := rt.Submit(&Task{Codelet: cl, Flops: 1e8}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := runs.Load(); got != n {
+		t.Fatalf("kernel ran %d times, want %d", got, n)
+	}
+	if rep.Tasks != n {
+		t.Fatalf("report says %d tasks, want %d", rep.Tasks, n)
+	}
+	if rep.BlacklistedUnits() != 1 || rep.Blacklisted[0] != "worker0" {
+		t.Fatalf("blacklisted = %v, want [worker0]", rep.Blacklisted)
+	}
+	if u, ok := rep.UnitByID("worker0"); !ok || u.Tasks != 0 {
+		t.Fatalf("dead fast worker completed %d tasks", u.Tasks)
 	}
 }
 

@@ -27,20 +27,21 @@ var taskSecondsBuckets = []float64{
 }
 
 var rtm = struct {
-	runs        *metrics.CounterVec   // {mode}
-	runSeconds  *metrics.CounterVec   // {mode}
-	tasks       *metrics.CounterVec   // {unit}
-	taskSeconds *metrics.HistogramVec // {unit}
-	busySeconds *metrics.CounterVec   // {unit}
-	busyRatio   *metrics.GaugeVec     // {unit}
-	queueDepth  *metrics.GaugeVec     // {unit}
-	steals      *metrics.CounterVec   // {unit}
-	retries     *metrics.Counter
-	failures    *metrics.Counter
-	watchdog    *metrics.Counter
-	blacklisted *metrics.GaugeVec // {unit}
-	transfers   *metrics.Counter
-	transferB   *metrics.Counter
+	runs           *metrics.CounterVec   // {mode}
+	runSeconds     *metrics.CounterVec   // {mode}
+	tasks          *metrics.CounterVec   // {unit}
+	taskSeconds    *metrics.HistogramVec // {unit}
+	busySeconds    *metrics.CounterVec   // {unit}
+	busyRatio      *metrics.GaugeVec     // {unit}
+	queueDepth     *metrics.GaugeVec     // {unit}
+	steals         *metrics.CounterVec   // {unit}
+	schedDecisions *metrics.CounterVec   // {policy, reason}
+	retries        *metrics.Counter
+	failures       *metrics.Counter
+	watchdog       *metrics.Counter
+	blacklisted    *metrics.GaugeVec // {unit}
+	transfers      *metrics.Counter
+	transferB      *metrics.Counter
 }{
 	runs: metrics.Default.CounterVec("taskrt_runs_total",
 		"Completed Runtime.Run executions, by engine mode.", "mode"),
@@ -58,6 +59,8 @@ var rtm = struct {
 		"Sampled ready-queue depth, by worker deque (real mode; 'injector' is the shared inject queue).", "unit"),
 	steals: metrics.Default.CounterVec("taskrt_steals_total",
 		"Tasks obtained by stealing from another worker's deque, by thief unit.", "unit"),
+	schedDecisions: metrics.Default.CounterVec("taskrt_sched_decisions_total",
+		"Real-engine placement decisions by policy and prediction source: model = perfmodel history, fallback = observed worker mean, cold = round-robin warm-up.", "policy", "reason"),
 	retries: metrics.Default.Counter("taskrt_retries_total",
 		"Failed task attempts re-queued for retry."),
 	failures: metrics.Default.Counter("taskrt_failed_attempts_total",
@@ -96,7 +99,18 @@ func recordReport(rep *Report) {
 	rtm.watchdog.Add(float64(rep.WatchdogTrips))
 	rtm.transfers.Add(float64(rep.TransferCount))
 	rtm.transferB.Add(float64(rep.TransferBytes))
+	// The blacklist gauge is 1 while a unit is blacklisted, else 0 — per its
+	// own help text. Every unit the run reports on and does not list as
+	// blacklisted is healthy now, including units blacklisted by an earlier
+	// run that have since recovered, so clear those explicitly.
+	bl := make(map[string]bool, len(rep.Blacklisted))
 	for _, id := range rep.Blacklisted {
+		bl[id] = true
 		rtm.blacklisted.With(id).Set(1)
+	}
+	for _, u := range rep.PerUnit {
+		if !bl[u.ID] {
+			rtm.blacklisted.With(u.ID).Set(0)
+		}
 	}
 }

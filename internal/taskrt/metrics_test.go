@@ -1,0 +1,33 @@
+package taskrt
+
+import "testing"
+
+// Regression: recordReport set taskrt_unit_blacklisted to 1 for blacklisted
+// units but never wrote 0 for healthy ones, so a unit blacklisted in one run
+// kept reporting 1 forever after it recovered. The registry is process-wide,
+// so unit ids here are unique to this test.
+func TestRecordReportClearsBlacklistGauge(t *testing.T) {
+	rep := &Report{
+		Mode:        Real,
+		PerUnit:     []UnitStats{{ID: "blgauge-w0"}, {ID: "blgauge-w1"}},
+		Blacklisted: []string{"blgauge-w1"},
+	}
+	recordReport(rep)
+	if got := rtm.blacklisted.With("blgauge-w0").Value(); got != 0 {
+		t.Fatalf("healthy unit gauge = %v, want 0", got)
+	}
+	if got := rtm.blacklisted.With("blgauge-w1").Value(); got != 1 {
+		t.Fatalf("blacklisted unit gauge = %v, want 1", got)
+	}
+
+	// The unit recovers: the next run reports it healthy, and the gauge must
+	// drop back to 0 even though this run blacklists nobody.
+	rep = &Report{
+		Mode:    Real,
+		PerUnit: []UnitStats{{ID: "blgauge-w0"}, {ID: "blgauge-w1"}},
+	}
+	recordReport(rep)
+	if got := rtm.blacklisted.With("blgauge-w1").Value(); got != 0 {
+		t.Fatalf("recovered unit gauge = %v, want 0 after healthy run", got)
+	}
+}

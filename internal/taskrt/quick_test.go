@@ -7,7 +7,10 @@ import (
 	"testing/quick"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/discover"
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
 )
 
 // buildRandomDAG submits a pseudo-random task graph: layers of tasks where
@@ -161,6 +164,107 @@ func TestQuickRealWSExactlyOnce(t *testing.T) {
 		if sumSteals != rep.Steals {
 			t.Errorf("seed %d: per-unit steals sum to %d, report total %d", seed, sumSteals, rep.Steals)
 		}
+	}
+}
+
+// heteroPlatform builds one fast "x86" core plus `slow` cores of a
+// deliberately slow "x86slow" architecture, for tests that exercise
+// model-driven placement across unequal workers.
+func heteroPlatform(t testing.TB, slow int) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("hetero").
+		Master("fast", core.Arch("x86"), core.Qty(1)).
+		Master("slow", core.Arch("x86slow"), core.Qty(slow)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// Property-based: under dmda with skewed worker speeds (one fast arch, three
+// 20× slower ones) and pre-warmed performance models, every task of a random
+// DAG still executes exactly once, every placement decision is model-driven,
+// and the majority of placements target the fast worker. Executions may still
+// land on slow workers — idle workers legitimately steal — so the assertion
+// is on the recorded Place decisions, not on who ran what.
+func TestQuickRealDmdaHeteroPlacement(t *testing.T) {
+	const slowdown = 20.0
+	var mu sync.Mutex
+	counts := map[*Task]int{}
+	kernel := func(scale float64) func(*TaskContext) error {
+		return func(tc *TaskContext) error {
+			// flops/1e12 seconds: 0.1–0.4 ms for the DAG generator's sizes.
+			time.Sleep(time.Duration(tc.Task.Flops / 1e12 * scale * float64(time.Second)))
+			mu.Lock()
+			counts[tc.Task]++
+			mu.Unlock()
+			return nil
+		}
+	}
+	cl, err := NewCodelet("hetero",
+		Impl{Arch: "x86", Func: kernel(1)},
+		Impl{Arch: "x86slow", Func: kernel(slowdown)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-warm both archs' models so dmda predicts from history immediately
+	// instead of round-robining through its cold-start phase.
+	models := perfmodel.NewStore()
+	for _, sz := range []float64{1e8, 2e8, 4e8} {
+		if err := models.Model("hetero", "x86").Record(sz, sz/1e12); err != nil {
+			t.Fatal(err)
+		}
+		if err := models.Model("hetero", "x86slow").Record(sz, sz/1e12*slowdown); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tr := trace.New()
+	rt, err := New(Config{
+		Platform:  heteroPlatform(t, 3),
+		Mode:      Real,
+		Scheduler: "dmda",
+		Workers:   4,
+		Models:    models,
+		Trace:     tr,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := buildRandomDAGWith(t, rt, cl, 42, 5, 6)
+	rep, err := rt.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tasks != want || len(counts) != want {
+		t.Fatalf("report %d tasks, %d distinct executed, submitted %d", rep.Tasks, len(counts), want)
+	}
+	for task, n := range counts {
+		if n != 1 {
+			t.Errorf("task %q executed %d times", task.Label, n)
+		}
+	}
+	placed, model, fastModel := 0, 0, 0
+	for _, e := range tr.Events() {
+		if e.Kind != trace.Place {
+			continue
+		}
+		placed++
+		if e.From == "model" {
+			model++
+			if e.Worker == 0 {
+				fastModel++
+			}
+		}
+	}
+	if placed != want {
+		t.Fatalf("%d Place events, want one per task (%d)", placed, want)
+	}
+	if model != placed {
+		t.Errorf("%d/%d placements model-driven, want all (models were pre-warmed)", model, placed)
+	}
+	if 2*fastModel <= model {
+		t.Errorf("fast worker received %d/%d model-warm placements, want a majority", fastModel, model)
 	}
 }
 

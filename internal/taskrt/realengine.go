@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/perfmodel"
 	"repro/internal/trace"
 )
 
@@ -19,19 +20,27 @@ import (
 var errInjected = fmt.Errorf("taskrt: injected fault")
 
 // runReal executes the task graph on goroutine workers. Only implementations
-// with a non-nil Func whose architecture matches the platform's Master
-// architecture are eligible — real GPUs are not available, which is exactly
-// why Sim mode exists.
+// with a non-nil Func whose architecture matches a worker's architecture are
+// eligible — real GPUs are not available, which is exactly why Sim mode
+// exists. Each worker inherits the architecture of the platform Master it
+// expands from (masters in declaration order, one worker per effective unit;
+// an explicit Config.Workers override truncates or pads with the first
+// master's architecture), so heterogeneous platforms run fast and slow
+// kernel variants side by side.
 //
 // Dispatch is work-stealing by default: each worker owns a Chase-Lev deque,
 // completions push newly-ready dependents onto the completing worker's own
 // deque (the locality hint — the dependent's inputs are still hot in that
 // worker's cache), and idle workers steal FIFO from victims. Scheduler
 // "eager" selects the historical single-shared-channel dispatch instead, so
-// the two can be compared in one binary (see dispatch.go). The hot path is
-// lock-free: dependency counters and the pending count are atomics, and
-// per-worker statistics live in worker-owned state merged after shutdown —
-// the engine's one mutex now guards only the failure slow path.
+// the two can be compared in one binary (see dispatch.go), and "dmda" routes
+// each push to the worker with the earliest model-predicted finish time
+// (perfmodel history per worker architecture, with observed-mean and
+// round-robin cold-start fallbacks), letting the steal path mop up
+// mispredictions. The hot path is lock-free: dependency counters and the
+// pending count are atomics, and per-worker statistics live in worker-owned
+// state merged after shutdown — the engine's one mutex now guards only the
+// failure slow path.
 //
 // With fault tolerance active (Config.Faults/Retry/Tracker) the engine
 // additionally: honours injected worker faults from the FaultPlan (unit ids
@@ -48,7 +57,6 @@ func (rt *Runtime) runReal() (*Report, error) {
 	if len(rt.cfg.Platform.Masters) == 0 {
 		return nil, fmt.Errorf("taskrt: platform has no master")
 	}
-	hostArch := rt.cfg.Platform.Masters[0].Architecture()
 	workers := rt.cfg.Workers
 	if workers <= 0 {
 		workers = 0
@@ -59,12 +67,25 @@ func (rt *Runtime) runReal() (*Report, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	archs := workerArchs(rt.cfg.Platform, workers)
 
-	// Pre-validate: every task must have a runnable implementation.
+	// Pre-validate: every task must have a runnable implementation for every
+	// worker architecture — eager and work-stealing dispatch route blindly,
+	// so any worker may end up with any task.
+	var distinct []string
+	seenArch := map[string]bool{}
+	for _, a := range archs {
+		if !seenArch[a] {
+			seenArch[a] = true
+			distinct = append(distinct, a)
+		}
+	}
 	for _, t := range rt.tasks {
-		im := t.Codelet.ImplFor(hostArch)
-		if im == nil || im.Func == nil {
-			return nil, fmt.Errorf("taskrt: codelet %q has no real implementation for host arch %q", t.Codelet.Name, hostArch)
+		for _, a := range distinct {
+			im := t.Codelet.ImplFor(a)
+			if im == nil || im.Func == nil {
+				return nil, fmt.Errorf("taskrt: codelet %q has no real implementation for worker arch %q", t.Codelet.Name, a)
+			}
 		}
 	}
 
@@ -74,6 +95,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 	// Worker-owned hot state: no lock is ever taken to update it. The main
 	// goroutine reads it only after wgWorkers.Wait().
 	type workerState struct {
+		arch      string
 		busy      time.Duration
 		count     int
 		startedOn int // attempts started, drives AfterTasks fault triggers
@@ -81,15 +103,26 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 	ws := make([]workerState, workers)
 	for w := 0; w < workers; w++ {
+		ws[w].arch = archs[w]
 		if evs := rt.cfg.Faults.forUnit(workerUnitID(w)); len(evs) > 0 {
 			ws[w].faults = &faultQueue{events: evs}
 		}
 	}
 
 	var disp dispatcher
-	if rt.cfg.Scheduler == "eager" {
+	switch rt.cfg.Scheduler {
+	case "eager":
 		disp = newChanDispatcher(len(rt.tasks))
-	} else {
+	case "dmda":
+		// dmda is model-driven: without a caller-provided store it still
+		// self-calibrates within the run (the engine records every execution
+		// into Models below), so give it a private one rather than running
+		// the whole graph on the cold/fallback paths.
+		if rt.cfg.Models == nil {
+			rt.cfg.Models = perfmodel.NewStore()
+		}
+		disp = newDmdaDispatcher(archs, len(rt.tasks), rt.cfg.Models)
+	default:
 		disp = newStealDispatcher(workers, len(rt.tasks))
 	}
 
@@ -162,13 +195,6 @@ func (rt *Runtime) runReal() (*Report, error) {
 		timers[tm] = struct{}{}
 	}
 
-	// Seed the dispatcher with the dependency-free tasks.
-	for i, t := range rt.tasks {
-		if remaining[i].Load() == 0 {
-			disp.push(-1, t)
-		}
-	}
-
 	// Causal-span preparation: resolve every task's parent ids once, up
 	// front, so the recording hot path copies a shared slice header instead
 	// of walking t.deps under load.
@@ -205,6 +231,31 @@ func (rt *Runtime) runReal() (*Report, error) {
 	}
 
 	start := time.Now()
+
+	// dmda placement decisions are observable: the dispatcher records one
+	// Place event per routed task directly into the trace (pushes happen on
+	// whichever goroutine completed the parent, so no worker shard applies;
+	// the push path already pays O(workers) scoring, one mutexed append is
+	// in proportion).
+	if dd, ok := disp.(*dmdaDispatcher); ok && tracing {
+		tr := rt.cfg.Trace
+		dd.onPlace = func(w int, t *Task, reason string) {
+			now := time.Since(start).Seconds()
+			tr.Record(trace.Event{
+				Kind: trace.Place, Unit: workerUnitID(w), Worker: w,
+				TaskID: t.id, Label: taskLabel(t),
+				Start: now, End: now, From: reason,
+				Attempt: int(t.attempt.Load()),
+			})
+		}
+	}
+
+	// Seed the dispatcher with the dependency-free tasks.
+	for i, t := range rt.tasks {
+		if remaining[i].Load() == 0 {
+			disp.push(-1, t)
+		}
+	}
 
 	// Queue-depth sampler: a low-rate observer feeding the taskrt_queue_depth
 	// gauges while the run is live. Depth reads are racy snapshots (atomic
@@ -311,7 +362,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 					if inj.Hang {
 						// A hung launch: the watchdog converts it into a
 						// failure after the timeout.
-						d := rt.taskTimeout(t, hostArch, policy)
+						d := rt.taskTimeout(t, st.arch, policy)
 						if d <= 0 {
 							d = policy.backoffDuration(policy.MaxAttempts) // bounded stand-in
 						}
@@ -326,6 +377,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 					}
 					detected := time.Now()
 					rec(trace.Failure, t, attempt, t0, detected, "")
+					// The kernel never ran: release the dispatcher's
+					// outstanding-work charge without skewing observed means.
+					disp.finished(worker, t, 0, false)
 					mu.Lock()
 					failedAttempts++
 					retriedSet[t.id] = true
@@ -354,6 +408,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 					mu.Unlock()
 					rec(trace.Retry, t, n, detected, detected.Add(backoff), "")
 					blGauge.Set(1)
+					if oa, ok := disp.(offlineAware); ok {
+						oa.setOffline(worker, true)
+					}
 					now := time.Now()
 					rec(trace.Blacklist, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
@@ -373,6 +430,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 					recovering--
 					mu.Unlock()
 					blGauge.Set(0)
+					if oa, ok := disp.(offlineAware); ok {
+						oa.setOffline(worker, false)
+					}
 					now = time.Now()
 					rec(trace.Recover, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
@@ -381,15 +441,15 @@ func (rt *Runtime) runReal() (*Report, error) {
 					continue
 				}
 
-				im := t.Codelet.ImplFor(hostArch)
-				tc := &TaskContext{WorkerID: worker, Arch: hostArch, Task: t}
+				im := t.Codelet.ImplFor(st.arch)
+				tc := &TaskContext{WorkerID: worker, Arch: st.arch, Task: t}
 				for _, a := range t.Accesses {
 					tc.Data = append(tc.Data, a.Handle.Payload)
 				}
 				t0 := time.Now()
 				var err error
 				wdog := false
-				if timeout := rt.taskTimeout(t, hostArch, policy); ft && timeout > 0 {
+				if timeout := rt.taskTimeout(t, st.arch, policy); ft && timeout > 0 {
 					// Watchdog: run the kernel aside and abandon it past the
 					// timeout (goroutines cannot be killed; the stuck kernel
 					// is orphaned and its worker blacklisted).
@@ -406,11 +466,12 @@ func (rt *Runtime) runReal() (*Report, error) {
 					err = im.Func(tc)
 				}
 				d := time.Since(t0)
+				disp.finished(worker, t, d, true)
 				if err == nil {
 					rec(trace.Task, t, attempt, t0, t0.Add(d), "")
 					hist.Observe(d.Seconds())
 					if rt.cfg.Models != nil && t.Flops > 0 && d > 0 {
-						_ = rt.cfg.Models.Model(t.Codelet.Name, hostArch).Record(t.Flops, d.Seconds())
+						_ = rt.cfg.Models.Model(t.Codelet.Name, st.arch).Record(t.Flops, d.Seconds())
 					}
 					st.busy += d
 					st.count++
@@ -458,6 +519,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 					mu.Unlock()
 					rec(trace.Retry, t, n, detected, detected.Add(backoff), "")
 					blGauge.Set(1)
+					if oa, ok := disp.(offlineAware); ok {
+						oa.setOffline(worker, true)
+					}
 					now := time.Now()
 					rec(trace.Blacklist, nil, 0, now, now, "")
 					if rt.cfg.Tracker != nil {
@@ -503,13 +567,31 @@ func (rt *Runtime) runReal() (*Report, error) {
 		rep.Steals += steals
 		rep.PerUnit = append(rep.PerUnit, UnitStats{
 			ID:          workerUnitID(w),
-			Arch:        hostArch,
+			Arch:        ws[w].arch,
 			Tasks:       ws[w].count,
 			BusySeconds: ws[w].busy.Seconds(),
 			Steals:      steals,
 		})
 	}
 	return rep, nil
+}
+
+// workerArchs assigns one architecture per real-mode worker: platform
+// Masters expand in declaration order, each contributing EffectiveQuantity
+// workers of its architecture. An explicit Config.Workers override truncates
+// the expansion or pads it with the first master's architecture, preserving
+// the historical homogeneous behaviour on single-arch platforms.
+func workerArchs(pl *core.Platform, workers int) []string {
+	archs := make([]string, 0, workers)
+	for _, m := range pl.Masters {
+		for i := 0; i < m.EffectiveQuantity() && len(archs) < workers; i++ {
+			archs = append(archs, m.Architecture())
+		}
+	}
+	for len(archs) < workers {
+		archs = append(archs, pl.Masters[0].Architecture())
+	}
+	return archs
 }
 
 // taskTimeout derives the real-mode watchdog timeout for a task: perfmodel

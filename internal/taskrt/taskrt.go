@@ -105,7 +105,10 @@ type Config struct {
 	Mode Mode
 	// Scheduler names the scheduling policy: "eager", "dmda", "heft", "ws"
 	// (work stealing) or "random". Empty defaults to "ws" in Real mode
-	// (per-worker deques with stealing) and "eager" in Sim mode.
+	// (per-worker deques with stealing) and "eager" in Sim mode. The Real
+	// engine implements "eager", "ws" and "dmda" (model-predicted earliest
+	// finish time placement; see dispatch.go) and treats any other policy as
+	// "ws"; the Sim engine implements all five.
 	Scheduler string
 	// Workers overrides the Real-mode worker count (default: the platform's
 	// x86 unit count).
@@ -113,7 +116,10 @@ type Config struct {
 	// Seed seeds the random scheduler (default 1).
 	Seed int64
 	// Models, when non-nil, receives execution-time observations in Real
-	// mode (history-based performance models à la StarPU).
+	// mode (history-based performance models à la StarPU) and feeds the
+	// "dmda" scheduler's placement predictions. When nil with Scheduler
+	// "dmda", the Real engine creates a private store so the policy
+	// self-calibrates within the run.
 	Models *perfmodel.Store
 	// Trace, when non-nil, receives one event per task execution and (in
 	// Sim mode) per data transfer, plus failure/retry/blacklist/recover

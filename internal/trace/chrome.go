@@ -158,7 +158,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 						Ts: usec(e.Start), Pid: chromePid, Tid: lane,
 					})
 			}
-		case Steal, Blacklist, Recover:
+		case Steal, Blacklist, Recover, Place:
 			out = append(out, chromeEvent{
 				Name: e.Kind.String(), Cat: e.Kind.String(), Ph: "i",
 				Ts: usec(e.Start), Pid: chromePid, Tid: lane, S: "t",

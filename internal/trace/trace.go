@@ -45,6 +45,10 @@ const (
 	// Steal marks a worker obtaining a task from another worker's queue
 	// (real-mode work-stealing dispatch). Start == End: it is an instant.
 	Steal
+	// Place marks a scheduler routing a task to a worker's queue at push
+	// time (real-mode dmda dispatch). Start == End: it is an instant; From
+	// carries the decision source ("model", "fallback" or "cold").
+	Place
 )
 
 // String names the kind.
@@ -64,6 +68,8 @@ func (k Kind) String() string {
 		return "recover"
 	case Steal:
 		return "steal"
+	case Place:
+		return "place"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -71,7 +77,7 @@ func (k Kind) String() string {
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Task; k <= Steal; k++ {
+	for k := Task; k <= Place; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -126,7 +132,8 @@ type Event struct {
 	// Worker is the executing worker/unit index, or -1 when unknown.
 	Worker int `json:"worker"`
 	// From names the victim unit on Steal events (the queue the task was
-	// taken from), so exporters can draw steal arrows between lanes.
+	// taken from), so exporters can draw steal arrows between lanes, and
+	// the decision source on Place events ("model", "fallback", "cold").
 	From string `json:"from,omitempty"`
 }
 

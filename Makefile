@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_gemm.json
 BENCH_N ?= 1024
 BENCH_WORKERS ?= 4
 
-.PHONY: build test vet race verify bench bench-kernels bench-server serve clean
+.PHONY: build test vet race crash-test fuzz verify bench bench-kernels bench-server serve clean
 
 build:
 	$(GO) build ./...
@@ -27,8 +27,20 @@ vet:
 race:
 	$(GO) test -race ./internal/taskrt/... ./internal/trace/... ./internal/metrics/... ./internal/perfmodel/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/...
 
-# verify is the tier-1 gate: build, full tests, vet, race subset.
-verify: build test vet race
+# crash-test exercises the durability layer's recovery guarantees under the
+# race detector: byte-granular journal truncation, corrupt-snapshot fallback,
+# read-only degradation, bundle round-trips, and the HTTP-level restart and
+# 503 contracts.
+crash-test:
+	$(GO) test -race -run 'CrashRecovery|TornAndCorrupt|AppendReplayTruncates|SnapshotRoundTrip|CorruptSnapshot|ReadOnly|FsyncdRecovery|Bundle|Import|Durable|JournalFailure|WALMetrics|DuplicateUpload' ./internal/registry/... ./internal/server/...
+
+# fuzz runs a time-boxed exploration of the journal record decoder on top of
+# the committed seed corpus (which plain `go test` already replays).
+fuzz:
+	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/registry
+
+# verify is the tier-1 gate: build, full tests, vet, race subset, crash/recovery suite.
+verify: build test vet race crash-test
 
 # bench runs the Ext-I pipeline: the Go benchmark pass over the GEMM
 # kernels, then the measured harness that writes $(BENCH_OUT).

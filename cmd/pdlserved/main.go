@@ -8,6 +8,15 @@
 //	pdlserved -addr :8080
 //	pdlserved -addr :8080 -preload internal/pdlxml/testdata
 //	pdlserved -addr :8080 -rate 100 -burst 200 -max-body 1048576
+//	pdlserved -addr :8080 -data-dir /var/lib/pdlserved -snapshot-every 1000
+//	pdlserved export -data-dir /var/lib/pdlserved -out bundle.tar
+//	pdlserved import -data-dir /var/lib/pdlserved-new -in bundle.tar
+//
+// With -data-dir set, every mutation is write-ahead journaled (fsync'd by
+// default) and periodically compacted into snapshots; a restarted server
+// replays snapshot + journal and comes back with identical versions, ETags
+// and perfmodel history. The export/import subcommands move that state
+// between air-gapped environments as a tar bundle.
 //
 // Endpoints:
 //
@@ -38,6 +47,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/predict"
 	"repro/internal/registry"
 	"repro/internal/server"
 	"repro/internal/trace"
@@ -57,20 +67,32 @@ func main() {
 }
 
 func run(args []string) error {
+	if len(args) > 0 {
+		switch args[0] {
+		case "export":
+			return runExport(args[1:])
+		case "import":
+			return runImport(args[1:])
+		}
+	}
 	fs := flag.NewFlagSet("pdlserved", flag.ContinueOnError)
 	var (
-		addr         = fs.String("addr", ":8080", "listen address")
-		preload      = fs.String("preload", "", "directory of *.pdl.xml documents to load at boot")
-		cacheSize    = fs.Int("cache", 256, "query-result cache capacity (0 disables)")
-		rate         = fs.Float64("rate", 0, "per-client request rate limit in req/s (0 disables)")
-		burst        = fs.Float64("burst", 0, "rate-limit burst (default 2x rate)")
-		maxBody      = fs.Int64("max-body", 4<<20, "maximum upload body size in bytes")
-		readTimeout  = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
-		writeTimeout = fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
-		idleTimeout  = fs.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
-		drain        = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
-		accessLog    = fs.String("access-log", "-", "access log destination: '-' for stderr, a path, or '' to disable")
-		traceFile    = fs.String("trace", "", "trace file (Chrome JSON or pdltrace JSONL) to serve at /debug/trace")
+		addr          = fs.String("addr", ":8080", "listen address")
+		preload       = fs.String("preload", "", "directory of *.pdl.xml documents to load at boot")
+		strictPreload = fs.Bool("strict-preload", false, "fail startup on any invalid preload file instead of logging and skipping it")
+		cacheSize     = fs.Int("cache", 256, "query-result cache capacity (0 disables)")
+		rate          = fs.Float64("rate", 0, "per-client request rate limit in req/s (0 disables)")
+		burst         = fs.Float64("burst", 0, "rate-limit burst (default 2x rate)")
+		maxBody       = fs.Int64("max-body", 4<<20, "maximum upload body size in bytes")
+		readTimeout   = fs.Duration("read-timeout", 10*time.Second, "HTTP server read timeout")
+		writeTimeout  = fs.Duration("write-timeout", 30*time.Second, "HTTP server write timeout")
+		idleTimeout   = fs.Duration("idle-timeout", 2*time.Minute, "HTTP server idle timeout")
+		drain         = fs.Duration("drain", 15*time.Second, "graceful-shutdown drain window")
+		accessLog     = fs.String("access-log", "-", "access log destination: '-' for stderr, a path, or '' to disable")
+		traceFile     = fs.String("trace", "", "trace file (Chrome JSON or pdltrace JSONL) to serve at /debug/trace")
+		dataDir       = fs.String("data-dir", "", "durability directory for the write-ahead journal and snapshots ('' = in-memory only)")
+		snapshotEvery = fs.Int("snapshot-every", 1024, "compact a snapshot after this many journal records (0 disables automatic compaction)")
+		fsync         = fs.Bool("fsync", true, "fsync the journal on every committed mutation")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -100,16 +122,36 @@ func run(args []string) error {
 	}
 
 	reg := registry.New(registry.WithCacheSize(*cacheSize))
+	tuner := predict.NewTuner()
+
+	var persist *registry.Persistence
+	if *dataDir != "" {
+		var err error
+		persist, err = registry.OpenPersistence(*dataDir, reg, tuner, registry.PersistOptions{
+			Fsync:         *fsync,
+			SnapshotEvery: *snapshotEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("open data dir %s: %w", *dataDir, err)
+		}
+		defer persist.Close()
+		rec := persist.Recovery()
+		log.Printf("pdlserved: recovered %d platform(s) from %s (snapshot seq %d, %d journal record(s) replayed, torn tail: %v)",
+			reg.Len(), *dataDir, rec.SnapshotSeq, rec.ReplayedRecords, rec.TornTail)
+	}
+
 	if *preload != "" {
-		n, err := preloadDir(reg, *preload)
+		n, skipped, err := preloadDir(reg, persist, *preload, *strictPreload)
 		if err != nil {
 			return err
 		}
-		log.Printf("pdlserved: preloaded %d platform(s) from %s", n, *preload)
+		log.Printf("pdlserved: preloaded %d platform(s) from %s (%d skipped)", n, *preload, skipped)
 	}
 
 	srv := server.New(server.Config{
 		Registry:     reg,
+		Tuner:        tuner,
+		Persist:      persist,
 		MaxBodyBytes: *maxBody,
 		RateLimit:    *rate,
 		RateBurst:    *burst,
@@ -154,24 +196,126 @@ func run(args []string) error {
 }
 
 // preloadDir uploads every *.pdl.xml under dir into the registry, keyed by
-// the file's base name without the .pdl.xml suffix.
-func preloadDir(reg *registry.Registry, dir string) (int, error) {
+// the file's base name without the .pdl.xml suffix. Invalid files are
+// logged and skipped — one bad document must not keep the whole service
+// down — unless strict is set, in which case the first failure aborts
+// startup (for deployments that treat the preload set as authoritative).
+// With a durability layer attached, preloaded documents are journaled like
+// any other mutation; re-preloading an already-recovered document is a
+// content-hash no-op and journals nothing.
+func preloadDir(reg *registry.Registry, persist *registry.Persistence, dir string, strict bool) (loaded, skipped int, err error) {
 	paths, err := filepath.Glob(filepath.Join(dir, "*.pdl.xml"))
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
-	n := 0
 	for _, p := range paths {
-		data, err := os.ReadFile(p)
-		if err != nil {
-			return n, err
-		}
 		name := filepath.Base(p)
 		name = name[:len(name)-len(".pdl.xml")]
-		if _, _, err := reg.Put(name, data); err != nil {
-			return n, fmt.Errorf("preload %s: %w", p, err)
+		err := preloadOne(reg, persist, name, p)
+		if err != nil {
+			if strict {
+				return loaded, skipped, fmt.Errorf("preload %s: %w (strict mode)", p, err)
+			}
+			skipped++
+			log.Printf("pdlserved: skipping preload %s: %v", p, err)
+			continue
 		}
-		n++
+		loaded++
 	}
-	return n, nil
+	return loaded, skipped, nil
+}
+
+// preloadOne validates and commits a single preload file through the same
+// write-ahead path PUT uses.
+func preloadOne(reg *registry.Registry, persist *registry.Persistence, name, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	prepared, err := reg.Prepare(name, data)
+	if err != nil {
+		return err
+	}
+	if cur, ok := reg.Get(name); ok && cur.ETag == prepared.ETag() {
+		return nil // already recovered with identical content
+	}
+	if persist != nil {
+		return persist.LogPut(name, prepared.XML(), func() { reg.CommitPrepared(prepared) })
+	}
+	reg.CommitPrepared(prepared)
+	return nil
+}
+
+// runExport recovers the store from a data dir and writes it as a tar
+// bundle (fresh compacted snapshot + manifest) for air-gapped promotion.
+func runExport(args []string) error {
+	fs := flag.NewFlagSet("pdlserved export", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "durability directory to export (required)")
+	out := fs.String("out", "-", "bundle destination: a .tar path or '-' for stdout")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return errors.New("export: -data-dir is required")
+	}
+	reg := registry.New()
+	tuner := predict.NewTuner()
+	persist, err := registry.OpenPersistence(*dataDir, reg, tuner, registry.PersistOptions{Fsync: false})
+	if err != nil {
+		return fmt.Errorf("export: open %s: %w", *dataDir, err)
+	}
+	defer persist.Close()
+
+	var w io.Writer = os.Stdout
+	if *out != "-" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	man, err := persist.WriteBundle(w)
+	if err != nil {
+		return fmt.Errorf("export: %w", err)
+	}
+	log.Printf("pdlserved: exported %d platform(s), store version %d", man.Platforms, man.StoreVersion)
+	return nil
+}
+
+// runImport seeds an empty data dir from a bundle and verifies it by
+// running a full recovery over the imported snapshot.
+func runImport(args []string) error {
+	fs := flag.NewFlagSet("pdlserved import", flag.ContinueOnError)
+	dataDir := fs.String("data-dir", "", "empty durability directory to import into (required)")
+	in := fs.String("in", "-", "bundle source: a .tar path or '-' for stdin")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *dataDir == "" {
+		return errors.New("import: -data-dir is required")
+	}
+	var r io.Reader = os.Stdin
+	if *in != "-" {
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	man, err := registry.ImportBundle(r, *dataDir)
+	if err != nil {
+		return fmt.Errorf("import: %w", err)
+	}
+	// Prove the imported state recovers: open it exactly like serving would.
+	reg := registry.New()
+	persist, err := registry.OpenPersistence(*dataDir, reg, predict.NewTuner(), registry.PersistOptions{Fsync: false})
+	if err != nil {
+		return fmt.Errorf("import: verify recovery: %w", err)
+	}
+	persist.Close()
+	log.Printf("pdlserved: imported %d platform(s) into %s (store version %d); serve with -data-dir %s",
+		reg.Len(), *dataDir, man.StoreVersion, *dataDir)
+	return nil
 }

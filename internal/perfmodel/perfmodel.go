@@ -184,11 +184,13 @@ func (m *Model) snapshot() *Model {
 	}
 }
 
-// Save writes the store as JSON to path. It marshals locked deep snapshots
-// of every model: the real engine records one sample per completed task (and
-// pdlserved's /observe endpoint records more), so serialising the live
-// Samples slices would race with concurrent appends.
-func (s *Store) Save(path string) error {
+// SnapshotJSON serialises the store as JSON bytes from locked deep
+// snapshots of every model — the durable image pdlserved's write-ahead
+// layer embeds in registry snapshots. Models are sorted (codelet, arch) and
+// samples kept in insertion order, so the same history always produces the
+// same bytes: the crash-recovery harness compares states by comparing
+// these.
+func (s *Store) SnapshotJSON() ([]byte, error) {
 	live := s.Models()
 	models := make([]*Model, len(live))
 	for i, m := range live {
@@ -196,7 +198,37 @@ func (s *Store) Save(path string) error {
 	}
 	data, err := json.MarshalIndent(storeJSON{Models: models}, "", "  ")
 	if err != nil {
-		return fmt.Errorf("perfmodel: %w", err)
+		return nil, fmt.Errorf("perfmodel: %w", err)
+	}
+	return data, nil
+}
+
+// RestoreJSON merges a SnapshotJSON image into the store (same semantics as
+// Load: samples append to any existing models).
+func (s *Store) RestoreJSON(data []byte) error {
+	var sj storeJSON
+	if err := json.Unmarshal(data, &sj); err != nil {
+		return fmt.Errorf("perfmodel: restore: %w", err)
+	}
+	for _, lm := range sj.Models {
+		m := s.Model(lm.Codelet, lm.Arch)
+		m.mu.Lock()
+		for _, smp := range lm.Samples {
+			m.addSample(smp)
+		}
+		m.mu.Unlock()
+	}
+	return nil
+}
+
+// Save writes the store as JSON to path. It marshals locked deep snapshots
+// of every model: the real engine records one sample per completed task (and
+// pdlserved's /observe endpoint records more), so serialising the live
+// Samples slices would race with concurrent appends.
+func (s *Store) Save(path string) error {
+	data, err := s.SnapshotJSON()
+	if err != nil {
+		return err
 	}
 	return os.WriteFile(path, data, 0o644)
 }
@@ -208,17 +240,8 @@ func (s *Store) Load(path string) error {
 	if err != nil {
 		return err
 	}
-	var sj storeJSON
-	if err := json.Unmarshal(data, &sj); err != nil {
-		return fmt.Errorf("perfmodel: %s: %w", path, err)
-	}
-	for _, lm := range sj.Models {
-		m := s.Model(lm.Codelet, lm.Arch)
-		m.mu.Lock()
-		for _, smp := range lm.Samples {
-			m.addSample(smp)
-		}
-		m.mu.Unlock()
+	if err := s.RestoreJSON(data); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
 	}
 	return nil
 }

@@ -37,6 +37,29 @@ func NewTuner() *Tuner {
 // Store returns the backing model store for persistence.
 func (t *Tuner) Store() *perfmodel.Store { return t.store }
 
+// SnapshotPerf serialises the tuner's models as deterministic JSON — the
+// perfmodel half of registry.PerfState, embedded in pdlserved's durable
+// snapshots.
+func (t *Tuner) SnapshotPerf() ([]byte, error) { return t.store.SnapshotJSON() }
+
+// RestorePerf merges a SnapshotPerf image back into the tuner.
+func (t *Tuner) RestorePerf(data []byte) error { return t.store.RestoreJSON(data) }
+
+// CheckObservable reports whether Observe can attribute samples for the
+// platform — i.e. it satisfies at least one known pattern. The server
+// validates with this *before* journaling an observation, so nothing
+// unreplayable is ever written ahead.
+func (t *Tuner) CheckObservable(pl *core.Platform) error {
+	views, err := pattern.Views(pl)
+	if err != nil {
+		return err
+	}
+	if len(views) == 0 {
+		return fmt.Errorf("predict: platform %q satisfies no known pattern", pl.Name)
+	}
+	return nil
+}
+
 // Observe records one execution of a codelet on a platform: the sample is
 // attributed to every architectural pattern the platform satisfies, so
 // later predictions can start from the most specific pattern a new target

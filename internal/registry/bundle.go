@@ -1,0 +1,175 @@
+// Export/import bundles: a tar of the store's durable state (one fresh
+// compacted snapshot — which embeds every platform's canonical XML, its
+// revision, the store version, and the full perfmodel sample history — plus
+// a human-readable manifest). Bundles move registry state between air-gapped
+// environments: `pdlserved export` on the source, carry the tar, `pdlserved
+// import` into an empty data dir on the target. Because the snapshot holds
+// canonical documents and recovery recomputes content-hash ETags from them,
+// an export → wipe → import round trip serves bit-identical ETags.
+package registry
+
+import (
+	"archive/tar"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// bundleSnapshotName is the snapshot's fixed name inside a bundle; import
+// materialises it as epoch 1 of the target data dir.
+const bundleSnapshotName = "snapshot-0000000000000001.snap"
+
+// BundleManifest describes a bundle for humans and for import-time sanity
+// checks.
+type BundleManifest struct {
+	Format       string    `json:"format"` // "pdlserved-bundle/1"
+	CreatedAt    time.Time `json:"created_at"`
+	StoreVersion uint64    `json:"store_version"`
+	Platforms    int       `json:"platforms"`
+	ETags        []string  `json:"etags"` // sorted with names: "name etag"
+}
+
+const bundleFormat = "pdlserved-bundle/1"
+
+// WriteBundle exports the current store as a tar stream. The source data
+// dir is not modified: the snapshot is built in memory from the live
+// registry and perf state.
+func (p *Persistence) WriteBundle(w io.Writer) (BundleManifest, error) {
+	version, pls := p.reg.exportState()
+	st := snapshotState{Seq: 1, SavedAt: time.Now(), StoreVersion: version, Platforms: pls}
+	if p.perf != nil {
+		pm, err := p.perf.SnapshotPerf()
+		if err != nil {
+			return BundleManifest{}, fmt.Errorf("registry: bundle perfmodels: %w", err)
+		}
+		st.Perfmodels = pm
+	}
+	man := BundleManifest{
+		Format:       bundleFormat,
+		CreatedAt:    st.SavedAt,
+		StoreVersion: version,
+		Platforms:    len(pls),
+	}
+	for _, e := range p.reg.List() {
+		man.ETags = append(man.ETags, e.Name+" "+e.ETag)
+	}
+
+	// Render the snapshot through the same writer the data dir uses, via a
+	// temp file, so the bundled bytes are exactly what recovery verifies.
+	tmpDir, err := os.MkdirTemp("", "pdlserved-export-*")
+	if err != nil {
+		return man, err
+	}
+	defer os.RemoveAll(tmpDir)
+	snapPath := filepath.Join(tmpDir, bundleSnapshotName)
+	if err := writeSnapshot(snapPath, st); err != nil {
+		return man, err
+	}
+	snapBytes, err := os.ReadFile(snapPath)
+	if err != nil {
+		return man, err
+	}
+	manBytes, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		return man, err
+	}
+
+	tw := tar.NewWriter(w)
+	for _, f := range []struct {
+		name string
+		data []byte
+	}{
+		{"MANIFEST.json", manBytes},
+		{bundleSnapshotName, snapBytes},
+	} {
+		hdr := &tar.Header{
+			Name:    f.name,
+			Mode:    0o644,
+			Size:    int64(len(f.data)),
+			ModTime: st.SavedAt,
+		}
+		if err := tw.WriteHeader(hdr); err != nil {
+			return man, err
+		}
+		if _, err := tw.Write(f.data); err != nil {
+			return man, err
+		}
+	}
+	return man, tw.Close()
+}
+
+// ImportBundle reads a bundle stream into dir, which must be empty (or not
+// yet exist): import never merges, it seeds a fresh store. The snapshot is
+// verified (framing, CRC, every document re-parsed) before the function
+// returns, so a corrupt bundle leaves dir empty rather than poisoned.
+func ImportBundle(r io.Reader, dir string) (BundleManifest, error) {
+	var man BundleManifest
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return man, err
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return man, err
+	}
+	if len(ents) > 0 {
+		return man, fmt.Errorf("registry: import target %s is not empty (%d entries)", dir, len(ents))
+	}
+
+	var snapData []byte
+	tr := tar.NewReader(r)
+	for {
+		hdr, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return man, fmt.Errorf("registry: read bundle: %w", err)
+		}
+		// Only the two well-known flat names are accepted: no paths, so no
+		// traversal, and no stray files landing in the data dir.
+		switch hdr.Name {
+		case "MANIFEST.json":
+			data, err := io.ReadAll(io.LimitReader(tr, 1<<20))
+			if err != nil {
+				return man, err
+			}
+			if err := json.Unmarshal(data, &man); err != nil {
+				return man, fmt.Errorf("registry: bundle manifest: %w", err)
+			}
+			if man.Format != bundleFormat {
+				return man, fmt.Errorf("registry: unsupported bundle format %q", man.Format)
+			}
+		case bundleSnapshotName:
+			data, err := io.ReadAll(io.LimitReader(tr, maxSnapshotLen))
+			if err != nil {
+				return man, err
+			}
+			snapData = data
+		default:
+			return man, fmt.Errorf("registry: unexpected bundle member %q", hdr.Name)
+		}
+	}
+	if snapData == nil {
+		return man, errors.New("registry: bundle has no snapshot")
+	}
+
+	snapPath := filepath.Join(dir, bundleSnapshotName)
+	if err := os.WriteFile(snapPath, snapData, 0o644); err != nil {
+		return man, err
+	}
+	// Verify before declaring success: framing + CRC + a full re-parse of
+	// every platform into a throwaway registry.
+	st, err := readSnapshot(snapPath)
+	if err == nil {
+		err = New().restoreState(st.StoreVersion, st.Platforms)
+	}
+	if err != nil {
+		os.Remove(snapPath)
+		return man, fmt.Errorf("registry: bundle snapshot failed verification: %w", err)
+	}
+	return man, syncDir(snapPath)
+}

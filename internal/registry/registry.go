@@ -128,6 +128,88 @@ func etagOf(canonical []byte) string {
 	return `"` + hex.EncodeToString(sum[:16]) + `"`
 }
 
+// Prepared is a parsed, validated, canonicalised document ready to commit.
+// Splitting Put into Prepare + CommitPrepared lets the durability layer
+// order the write-ahead journal append between validation and the in-memory
+// commit: nothing invalid is ever journaled, and nothing is acknowledged
+// before it is durable.
+type Prepared struct {
+	name      string
+	pl        *core.Platform
+	canonical []byte
+	etag      string
+	warnings  []string
+}
+
+// Name returns the registry key the document will commit under.
+func (p *Prepared) Name() string { return p.name }
+
+// XML returns the canonical marshalled document (what the journal records).
+func (p *Prepared) XML() []byte { return p.canonical }
+
+// ETag returns the content-hash ETag the committed entry will carry.
+func (p *Prepared) ETag() string { return p.etag }
+
+// Prepare parses, validates and canonicalises one document without touching
+// the store. The returned Prepared can be committed with CommitPrepared.
+func (r *Registry) Prepare(name string, xmlDoc []byte) (*Prepared, error) {
+	if strings.TrimSpace(name) == "" {
+		return nil, fmt.Errorf("registry: empty platform name")
+	}
+	pl, err := pdlxml.Unmarshal(xmlDoc)
+	if err != nil {
+		return nil, fmt.Errorf("registry: parse %q: %w", name, err)
+	}
+	rep := schema.ValidatePlatform(pl, r.schemas)
+	if !rep.OK() {
+		return nil, &ValidationError{Name: name, Problems: rep.Errors}
+	}
+	canonical, err := pdlxml.Marshal(pl)
+	if err != nil {
+		return nil, fmt.Errorf("registry: canonicalise %q: %w", name, err)
+	}
+	return &Prepared{
+		name:      name,
+		pl:        pl,
+		canonical: canonical,
+		etag:      etagOf(canonical),
+		warnings:  rep.Warnings,
+	}, nil
+}
+
+// CommitPrepared publishes a prepared document. Committing a document whose
+// canonical form matches the current entry returns (existing, false) without
+// bumping any version or touching the cache.
+func (r *Registry) CommitPrepared(p *Prepared) (*Entry, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if cur, ok := r.entries[p.name]; ok && cur.ETag == p.etag {
+		return cur, false
+	}
+	entry := &Entry{
+		Name:     p.name,
+		Platform: p.pl,
+		XML:      p.canonical,
+		ETag:     p.etag,
+		Revision: 1,
+		Warnings: p.warnings,
+		Stored:   time.Now(),
+		root:     query.New(p.pl),
+	}
+	if cur, ok := r.entries[p.name]; ok {
+		entry.Revision = cur.Revision + 1
+	}
+	next := make(map[string]*Entry, len(r.entries)+1)
+	for k, v := range r.entries {
+		next[k] = v
+	}
+	next[p.name] = entry
+	r.entries = next
+	r.version++
+	r.cache.InvalidatePlatform(p.name)
+	return entry, true
+}
+
 // Put parses, validates and commits one platform under the given name. The
 // name is authoritative: it may differ from the document's own Platform
 // name (the registry key is the upload path, like an object store).
@@ -136,50 +218,12 @@ func etagOf(canonical []byte) string {
 // changed. Re-uploading a document whose canonical form is unchanged returns
 // (existing, false, nil) without bumping any version or touching the cache.
 func (r *Registry) Put(name string, xmlDoc []byte) (*Entry, bool, error) {
-	if strings.TrimSpace(name) == "" {
-		return nil, false, fmt.Errorf("registry: empty platform name")
-	}
-	pl, err := pdlxml.Unmarshal(xmlDoc)
+	p, err := r.Prepare(name, xmlDoc)
 	if err != nil {
-		return nil, false, fmt.Errorf("registry: parse %q: %w", name, err)
+		return nil, false, err
 	}
-	rep := schema.ValidatePlatform(pl, r.schemas)
-	if !rep.OK() {
-		return nil, false, &ValidationError{Name: name, Problems: rep.Errors}
-	}
-	canonical, err := pdlxml.Marshal(pl)
-	if err != nil {
-		return nil, false, fmt.Errorf("registry: canonicalise %q: %w", name, err)
-	}
-	etag := etagOf(canonical)
-
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if cur, ok := r.entries[name]; ok && cur.ETag == etag {
-		return cur, false, nil
-	}
-	entry := &Entry{
-		Name:     name,
-		Platform: pl,
-		XML:      canonical,
-		ETag:     etag,
-		Revision: 1,
-		Warnings: rep.Warnings,
-		Stored:   time.Now(),
-		root:     query.New(pl),
-	}
-	if cur, ok := r.entries[name]; ok {
-		entry.Revision = cur.Revision + 1
-	}
-	next := make(map[string]*Entry, len(r.entries)+1)
-	for k, v := range r.entries {
-		next[k] = v
-	}
-	next[name] = entry
-	r.entries = next
-	r.version++
-	r.cache.InvalidatePlatform(name)
-	return entry, true, nil
+	entry, changed := r.CommitPrepared(p)
+	return entry, changed, nil
 }
 
 // Get returns the current entry for name.

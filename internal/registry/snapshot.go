@@ -1,0 +1,180 @@
+// Snapshot files for the registry's durability layer: a periodic, compacted
+// image of the copy-on-write store (every platform's canonical XML plus its
+// revision and store version) and the perfmodel state, so recovery replays
+// snapshot + journal instead of the full mutation history.
+//
+// File framing (little-endian):
+//
+//	offset 0   8 bytes  magic "PDLSNAP1"
+//	offset 8   uint32   CRC-32 (IEEE) of the body
+//	offset 12  uint64   body length n
+//	offset 20  n bytes  body: JSON snapshotState
+//
+// Snapshots are written to a temporary file, fsync'd, then atomically
+// renamed into place, so a crash mid-write can never damage an existing
+// snapshot — at worst it leaves a stray .tmp file that the next open
+// ignores. A snapshot whose magic, length or CRC does not verify is refused
+// and recovery falls back to the previous snapshot plus a longer replay.
+package registry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/query"
+)
+
+var snapshotMagic = [8]byte{'P', 'D', 'L', 'S', 'N', 'A', 'P', '1'}
+
+// maxSnapshotLen caps the body a snapshot header may claim, bounding the
+// allocation a corrupt length field can trigger.
+const maxSnapshotLen = 1 << 31
+
+var errSnapshotCorrupt = errors.New("registry: snapshot corrupt")
+
+// snapPlatform is one platform's durable image inside a snapshot.
+type snapPlatform struct {
+	Name     string    `json:"name"`
+	Revision uint64    `json:"revision"`
+	Stored   time.Time `json:"stored"`
+	XML      []byte    `json:"xml"` // canonical form; ETag is recomputed from it
+}
+
+// snapshotState is the JSON body of a snapshot file.
+type snapshotState struct {
+	Seq          uint64          `json:"seq"`
+	SavedAt      time.Time       `json:"saved_at"`
+	StoreVersion uint64          `json:"store_version"`
+	Platforms    []snapPlatform  `json:"platforms"`
+	Perfmodels   json.RawMessage `json:"perfmodels,omitempty"`
+}
+
+// exportState captures the registry's durable image under the read lock:
+// the copy-on-write entry map makes this a pointer walk, not a deep copy.
+func (r *Registry) exportState() (version uint64, pls []snapPlatform) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	pls = make([]snapPlatform, 0, len(r.entries))
+	for _, e := range r.entries {
+		pls = append(pls, snapPlatform{
+			Name:     e.Name,
+			Revision: e.Revision,
+			Stored:   e.Stored,
+			XML:      e.XML,
+		})
+	}
+	return r.version, pls
+}
+
+// restoreState rebuilds the registry from a snapshot image: every document
+// is re-parsed (reproducing the content-hash ETag and query root) and
+// republished with its original revision; the store version is restored
+// verbatim so a recovered server reports the same version it crashed at.
+// Any unparsable platform fails the whole restore — the caller treats the
+// snapshot as corrupt and falls back.
+func (r *Registry) restoreState(version uint64, pls []snapPlatform) error {
+	next := make(map[string]*Entry, len(pls))
+	for _, sp := range pls {
+		p, err := r.Prepare(sp.Name, sp.XML)
+		if err != nil {
+			return fmt.Errorf("restore %q: %w", sp.Name, err)
+		}
+		next[sp.Name] = &Entry{
+			Name:     sp.Name,
+			Platform: p.pl,
+			XML:      p.canonical,
+			ETag:     p.etag,
+			Revision: sp.Revision,
+			Warnings: p.warnings,
+			Stored:   sp.Stored,
+			root:     query.New(p.pl),
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.entries = next
+	r.version = version
+	return nil
+}
+
+// writeSnapshot renders and atomically installs a snapshot at path.
+func writeSnapshot(path string, st snapshotState) error {
+	body, err := json.Marshal(st)
+	if err != nil {
+		return fmt.Errorf("registry: encode snapshot: %w", err)
+	}
+	buf := make([]byte, 20+len(body))
+	copy(buf[0:8], snapshotMagic[:])
+	binary.LittleEndian.PutUint32(buf[8:12], crc32.ChecksumIEEE(body))
+	binary.LittleEndian.PutUint64(buf[12:20], uint64(len(body)))
+	copy(buf[20:], body)
+
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(path)
+}
+
+// readSnapshot loads and verifies a snapshot file. Corruption of any kind —
+// bad magic, impossible length, trailing garbage, checksum mismatch, broken
+// JSON — returns errSnapshotCorrupt (wrapped), never a partial state.
+func readSnapshot(path string) (snapshotState, error) {
+	var st snapshotState
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return st, err
+	}
+	if len(data) < 20 || [8]byte(data[0:8]) != snapshotMagic {
+		return st, fmt.Errorf("%w: %s: bad header", errSnapshotCorrupt, path)
+	}
+	n := binary.LittleEndian.Uint64(data[12:20])
+	if n > maxSnapshotLen || n != uint64(len(data)-20) {
+		return st, fmt.Errorf("%w: %s: length mismatch", errSnapshotCorrupt, path)
+	}
+	body := data[20:]
+	if crc32.ChecksumIEEE(body) != binary.LittleEndian.Uint32(data[8:12]) {
+		return st, fmt.Errorf("%w: %s: checksum mismatch", errSnapshotCorrupt, path)
+	}
+	if err := json.Unmarshal(body, &st); err != nil {
+		return st, fmt.Errorf("%w: %s: %v", errSnapshotCorrupt, path, err)
+	}
+	return st, nil
+}
+
+// syncDir fsyncs the directory containing path so a rename survives power
+// loss. Best-effort: some filesystems refuse directory fsync.
+func syncDir(path string) error {
+	dir, err := os.Open(filepath.Dir(path))
+	if err != nil {
+		return nil
+	}
+	defer dir.Close()
+	dir.Sync()
+	return nil
+}

@@ -1,0 +1,291 @@
+// Write-ahead journal for the registry's durability layer (see persist.go
+// for the recovery orchestration and DESIGN.md §8 for the full state
+// machine). Every committed mutation — platform PUT, platform DELETE,
+// perfmodel observation — is appended here *before* it is applied to the
+// in-memory store, so a crashed process replays the journal on restart and
+// recovers exactly the committed history.
+//
+// Record framing (little-endian):
+//
+//	offset 0  uint32  payload length n
+//	offset 4  uint32  CRC-32 (IEEE) of the payload
+//	offset 8  n bytes payload: [0] = op byte, [1:] = JSON body
+//
+// The CRC covers only the payload: a torn write (power loss mid-append)
+// leaves either a short header, a short payload, or a payload that fails the
+// checksum — all three are detected and treated as the end of the journal.
+// Everything before the tear is intact because records are strictly
+// append-only and (with fsync enabled) durable before the mutation is
+// acknowledged.
+package registry
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"time"
+)
+
+// Journal ops. The op byte is the first payload byte so the decoder can
+// dispatch without parsing JSON.
+const (
+	opPut     = byte(1) // body: putRecord
+	opDelete  = byte(2) // body: deleteRecord
+	opObserve = byte(3) // body: observeRecord
+)
+
+// recordHeaderLen is the fixed framing prefix: length + CRC.
+const recordHeaderLen = 8
+
+// maxRecordLen caps a single journal record's payload. It bounds the
+// allocation a corrupt length prefix can trigger (the decoder refuses larger
+// claims before allocating) and comfortably exceeds the server's default
+// 4 MiB upload cap.
+const maxRecordLen = 16 << 20
+
+// Decode errors. errShortRecord and errRecordCRC mark a torn tail when they
+// occur at the end of a journal; anywhere else they mean corruption.
+var (
+	errShortRecord = errors.New("registry: journal record truncated")
+	errRecordCRC   = errors.New("registry: journal record CRC mismatch")
+	errRecordSize  = errors.New("registry: journal record exceeds size limit")
+)
+
+// putRecord journals one committed platform upload. XML is the canonical
+// (re-marshalled) document, so replay reproduces the same content-hash ETag.
+type putRecord struct {
+	Name string `json:"name"`
+	XML  []byte `json:"xml"`
+}
+
+// deleteRecord journals one platform removal.
+type deleteRecord struct {
+	Name string `json:"name"`
+}
+
+// observeRecord journals one perfmodel observation routed through
+// /platforms/{name}/observe. Replay re-runs the observation against the
+// platform as recovered at that point in the history, reproducing the same
+// per-pattern sample attribution.
+type observeRecord struct {
+	Platform string  `json:"platform"`
+	Codelet  string  `json:"codelet"`
+	Size     float64 `json:"size"`
+	Seconds  float64 `json:"seconds"`
+}
+
+// mutation is the decoded form of one journal payload: exactly one of the
+// record pointers is set, according to Op.
+type mutation struct {
+	Op      byte
+	Put     *putRecord
+	Delete  *deleteRecord
+	Observe *observeRecord
+}
+
+// encodeMutation renders a payload: op byte followed by the JSON body.
+func encodeMutation(op byte, body any) ([]byte, error) {
+	data, err := json.Marshal(body)
+	if err != nil {
+		return nil, fmt.Errorf("registry: encode journal record: %w", err)
+	}
+	payload := make([]byte, 1+len(data))
+	payload[0] = op
+	copy(payload[1:], data)
+	return payload, nil
+}
+
+// decodeMutation parses a record payload. Arbitrary bytes must only ever
+// produce an error — never a panic or an unbounded allocation (the framing
+// decoder has already capped the payload length).
+func decodeMutation(payload []byte) (mutation, error) {
+	if len(payload) < 1 {
+		return mutation{}, errors.New("registry: empty journal payload")
+	}
+	op, body := payload[0], payload[1:]
+	var m mutation
+	m.Op = op
+	switch op {
+	case opPut:
+		m.Put = new(putRecord)
+		if err := json.Unmarshal(body, m.Put); err != nil {
+			return mutation{}, fmt.Errorf("registry: decode put record: %w", err)
+		}
+		if m.Put.Name == "" {
+			return mutation{}, errors.New("registry: put record without name")
+		}
+	case opDelete:
+		m.Delete = new(deleteRecord)
+		if err := json.Unmarshal(body, m.Delete); err != nil {
+			return mutation{}, fmt.Errorf("registry: decode delete record: %w", err)
+		}
+		if m.Delete.Name == "" {
+			return mutation{}, errors.New("registry: delete record without name")
+		}
+	case opObserve:
+		m.Observe = new(observeRecord)
+		if err := json.Unmarshal(body, m.Observe); err != nil {
+			return mutation{}, fmt.Errorf("registry: decode observe record: %w", err)
+		}
+		if m.Observe.Platform == "" || m.Observe.Codelet == "" {
+			return mutation{}, errors.New("registry: observe record without platform/codelet")
+		}
+		if m.Observe.Size <= 0 || m.Observe.Seconds <= 0 {
+			return mutation{}, errors.New("registry: observe record with non-positive sample")
+		}
+	default:
+		return mutation{}, fmt.Errorf("registry: unknown journal op %d", op)
+	}
+	return m, nil
+}
+
+// encodeRecord frames a payload: header (length + CRC) followed by the
+// payload, returned as one slice so Append issues a single write.
+func encodeRecord(payload []byte) ([]byte, error) {
+	if len(payload) > maxRecordLen {
+		return nil, errRecordSize
+	}
+	rec := make([]byte, recordHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(rec[4:8], crc32.ChecksumIEEE(payload))
+	copy(rec[recordHeaderLen:], payload)
+	return rec, nil
+}
+
+// decodeRecord consumes one framed record from buf, returning the payload
+// (a subslice of buf — no copy, no allocation) and the remaining bytes.
+// It never allocates based on untrusted lengths: a length prefix larger
+// than maxRecordLen fails with errRecordSize, and a length larger than the
+// remaining buffer fails with errShortRecord before any slicing.
+func decodeRecord(buf []byte) (payload, rest []byte, err error) {
+	if len(buf) < recordHeaderLen {
+		return nil, buf, errShortRecord
+	}
+	n := binary.LittleEndian.Uint32(buf[0:4])
+	if n > maxRecordLen {
+		return nil, buf, errRecordSize
+	}
+	if uint64(len(buf)-recordHeaderLen) < uint64(n) {
+		return nil, buf, errShortRecord
+	}
+	payload = buf[recordHeaderLen : recordHeaderLen+int(n)]
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(buf[4:8]) {
+		return nil, buf, errRecordCRC
+	}
+	return payload, buf[recordHeaderLen+int(n):], nil
+}
+
+// journal is an open, append-only WAL file.
+type journal struct {
+	f       *os.File
+	path    string
+	size    int64 // bytes of committed (framed) records
+	records int   // records appended or replayed through this handle
+	fsync   bool  // sync after every append
+
+	// fsyncObserve, when set, receives the duration of each fsync (wired to
+	// the pdlserved_wal_fsync_seconds histogram).
+	fsyncObserve func(time.Duration)
+}
+
+// openJournal opens (creating if absent) the journal at path for appending.
+// The caller is responsible for having replayed and truncated any torn tail
+// first; size is the verified good length.
+func openJournal(path string, size int64, fsync bool) (*journal, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Seek(size, io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &journal{f: f, path: path, size: size, fsync: fsync}, nil
+}
+
+// append frames and writes one payload, then (per policy) fsyncs. On any
+// error the journal must be considered broken: the caller flips the store
+// to read-only rather than risk acknowledging mutations that are not
+// durable.
+func (j *journal) append(payload []byte) error {
+	rec, err := encodeRecord(payload)
+	if err != nil {
+		return err
+	}
+	if _, err := j.f.Write(rec); err != nil {
+		return fmt.Errorf("registry: journal append: %w", err)
+	}
+	if j.fsync {
+		start := time.Now()
+		if err := j.f.Sync(); err != nil {
+			return fmt.Errorf("registry: journal fsync: %w", err)
+		}
+		if j.fsyncObserve != nil {
+			j.fsyncObserve(time.Since(start))
+		}
+	}
+	j.size += int64(len(rec))
+	j.records++
+	return nil
+}
+
+func (j *journal) close() error {
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}
+
+// replayResult summarises one journal file's replay.
+type replayResult struct {
+	Records   int   // records decoded and handed to apply
+	GoodBytes int64 // verified prefix length (file offset of the tear, if any)
+	Torn      bool  // file ended in a short or checksum-failing record
+}
+
+// replayJournal reads the journal at path and calls apply for each intact
+// record in order. A torn tail (short header, short payload, or CRC
+// mismatch) ends the replay without error: the result reports Torn and the
+// byte offset the file should be truncated to. A missing file replays zero
+// records. apply errors abort the replay and are returned as-is.
+func replayJournal(path string, apply func(m mutation) error) (replayResult, error) {
+	var res replayResult
+	data, err := os.ReadFile(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return res, nil
+		}
+		return res, err
+	}
+	buf := data
+	for len(buf) > 0 {
+		payload, rest, err := decodeRecord(buf)
+		if err != nil {
+			// errRecordSize means a garbage length prefix — indistinguishable
+			// from any other torn/overwritten tail, so it truncates too.
+			res.Torn = true
+			return res, nil
+		}
+		m, err := decodeMutation(payload)
+		if err != nil {
+			// Framing was intact but the payload is not a valid mutation:
+			// treat like a tear at this offset. This cannot happen for
+			// records we wrote ourselves.
+			res.Torn = true
+			return res, nil
+		}
+		if err := apply(m); err != nil {
+			return res, err
+		}
+		buf = rest
+		res.Records++
+		res.GoodBytes = int64(len(data) - len(buf))
+	}
+	return res, nil
+}

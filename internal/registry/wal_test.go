@@ -1,0 +1,168 @@
+package registry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRecordRoundTrip(t *testing.T) {
+	payload, err := encodeMutation(opPut, putRecord{Name: "p", XML: []byte("<x/>")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := encodeRecord(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, rest, err := decodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("payload mismatch: %q vs %q", got, payload)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("unexpected %d trailing bytes", len(rest))
+	}
+	m, err := decodeMutation(got)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Op != opPut || m.Put == nil || m.Put.Name != "p" || string(m.Put.XML) != "<x/>" {
+		t.Fatalf("decoded mutation = %+v", m)
+	}
+}
+
+func TestDecodeRecordTornAndCorrupt(t *testing.T) {
+	payload, _ := encodeMutation(opDelete, deleteRecord{Name: "p"})
+	rec, _ := encodeRecord(payload)
+
+	// Every strict prefix of a record is torn, never valid and never a panic.
+	for cut := 0; cut < len(rec); cut++ {
+		if _, _, err := decodeRecord(rec[:cut]); err == nil {
+			t.Fatalf("cut at %d decoded successfully", cut)
+		}
+	}
+
+	// A flipped payload bit fails the checksum.
+	bad := append([]byte(nil), rec...)
+	bad[len(bad)-1] ^= 0x01
+	if _, _, err := decodeRecord(bad); !errors.Is(err, errRecordCRC) {
+		t.Fatalf("corrupt payload err = %v, want CRC mismatch", err)
+	}
+
+	// A garbage length prefix must not trigger a giant allocation.
+	huge := append([]byte(nil), rec...)
+	binary.LittleEndian.PutUint32(huge[0:4], maxRecordLen+1)
+	if _, _, err := decodeRecord(huge); !errors.Is(err, errRecordSize) {
+		t.Fatalf("oversized length err = %v, want size error", err)
+	}
+}
+
+func TestJournalAppendReplayTruncates(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.wal")
+	j, err := openJournal(path, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for _, name := range []string{"a", "b", "c"} {
+		p, _ := encodeMutation(opDelete, deleteRecord{Name: name})
+		payloads = append(payloads, p)
+		if err := j.append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	goodSize := j.size
+	if err := j.close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate a torn write: half of a fourth record.
+	tornRec, _ := encodeRecord(payloads[0])
+	f, _ := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	f.Write(tornRec[:len(tornRec)/2])
+	f.Close()
+
+	var names []string
+	res, err := replayJournal(path, func(m mutation) error {
+		names = append(names, m.Delete.Name)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Torn {
+		t.Fatal("torn tail not detected")
+	}
+	if res.GoodBytes != goodSize {
+		t.Fatalf("GoodBytes = %d, want %d", res.GoodBytes, goodSize)
+	}
+	if res.Records != 3 || len(names) != 3 || names[0] != "a" || names[2] != "c" {
+		t.Fatalf("replayed %d records (%v), want the 3 intact ones", res.Records, names)
+	}
+}
+
+func TestReplayMissingFileIsEmpty(t *testing.T) {
+	res, err := replayJournal(filepath.Join(t.TempDir(), "absent.wal"), func(mutation) error {
+		t.Fatal("apply called")
+		return nil
+	})
+	if err != nil || res.Records != 0 || res.Torn {
+		t.Fatalf("res = %+v, err = %v", res, err)
+	}
+}
+
+func TestSnapshotRoundTripAndCorruption(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "s.snap")
+	reg := New()
+	xml := readTestPlatform(t, "gtx480")
+	if _, _, err := reg.Put("gtx480", xml); err != nil {
+		t.Fatal(err)
+	}
+	version, pls := reg.exportState()
+	if err := writeSnapshot(path, snapshotState{Seq: 1, StoreVersion: version, Platforms: pls}); err != nil {
+		t.Fatal(err)
+	}
+
+	st, err := readSnapshot(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := New()
+	if err := restored.restoreState(st.StoreVersion, st.Platforms); err != nil {
+		t.Fatal(err)
+	}
+	orig, _ := reg.Get("gtx480")
+	got, ok := restored.Get("gtx480")
+	if !ok || got.ETag != orig.ETag || got.Revision != orig.Revision {
+		t.Fatalf("restored entry = %+v, want etag %s rev %d", got, orig.ETag, orig.Revision)
+	}
+	if restored.Version() != reg.Version() {
+		t.Fatalf("restored version %d != %d", restored.Version(), reg.Version())
+	}
+
+	// Any flipped body byte must be refused.
+	data, _ := os.ReadFile(path)
+	data[len(data)-3] ^= 0x40
+	os.WriteFile(path, data, 0o644)
+	if _, err := readSnapshot(path); !errors.Is(err, errSnapshotCorrupt) {
+		t.Fatalf("corrupt snapshot err = %v", err)
+	}
+}
+
+// readTestPlatform loads a document from the shared pdlxml testdata set.
+func readTestPlatform(t testing.TB, name string) []byte {
+	t.Helper()
+	data, err := os.ReadFile(filepath.Join("..", "pdlxml", "testdata", name+".pdl.xml"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/registry"
 )
 
 // latencyBuckets are the upper bounds (seconds) of the request-latency
@@ -18,12 +19,13 @@ var latencyBuckets = []float64{0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.
 // metrics.Default, where the task runtime registers its taskrt_* families —
 // one scrape covers the service and any in-process runtime activity.
 type serverMetrics struct {
-	reg         *metrics.Registry
-	requests    *metrics.CounterVec // method, route pattern, status code
-	latency     *metrics.Histogram
-	inflight    *metrics.Gauge
-	rateLimited *metrics.Counter
-	bodyTooBig  *metrics.Counter
+	reg              *metrics.Registry
+	requests         *metrics.CounterVec // method, route pattern, status code
+	latency          *metrics.Histogram
+	inflight         *metrics.Gauge
+	rateLimited      *metrics.Counter
+	bodyTooBig       *metrics.Counter
+	readOnlyRejected *metrics.Counter
 }
 
 func newMetrics() *serverMetrics {
@@ -41,6 +43,8 @@ func newMetrics() *serverMetrics {
 			"Requests rejected by the per-client rate limiter."),
 		bodyTooBig: reg.Counter("pdlserved_body_too_large_total",
 			"Uploads rejected for exceeding the body limit."),
+		readOnlyRejected: reg.Counter("pdlserved_readonly_rejected_total",
+			"Mutations rejected because the durability layer is read-only."),
 	}
 }
 
@@ -70,4 +74,59 @@ func (m *serverMetrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("pdlserved_query_cache_hit_ratio",
 		"Hits over lookups since start.",
 		func() float64 { return s.reg.CacheStats().HitRatio() })
+}
+
+// fsyncBuckets span commodity-SSD fsync latencies (tens of µs) up to a
+// spinning disk or overloaded volume (hundreds of ms).
+var fsyncBuckets = []float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5}
+
+// registerWAL wires the pdlserved_wal_* families over the durability
+// layer: append/replay/compaction counters, journal size and snapshot age
+// gauges, the read-only flag, and an fsync latency histogram fed by the
+// journal's commit path.
+func (m *serverMetrics) registerWAL(p *registry.Persistence) {
+	m.reg.CounterFunc("pdlserved_wal_appends_total",
+		"Journal records appended (committed mutations).",
+		func() float64 { return float64(p.Stats().Appends) })
+	m.reg.CounterFunc("pdlserved_wal_append_errors_total",
+		"Journal append or fsync failures (each flips read-only mode).",
+		func() float64 { return float64(p.Stats().AppendErrors) })
+	m.reg.CounterFunc("pdlserved_wal_replayed_records_total",
+		"Journal records replayed during the last recovery.",
+		func() float64 { return float64(p.Stats().Replayed) })
+	m.reg.CounterFunc("pdlserved_wal_torn_tails_total",
+		"Torn journal tails discarded during recovery.",
+		func() float64 { return float64(p.Stats().TornTails) })
+	m.reg.CounterFunc("pdlserved_wal_skipped_records_total",
+		"Journal records that could not be re-applied during replay.",
+		func() float64 { return float64(p.Stats().SkippedRecs) })
+	m.reg.CounterFunc("pdlserved_wal_snapshots_total",
+		"Compacted snapshots written by this process.",
+		func() float64 { return float64(p.Stats().Snapshots) })
+	m.reg.GaugeFunc("pdlserved_wal_journal_bytes",
+		"Size of the active journal in bytes.",
+		func() float64 { return float64(p.Stats().JournalBytes) })
+	m.reg.GaugeFunc("pdlserved_wal_journal_records",
+		"Records in the active journal (replay cost of a restart now).",
+		func() float64 { return float64(p.Stats().JournalRecs) })
+	m.reg.GaugeFunc("pdlserved_wal_snapshot_age_seconds",
+		"Seconds since the newest snapshot was written (-1 before the first).",
+		func() float64 {
+			at := p.Stats().SnapshotAt
+			if at.IsZero() {
+				return -1
+			}
+			return time.Since(at).Seconds()
+		})
+	m.reg.GaugeFunc("pdlserved_wal_read_only",
+		"1 when the store has degraded to read-only after a journal failure.",
+		func() float64 {
+			if p.ReadOnly() {
+				return 1
+			}
+			return 0
+		})
+	fsync := m.reg.Histogram("pdlserved_wal_fsync_seconds",
+		"Journal fsync latency per committed mutation.", fsyncBuckets)
+	p.SetFsyncObserver(func(d time.Duration) { fsync.Observe(d.Seconds()) })
 }

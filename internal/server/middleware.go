@@ -52,14 +52,29 @@ type tokenBucket struct {
 	last   time.Time
 }
 
+// limiterSweepEvery is how often the limiter scans for stale buckets. The
+// sweep rides on the allow() path (no background goroutine to leak), so
+// it runs at most once per interval and only under traffic — which is
+// exactly when the map can grow.
+const limiterSweepEvery = time.Minute
+
+// limiterMaxClients forces an immediate sweep when exceeded, bounding the
+// map even if a burst of unique clients arrives within one sweep interval.
+const limiterMaxClients = 4096
+
 // rateLimiter applies a token bucket per client key. A zero/negative rate
-// disables limiting.
+// disables limiting. Stale buckets are evicted: a one-shot client's entry
+// survives at most the idle TTL plus one sweep interval, so the map tracks
+// recently active peers instead of every address ever seen (previously it
+// only pruned once 4096 clients had accumulated — a slow leak under
+// steady real-world traffic that never reached the threshold).
 type rateLimiter struct {
-	mu      sync.Mutex
-	rate    float64 // tokens added per second
-	burst   float64 // bucket capacity
-	clients map[string]*tokenBucket
-	now     func() time.Time // injectable for tests
+	mu        sync.Mutex
+	rate      float64 // tokens added per second
+	burst     float64 // bucket capacity
+	clients   map[string]*tokenBucket
+	lastSweep time.Time
+	now       func() time.Time // injectable for tests
 }
 
 func newRateLimiter(rate, burst float64) *rateLimiter {
@@ -67,6 +82,38 @@ func newRateLimiter(rate, burst float64) *rateLimiter {
 		burst = 1
 	}
 	return &rateLimiter{rate: rate, burst: burst, clients: map[string]*tokenBucket{}, now: time.Now}
+}
+
+// idleTTL is how long an untouched bucket is kept. It is never shorter
+// than the time a drained bucket takes to refill completely: evicting
+// sooner would hand a throttled client a fresh full burst on its next
+// request.
+func (l *rateLimiter) idleTTL() time.Duration {
+	ttl := 5 * time.Minute
+	if l.rate > 0 {
+		if refill := time.Duration(l.burst / l.rate * float64(time.Second)); refill > ttl {
+			ttl = refill
+		}
+	}
+	return ttl
+}
+
+// sweepLocked drops buckets idle past the TTL. Caller holds mu.
+func (l *rateLimiter) sweepLocked(now time.Time) {
+	ttl := l.idleTTL()
+	for k, b := range l.clients {
+		if now.Sub(b.last) > ttl {
+			delete(l.clients, k)
+		}
+	}
+	l.lastSweep = now
+}
+
+// size reports the tracked-client count (for tests and bound checks).
+func (l *rateLimiter) size() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.clients)
 }
 
 // allow consumes one token for the client, refilling by elapsed time first.
@@ -77,18 +124,11 @@ func (l *rateLimiter) allow(client string) bool {
 	now := l.now()
 	l.mu.Lock()
 	defer l.mu.Unlock()
+	if now.Sub(l.lastSweep) >= limiterSweepEvery || len(l.clients) >= limiterMaxClients {
+		l.sweepLocked(now)
+	}
 	b, ok := l.clients[client]
 	if !ok {
-		// Prune idle clients opportunistically so the map stays bounded by
-		// the set of recently active peers rather than every address ever
-		// seen.
-		if len(l.clients) >= 4096 {
-			for k, old := range l.clients {
-				if now.Sub(old.last) > time.Minute {
-					delete(l.clients, k)
-				}
-			}
-		}
 		b = &tokenBucket{tokens: l.burst, last: now}
 		l.clients[client] = b
 	}

@@ -1,9 +1,11 @@
 package server
 
 import (
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 )
 
 // Regression: statusWriter embeds the http.ResponseWriter interface, which
@@ -29,6 +31,69 @@ func TestStatusWriterFlush(t *testing.T) {
 }
 
 // The full middleware chain must hand streaming handlers a flushable writer.
+// TestRateLimiterEvictsStaleClients pins the bounded-memory property: a
+// client that stops sending requests is dropped from the bucket map after
+// the idle TTL, instead of accumulating one entry per address forever.
+func TestRateLimiterEvictsStaleClients(t *testing.T) {
+	l := newRateLimiter(10, 20)
+	now := time.Unix(1700000000, 0)
+	l.now = func() time.Time { return now }
+
+	for i := 0; i < 100; i++ {
+		if !l.allow(fmt.Sprintf("10.0.0.%d", i)) {
+			t.Fatalf("fresh client %d throttled", i)
+		}
+	}
+	if got := l.size(); got != 100 {
+		t.Fatalf("tracked clients = %d, want 100", got)
+	}
+
+	// One client stays active past the idle TTL; the other 99 go quiet.
+	ttl := l.idleTTL()
+	for i := 0; i < 4; i++ {
+		now = now.Add(ttl/2 + time.Second)
+		l.allow("10.0.0.0")
+	}
+	// The next request after the TTL triggers the periodic sweep.
+	now = now.Add(limiterSweepEvery)
+	l.allow("10.9.9.9")
+	if got := l.size(); got != 2 { // the active client + the new one
+		t.Fatalf("after sweep tracked clients = %d, want 2", got)
+	}
+	if _, ok := l.clients["10.0.0.0"]; !ok {
+		t.Fatal("active client was evicted")
+	}
+	if _, ok := l.clients["10.0.0.50"]; ok {
+		t.Fatal("stale client survived the sweep")
+	}
+}
+
+// TestRateLimiterEvictionKeepsThrottleState ensures eviction cannot be used
+// to launder a drained bucket: the TTL is at least the full-refill time, so
+// by the time a bucket is evictable its replacement would be full anyway.
+func TestRateLimiterEvictionKeepsThrottleState(t *testing.T) {
+	l := newRateLimiter(1, 600) // refill time 10 min > 5 min floor
+	if got, want := l.idleTTL(), 10*time.Minute; got != want {
+		t.Fatalf("idleTTL = %v, want %v", got, want)
+	}
+}
+
+// TestRateLimiterSweepBoundsBurstOfUniqueClients forces the size-triggered
+// sweep: even within one sweep interval the map cannot grow without bound.
+func TestRateLimiterSweepBoundsBurstOfUniqueClients(t *testing.T) {
+	l := newRateLimiter(10, 20)
+	now := time.Unix(1700000000, 0)
+	l.now = func() time.Time { return now }
+	for i := 0; i < limiterMaxClients+500; i++ {
+		l.allow(fmt.Sprintf("c-%d", i))
+		// Each client is one-shot and immediately idle.
+		now = now.Add(l.idleTTL() / limiterMaxClients * 2)
+	}
+	if got := l.size(); got > limiterMaxClients {
+		t.Fatalf("tracked clients = %d, want <= %d", got, limiterMaxClients)
+	}
+}
+
 func TestWrapPreservesFlusher(t *testing.T) {
 	s := New(Config{})
 	sawFlusher := false

@@ -37,6 +37,14 @@ type Config struct {
 	Tuner    *predict.Tuner     // optional; NewTuner when nil
 	Repo     *repo.Repository   // optional; NewWithLibrary when nil
 
+	// Persist is the durability layer. When set, every mutation (platform
+	// PUT/DELETE, observation) is write-ahead journaled before it is
+	// applied, a journal-write failure degrades the server to read-only
+	// (mutations answer 503 + Retry-After while reads keep working), and
+	// /healthz + /metrics surface the journal state. Nil keeps the PR 3
+	// in-memory behaviour.
+	Persist *registry.Persistence
+
 	MaxBodyBytes int64   // upload size cap; default 4 MiB
 	RateLimit    float64 // requests/second per client; <= 0 disables
 	RateBurst    float64 // bucket capacity; default 2*RateLimit (min 1)
@@ -55,6 +63,7 @@ type Server struct {
 	reg     *registry.Registry
 	tuner   *predict.Tuner
 	repo    *repo.Repository
+	persist *registry.Persistence // nil = in-memory only
 	metrics *serverMetrics
 	limiter *rateLimiter
 	logger  *accessLogger
@@ -86,12 +95,16 @@ func New(cfg Config) *Server {
 		reg:     cfg.Registry,
 		tuner:   cfg.Tuner,
 		repo:    cfg.Repo,
+		persist: cfg.Persist,
 		metrics: newMetrics(),
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		logger:  &accessLogger{w: cfg.AccessLog},
 		mux:     http.NewServeMux(),
 	}
 	s.metrics.registerGauges(s)
+	if s.persist != nil {
+		s.metrics.registerWAL(s.persist)
+	}
 	s.routes()
 	return s
 }
@@ -133,6 +146,15 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 			s.metrics.rateLimited.Inc()
 			sw.Header().Set("Retry-After", "1")
 			writeError(sw, http.StatusTooManyRequests, "rate limit exceeded")
+		} else if s.readOnlyRejects(r) {
+			// The durability layer has degraded: nothing further can be
+			// made durable, so mutations are refused while reads (GET
+			// /platforms, queries, predictions, metrics) keep serving from
+			// the consistent in-memory state.
+			s.metrics.readOnlyRejected.Inc()
+			sw.Header().Set("Retry-After", "30")
+			writeError(sw, http.StatusServiceUnavailable,
+				"registry is read-only: journal write failed; mutations are not accepted")
 		} else {
 			r.Body = http.MaxBytesReader(sw, r.Body, s.cfg.MaxBodyBytes)
 			h(sw, r)
@@ -155,6 +177,15 @@ func (s *Server) wrap(pattern string, h http.HandlerFunc) http.Handler {
 	})
 }
 
+// readOnlyRejects reports whether the request is a mutation arriving while
+// the durability layer is degraded.
+func (s *Server) readOnlyRejects(r *http.Request) bool {
+	if s.persist == nil || !s.persist.ReadOnly() {
+		return false
+	}
+	return r.Method != http.MethodGet && r.Method != http.MethodHead
+}
+
 // errorBody is the uniform JSON error envelope.
 type errorBody struct {
 	Error    string   `json:"error"`
@@ -174,11 +205,21 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":    "ok",
 		"platforms": s.reg.Len(),
 		"version":   s.reg.Version(),
-	})
+	}
+	if s.persist != nil {
+		h := s.persist.Health()
+		body["journal"] = h
+		if h.ReadOnly {
+			body["status"] = "degraded"
+		}
+	} else {
+		body["journal"] = map[string]string{"mode": "memory"}
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -262,7 +303,7 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return
 	}
-	entry, changed, err := s.reg.Put(name, body)
+	prepared, err := s.reg.Prepare(name, body)
 	if err != nil {
 		if ve, ok := registry.AsValidationError(err); ok {
 			writeError(w, http.StatusUnprocessableEntity, "platform failed validation", ve.Problems...)
@@ -270,6 +311,28 @@ func (s *Server) handlePut(w http.ResponseWriter, r *http.Request) {
 		}
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
+	}
+	var (
+		entry   *registry.Entry
+		changed bool
+	)
+	if cur, ok := s.reg.Get(name); ok && cur.ETag == prepared.ETag() {
+		// Content-hash dedupe: nothing would change, so nothing is
+		// journaled — re-uploads of identical documents stay free.
+		entry, changed = cur, false
+	} else if s.persist != nil {
+		// Write-ahead ordering: the canonical document reaches the journal
+		// (and disk, under -fsync) before the in-memory commit publishes
+		// it. A journal failure means the mutation is not acknowledged.
+		err := s.persist.LogPut(name, prepared.XML(), func() {
+			entry, changed = s.reg.CommitPrepared(prepared)
+		})
+		if err != nil {
+			writeJournalError(w, err)
+			return
+		}
+	} else {
+		entry, changed = s.reg.CommitPrepared(prepared)
 	}
 	w.Header().Set("ETag", entry.ETag)
 	code := http.StatusOK
@@ -316,11 +379,29 @@ func ifNoneMatchHits(header, etag string) bool {
 }
 
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.reg.Delete(r.PathValue("name")) {
+	name := r.PathValue("name")
+	if _, ok := s.reg.Get(name); !ok {
 		writeError(w, http.StatusNotFound, "unknown platform")
 		return
 	}
+	if s.persist != nil {
+		err := s.persist.LogDelete(name, func() { s.reg.Delete(name) })
+		if err != nil {
+			writeJournalError(w, err)
+			return
+		}
+	} else {
+		s.reg.Delete(name)
+	}
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": true, "version": s.reg.Version()})
+}
+
+// writeJournalError maps a durability-layer failure to 503 + Retry-After:
+// the mutation was refused (or could not be made durable) and the client
+// should retry against a healthy replica or after operator intervention.
+func writeJournalError(w http.ResponseWriter, err error) {
+	w.Header().Set("Retry-After", "30")
+	writeError(w, http.StatusServiceUnavailable, err.Error())
 }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
@@ -452,7 +533,26 @@ func (s *Server) handleObserve(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "observation needs codelet, positive size and positive seconds")
 		return
 	}
-	if err := s.tuner.Observe(e.Platform, obs.Codelet, obs.Size, obs.Seconds); err != nil {
+	if s.persist != nil {
+		// Validate before journaling (an unattributable observation must
+		// never be written ahead), then journal, then record.
+		if err := s.tuner.CheckObservable(e.Platform); err != nil {
+			writeError(w, http.StatusUnprocessableEntity, err.Error())
+			return
+		}
+		var obsErr error
+		err := s.persist.LogObserve(e.Name, obs.Codelet, obs.Size, obs.Seconds, func() {
+			obsErr = s.tuner.Observe(e.Platform, obs.Codelet, obs.Size, obs.Seconds)
+		})
+		if err != nil {
+			writeJournalError(w, err)
+			return
+		}
+		if obsErr != nil {
+			writeError(w, http.StatusUnprocessableEntity, obsErr.Error())
+			return
+		}
+	} else if err := s.tuner.Observe(e.Platform, obs.Codelet, obs.Size, obs.Seconds); err != nil {
 		writeError(w, http.StatusUnprocessableEntity, err.Error())
 		return
 	}

@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_gemm.json
 BENCH_N ?= 1024
 BENCH_WORKERS ?= 4
 
-.PHONY: build test vet race crash-test fuzz verify bench bench-kernels bench-server serve clean
+.PHONY: build test vet race crash-test fuzz verify bench bench-check bench-kernels bench-server serve clean
 
 build:
 	$(GO) build ./...
@@ -43,9 +43,16 @@ fuzz:
 verify: build test vet race crash-test
 
 # bench runs the Ext-I pipeline: the Go benchmark pass over the GEMM
-# kernels, then the measured harness that writes $(BENCH_OUT).
+# kernels, then the measured harness that writes $(BENCH_OUT) including the
+# workers×n kernel scaling matrix (GOMAXPROCS pinned per point).
 bench: bench-kernels
-	$(GO) run ./cmd/pdlbench -exp gemm -gemmn $(BENCH_N) -workers $(BENCH_WORKERS) -out $(BENCH_OUT)
+	$(GO) run ./cmd/pdlbench -exp gemm -gemmn $(BENCH_N) -workers $(BENCH_WORKERS) -matrix -out $(BENCH_OUT)
+
+# bench-check re-measures the dispatch rows and compares them against the
+# committed $(BENCH_OUT) baseline; exits nonzero when any scheduler's
+# µs/task regresses beyond +15% (tune with `-tol`). CI runs it non-blocking.
+bench-check:
+	$(GO) run ./cmd/pdlbench -exp check -baseline $(BENCH_OUT)
 
 bench-kernels:
 	$(GO) test -run=^$$ -bench=Gemm -benchtime=1x .

@@ -82,6 +82,10 @@ func SubmitTiledGEMM(rt *taskrt.Runtime, n, tile int, mats *GemmMatrices) error 
 	}
 	at := func(h []*taskrt.Handle, i, j int) *taskrt.Handle { return h[i*cols+j] }
 
+	// Build the whole graph first and submit it as one batch: dependency
+	// derivation is identical to per-task Submit calls, but the runtime pays
+	// the submission lifecycle synchronisation once for the rows·cols² tasks.
+	graph := make([]*taskrt.Task, 0, rows*cols*cols)
 	for i := 0; i < rows; i++ {
 		for j := 0; j < cols; j++ {
 			for k := 0; k < cols; k++ {
@@ -89,7 +93,7 @@ func SubmitTiledGEMM(rt *taskrt.Runtime, n, tile int, mats *GemmMatrices) error 
 				// tile triple.
 				ta := tiles[i*cols+k]
 				tb := tiles[k*cols+j]
-				if err := rt.Submit(&taskrt.Task{
+				graph = append(graph, &taskrt.Task{
 					Codelet: cl,
 					Accesses: []taskrt.Access{
 						taskrt.R(at(hA, i, k)),
@@ -98,13 +102,11 @@ func SubmitTiledGEMM(rt *taskrt.Runtime, n, tile int, mats *GemmMatrices) error 
 					},
 					Flops: blas.FlopsGEMM(ta.M, tb.N, ta.N),
 					Label: fmt.Sprintf("C[%d,%d]+=A[%d,%d]*B[%d,%d]", i, j, i, k, k, j),
-				}); err != nil {
-					return err
-				}
+				})
 			}
 		}
 	}
-	return nil
+	return rt.SubmitBatch(graph)
 }
 
 // GemmMatrices bundles real operands for real-mode tiled DGEMM.

@@ -12,6 +12,7 @@ import (
 	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 )
 
 // Sample is one observed execution: input size (an application-defined
@@ -32,6 +33,12 @@ type Model struct {
 	coeffA float64 // t = coeffA * size^coeffB
 	coeffB float64
 
+	// version counts recorded samples, readable without the lock. Estimate
+	// caches key on it: a cached prediction is valid until the version
+	// moves, so hot schedulers revalidate with one atomic load instead of
+	// re-fitting under the model lock.
+	version atomic.Int64
+
 	// Running log-space regression sums, updated on every added sample so
 	// refitting after each observation is O(1) instead of an O(n) rescan —
 	// the real engine records a sample per completed task, which made fit
@@ -50,7 +57,12 @@ func (m *Model) addSample(s Sample) {
 	m.sxx += x * x
 	m.sxy += x * y
 	m.dirty = true
+	m.version.Add(1)
 }
+
+// Version returns a counter that changes whenever a sample is recorded.
+// Callers may cache Estimate results keyed on (Version, size).
+func (m *Model) Version() int64 { return m.version.Load() }
 
 // Record adds an observation. Non-positive sizes or times are rejected
 // because they cannot participate in the log-space fit.

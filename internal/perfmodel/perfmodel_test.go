@@ -250,3 +250,33 @@ func TestSaveRecordConcurrent(t *testing.T) {
 		}
 	}
 }
+
+// Version must advance on every successful Record — the dmda dispatcher's
+// cached estimates revalidate against it — and stay put on rejected samples
+// and on Estimate.
+func TestVersionAdvancesOnRecord(t *testing.T) {
+	var m Model
+	v0 := m.Version()
+	if err := m.Record(0, 1); err == nil {
+		t.Fatal("zero size must fail")
+	}
+	if m.Version() != v0 {
+		t.Fatalf("rejected sample bumped version to %d", m.Version())
+	}
+	if err := m.Record(100, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != v0+1 {
+		t.Fatalf("version = %d after one sample, want %d", m.Version(), v0+1)
+	}
+	m.Estimate(100)
+	if m.Version() != v0+1 {
+		t.Fatalf("Estimate changed the version to %d", m.Version())
+	}
+	if err := m.Record(200, 1); err != nil {
+		t.Fatal(err)
+	}
+	if m.Version() != v0+2 {
+		t.Fatalf("version = %d after two samples, want %d", m.Version(), v0+2)
+	}
+}

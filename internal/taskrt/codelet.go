@@ -93,6 +93,46 @@ type Handle struct {
 	Bytes   int64
 	Payload any
 	home    int
+
+	// resident is a bitmask of the memory nodes (platform master indices)
+	// currently holding a valid copy, maintained by the data-aware dmda
+	// dispatcher. Zero is the unset state and is read as 1<<home. A write
+	// collapses the mask to the writer's node; a placement sets the chosen
+	// node's bit ahead of dequeue (the prefetch hint).
+	resident atomic.Uint64
+}
+
+// residentMask returns the effective residency bitmask (home when unset).
+func (h *Handle) residentMask() uint64 {
+	if m := h.resident.Load(); m != 0 {
+		return m
+	}
+	return 1 << uint(h.home%maxNodes)
+}
+
+// markResident sets node's residency bit, reporting whether it was newly
+// set — i.e. whether this placement implies a transfer worth prefetching.
+func (h *Handle) markResident(node int) bool {
+	bit := uint64(1) << uint(node)
+	for {
+		old := h.resident.Load()
+		cur := old
+		if cur == 0 {
+			cur = 1 << uint(h.home%maxNodes)
+		}
+		next := cur | bit
+		if next == cur && old != 0 {
+			return false
+		}
+		if h.resident.CompareAndSwap(old, next) {
+			return cur&bit == 0
+		}
+	}
+}
+
+// setResidentOnly collapses residency to a single node (after a write).
+func (h *Handle) setResidentOnly(node int) {
+	h.resident.Store(1 << uint(node))
 }
 
 // NewHandle registers a datum with the runtime. bytes must be non-negative;
@@ -147,10 +187,13 @@ type Task struct {
 	// attempt counts failed attempts so far: the failure slow path stores,
 	// the next executing worker loads it to stamp its trace spans.
 	attempt atomic.Int32
-	// estNanos is the execution-time prediction the dmda dispatcher charged
-	// to a worker's backlog when it placed this task; released by finished.
-	// Guarded by the owning queue's mutex hand-off, never concurrent.
+	// estNanos is the execution+transfer prediction the dmda dispatcher
+	// charged to a worker's backlog when it placed this task; released by
+	// finished. Guarded by the owning queue's hand-off, never concurrent.
 	estNanos int64
+	// pred caches the dmda perfmodel lookups for this task's codelet,
+	// assigned once at dispatcher construction so placement is map-free.
+	pred *predEntry
 }
 
 // Deps returns the tasks this task waits for (for tests and tooling).

@@ -97,7 +97,9 @@ func TestStealDispatcherCountsSteals(t *testing.T) {
 	d := newStealDispatcher(2, 4)
 	task := &Task{id: 7}
 	d.push(0, task)
-	<-d.ready()
+	if !d.acquire(nil, nil) {
+		t.Fatal("acquire after push must succeed")
+	}
 	abort := make(chan struct{})
 	got, victim := d.take(1, abort)
 	if got != task {
@@ -114,7 +116,9 @@ func TestStealDispatcherCountsSteals(t *testing.T) {
 	}
 	// Injector pushes (from < 0) are not steals.
 	d.push(-1, task)
-	<-d.ready()
+	if !d.acquire(nil, nil) {
+		t.Fatal("acquire after injector push must succeed")
+	}
 	got, victim = d.take(1, abort)
 	if got != task {
 		t.Fatal("injected task not delivered")

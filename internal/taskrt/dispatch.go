@@ -10,13 +10,73 @@ import (
 	"repro/internal/perfmodel"
 )
 
-// dispatcher abstracts how ready tasks reach real-engine workers. Both
+// creditSem is the counting semaphore behind every dispatcher's credit
+// discipline. The old implementation deposited one token on a buffered
+// channel per push and received one per take — two channel operations on
+// every task even when the consumer was already running. Here the count
+// lives in an atomic: release adds, acquire subtracts, and the wake channel
+// is only touched when a worker actually has to sleep (credits went
+// negative). In steady state — workers busy, queues non-empty — push and
+// take cost one atomic add each and no channel traffic, and releasing a
+// batch of n credits is a single add.
+//
+// Invariant: credits counts available tasks minus waiting workers. A
+// negative value is the number of parked (or about-to-park) workers, so
+// release hands exactly that many wake tokens.
+type creditSem struct {
+	credits atomic.Int64
+	wake    chan struct{} // struct{} buffer: capacity costs no memory
+}
+
+func newCreditSem(capacity int) *creditSem {
+	// Capacity bounds simultaneous sleepers + pending wakes: workers plus
+	// every task that could be released while all workers are parked.
+	return &creditSem{wake: make(chan struct{}, capacity)}
+}
+
+// release deposits n credits, waking as many parked workers as the deposit
+// covers.
+func (s *creditSem) release(n int) {
+	if n <= 0 {
+		return
+	}
+	before := s.credits.Add(int64(n)) - int64(n)
+	if before < 0 {
+		wake := int64(n)
+		if -before < wake {
+			wake = -before
+		}
+		for i := int64(0); i < wake; i++ {
+			s.wake <- struct{}{}
+		}
+	}
+}
+
+// acquire obtains one credit, blocking until a task is available. It
+// returns false when done or abort closes first — the run is over.
+func (s *creditSem) acquire(done, abort <-chan struct{}) bool {
+	if s.credits.Add(-1) >= 0 {
+		return true // fast path: a task was already available
+	}
+	select {
+	case <-s.wake:
+		return true
+	case <-done:
+		return false
+	case <-abort:
+		return false
+	}
+}
+
+// dispatcher abstracts how ready tasks reach real-engine workers. All
 // implementations share a credit discipline: push enqueues the task and then
-// deposits one credit on the ready channel; a worker first acquires a credit
-// (or learns the run is over) and only then calls take, which is guaranteed
-// to find a task somewhere. The invariant "queued tasks >= outstanding
-// acquired credits" holds because every push adds exactly one task and one
-// credit, and every acquired credit removes exactly one task.
+// releases one credit on the semaphore; a worker first acquires a credit (or
+// learns the run is over) and only then calls take, which is guaranteed to
+// find a task somewhere. The invariant "queued tasks >= outstanding acquired
+// credits" holds because every push adds exactly one task and one credit, and
+// every acquired credit removes exactly one task. pushBatch amortises the
+// synchronisation: one queue pass and one semaphore release for the whole
+// batch.
 //
 //   - chanDispatcher is the single shared FIFO the engine used historically
 //     (StarPU's eager central queue): one buffered channel every worker
@@ -27,22 +87,25 @@ import (
 //     injector for pushes from outside the pool. A worker that completes a
 //     task pushes newly-ready dependents onto its own deque and pops them
 //     back LIFO — the locality hint: dependents run on the worker that just
-//     produced their inputs, with their data still cache-hot (the real-engine
-//     analogue of the sim engine's data-aware dmda policy). Idle workers
+//     produced their inputs, with their data still cache-hot. Idle workers
 //     first drain the injector, then steal FIFO from victims.
 //   - dmdaDispatcher routes every push to the worker with the earliest
-//     model-predicted finish time (StarPU's dmda policy on the real engine):
-//     per-worker outstanding-work estimates plus a perfmodel prediction for
-//     that worker's architecture, falling back to the worker's observed mean
-//     task time, then to round-robin while models are cold. The steal path
-//     mops up mispredictions.
+//     model-predicted finish time (StarPU's dmda policy on the real engine),
+//     charging interconnect-modelled data-transfer time for handles that are
+//     not resident on the candidate's memory node. See the type comment.
 type dispatcher interface {
 	// push makes t runnable. from identifies the pushing worker so the task
 	// can land on its own deque; from < 0 marks pushes from outside the pool
 	// (initial seeding, requeue timers), which go to the shared injector.
 	push(from int, t *Task)
-	// ready returns the credit channel: one receive per available task.
-	ready() <-chan struct{}
+	// pushBatch makes every task in ts runnable with one synchronisation
+	// round: tasks are enqueued first, then the batch's credits are released
+	// together. The slice is not retained — callers may reuse it.
+	pushBatch(from int, ts []*Task)
+	// acquire obtains one task credit, blocking until one is available or
+	// the run ends (done) or aborts. After a true return, take is guaranteed
+	// to find a task.
+	acquire(done, abort <-chan struct{}) bool
 	// take returns a task for worker w after a credit was acquired. It only
 	// returns nil when abort closes mid-sweep. The second result is the
 	// victim worker the task was stolen from, or -1 when it came from the
@@ -69,25 +132,34 @@ type offlineAware interface {
 
 // chanDispatcher: the single-channel baseline.
 type chanDispatcher struct {
-	queue  chan *Task
-	notify chan struct{}
+	queue chan *Task
+	sem   *creditSem
 }
 
-// newChanDispatcher sizes both channels so pushes never block: a task
-// occupies at most one slot at a time, even across retries.
-func newChanDispatcher(tasks int) *chanDispatcher {
+// newChanDispatcher sizes the queue so pushes never block: a task occupies
+// at most one slot at a time, even across retries.
+func newChanDispatcher(workers, tasks int) *chanDispatcher {
 	return &chanDispatcher{
-		queue:  make(chan *Task, tasks),
-		notify: make(chan struct{}, tasks),
+		queue: make(chan *Task, tasks),
+		sem:   newCreditSem(workers + tasks),
 	}
 }
 
 func (d *chanDispatcher) push(from int, t *Task) {
 	d.queue <- t
-	d.notify <- struct{}{}
+	d.sem.release(1)
 }
 
-func (d *chanDispatcher) ready() <-chan struct{} { return d.notify }
+func (d *chanDispatcher) pushBatch(from int, ts []*Task) {
+	for _, t := range ts {
+		d.queue <- t
+	}
+	d.sem.release(len(ts))
+}
+
+func (d *chanDispatcher) acquire(done, abort <-chan struct{}) bool {
+	return d.sem.acquire(done, abort)
+}
 
 func (d *chanDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 	select {
@@ -115,16 +187,16 @@ type stealDispatcher struct {
 	deques []*wsDeque
 	steals []int64
 
-	injMu  sync.Mutex
-	inj    []*Task
-	notify chan struct{}
+	injMu sync.Mutex
+	inj   []*Task
+	sem   *creditSem
 }
 
 func newStealDispatcher(workers, tasks int) *stealDispatcher {
 	d := &stealDispatcher{
 		deques: make([]*wsDeque, workers),
 		steals: make([]int64, workers),
-		notify: make(chan struct{}, tasks),
+		sem:    newCreditSem(workers + tasks),
 	}
 	for w := range d.deques {
 		d.deques[w] = newWSDeque(tasks)
@@ -140,10 +212,25 @@ func (d *stealDispatcher) push(from int, t *Task) {
 		d.inj = append(d.inj, t)
 		d.injMu.Unlock()
 	}
-	d.notify <- struct{}{}
+	d.sem.release(1)
 }
 
-func (d *stealDispatcher) ready() <-chan struct{} { return d.notify }
+func (d *stealDispatcher) pushBatch(from int, ts []*Task) {
+	if from >= 0 {
+		for _, t := range ts {
+			d.deques[from].push(t)
+		}
+	} else {
+		d.injMu.Lock()
+		d.inj = append(d.inj, ts...)
+		d.injMu.Unlock()
+	}
+	d.sem.release(len(ts))
+}
+
+func (d *stealDispatcher) acquire(done, abort <-chan struct{}) bool {
+	return d.sem.acquire(done, abort)
+}
 
 // popInjector removes the oldest injected task.
 func (d *stealDispatcher) popInjector() *Task {
@@ -205,19 +292,62 @@ func (d *stealDispatcher) depth(w int) int {
 const (
 	placeModel    = "model"    // perfmodel estimate for the worker's arch
 	placeFallback = "fallback" // worker's observed mean task time
-	placeCold     = "cold"     // no history anywhere: round-robin warm-up
+	placeCold     = "cold"     // no history anywhere: zero-cost estimate
 )
 
+// maxNodes bounds the memory-node count the data-aware machinery handles:
+// handle residency is a 64-bit bitmask (one bit per platform master).
+// Platforms with more masters than bits fall back to transfer-blind dmda.
+const maxNodes = 64
+
+// Interconnects declared without BANDWIDTH/LATENCY properties get the same
+// defaults the sim engine assumes (internal/simhw): 5 GiB/s, 10 µs.
+const (
+	defaultLinkBandwidth = 5 << 30 // bytes/s
+	defaultLinkLatencyNS = 10e3    // nanoseconds
+)
+
+// xferCost is the modelled cost of moving bytes between two memory nodes:
+// total latency plus inverse bandwidth, summed over the PDL-declared route.
+type xferCost struct {
+	latNanos     float64
+	nanosPerByte float64
+}
+
+// predSnap caches one (codelet, arch, size) perfmodel estimate together with
+// the model version it was computed at. Placement revalidates with two loads
+// (version + flops) and recomputes only after a Record bumped the version.
+type predSnap struct {
+	version int64
+	flops   float64
+	nanos   int64
+	ok      bool
+}
+
+// predEntry is the per-codelet estimate cache, indexed by distinct-arch
+// slot. It is built once per run (construction walks the task set, the only
+// map access on the dmda path) and shared by every task of the codelet, so a
+// steady-state placement decision touches no maps and takes no locks.
+type predEntry struct {
+	models []*perfmodel.Model
+	snaps  []atomic.Pointer[predSnap]
+}
+
 // dmdaWorker is one worker's routing state under the dmda dispatcher. The
-// queue is a mutex-protected deque (pushes come from arbitrary goroutines,
-// so the owner-only Chase-Lev protocol does not apply): the owner pops FIFO
-// from the front — the order the model placed them — and thieves steal from
-// the back.
+// queue is the same Chase-Lev deque the ws dispatcher uses, with the roles
+// flipped: arbitrary producers push at the bottom serialised by pushMu,
+// the owner consumes oldest-first through the lock-free top end (steal —
+// placement order, matching the EFT accounting), and thieves take the
+// newest task at the bottom (pop) under the victim's pushMu. All bottom-end
+// operations are mutex-serialised, so the single-owner requirement of the
+// Chase-Lev protocol holds; the top end keeps its usual CAS race handling.
 type dmdaWorker struct {
-	mu sync.Mutex
-	q  []*Task
+	pushMu sync.Mutex
+	q      *wsDeque
 
 	arch    string
+	archIdx int // index into the dispatcher's distinct-arch tables
+	node    int // memory node (platform master index) this worker lives on
 	offline atomic.Bool
 	// outstanding is the predicted nanoseconds of work queued on or running
 	// on this worker — the queued-work term of the EFT score.
@@ -230,91 +360,222 @@ type dmdaWorker struct {
 
 // dmdaDispatcher implements StarPU's dmda (deque model, data aware) policy
 // on the real engine: push scores every online worker with an expected
-// finish time — its outstanding-work backlog plus the predicted execution
-// time of the task on that worker's architecture — and routes the task to
-// the minimum. Prediction sources fall back in order: perfmodel history for
-// (codelet, arch), the worker's observed mean task time, and round-robin
-// over history-less workers so every architecture warms its model. Workers
-// whose own queue runs dry steal from victims, so a misprediction costs a
-// steal rather than idle time.
+// finish time — outstanding backlog, plus the predicted execution time of
+// the task on that worker's architecture, plus the modelled time to move
+// any non-resident read operands onto that worker's memory node — and
+// routes the task to the minimum. Residency is tracked per handle as a
+// bitmask of memory nodes: a write moves the handle to the writer's node, a
+// placement marks the chosen node resident ahead of dequeue (the prefetch
+// hint — later siblings reading the same handle see the transfer already
+// paid and co-locate). Prediction sources fall back in order: the cached
+// perfmodel estimate for (codelet, arch), the worker's observed mean task
+// time, then the pool-wide observed mean while the worker is cold — cold
+// workers compete on backlog like everyone else instead of taking absolute
+// priority, which is what previously sent every homogeneous placement to
+// the same few workers and forced a steal for the rest. Workers whose own
+// queue runs dry steal from victims, so a misprediction costs a steal (and
+// its transfer charge) rather than idle time.
 type dmdaDispatcher struct {
 	workers []dmdaWorker
-	models  *perfmodel.Store
-	notify  chan struct{}
-	rr      atomic.Int64 // round-robin cursor for cold placements
+	sem     *creditSem
+	rr      atomic.Int64 // rotation cursor: varies tie-breaks across pushes
+
+	// Data-awareness tables, fixed at construction. costs[i][j] models a
+	// transfer from node i to node j; dataAware is false when the platform
+	// declares no routes (or has >maxNodes masters), which zeroes the
+	// transfer term and skips residency upkeep entirely.
+	dataAware bool
+	nodes     int
+	costs     [][]xferCost
+
+	// Pool-wide observed totals for the cold estimate.
+	totBusy      atomic.Int64
+	totCompleted atomic.Int64
 
 	// Cached decision counters (taskrt_sched_decisions_total{policy="dmda"}).
 	decModel, decFallback, decCold *metrics.Counter
+	prefetches                     *metrics.Counter
+	xferSeconds                    *metrics.Counter
 	// onPlace, when non-nil, observes every placement (trace recording).
-	onPlace func(w int, t *Task, reason string)
+	// xferNanos is the modelled transfer time folded into the decision.
+	onPlace func(w int, t *Task, reason string, xferNanos int64)
 }
 
-func newDmdaDispatcher(archs []string, tasks int, models *perfmodel.Store) *dmdaDispatcher {
+// newDmdaDispatcher builds the routing state: per-worker deques sized for
+// the whole task set, the distinct-arch table, the node transfer-cost
+// matrix, and the per-codelet estimate caches (tasks' pred fields are
+// assigned here — the only map lookups on the dmda path happen now).
+func newDmdaDispatcher(archs []string, nodes []int, costs [][]xferCost, tasks []*Task, models *perfmodel.Store) *dmdaDispatcher {
 	d := &dmdaDispatcher{
 		workers:     make([]dmdaWorker, len(archs)),
-		models:      models,
-		notify:      make(chan struct{}, tasks),
+		sem:         newCreditSem(len(archs) + len(tasks)),
+		nodes:       len(costs),
+		costs:       costs,
 		decModel:    rtm.schedDecisions.With("dmda", placeModel),
 		decFallback: rtm.schedDecisions.With("dmda", placeFallback),
 		decCold:     rtm.schedDecisions.With("dmda", placeCold),
+		prefetches:  rtm.prefetches,
+		xferSeconds: rtm.schedTransfer,
 	}
+	for i := range costs {
+		for j := range costs[i] {
+			if i != j && (costs[i][j].latNanos > 0 || costs[i][j].nanosPerByte > 0) {
+				d.dataAware = true
+			}
+		}
+	}
+	if d.nodes > maxNodes {
+		d.dataAware = false
+	}
+	distinct := make([]string, 0, 4)
+	slot := make(map[string]int, 4)
 	for w := range d.workers {
-		d.workers[w].arch = archs[w]
+		wk := &d.workers[w]
+		wk.arch = archs[w]
+		if w < len(nodes) {
+			wk.node = nodes[w]
+		}
+		ai, ok := slot[archs[w]]
+		if !ok {
+			ai = len(distinct)
+			slot[archs[w]] = ai
+			distinct = append(distinct, archs[w])
+		}
+		wk.archIdx = ai
+		wk.q = newWSDeque(len(tasks))
+	}
+	byCodelet := make(map[*Codelet]*predEntry)
+	for _, t := range tasks {
+		if t.Flops <= 0 || models == nil {
+			continue
+		}
+		pe := byCodelet[t.Codelet]
+		if pe == nil {
+			pe = &predEntry{
+				models: make([]*perfmodel.Model, len(distinct)),
+				snaps:  make([]atomic.Pointer[predSnap], len(distinct)),
+			}
+			for ai, arch := range distinct {
+				pe.models[ai] = models.Model(t.Codelet.Name, arch)
+			}
+			byCodelet[t.Codelet] = pe
+		}
+		t.pred = pe
 	}
 	return d
 }
 
 // estimate predicts t's execution time on worker w in nanoseconds, tagged
-// with the prediction source.
+// with the prediction source. The model path is lock-free in steady state:
+// the cached snapshot is valid until a Record bumps the model version.
 func (d *dmdaDispatcher) estimate(t *Task, w int) (nanos int64, source string) {
-	if d.models != nil && t.Flops > 0 {
-		if sec, ok := d.models.Model(t.Codelet.Name, d.workers[w].arch).Estimate(t.Flops); ok {
-			return int64(sec * 1e9), placeModel
+	wk := &d.workers[w]
+	if pe := t.pred; pe != nil {
+		ai := wk.archIdx
+		v := pe.models[ai].Version()
+		s := pe.snaps[ai].Load()
+		if s == nil || s.version != v || s.flops != t.Flops {
+			sec, ok := pe.models[ai].Estimate(t.Flops)
+			s = &predSnap{version: v, flops: t.Flops, nanos: int64(sec * 1e9), ok: ok}
+			pe.snaps[ai].Store(s)
+		}
+		if s.ok {
+			return s.nanos, placeModel
 		}
 	}
-	if n := d.workers[w].completed.Load(); n > 0 {
-		return d.workers[w].busyNanos.Load() / n, placeFallback
+	if n := wk.completed.Load(); n > 0 {
+		return wk.busyNanos.Load() / n, placeFallback
+	}
+	// Cold worker: charge the pool-wide observed mean so untried workers
+	// still accumulate backlog instead of becoming zero-cost magnets.
+	if n := d.totCompleted.Load(); n > 0 {
+		return d.totBusy.Load() / n, placeCold
 	}
 	return 0, placeCold
 }
 
-// choose scores the online workers and returns the winner, the decision
-// source, and the predicted nanoseconds charged to its backlog.
-func (d *dmdaDispatcher) choose(t *Task) (int, string, int64) {
-	best, bestEFT, bestEst := -1, int64(0), int64(0)
-	bestSrc := placeCold
-	var cold []int
-	for w := range d.workers {
-		if d.workers[w].offline.Load() {
+// transferToNode models the nanoseconds needed to make t's read operands
+// resident on the given memory node: for each handle not already resident
+// there, the cheapest declared route from any node that holds it.
+func (d *dmdaDispatcher) transferToNode(t *Task, node int) int64 {
+	var total int64
+	for _, a := range t.Accesses {
+		h := a.Handle
+		if !a.Mode.Reads() || h.Bytes <= 0 {
 			continue
 		}
-		est, src := d.estimate(t, w)
-		if src == placeCold {
-			cold = append(cold, w)
+		mask := h.residentMask()
+		if mask&(1<<uint(node)) != 0 {
 			continue
 		}
-		eft := d.workers[w].outstanding.Load() + est
-		if best < 0 || eft < bestEFT {
-			best, bestEFT, bestEst, bestSrc = w, eft, est, src
+		best := int64(-1)
+		for src := 0; src < d.nodes; src++ {
+			if mask&(1<<uint(src)) == 0 {
+				continue
+			}
+			c := &d.costs[src][node]
+			cost := int64(c.latNanos + c.nanosPerByte*float64(h.Bytes))
+			if best < 0 || cost < best {
+				best = cost
+			}
+		}
+		if best > 0 {
+			total += best
 		}
 	}
-	if len(cold) > 0 {
-		// History-less workers take absolute priority: each needs samples
-		// before the model can rank it, so spread warm-up round-robin.
-		return cold[int(d.rr.Add(1)-1)%len(cold)], placeCold, 0
+	return total
+}
+
+// choose scores the online workers and returns the winner, the decision
+// source, the predicted nanoseconds charged to its backlog (execution +
+// transfer), and the transfer component alone. It allocates nothing: the
+// per-node transfer costs live in a stack array and the estimate cache
+// replaces the old per-worker map-and-lock lookups.
+func (d *dmdaDispatcher) choose(t *Task) (w int, source string, charge, xfer int64) {
+	var xferByNode [maxNodes]int64
+	dataAware := d.dataAware && len(t.Accesses) > 0
+	if dataAware {
+		for n := 0; n < d.nodes; n++ {
+			xferByNode[n] = d.transferToNode(t, n)
+		}
+	}
+	nw := len(d.workers)
+	// Rotate the scan start so equal-EFT candidates spread instead of
+	// piling onto the lowest-indexed worker.
+	start := int(d.rr.Add(1)-1) % nw
+	best, bestEFT, bestEst, bestXfer := -1, int64(0), int64(0), int64(0)
+	bestSrc := placeCold
+	for i := 0; i < nw; i++ {
+		wi := start + i
+		if wi >= nw {
+			wi -= nw
+		}
+		wk := &d.workers[wi]
+		if wk.offline.Load() {
+			continue
+		}
+		est, src := d.estimate(t, wi)
+		x := xferByNode[wk.node]
+		eft := wk.outstanding.Load() + est + x
+		if best < 0 || eft < bestEFT {
+			best, bestEFT, bestEst, bestXfer, bestSrc = wi, eft, est, x, src
+		}
 	}
 	if best < 0 {
 		// Every worker offline: place round-robin anyway — the queue stays
 		// stealable, and the engine aborts if no worker can ever recover.
-		w := int(d.rr.Add(1)-1) % len(d.workers)
-		est, _ := d.estimate(t, w)
-		return w, placeFallback, est
+		wi := start
+		est, src := d.estimate(t, wi)
+		return wi, src, est, 0
 	}
-	return best, bestSrc, bestEst
+	return best, bestSrc, bestEst + bestXfer, bestXfer
 }
 
-func (d *dmdaDispatcher) push(from int, t *Task) {
-	w, reason, est := d.choose(t)
+// place routes one task: score, charge, mark residency (the prefetch hint),
+// enqueue. The semaphore release is left to push/pushBatch so a batch pays
+// for it once.
+func (d *dmdaDispatcher) place(t *Task) {
+	w, reason, charge, xfer := d.choose(t)
 	switch reason {
 	case placeModel:
 		d.decModel.Inc()
@@ -323,57 +584,75 @@ func (d *dmdaDispatcher) push(from int, t *Task) {
 	default:
 		d.decCold.Inc()
 	}
-	t.estNanos = est
+	t.estNanos = charge
 	wk := &d.workers[w]
-	wk.outstanding.Add(est)
-	wk.mu.Lock()
-	wk.q = append(wk.q, t)
-	wk.mu.Unlock()
-	if d.onPlace != nil {
-		d.onPlace(w, t, reason)
+	wk.outstanding.Add(charge)
+	if d.dataAware {
+		for _, a := range t.Accesses {
+			if a.Mode.Reads() && a.Handle.markResident(wk.node) {
+				d.prefetches.Inc()
+			}
+		}
+		if xfer > 0 {
+			d.xferSeconds.Add(float64(xfer) / 1e9)
+		}
 	}
-	d.notify <- struct{}{}
+	wk.pushMu.Lock()
+	wk.q.push(t)
+	wk.pushMu.Unlock()
+	if d.onPlace != nil {
+		d.onPlace(w, t, reason, xfer)
+	}
 }
 
-func (d *dmdaDispatcher) ready() <-chan struct{} { return d.notify }
+func (d *dmdaDispatcher) push(from int, t *Task) {
+	d.place(t)
+	d.sem.release(1)
+}
 
-// popOwn removes the oldest task the model placed on worker w.
-func (d *dmdaDispatcher) popOwn(w int) *Task {
-	wk := &d.workers[w]
-	wk.mu.Lock()
-	defer wk.mu.Unlock()
-	if len(wk.q) == 0 {
-		return nil
+func (d *dmdaDispatcher) pushBatch(from int, ts []*Task) {
+	for _, t := range ts {
+		d.place(t)
 	}
-	t := wk.q[0]
-	wk.q = wk.q[1:]
-	return t
+	d.sem.release(len(ts))
+}
+
+func (d *dmdaDispatcher) acquire(done, abort <-chan struct{}) bool {
+	return d.sem.acquire(done, abort)
 }
 
 // stealFrom takes the newest task from the victim's queue (the one that
 // would have waited longest behind the victim's backlog) and transfers its
-// outstanding-work charge to the thief at the thief's own estimate.
+// outstanding-work charge to the thief at the thief's own estimate plus the
+// transfer cost of moving the task's operands to the thief's node.
 func (d *dmdaDispatcher) stealFrom(thief, victim int) *Task {
 	vk := &d.workers[victim]
-	vk.mu.Lock()
-	n := len(vk.q)
-	if n == 0 {
-		vk.mu.Unlock()
+	vk.pushMu.Lock()
+	t := vk.q.pop()
+	vk.pushMu.Unlock()
+	if t == nil {
 		return nil
 	}
-	t := vk.q[n-1]
-	vk.q = vk.q[:n-1]
-	vk.mu.Unlock()
 	vk.outstanding.Add(-t.estNanos)
 	est, _ := d.estimate(t, thief)
+	tk := &d.workers[thief]
+	if d.dataAware && len(t.Accesses) > 0 {
+		est += d.transferToNode(t, tk.node)
+		for _, a := range t.Accesses {
+			if a.Mode.Reads() && a.Handle.markResident(tk.node) {
+				d.prefetches.Inc()
+			}
+		}
+	}
 	t.estNanos = est
-	d.workers[thief].outstanding.Add(est)
+	tk.outstanding.Add(est)
 	return t
 }
 
 func (d *dmdaDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
 	for {
-		if t := d.popOwn(w); t != nil {
+		// Own queue first, oldest placement first (lock-free top end).
+		if t := d.workers[w].q.steal(); t != nil {
 			return t, -1
 		}
 		for i := 1; i < len(d.workers); i++ {
@@ -398,18 +677,27 @@ func (d *dmdaDispatcher) depth(w int) int {
 	if w < 0 {
 		return 0 // every push is routed; there is no shared queue
 	}
-	wk := &d.workers[w]
-	wk.mu.Lock()
-	defer wk.mu.Unlock()
-	return len(wk.q)
+	return d.workers[w].q.size()
 }
 
 func (d *dmdaDispatcher) finished(w int, t *Task, dur time.Duration, ran bool) {
 	wk := &d.workers[w]
 	wk.outstanding.Add(-t.estNanos)
-	if ran {
-		wk.busyNanos.Add(int64(dur))
-		wk.completed.Add(1)
+	if !ran {
+		return
+	}
+	wk.busyNanos.Add(int64(dur))
+	wk.completed.Add(1)
+	d.totBusy.Add(int64(dur))
+	d.totCompleted.Add(1)
+	if d.dataAware {
+		// A write moves the handle: it is now resident only where it was
+		// produced. (Skipped when the kernel never ran — data unchanged.)
+		for _, a := range t.Accesses {
+			if a.Mode.Writes() {
+				a.Handle.setResidentOnly(wk.node)
+			}
+		}
 	}
 }
 

@@ -36,6 +36,8 @@ var rtm = struct {
 	queueDepth     *metrics.GaugeVec     // {unit}
 	steals         *metrics.CounterVec   // {unit}
 	schedDecisions *metrics.CounterVec   // {policy, reason}
+	prefetches     *metrics.Counter
+	schedTransfer  *metrics.Counter
 	retries        *metrics.Counter
 	failures       *metrics.Counter
 	watchdog       *metrics.Counter
@@ -60,7 +62,11 @@ var rtm = struct {
 	steals: metrics.Default.CounterVec("taskrt_steals_total",
 		"Tasks obtained by stealing from another worker's deque, by thief unit.", "unit"),
 	schedDecisions: metrics.Default.CounterVec("taskrt_sched_decisions_total",
-		"Real-engine placement decisions by policy and prediction source: model = perfmodel history, fallback = observed worker mean, cold = round-robin warm-up.", "policy", "reason"),
+		"Real-engine placement decisions by policy and prediction source: model = perfmodel history, fallback = observed worker mean, cold = no history anywhere.", "policy", "reason"),
+	prefetches: metrics.Default.Counter("taskrt_prefetch_hints_total",
+		"Prefetch hints issued by the data-aware dmda dispatcher: placements that marked a read operand resident on the target memory node ahead of dequeue."),
+	schedTransfer: metrics.Default.Counter("taskrt_sched_transfer_seconds_total",
+		"Modelled interconnect transfer time the data-aware dmda dispatcher charged into placement scores."),
 	retries: metrics.Default.Counter("taskrt_retries_total",
 		"Failed task attempts re-queued for retry."),
 	failures: metrics.Default.Counter("taskrt_failed_attempts_total",

@@ -1,0 +1,7 @@
+//go:build !race
+
+package taskrt
+
+// raceEnabled reports whether the race detector instruments this build, for
+// tests whose allocation counting it would skew.
+const raceEnabled = false

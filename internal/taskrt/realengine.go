@@ -34,13 +34,16 @@ var errInjected = fmt.Errorf("taskrt: injected fault")
 // worker's cache), and idle workers steal FIFO from victims. Scheduler
 // "eager" selects the historical single-shared-channel dispatch instead, so
 // the two can be compared in one binary (see dispatch.go), and "dmda" routes
-// each push to the worker with the earliest model-predicted finish time
-// (perfmodel history per worker architecture, with observed-mean and
-// round-robin cold-start fallbacks), letting the steal path mop up
-// mispredictions. The hot path is lock-free: dependency counters and the
-// pending count are atomics, and per-worker statistics live in worker-owned
-// state merged after shutdown — the engine's one mutex now guards only the
-// failure slow path.
+// each push to the worker with the earliest model-predicted finish time —
+// perfmodel history per worker architecture plus interconnect-modelled
+// transfer cost for operands not resident on the worker's memory node (one
+// node per platform master, costs from the PDL's declared interconnects) —
+// letting the steal path mop up mispredictions. The hot path is lock-free
+// and batched: dependency counters and the pending count are atomics,
+// dependents released by one completion enter the dispatcher through a
+// single pushBatch (one semaphore round per batch), and per-worker
+// statistics live in worker-owned state merged after shutdown — the
+// engine's one mutex now guards only the failure slow path.
 //
 // With fault tolerance active (Config.Faults/Retry/Tracker) the engine
 // additionally: honours injected worker faults from the FaultPlan (unit ids
@@ -100,6 +103,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 		count     int
 		startedOn int // attempts started, drives AfterTasks fault triggers
 		faults    *faultQueue
+		// ready buffers the dependents one completion unblocks, so they reach
+		// the dispatcher as a single batch. Worker-owned, reused across tasks.
+		ready []*Task
 	}
 	ws := make([]workerState, workers)
 	for w := 0; w < workers; w++ {
@@ -112,7 +118,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 	var disp dispatcher
 	switch rt.cfg.Scheduler {
 	case "eager":
-		disp = newChanDispatcher(len(rt.tasks))
+		disp = newChanDispatcher(workers, len(rt.tasks))
 	case "dmda":
 		// dmda is model-driven: without a caller-provided store it still
 		// self-calibrates within the run (the engine records every execution
@@ -121,7 +127,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 		if rt.cfg.Models == nil {
 			rt.cfg.Models = perfmodel.NewStore()
 		}
-		disp = newDmdaDispatcher(archs, len(rt.tasks), rt.cfg.Models)
+		nodes, nodeIDs := workerNodes(rt.cfg.Platform, workers)
+		costs := interconnectCosts(rt.cfg.Platform, nodeIDs)
+		disp = newDmdaDispatcher(archs, nodes, costs, rt.tasks, rt.cfg.Models)
 	default:
 		disp = newStealDispatcher(workers, len(rt.tasks))
 	}
@@ -172,10 +180,15 @@ func (rt *Runtime) runReal() (*Report, error) {
 		}
 	}
 	release := func(worker int, t *Task) { // successful completion on worker
+		buf := ws[worker].ready[:0]
 		for _, dep := range t.dependents {
 			if remaining[dep.id].Add(-1) == 0 {
-				disp.push(worker, dep)
+				buf = append(buf, dep)
 			}
+		}
+		ws[worker].ready = buf
+		if len(buf) > 0 {
+			disp.pushBatch(worker, buf)
 		}
 	}
 	requeue := func(t *Task, after time.Duration) { // caller holds mu
@@ -239,22 +252,27 @@ func (rt *Runtime) runReal() (*Report, error) {
 	// in proportion).
 	if dd, ok := disp.(*dmdaDispatcher); ok && tracing {
 		tr := rt.cfg.Trace
-		dd.onPlace = func(w int, t *Task, reason string) {
+		dd.onPlace = func(w int, t *Task, reason string, xferNanos int64) {
 			now := time.Since(start).Seconds()
 			tr.Record(trace.Event{
 				Kind: trace.Place, Unit: workerUnitID(w), Worker: w,
 				TaskID: t.id, Label: taskLabel(t),
 				Start: now, End: now, From: reason,
-				Attempt: int(t.attempt.Load()),
+				Transfer: float64(xferNanos) / 1e9,
+				Attempt:  int(t.attempt.Load()),
 			})
 		}
 	}
 
-	// Seed the dispatcher with the dependency-free tasks.
+	// Seed the dispatcher with the dependency-free tasks, as one batch.
+	seeds := make([]*Task, 0, len(rt.tasks))
 	for i, t := range rt.tasks {
 		if remaining[i].Load() == 0 {
-			disp.push(-1, t)
+			seeds = append(seeds, t)
 		}
+	}
+	if len(seeds) > 0 {
+		disp.pushBatch(-1, seeds)
 	}
 
 	// Queue-depth sampler: a low-rate observer feeding the taskrt_queue_depth
@@ -325,11 +343,7 @@ func (rt *Runtime) runReal() (*Report, error) {
 				sh.Record(ev)
 			}
 			for {
-				select {
-				case <-disp.ready():
-				case <-done:
-					return
-				case <-abort:
+				if !disp.acquire(done, abort) {
 					return
 				}
 				t, victim := disp.take(worker, abort)
@@ -592,6 +606,61 @@ func workerArchs(pl *core.Platform, workers int) []string {
 		archs = append(archs, pl.Masters[0].Architecture())
 	}
 	return archs
+}
+
+// workerNodes assigns each real-mode worker the memory node of the platform
+// master it expands from: masters in declaration order define the node ids,
+// matching workerArchs exactly (padding beyond the expansion lands on node
+// 0). The returned ids name each node by its master's PU id, for route
+// lookups against the PDL.
+func workerNodes(pl *core.Platform, workers int) ([]int, []string) {
+	nodes := make([]int, 0, workers)
+	ids := make([]string, len(pl.Masters))
+	for mi, m := range pl.Masters {
+		ids[mi] = m.ID
+		for i := 0; i < m.EffectiveQuantity() && len(nodes) < workers; i++ {
+			nodes = append(nodes, mi)
+		}
+	}
+	for len(nodes) < workers {
+		nodes = append(nodes, 0)
+	}
+	return nodes, ids
+}
+
+// interconnectCosts models the PDL-declared transfer cost between every pair
+// of master memory nodes: latency plus inverse bandwidth summed over the
+// shortest declared route, with sim-engine defaults for links that omit
+// BANDWIDTH or LATENCY. Node pairs with no declared route cost zero —
+// platforms that declare no interconnects get exactly the transfer-blind
+// dmda behaviour they had before.
+func interconnectCosts(pl *core.Platform, ids []string) [][]xferCost {
+	costs := make([][]xferCost, len(ids))
+	for i := range costs {
+		costs[i] = make([]xferCost, len(ids))
+		for j := range costs[i] {
+			if i == j {
+				continue
+			}
+			path, err := pl.Route(ids[i], ids[j])
+			if err != nil {
+				continue
+			}
+			for _, ic := range path {
+				lat, ok := ic.LatencySeconds()
+				if !ok {
+					lat = defaultLinkLatencyNS / 1e9
+				}
+				bw, ok := ic.BandwidthBytesPerSec()
+				if !ok || bw <= 0 {
+					bw = defaultLinkBandwidth
+				}
+				costs[i][j].latNanos += lat * 1e9
+				costs[i][j].nanosPerByte += 1e9 / bw
+			}
+		}
+	}
+	return costs
 }
 
 // taskTimeout derives the real-mode watchdog timeout for a task: perfmodel

@@ -203,27 +203,61 @@ func New(cfg Config) (*Runtime, error) {
 // writers additionally depend on all readers since that write (anti/output
 // dependencies), exactly the implicit data-driven ordering StarPU applies.
 func (rt *Runtime) Submit(t *Task) error {
+	if err := rt.submittable(); err != nil {
+		return err
+	}
+	return rt.submitOne(t)
+}
+
+// SubmitBatch registers tasks in order with one lifecycle check for the
+// whole batch — the submission-side companion of the dispatcher's batched
+// push path. Dependency derivation is identical to calling Submit in a
+// loop: tasks later in the batch may depend on earlier ones (through shared
+// handles or After). On error the failing task is reported by its batch
+// index; tasks before it remain registered, exactly as sequential Submit
+// calls would leave them.
+func (rt *Runtime) SubmitBatch(tasks []*Task) error {
+	if err := rt.submittable(); err != nil {
+		return err
+	}
+	for i, t := range tasks {
+		if err := rt.submitOne(t); err != nil {
+			return fmt.Errorf("batch task %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// submittable checks the run lifecycle allows submissions.
+func (rt *Runtime) submittable() error {
 	switch rt.state.Load() {
 	case stateRunning:
 		return fmt.Errorf("taskrt: Submit while Run is in progress; submit all tasks before Run")
 	case stateDone:
 		return fmt.Errorf("taskrt: Submit after Run; a runtime is single-shot, create a new one")
 	}
+	return nil
+}
+
+// submitOne validates and registers one task (lifecycle already checked).
+func (rt *Runtime) submitOne(t *Task) error {
 	if t.Codelet == nil {
 		return fmt.Errorf("taskrt: task without codelet")
 	}
 	if len(t.Codelet.Impls) == 0 {
 		return fmt.Errorf("taskrt: codelet %q has no implementations", t.Codelet.Name)
 	}
-	seen := map[*Handle]bool{}
-	for _, a := range t.Accesses {
+	for i, a := range t.Accesses {
 		if a.Handle == nil {
 			return fmt.Errorf("taskrt: task %q accesses nil handle", t.Codelet.Name)
 		}
-		if seen[a.Handle] {
-			return fmt.Errorf("taskrt: task %q accesses handle %q twice", t.Codelet.Name, a.Handle.Name)
+		// Tasks touch a handful of handles: a linear scan beats allocating a
+		// set on every submission.
+		for _, b := range t.Accesses[:i] {
+			if b.Handle == a.Handle {
+				return fmt.Errorf("taskrt: task %q accesses handle %q twice", t.Codelet.Name, a.Handle.Name)
+			}
 		}
-		seen[a.Handle] = true
 	}
 	t.id = rt.nextID
 	rt.nextID++

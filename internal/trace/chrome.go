@@ -67,6 +67,9 @@ func eventArgs(e Event) map[string]any {
 	if e.From != "" {
 		args["from"] = e.From
 	}
+	if e.Transfer != 0 {
+		args["transfer"] = e.Transfer
+	}
 	if e.Label != "" {
 		args["label"] = e.Label
 	}
@@ -245,6 +248,7 @@ func fromChrome(file *chromeFile) (*Trace, error) {
 		e.From, _ = ce.Args["from"].(string)
 		e.Attempt = argInt(ce.Args, "attempt", 0)
 		e.Bytes = int64(argInt(ce.Args, "bytes", 0))
+		e.Transfer, _ = ce.Args["transfer"].(float64)
 		if ps, ok := ce.Args["parents"].([]any); ok {
 			for _, p := range ps {
 				if f, ok := p.(float64); ok {

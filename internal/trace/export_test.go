@@ -190,3 +190,26 @@ func TestPublish(t *testing.T) {
 		t.Fatal("Published did not return the published trace")
 	}
 }
+
+// Place events carry the modelled transfer charge of the placement decision;
+// the Chrome serialisation must round-trip it (and omit it when zero).
+func TestChromePlaceTransferRoundTrip(t *testing.T) {
+	tr := New()
+	tr.SetMeta("scheduler", "dmda")
+	tr.Record(Event{Kind: Place, Unit: "worker1", Label: "gemm", Start: 1, End: 1,
+		TaskID: 4, Worker: 1, From: "model", Transfer: 0.25})
+	tr.Record(Event{Kind: Place, Unit: "worker0", Label: "gemm", Start: 2, End: 2,
+		TaskID: 5, From: "model"})
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), `"transfer": 0.25`) {
+		t.Fatal("chrome output lacks the transfer arg")
+	}
+	got, err := ReadChrome(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, tr, got)
+}

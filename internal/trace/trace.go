@@ -135,6 +135,10 @@ type Event struct {
 	// taken from), so exporters can draw steal arrows between lanes, and
 	// the decision source on Place events ("model", "fallback", "cold").
 	From string `json:"from,omitempty"`
+	// Transfer is the modelled data-transfer seconds folded into a Place
+	// decision's score (data-aware dmda); zero when the operands were
+	// already resident on the chosen worker's memory node.
+	Transfer float64 `json:"transfer,omitempty"`
 }
 
 // Duration returns End - Start.

@@ -6,7 +6,7 @@ BENCH_OUT ?= BENCH_gemm.json
 BENCH_N ?= 1024
 BENCH_WORKERS ?= 4
 
-.PHONY: build test vet race crash-test fuzz verify bench bench-check bench-kernels bench-server serve clean
+.PHONY: build test vet race crash-test cluster-test fuzz verify bench bench-check bench-kernels bench-server serve clean
 
 build:
 	$(GO) build ./...
@@ -21,11 +21,12 @@ vet:
 # runtime (work-stealing engine, fault tolerance), the trace shards and
 # metrics instruments it updates from every worker, the performance models
 # recorded from every worker while Save snapshots them, the dynamic
-# descriptors, the parallel BLAS kernels, and the registry/server/query stack
+# descriptors, the parallel BLAS kernels, the registry/server/query stack
 # behind pdlserved (copy-on-write snapshots, LRU query cache, shared query
-# roots).
+# roots), and the cluster master/worker engine (event loop, ship goroutines,
+# heartbeats) with its shared HTTP client.
 race:
-	$(GO) test -race ./internal/taskrt/... ./internal/trace/... ./internal/metrics/... ./internal/perfmodel/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/...
+	$(GO) test -race ./internal/taskrt/... ./internal/trace/... ./internal/metrics/... ./internal/perfmodel/... ./internal/dynamic/... ./internal/blas/... ./internal/registry/... ./internal/server/... ./internal/query/... ./internal/cluster/... ./internal/client/...
 
 # crash-test exercises the durability layer's recovery guarantees under the
 # race detector: byte-granular journal truncation, corrupt-snapshot fallback,
@@ -34,13 +35,22 @@ race:
 crash-test:
 	$(GO) test -race -run 'CrashRecovery|TornAndCorrupt|AppendReplayTruncates|SnapshotRoundTrip|CorruptSnapshot|ReadOnly|FsyncdRecovery|Bundle|Import|Durable|JournalFailure|WALMetrics|DuplicateUpload' ./internal/registry/... ./internal/server/...
 
+# cluster-test is the multi-process cluster smoke: it builds the real
+# pdlserved + pdlworkerd binaries, registers two workers through the
+# registry, runs a distributed tiled DGEMM master against them, and
+# SIGKILLs one worker mid-flight to prove its tasks resubmit to the
+# survivor with the numerical result intact.
+cluster-test:
+	PDL_CLUSTER_SMOKE=1 $(GO) test -run TestClusterSmoke -v -timeout 300s ./internal/cluster/smoke
+
 # fuzz runs a time-boxed exploration of the journal record decoder on top of
 # the committed seed corpus (which plain `go test` already replays).
 fuzz:
 	$(GO) test -run='^$$' -fuzz=FuzzDecodeRecord -fuzztime=10s ./internal/registry
 
-# verify is the tier-1 gate: build, full tests, vet, race subset, crash/recovery suite.
-verify: build test vet race crash-test
+# verify is the tier-1 gate: build, full tests, vet, race subset,
+# crash/recovery suite, multi-process cluster smoke.
+verify: build test vet race crash-test cluster-test
 
 # bench runs the Ext-I pipeline: the Go benchmark pass over the GEMM
 # kernels, then the measured harness that writes $(BENCH_OUT) including the

@@ -18,8 +18,10 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -33,7 +35,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdlbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp      = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults, gemm or all")
+		exp      = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults, gemm, cluster or all")
 		n        = fs.Int("n", 8192, "matrix extent")
 		tile     = fs.Int("tile", 1024, "tile extent")
 		sched    = fs.String("sched", "dmda", "scheduler for fig5/tiles and the gemm -trace real-engine run (eager, ws or dmda)")
@@ -47,6 +49,8 @@ func run(args []string, stdout io.Writer) error {
 		procs    = fs.Int("gomaxprocs", 0, "set GOMAXPROCS explicitly for the harness (0 = NumCPU); recorded in the bench output")
 		baseline = fs.String("baseline", "BENCH_gemm.json", "check only: committed bench baseline to compare against")
 		tol      = fs.Float64("tol", 0.15, "check only: regression threshold as a fraction (0.15 = +15%)")
+		nodes    = fs.String("nodes", "", "cluster only: comma-separated pdlworkerd base URLs (empty = spawn loopback workers)")
+		nproc    = fs.Int("inprocess", 2, "cluster only: loopback worker count when -nodes is empty")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -123,6 +127,28 @@ func run(args []string, stdout io.Writer) error {
 					fmt.Fprintf(stdout, "wrote %s (%d events, %d tasks, %d steals; load in https://ui.perfetto.dev)\n",
 						*traceTo, tr.Len(), rep.Tasks, rep.Steals)
 				}
+			}
+		case "cluster":
+			var addrs []string
+			if *nodes != "" {
+				for _, a := range strings.Split(*nodes, ",") {
+					if a = strings.TrimSpace(a); a != "" {
+						addrs = append(addrs, a)
+					}
+				}
+			}
+			var tr *trace.Trace
+			if *traceTo != "" {
+				tr = trace.New()
+			}
+			res, err = experiments.ClusterDGEMM(experiments.ClusterConfig{
+				N: 512, Tile: 128, Nodes: addrs, InProcess: *nproc, Trace: tr,
+			})
+			if err == nil && tr != nil {
+				if werr := tr.WriteChromeFile(*traceTo); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(stdout, "wrote %s (%d master events; load in https://ui.perfetto.dev)\n", *traceTo, tr.Len())
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

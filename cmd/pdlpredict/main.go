@@ -9,16 +9,29 @@
 //	pdlpredict -observe -platform xeon-2gpu -models models.json   # measure & save
 //	pdlpredict -predict -platform gtx480 -models models.json -n 8192
 //	pdlpredict -rank -platform gtx480 -models models.json -n 8192
+//	pdlpredict -observe -platform xeon-2gpu -server http://registry:8080
+//	pdlpredict -predict -platform gtx480 -server http://registry:8080 -n 8192
+//
+// With -server the model store lives in a pdlserved registry instead of a
+// local JSON file: -observe streams measurements to POST
+// /platforms/{name}/observe and -predict/-rank query the server's
+// pattern-keyed models, so several hosts share one tuning corpus.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
+	"net/url"
 	"os"
+	"strconv"
+	"time"
 
+	"repro/internal/client"
 	"repro/internal/discover"
 	"repro/internal/experiments"
+	"repro/internal/pdlxml"
 	"repro/internal/predict"
 	"repro/internal/repo"
 )
@@ -38,14 +51,21 @@ func run(args []string, stdout io.Writer) error {
 		doPred   = fs.Bool("predict", false, "predict DGEMM time on the platform from saved models")
 		rank     = fs.Bool("rank", false, "rank DGEMM implementation variants for the platform")
 		platform = fs.String("platform", "", "catalog platform name (required)")
-		models   = fs.String("models", "", "model store JSON path (required)")
+		models   = fs.String("models", "", "model store JSON path (required unless -server)")
+		server   = fs.String("server", "", "pdlserved base URL holding the shared model store ('' = local -models file)")
 		n        = fs.Int("n", 8192, "matrix extent for -predict/-rank")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *platform == "" || *models == "" {
-		return fmt.Errorf("usage: pdlpredict -observe|-predict|-rank -platform <name> -models <file.json>")
+	if *platform == "" || (*models == "" && *server == "") {
+		return fmt.Errorf("usage: pdlpredict -observe|-predict|-rank -platform <name> (-models <file.json> | -server <url>)")
+	}
+	flopsOf := func(size int) float64 {
+		return 2 * float64(size) * float64(size) * float64(size)
+	}
+	if *server != "" {
+		return runServer(*server, *platform, *observe, *doPred, *rank, flopsOf(*n), stdout)
 	}
 	pl, err := discover.Platform(*platform)
 	if err != nil {
@@ -56,9 +76,6 @@ func run(args []string, stdout io.Writer) error {
 		if err := tuner.Store().Load(*models); err != nil {
 			return err
 		}
-	}
-	flopsOf := func(size int) float64 {
-		return 2 * float64(size) * float64(size) * float64(size)
 	}
 	switch {
 	case *observe:
@@ -107,6 +124,97 @@ func run(args []string, stdout io.Writer) error {
 				continue
 			}
 			fmt.Fprintf(stdout, "%d. %-14s %.4fs via %q\n", i+1, rk.Variant.Name, rk.Prediction.Seconds, rk.Prediction.Pattern)
+		}
+		return nil
+	}
+	return fmt.Errorf("pass one of -observe, -predict or -rank")
+}
+
+// runServer performs the same three actions against a pdlserved registry:
+// the model store lives server-side, keyed by the uploaded platform
+// documents, so observations from many hosts pool into one corpus.
+func runServer(base, platform string, observe, doPred, rank bool, flops float64, stdout io.Writer) error {
+	ctl, err := client.New(base, client.WithRetry(2, 200*time.Millisecond))
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	switch {
+	case observe:
+		pl, err := discover.Platform(platform)
+		if err != nil {
+			return err
+		}
+		// The observe endpoint models against the registered document, so
+		// upload it first (idempotent PUT).
+		xml, err := pdlxml.Marshal(pl)
+		if err != nil {
+			return err
+		}
+		if err := ctl.PutBytes(ctx, "/platforms/"+platform, "application/xml", xml); err != nil {
+			return err
+		}
+		for _, size := range []int{1024, 2048, 4096} {
+			rep, err := experiments.SimDGEMM(pl, size, 512, "dmda")
+			if err != nil {
+				return err
+			}
+			variant := "dgemm_goto"
+			if rep.TasksOnArch("gpu") > rep.TasksOnArch("x86") {
+				variant = "dgemm_cublas"
+			}
+			err = ctl.PostJSON(ctx, "/platforms/"+platform+"/observe", map[string]any{
+				"codelet": variant,
+				"size":    2 * float64(size) * float64(size) * float64(size),
+				"seconds": rep.MakespanSeconds,
+			}, nil)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(stdout, "observed %s n=%d: %.4fs (%s)\n", platform, size, rep.MakespanSeconds, variant)
+		}
+		fmt.Fprintf(stdout, "streamed observations to %s\n", ctl.Base())
+		return nil
+	case doPred:
+		for _, variant := range []string{"dgemm_cublas", "dgemm_goto"} {
+			var pred struct {
+				Pattern string  `json:"pattern"`
+				Seconds float64 `json:"seconds"`
+				Samples int     `json:"samples"`
+			}
+			path := "/platforms/" + platform + "/predict?" + url.Values{
+				"codelet": {variant}, "size": {strconv.FormatFloat(flops, 'f', -1, 64)},
+			}.Encode()
+			if err := ctl.GetJSON(ctx, path, &pred); err != nil {
+				fmt.Fprintf(stdout, "%-14s no prediction (%v)\n", variant, err)
+				continue
+			}
+			fmt.Fprintf(stdout, "%-14s predicted %.4fs via pattern %q (%d samples)\n",
+				variant, pred.Seconds, pred.Pattern, pred.Samples)
+		}
+		return nil
+	case rank:
+		var out struct {
+			Ranked []struct {
+				Variant string  `json:"variant"`
+				Seconds float64 `json:"seconds"`
+				Pattern string  `json:"pattern"`
+				Error   string  `json:"error"`
+			} `json:"ranked"`
+		}
+		path := "/platforms/" + platform + "/rank?" + url.Values{
+			"iface": {repo.IfaceDGEMM}, "size": {strconv.FormatFloat(flops, 'f', -1, 64)},
+		}.Encode()
+		if err := ctl.GetJSON(ctx, path, &out); err != nil {
+			return err
+		}
+		for i, rk := range out.Ranked {
+			if rk.Error != "" {
+				fmt.Fprintf(stdout, "%d. %-14s (no observations)\n", i+1, rk.Variant)
+				continue
+			}
+			fmt.Fprintf(stdout, "%d. %-14s %.4fs via %q\n", i+1, rk.Variant, rk.Seconds, rk.Pattern)
 		}
 		return nil
 	}

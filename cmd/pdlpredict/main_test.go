@@ -2,9 +2,15 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"repro/internal/discover"
+	"repro/internal/pdlxml"
+	"repro/internal/server"
 )
 
 func TestObservePredictRankWorkflow(t *testing.T) {
@@ -39,6 +45,69 @@ func TestObservePredictRankWorkflow(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "1. ") {
 		t.Fatalf("rank output = %q", out.String())
+	}
+}
+
+// -server runs the same workflow against a pdlserved registry: observations
+// stream to the shared store and predictions come back for platforms the
+// client never measured locally.
+func TestServerModeWorkflow(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	var out bytes.Buffer
+
+	// Observe on two platforms; the command uploads each document itself.
+	for _, pl := range []string{"xeon-2gpu", "xeon-cpu"} {
+		out.Reset()
+		if err := run([]string{"-observe", "-platform", pl, "-server", ts.URL}, &out); err != nil {
+			t.Fatalf("%v\n%s", err, out.String())
+		}
+		if !strings.Contains(out.String(), "streamed observations") {
+			t.Fatalf("observe output = %q", out.String())
+		}
+	}
+
+	// Register the unseen target platform, then predict and rank for it
+	// using only the server-side corpus.
+	xml, err := pdlxml.Marshal(discover.MustPlatform("gtx480"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/platforms/gtx480", bytes.NewReader(xml))
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("registering gtx480: %s", resp.Status)
+	}
+
+	out.Reset()
+	if err := run([]string{"-predict", "-platform", "gtx480", "-server", ts.URL, "-n", "4096"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "dgemm_cublas") || !strings.Contains(out.String(), "via pattern") {
+		t.Fatalf("predict output = %q", out.String())
+	}
+
+	out.Reset()
+	if err := run([]string{"-rank", "-platform", "gtx480", "-server", ts.URL, "-n", "4096"}, &out); err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "1. ") {
+		t.Fatalf("rank output = %q", out.String())
+	}
+
+	// An unregistered platform reports per-variant misses, like the local
+	// no-observations path.
+	out.Reset()
+	if err := run([]string{"-predict", "-platform", "xeon-gtx480", "-server", ts.URL}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "no prediction") {
+		t.Fatalf("output = %q", out.String())
 	}
 }
 

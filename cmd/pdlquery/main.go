@@ -11,6 +11,12 @@
 //	pdlquery -f platform.pdl.xml -groups
 //	pdlquery -f platform.pdl.xml -route host,dev0
 //	pdlquery -f platform.pdl.xml -tree
+//	pdlquery -server http://registry:8080 -name xeon-2gpu kind=worker arch=gpu
+//
+// With -server the document is fetched from a pdlserved registry instead of
+// a file; -f then names an optional local cache the fetch revalidates with
+// If-None-Match, so repeated queries against an unchanged platform transfer
+// no XML.
 //
 // Filter arguments use the same key=value DSL the pdlserved HTTP API accepts
 // on /platforms/{name}/pus, so a query debugged here pastes directly into a
@@ -20,12 +26,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"strings"
+	"time"
 
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/pdlxml"
 	"repro/internal/query"
@@ -42,7 +51,9 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdlquery", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		file   = fs.String("f", "", "PDL document to query (required)")
+		file   = fs.String("f", "", "PDL document to query (with -server: optional local cache file)")
+		server = fs.String("server", "", "pdlserved base URL to fetch the document from instead of a file")
+		name   = fs.String("name", "", "platform name in the registry (required with -server)")
 		props  = fs.Bool("props", false, "print descriptor properties of matched PUs")
 		groups = fs.Bool("groups", false, "print the platform's logic groups")
 		route  = fs.String("route", "", "print the interconnect route between two PU ids, comma separated")
@@ -51,10 +62,19 @@ func run(args []string, stdout io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *file == "" {
-		return fmt.Errorf("usage: pdlquery -f <file.pdl.xml> [selector | key=value ...]")
+	var pl *core.Platform
+	var err error
+	switch {
+	case *server != "":
+		if *name == "" {
+			return fmt.Errorf("usage: pdlquery -server <url> -name <platform> [selector | key=value ...]")
+		}
+		pl, err = fetchPlatform(*server, *name, *file, stdout)
+	case *file != "":
+		pl, err = pdlxml.ReadFile(*file)
+	default:
+		return fmt.Errorf("usage: pdlquery -f <file.pdl.xml> | -server <url> -name <platform> [selector | key=value ...]")
 	}
-	pl, err := pdlxml.ReadFile(*file)
 	if err != nil {
 		return err
 	}
@@ -103,6 +123,47 @@ func run(args []string, stdout io.Writer) error {
 	}
 	fmt.Fprintf(stdout, "%d match(es)\n", len(matched))
 	return nil
+}
+
+// fetchPlatform pulls the named document from a pdlserved registry. When
+// cache names a file, the fetch is conditional: the cached ETag (stored in a
+// sidecar) rides along as If-None-Match and a 304 serves the cached bytes —
+// the same revalidation flow the registry replicas use.
+func fetchPlatform(base, name, cache string, stdout io.Writer) (*core.Platform, error) {
+	c, err := client.New(base, client.WithRetry(2, 200*time.Millisecond))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	var etag string
+	sidecar := cache + ".etag"
+	if cache != "" {
+		if tag, err := os.ReadFile(sidecar); err == nil {
+			etag = strings.TrimSpace(string(tag))
+		}
+	}
+	data, newTag, notModified, err := c.GetBytesConditional(ctx, "/platforms/"+name, etag)
+	if err != nil {
+		return nil, err
+	}
+	if notModified {
+		if data, err = os.ReadFile(cache); err != nil {
+			return nil, fmt.Errorf("registry says cache is current but it is unreadable: %w", err)
+		}
+		fmt.Fprintf(stdout, "(cache hit: %s unchanged, ETag %s)\n", name, etag)
+	} else if cache != "" {
+		if err := os.WriteFile(cache, data, 0o644); err != nil {
+			return nil, err
+		}
+		if newTag != "" {
+			if err := os.WriteFile(sidecar, []byte(newTag), 0o644); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return pdlxml.Unmarshal(data)
 }
 
 // evaluate runs either a single selector expression or a set of key=value

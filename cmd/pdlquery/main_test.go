@@ -2,12 +2,16 @@ package main
 
 import (
 	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"repro/internal/discover"
 	"repro/internal/pdlxml"
+	"repro/internal/server"
 )
 
 func fixtureFile(t *testing.T) string {
@@ -109,6 +113,64 @@ func TestErrors(t *testing.T) {
 	}
 	if err := run([]string{"-f", path, "///"}, &out); err == nil {
 		t.Fatal("bad selector must fail")
+	}
+}
+
+// -server fetches the document from a pdlserved registry; a second query
+// with the same cache file revalidates via If-None-Match and hits the cache.
+func TestServerModeWithConditionalCache(t *testing.T) {
+	ts := httptest.NewServer(server.New(server.Config{}).Handler())
+	defer ts.Close()
+	xml, err := pdlxml.Marshal(discover.MustPlatform("xeon-2gpu"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req, _ := http.NewRequest(http.MethodPut, ts.URL+"/platforms/xeon-2gpu", bytes.NewReader(xml))
+	req.Header.Set("Content-Type", "application/xml")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode >= 300 {
+		t.Fatalf("registering fixture: %s", resp.Status)
+	}
+
+	cache := filepath.Join(t.TempDir(), "cache.pdl.xml")
+	var out bytes.Buffer
+	args := []string{"-server", ts.URL, "-name", "xeon-2gpu", "-f", cache, "kind=worker", "arch=gpu"}
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 match(es)") {
+		t.Fatalf("server query = %q", out.String())
+	}
+	if _, err := os.Stat(cache + ".etag"); err != nil {
+		t.Fatalf("etag sidecar not written: %v", err)
+	}
+
+	out.Reset()
+	if err := run(args, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "cache hit") || !strings.Contains(out.String(), "2 match(es)") {
+		t.Fatalf("revalidated query = %q", out.String())
+	}
+
+	// Server mode without a cache file still works (plain GET each time).
+	out.Reset()
+	if err := run([]string{"-server", ts.URL, "-name", "xeon-2gpu", "-tree"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Master(id=host") {
+		t.Fatalf("tree = %q", out.String())
+	}
+
+	if err := run([]string{"-server", ts.URL, "kind=worker"}, &out); err == nil {
+		t.Fatal("-server without -name must fail")
+	}
+	if err := run([]string{"-server", ts.URL, "-name", "ghost", "kind=worker"}, &out); err == nil {
+		t.Fatal("unknown platform must fail")
 	}
 }
 

@@ -187,10 +187,22 @@ func run(args []string) error {
 	case <-ctx.Done():
 	}
 	log.Printf("pdlserved: shutting down, draining for up to %s", *drain)
+	// Drain ordering: stop taking on worker leases first (new registrations
+	// and heartbeat renewals 503 so the fleet fails over), let in-flight
+	// requests — including /observe writes — complete under Shutdown, then
+	// force the journal to stable storage before closing it. Without the
+	// Sync, observations acknowledged under -fsync=false would ride the page
+	// cache through exit.
+	srv.BeginDrain()
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
+	}
+	if persist != nil {
+		if err := persist.Sync(); err != nil {
+			log.Printf("pdlserved: journal sync on drain failed: %v", err)
+		}
 	}
 	return <-errc
 }

@@ -11,6 +11,7 @@
 //	pdltrace convert out.json out.jsonl
 //	pdltrace convert -to chrome out.jsonl perfetto.json
 //	pdltrace diff before.json after.json
+//	pdltrace merge -o cluster.json master.jsonl worker-a.jsonl worker-b.jsonl
 package main
 
 import (
@@ -42,8 +43,10 @@ func run(args []string, stdout io.Writer) error {
 		return convert(args[1:], stdout)
 	case "diff":
 		return diff(args[1:], stdout)
+	case "merge":
+		return merge(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summarize, convert or diff)", cmd)
+		return fmt.Errorf("unknown command %q (want summarize, convert, diff or merge)", cmd)
 	}
 }
 
@@ -157,6 +160,52 @@ func convert(args []string, stdout io.Writer) error {
 		return err
 	}
 	fmt.Fprintf(stdout, "wrote %s (%s, %d events)\n", out, format, tr.Len())
+	return nil
+}
+
+// merge combines per-node traces (pdlworkerd -trace outputs plus the
+// master's) into one cluster-wide timeline: events keep or inherit their
+// node identity, wall-clock epochs align the time bases when every input
+// carries one, and the Chrome export lays each node out as its own process
+// with per-unit lanes.
+func merge(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdltrace merge", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	out := fs.String("o", "merged.json", "output file (.jsonl → JSONL, otherwise Chrome JSON)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() < 1 {
+		return fmt.Errorf("usage: pdltrace merge [-o merged.json] <trace-file>...")
+	}
+	inputs := make([]*trace.Trace, 0, fs.NArg())
+	for _, path := range fs.Args() {
+		tr, err := trace.ReadFile(path)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		inputs = append(inputs, tr)
+	}
+	merged, err := trace.Merge(inputs...)
+	if err != nil {
+		return err
+	}
+	if strings.HasSuffix(*out, ".jsonl") {
+		err = merged.WriteJSONLFile(*out)
+	} else {
+		err = merged.WriteChromeFile(*out)
+	}
+	if err != nil {
+		return err
+	}
+	nodes := map[string]bool{}
+	for _, e := range merged.Events() {
+		if e.Node != "" {
+			nodes[e.Node] = true
+		}
+	}
+	fmt.Fprintf(stdout, "wrote %s (%d inputs, %d events, %d node lanes, makespan %.6fs)\n",
+		*out, len(inputs), merged.Len(), len(nodes), merged.Makespan())
 	return nil
 }
 

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -80,6 +82,65 @@ func TestDiff(t *testing.T) {
 	}
 }
 
+func TestMerge(t *testing.T) {
+	dir := t.TempDir()
+	writeNode := func(name string, epochMicros int64, path string) {
+		tr := trace.New()
+		tr.SetMeta(trace.MetaNode, name)
+		tr.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", epochMicros))
+		tr.Record(trace.Event{Kind: trace.Task, Unit: "worker0", Label: name + "-task", Start: 0, End: 0.5, TaskID: 0})
+		if err := tr.WriteJSONLFile(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+	inA := filepath.Join(dir, "a.jsonl")
+	inB := filepath.Join(dir, "b.jsonl")
+	writeNode("alpha", 1_000_000, inA)
+	writeNode("beta", 1_500_000, inB)
+
+	merged := filepath.Join(dir, "merged.jsonl")
+	var out strings.Builder
+	if err := run([]string{"merge", "-o", merged, inA, inB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "2 inputs") || !strings.Contains(out.String(), "2 node lanes") {
+		t.Fatalf("merge summary wrong:\n%s", out.String())
+	}
+	tr, err := trace.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := tr.Events()
+	if len(events) != 2 {
+		t.Fatalf("merged %d events, want 2", len(events))
+	}
+	// beta started 0.5s after alpha: its span must shift accordingly.
+	var betaStart float64 = -1
+	for _, e := range events {
+		if e.Node == "beta" {
+			betaStart = e.Start
+		}
+	}
+	if betaStart != 0.5 {
+		t.Fatalf("beta epoch not aligned: start %v, want 0.5", betaStart)
+	}
+
+	// Chrome output gets per-node process lanes.
+	chrome := filepath.Join(dir, "merged.json")
+	if err := run([]string{"merge", "-o", chrome, inA, inB}, &out); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(chrome)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"node:alpha"`, `"node:beta"`} {
+		if !strings.Contains(string(data), want) {
+			t.Fatalf("chrome merge lacks %s process lane", want)
+		}
+	}
+}
+
 func TestBadInvocations(t *testing.T) {
 	var out strings.Builder
 	for _, args := range [][]string{
@@ -88,6 +149,7 @@ func TestBadInvocations(t *testing.T) {
 		{"summarize"},
 		{"convert", "only-one"},
 		{"diff", "one"},
+		{"merge"},
 		{"summarize", filepath.Join(t.TempDir(), "missing.json")},
 	} {
 		if err := run(args, &out); err == nil {

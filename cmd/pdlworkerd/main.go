@@ -1,0 +1,313 @@
+// Command pdlworkerd is a cluster execution node: it serves the cluster
+// worker protocol (POST /v1/execute, GET /v1/info, GET /healthz) over the
+// codelets in the shared cluster registry, and announces itself to a
+// pdlserved instance — registering its PDL platform description, taking a
+// worker lease, heartbeating it, and streaming execution observations into
+// the server's perfmodels — so masters can discover execution nodes through
+// the same registry that holds the platform descriptions they execute
+// against.
+//
+// Usage:
+//
+//	pdlworkerd -addr 127.0.0.1:9091 -name worker-a
+//	pdlworkerd -addr :9091 -server http://registry:8080 -platform xeon-gtx480
+//	pdlworkerd -addr :9091 -slots 4 -trace worker-a.trace.jsonl
+//
+// Without -server the daemon runs standalone (masters address it directly).
+// With -trace, execution spans are written as pdltrace JSONL on shutdown,
+// stamped with the node name and wall-clock epoch so `pdltrace merge`
+// aligns traces from several nodes into one cluster timeline.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/discover"
+	"repro/internal/experiments"
+	"repro/internal/pdlxml"
+	"repro/internal/perfmodel"
+	"repro/internal/server"
+	"repro/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "pdlworkerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("pdlworkerd", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:9091", "listen address for the worker protocol")
+		name      = fs.String("name", "", "node name (default: host name)")
+		serverURL = fs.String("server", "", "pdlserved base URL to register with ('' = standalone)")
+		platName  = fs.String("platform", "", "platform: a catalog name, a .pdl.xml path, or '' to probe the host")
+		slots     = fs.Int("slots", 0, "concurrent executions (0 = probed host cores)")
+		archsCSV  = fs.String("archs", "", "comma-separated executable architecture tags (default: probed host arch)")
+		advertise = fs.String("advertise", "", "base URL masters should use to reach this node (default http://<addr>)")
+		traceTo   = fs.String("trace", "", "write the node's execution trace as pdltrace JSONL here on exit")
+		ttl       = fs.Duration("lease-ttl", server.DefaultWorkerTTL, "registry lease TTL the heartbeat cadence derives from (beat every ttl/3)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	host := discover.ProbeHost()
+	if *name == "" {
+		h, err := os.Hostname()
+		if err != nil || h == "" {
+			h = "pdlworker"
+		}
+		*name = h
+	}
+	if *slots <= 0 {
+		*slots = host.Cores
+	}
+	archs := []string{host.Arch}
+	if *archsCSV != "" {
+		archs = archs[:0]
+		for _, a := range strings.Split(*archsCSV, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				archs = append(archs, a)
+			}
+		}
+	}
+
+	// Resolve the node's platform description: catalog entry, XML file, or
+	// a probe of the running host.
+	pl, err := loadPlatform(*platName, *name, &host)
+	if err != nil {
+		return err
+	}
+
+	var tr *trace.Trace
+	if *traceTo != "" {
+		tr = trace.New()
+	}
+
+	models := perfmodel.NewStore()
+	var observe func(codelet, arch string, size, seconds float64)
+	var ctl *client.Client
+	if *serverURL != "" {
+		if ctl, err = client.New(*serverURL); err != nil {
+			return err
+		}
+		observe = func(codelet, arch string, size, seconds float64) {
+			// Stream the observation into the server's perfmodel for this
+			// platform. Best-effort: a failed send only loses one sample.
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			err := ctl.PostJSON(ctx, "/platforms/"+pl.Name+"/observe", map[string]any{
+				"codelet": codelet, "size": size, "seconds": seconds,
+			}, nil)
+			if err != nil {
+				log.Printf("pdlworkerd: streaming observation: %v", err)
+			}
+		}
+	}
+
+	w, err := cluster.NewWorker(cluster.WorkerConfig{
+		Name:          *name,
+		Codelets:      experiments.ClusterCodelets(),
+		Archs:         archs,
+		Slots:         *slots,
+		Models:        models,
+		OnObservation: observe,
+		Trace:         tr,
+		Logf:          log.Printf,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	if *advertise == "" {
+		*advertise = "http://" + advertiseHost(ln.Addr().String())
+	}
+	httpSrv := &http.Server{Handler: w.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		info := w.Info()
+		log.Printf("pdlworkerd: node %s listening on %s (archs %v, %d slots, codelets %v)",
+			*name, ln.Addr(), info.Archs, info.Workers, info.Codelets)
+		if err := httpSrv.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+			return
+		}
+		errc <- nil
+	}()
+
+	if ctl != nil {
+		go registerLoop(ctx, ctl, pl, w, *advertise, *ttl)
+	}
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("pdlworkerd: shutting down")
+	// Drop the lease eagerly (best-effort — expiry would reap it anyway),
+	// stop accepting, then wait for in-flight executions.
+	if ctl != nil {
+		dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		if err := ctl.Delete(dctx, "/workers/"+*name); err != nil && !client.IsStatus(err, http.StatusNotFound) {
+			log.Printf("pdlworkerd: deregistering: %v", err)
+		}
+		cancel()
+	}
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		log.Printf("pdlworkerd: shutdown: %v", err)
+	}
+	w.Wait()
+	if tr != nil {
+		if err := tr.WriteJSONLFile(*traceTo); err != nil {
+			return fmt.Errorf("writing trace: %w", err)
+		}
+		log.Printf("pdlworkerd: wrote %s (%d events)", *traceTo, tr.Len())
+	}
+	return nil
+}
+
+// loadPlatform resolves -platform: an existing file path is parsed as PDL
+// XML, a known catalog name builds that platform, and the empty string
+// probes the running host. The platform is renamed to the node name so each
+// worker's document registers distinctly.
+func loadPlatform(spec, nodeName string, host *discover.HostInfo) (pl *platform, err error) {
+	switch {
+	case spec == "":
+		p, err := discover.Generate(discover.Options{Name: nodeName, Host: host})
+		if err != nil {
+			return nil, err
+		}
+		return &platform{Platform: p, Name: p.Name}, nil
+	default:
+		if _, statErr := os.Stat(spec); statErr == nil {
+			p, err := pdlxml.ReadFile(spec)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %w", spec, err)
+			}
+			return &platform{Platform: p, Name: p.Name}, nil
+		}
+		p, err := discover.Platform(spec)
+		if err != nil {
+			return nil, fmt.Errorf("unknown platform %q (not a file, not in catalog: %v)", spec, err)
+		}
+		return &platform{Platform: p, Name: p.Name}, nil
+	}
+}
+
+// registerLoop keeps the node registered: upload the platform document,
+// take the worker lease, then heartbeat at a third of the TTL,
+// re-registering whenever the server restarted (404) or was draining (the
+// client's retry/backoff already absorbs transient 503s).
+func registerLoop(ctx context.Context, ctl *client.Client, pl *platform, w *cluster.Worker, advertise string, ttl time.Duration) {
+	beat := ttl / 3
+	if beat <= 0 {
+		beat = 5 * time.Second
+	}
+	registered := false
+	register := func() {
+		xml, err := pdlxml.Marshal(pl.Platform)
+		if err != nil {
+			log.Printf("pdlworkerd: marshalling platform: %v", err)
+			return
+		}
+		rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		defer cancel()
+		if err := ctl.PutBytes(rctx, "/platforms/"+pl.Name, "application/xml", xml); err != nil {
+			log.Printf("pdlworkerd: uploading platform %s: %v", pl.Name, err)
+			return
+		}
+		info := w.Info()
+		err = ctl.PostJSON(rctx, "/workers/"+info.Name, server.WorkerInfo{
+			ID:       info.Name,
+			Addr:     advertise,
+			Platform: pl.Name,
+			Archs:    info.Archs,
+			Workers:  info.Workers,
+		}, nil)
+		if err != nil {
+			log.Printf("pdlworkerd: registering lease: %v", err)
+			return
+		}
+		if !registered {
+			log.Printf("pdlworkerd: registered with %s as %s (platform %s)", ctl.Base(), info.Name, pl.Name)
+		}
+		registered = true
+	}
+	register()
+	t := time.NewTicker(beat)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		if !registered {
+			register()
+			continue
+		}
+		bctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+		err := ctl.PostJSON(bctx, "/workers/"+w.Info().Name+"/heartbeat", nil, nil)
+		cancel()
+		switch {
+		case err == nil:
+		case client.IsStatus(err, http.StatusNotFound):
+			// Server lost the lease (restart or expiry): re-register.
+			registered = false
+			register()
+		case ctx.Err() != nil:
+			return
+		default:
+			log.Printf("pdlworkerd: heartbeat: %v", err)
+		}
+	}
+}
+
+// platform pairs a parsed platform with the registry name it is stored
+// under.
+type platform struct {
+	Platform *core.Platform
+	Name     string
+}
+
+// advertiseHost rewrites wildcard listen addresses into something another
+// process can dial.
+func advertiseHost(addr string) string {
+	host, port, err := net.SplitHostPort(addr)
+	if err != nil {
+		return addr
+	}
+	switch host {
+	case "", "::", "0.0.0.0":
+		host = "127.0.0.1"
+	}
+	return net.JoinHostPort(host, port)
+}

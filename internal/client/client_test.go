@@ -1,0 +1,211 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func noSleep(c *Client) {
+	c.sleep = func(context.Context, time.Duration) error { return nil }
+}
+
+func newTest(t *testing.T, h http.Handler, opts ...Option) (*Client, *httptest.Server) {
+	t.Helper()
+	srv := httptest.NewServer(h)
+	t.Cleanup(srv.Close)
+	c, err := New(srv.URL, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noSleep(c)
+	return c, srv
+}
+
+func TestNewValidatesURL(t *testing.T) {
+	for _, bad := range []string{"", "not a url", "ftp://host", "http://"} {
+		if _, err := New(bad); err == nil {
+			t.Errorf("New(%q) accepted an invalid base", bad)
+		}
+	}
+	c, err := New("http://localhost:8080/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Base() != "http://localhost:8080" {
+		t.Fatalf("base = %q; trailing slash not trimmed", c.Base())
+	}
+}
+
+func TestGetJSONConditional(t *testing.T) {
+	var hits atomic.Int64
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		const etag = `"abc123"`
+		w.Header().Set("ETag", etag)
+		if r.Header.Get("If-None-Match") == etag {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+		json.NewEncoder(w).Encode(map[string]string{"name": "cell"})
+	}))
+
+	var out struct {
+		Name string `json:"name"`
+	}
+	etag, notMod, err := c.GetJSONConditional(context.Background(), "/v1/platforms/cell", "", &out)
+	if err != nil || notMod {
+		t.Fatalf("first fetch: err=%v notMod=%v", err, notMod)
+	}
+	if out.Name != "cell" || etag != `"abc123"` {
+		t.Fatalf("first fetch: out=%+v etag=%q", out, etag)
+	}
+
+	out.Name = ""
+	etag2, notMod, err := c.GetJSONConditional(context.Background(), "/v1/platforms/cell", etag, &out)
+	if err != nil || !notMod {
+		t.Fatalf("conditional fetch: err=%v notMod=%v", err, notMod)
+	}
+	if etag2 != etag {
+		t.Fatalf("304 must return the cached etag, got %q", etag2)
+	}
+	if out.Name != "" {
+		t.Fatal("304 must not touch out")
+	}
+	if hits.Load() != 2 {
+		t.Fatalf("server hits = %d; want 2", hits.Load())
+	}
+}
+
+func TestRetryOn503ThenSuccess(t *testing.T) {
+	var hits atomic.Int64
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"draining"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}), WithRetry(3, time.Millisecond))
+
+	var out struct{ OK bool }
+	if err := c.GetJSON(context.Background(), "/x", &out); err != nil || !out.OK {
+		t.Fatalf("err=%v out=%+v", err, out)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d; want 3 (two retries)", hits.Load())
+	}
+}
+
+func TestRetryExhaustedReturnsStatusError(t *testing.T) {
+	var hits atomic.Int64
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(map[string]any{"error": "read-only"})
+	}), WithRetry(2, time.Millisecond))
+
+	err := c.GetJSON(context.Background(), "/x", nil)
+	if !IsStatus(err, http.StatusServiceUnavailable) {
+		t.Fatalf("err = %v; want 503 StatusError", err)
+	}
+	if !strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("error lost server message: %v", err)
+	}
+	if hits.Load() != 3 {
+		t.Fatalf("hits = %d; want 3 (retries+1)", hits.Load())
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusUnprocessableEntity)
+		json.NewEncoder(w).Encode(map[string]any{"error": "failed validation", "problems": []string{"p1", "p2"}})
+	}), WithRetry(3, time.Millisecond))
+
+	err := c.GetJSON(context.Background(), "/x", nil)
+	if hits.Load() != 1 {
+		t.Fatalf("hits = %d; 4xx must not retry", hits.Load())
+	}
+	var se *StatusError
+	if !asStatus(err, &se) || se.Code != 422 || len(se.Problems) != 2 {
+		t.Fatalf("err = %#v; want 422 with problems", err)
+	}
+}
+
+func asStatus(err error, out **StatusError) bool {
+	se, ok := err.(*StatusError)
+	if ok {
+		*out = se
+	}
+	return ok
+}
+
+func TestBodyLimit(t *testing.T) {
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write(make([]byte, 4096))
+	}), WithMaxBody(1024), WithRetry(0, 0))
+
+	err := c.GetJSON(context.Background(), "/big", nil)
+	if err == nil || !strings.Contains(err.Error(), "byte limit") {
+		t.Fatalf("err = %v; want body-limit error", err)
+	}
+}
+
+func TestPostJSONRoundTrip(t *testing.T) {
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.Header.Get("Content-Type") != "application/json" {
+			t.Errorf("method=%s ct=%s", r.Method, r.Header.Get("Content-Type"))
+		}
+		var in map[string]string
+		json.NewDecoder(r.Body).Decode(&in)
+		json.NewEncoder(w).Encode(map[string]string{"echo": in["msg"]})
+	}))
+
+	var out struct {
+		Echo string `json:"echo"`
+	}
+	if err := c.PostJSON(context.Background(), "/v1/workers", map[string]string{"msg": "hi"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Echo != "hi" {
+		t.Fatalf("echo = %q", out.Echo)
+	}
+}
+
+func TestDeleteSurfaces404(t *testing.T) {
+	c, _ := newTest(t, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.NotFound(w, r)
+	}), WithRetry(0, 0))
+	if err := c.Delete(context.Background(), "/v1/workers/w1"); !IsStatus(err, http.StatusNotFound) {
+		t.Fatalf("err = %v; want 404", err)
+	}
+}
+
+func TestContextCancelStopsRetry(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		cancel() // cancel after first attempt; retry loop must stop
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer srv.Close()
+	c, err := New(srv.URL, WithRetry(5, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.GetJSON(ctx, "/x", nil); err == nil {
+		t.Fatal("expected error after cancel")
+	}
+	if hits.Load() > 2 {
+		t.Fatalf("hits = %d; retry loop ignored cancellation", hits.Load())
+	}
+}

@@ -1,0 +1,622 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+// --- payload codec ---
+
+func TestPayloadCodecCompactsViews(t *testing.T) {
+	parent := blas.NewMatrix(8, 8)
+	parent.FillRandom(1)
+	view := parent.Sub(2, 2, 4, 4)
+
+	data, err := EncodePayload(view)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodePayload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, ok := got.(*blas.Matrix)
+	if !ok {
+		t.Fatalf("decoded %T, want *blas.Matrix", got)
+	}
+	if m.Rows != 4 || m.Cols != 4 || m.Stride != 4 || len(m.Data) != 16 {
+		t.Fatalf("view not compacted: %dx%d stride %d len %d", m.Rows, m.Cols, m.Stride, len(m.Data))
+	}
+	if d := blas.MaxDiff(view, m); d != 0 {
+		t.Fatalf("compaction changed values (maxdiff %g)", d)
+	}
+
+	// A compact matrix ships as-is.
+	compact := blas.NewMatrix(3, 3)
+	if data, err = EncodePayload(compact); err != nil {
+		t.Fatal(err)
+	}
+	if got, err = DecodePayload(data); err != nil {
+		t.Fatal(err)
+	}
+	if m = got.(*blas.Matrix); m.Rows != 3 || m.Stride != 3 {
+		t.Fatalf("compact matrix mangled: %+v", m)
+	}
+}
+
+func TestApplyPayloadPreservesAliasing(t *testing.T) {
+	parent := blas.NewMatrix(8, 8)
+	view := parent.Sub(4, 4, 4, 4)
+	src := blas.NewMatrix(4, 4)
+	src.FillRandom(7)
+
+	applied, err := ApplyPayload(view, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied != any(view) {
+		t.Fatal("apply over a matrix must mutate in place, not replace")
+	}
+	// The write must be visible through the parent.
+	if parent.Data[4*8+4] != src.Data[0] {
+		t.Fatal("apply did not write through the view into the parent")
+	}
+	// Elements outside the view stay zero.
+	if parent.Data[0] != 0 {
+		t.Fatal("apply leaked outside the view")
+	}
+
+	if _, err := ApplyPayload(view, blas.NewMatrix(2, 2)); err == nil {
+		t.Fatal("shape mismatch must error")
+	}
+	if _, err := ApplyPayload(view, []float64{1}); err == nil {
+		t.Fatal("type mismatch over a matrix must error")
+	}
+
+	// nil destination: replacement.
+	if got, _ := ApplyPayload(nil, src); got != any(src) {
+		t.Fatal("nil dst must adopt src")
+	}
+	// Slice copy in place.
+	d := []float64{0, 0}
+	if got, _ := ApplyPayload(d, []float64{3, 4}); got == nil || d[1] != 4 {
+		t.Fatal("float64 slice apply must copy in place")
+	}
+}
+
+// --- worker protocol ---
+
+func gemmTestCodelet(t testing.TB, delay time.Duration) *taskrt.Codelet {
+	t.Helper()
+	cl, err := taskrt.NewCodelet("dgemm",
+		taskrt.Impl{Arch: "x86", Func: func(tc *taskrt.TaskContext) error {
+			if delay > 0 {
+				time.Sleep(delay)
+			}
+			a := tc.Payload(0).(*blas.Matrix)
+			b := tc.Payload(1).(*blas.Matrix)
+			c := tc.Payload(2).(*blas.Matrix)
+			return blas.GemmPacked(a, b, c, 0)
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func postExec(t *testing.T, url string, req *ExecRequest) *ExecResponse {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(req); err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(url+PathExecute, ContentTypeGob, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("execute returned %d", httpResp.StatusCode)
+	}
+	var resp ExecResponse
+	if err := gob.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return &resp
+}
+
+func TestWorkerExecuteCacheAndNeedData(t *testing.T) {
+	w, err := NewWorker(WorkerConfig{
+		Name: "w1", Archs: []string{"x86"},
+		Codelets: []*taskrt.Codelet{gemmTestCodelet(t, 0)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	a, b, c := blas.NewMatrix(4, 4), blas.NewMatrix(4, 4), blas.NewMatrix(4, 4)
+	a.FillRandom(1)
+	b.FillRandom(2)
+	enc := func(m *blas.Matrix) []byte {
+		data, err := EncodePayload(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	accesses := func(inline bool, cVer uint64) []AccessSpec {
+		specs := []AccessSpec{
+			{HandleID: 0, Name: "A", Mode: int(taskrt.Read)},
+			{HandleID: 1, Name: "B", Mode: int(taskrt.Read)},
+			{HandleID: 2, Name: "C", Mode: int(taskrt.ReadWrite), Version: cVer},
+		}
+		if inline {
+			specs[0].Inline, specs[1].Inline, specs[2].Inline = enc(a), enc(b), enc(c)
+		}
+		return specs
+	}
+
+	// Reference without prior inline: a cache miss, not a fault.
+	resp := postExec(t, srv.URL, &ExecRequest{TaskID: 0, Codelet: "dgemm", Accesses: accesses(false, 0)})
+	if resp.OK || len(resp.NeedData) != 3 {
+		t.Fatalf("cold cache must bounce all refs, got OK=%v NeedData=%v", resp.OK, resp.NeedData)
+	}
+
+	// Inline everything: executes, writes come back at version+1.
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 0, Codelet: "dgemm", Accesses: accesses(true, 0)})
+	if !resp.OK {
+		t.Fatalf("inline execute failed: %s", resp.Error)
+	}
+	if len(resp.Written) != 1 || resp.Written[0].HandleID != 2 || resp.Written[0].Version != 1 {
+		t.Fatalf("written = %+v, want handle 2 at version 1", resp.Written)
+	}
+
+	// Same handles by reference at the cached versions: executes again,
+	// accumulating on the worker-cached C (now at version 1).
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 1, Codelet: "dgemm", Accesses: accesses(false, 1)})
+	if !resp.OK {
+		t.Fatalf("cached execute failed: %s (NeedData=%v)", resp.Error, resp.NeedData)
+	}
+	if resp.Written[0].Version != 2 {
+		t.Fatalf("second write version = %d, want 2", resp.Written[0].Version)
+	}
+	got, err := DecodePayload(resp.Written[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two accumulations of A·B over a zero C.
+	ref := blas.NewMatrix(4, 4)
+	blas.GemmNaive(a, b, ref)
+	blas.GemmNaive(a, b, ref)
+	if d := blas.MaxDiff(ref, got.(*blas.Matrix)); d > 1e-12 {
+		t.Fatalf("cached accumulation wrong (maxdiff %g)", d)
+	}
+
+	// Unknown codelet: in-band error, not NeedData.
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 2, Codelet: "fft"})
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("unknown codelet must fail in-band, got %+v", resp)
+	}
+}
+
+// --- end-to-end cluster runs ---
+
+func clusterPlatform(t testing.TB) *core.Platform {
+	t.Helper()
+	pl, err := core.NewBuilder("cpu").
+		Master("host", core.Arch("x86"), core.Qty(2)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl
+}
+
+// submitTiledGemm builds the C += A·B tile graph (n divisible by tile) and
+// returns the operands for verification.
+func submitTiledGemm(t testing.TB, rt *taskrt.Runtime, cl *taskrt.Codelet, n, tile int) (a, b, c *blas.Matrix) {
+	t.Helper()
+	a, b, c = blas.NewMatrix(n, n), blas.NewMatrix(n, n), blas.NewMatrix(n, n)
+	a.FillRandom(11)
+	b.FillRandom(12)
+	nt := n / tile
+	handle := func(name string, m *blas.Matrix, i, j int) *taskrt.Handle {
+		return rt.NewHandle(fmt.Sprintf("%s[%d,%d]", name, i, j),
+			int64(tile)*int64(tile)*8, m.Sub(i*tile, j*tile, tile, tile))
+	}
+	hA := make([]*taskrt.Handle, nt*nt)
+	hB := make([]*taskrt.Handle, nt*nt)
+	hC := make([]*taskrt.Handle, nt*nt)
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			hA[i*nt+j] = handle("A", a, i, j)
+			hB[i*nt+j] = handle("B", b, i, j)
+			hC[i*nt+j] = handle("C", c, i, j)
+		}
+	}
+	var graph []*taskrt.Task
+	for i := 0; i < nt; i++ {
+		for j := 0; j < nt; j++ {
+			for k := 0; k < nt; k++ {
+				graph = append(graph, &taskrt.Task{
+					Codelet: cl,
+					Accesses: []taskrt.Access{
+						taskrt.R(hA[i*nt+k]), taskrt.R(hB[k*nt+j]), taskrt.RW(hC[i*nt+j]),
+					},
+					Flops: blas.FlopsGEMM(tile, tile, tile),
+					Label: fmt.Sprintf("C[%d,%d]+=A[%d,%d]*B[%d,%d]", i, j, i, k, k, j),
+				})
+			}
+		}
+	}
+	if err := rt.SubmitBatch(graph); err != nil {
+		t.Fatal(err)
+	}
+	return a, b, c
+}
+
+func verifyGemm(t testing.TB, a, b, c *blas.Matrix) {
+	t.Helper()
+	ref := blas.NewMatrix(a.Rows, b.Cols)
+	if err := blas.GemmBlocked(a, b, ref, 0); err != nil {
+		t.Fatal(err)
+	}
+	if d := blas.MaxDiff(ref, c); d > 1e-8 {
+		t.Fatalf("cluster result wrong (maxdiff %g)", d)
+	}
+}
+
+func startWorker(t testing.TB, name string, cl *taskrt.Codelet, opts WorkerConfig) (*Worker, *httptest.Server) {
+	t.Helper()
+	opts.Name = name
+	opts.Archs = []string{"x86"}
+	opts.Codelets = []*taskrt.Codelet{cl}
+	w, err := NewWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	t.Cleanup(srv.Close)
+	return w, srv
+}
+
+func fastMaster(t testing.TB, nodes []NodeConfig, mut func(*Config)) *Master {
+	t.Helper()
+	cfg := Config{
+		Nodes:           nodes,
+		HeartbeatEvery:  10 * time.Millisecond,
+		HeartbeatMisses: 2,
+		BackoffBase:     5 * time.Millisecond,
+		BackoffCap:      50 * time.Millisecond,
+		AllDeadTimeout:  5 * time.Second,
+		Logf:            t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := NewMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestClusterGEMMTwoNodes(t *testing.T) {
+	cl := gemmTestCodelet(t, 0)
+	tr := trace.New()
+	_, srv1 := startWorker(t, "w1", cl, WorkerConfig{Slots: 2})
+	_, srv2 := startWorker(t, "w2", cl, WorkerConfig{Slots: 2})
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "w1", Addr: srv1.URL},
+		{Name: "w2", Addr: srv2.URL},
+	}, func(cfg *Config) { cfg.Trace = tr })
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+
+	if rep.Tasks != 64 {
+		t.Fatalf("report tasks = %d, want 64", rep.Tasks)
+	}
+	total := 0
+	for _, n := range rep.PerNode {
+		total += n.Tasks
+		if n.Dead {
+			t.Fatalf("node %s reported dead in a healthy run", n.Name)
+		}
+	}
+	if total != rep.Tasks {
+		t.Fatalf("per-node tasks sum to %d, want %d (exactly-once violated)", total, rep.Tasks)
+	}
+	if rep.TransferBytes == 0 {
+		t.Fatal("no transfer bytes accounted: inlining not recorded")
+	}
+	if len(tr.OfKind(trace.Place)) != 64+rep.PerNode[0].NeedData+rep.PerNode[1].NeedData {
+		// One Place per dispatch; NeedData bounces redispatch.
+		t.Fatalf("place events = %d for %d tasks", len(tr.OfKind(trace.Place)), rep.Tasks)
+	}
+	if rep.String() == "" {
+		t.Fatal("empty report text")
+	}
+}
+
+func TestClusterNeedDataSelfHeals(t *testing.T) {
+	cl := gemmTestCodelet(t, 0)
+	// A 1-entry cache guarantees evictions between tasks: the master's
+	// residency beliefs go stale and every stale reference must bounce back
+	// as NeedData and re-inline, never failing the run.
+	_, srv := startWorker(t, "tiny", cl, WorkerConfig{Slots: 1, CacheEntries: 1})
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 32, 16)
+
+	m := fastMaster(t, []NodeConfig{{Name: "tiny", Addr: srv.URL}}, nil)
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+	if rep.PerNode[0].NeedData == 0 {
+		t.Fatal("1-entry cache run must have bounced at least one dispatch")
+	}
+	if rep.FailedAttempts != 0 {
+		t.Fatalf("NeedData must not consume attempts, got %d failures", rep.FailedAttempts)
+	}
+}
+
+// flakyProxy wraps a worker handler with a controllable failure mode. Once
+// tripped, control endpoints return 503; execute requests either hang until
+// release (simulating a wedged node) or delay then serve (simulating a
+// slow node whose late results race the resubmitted copies).
+type flakyProxy struct {
+	inner    http.Handler
+	mu       sync.Mutex
+	executes int
+	tripAt   int // trip when the Nth execute arrives (0: only manual)
+	tripped  bool
+	hang     chan struct{} // non-nil: tripped executes block here
+	delay    time.Duration // tripped executes sleep, then serve for real
+}
+
+func (f *flakyProxy) setTripped(v bool) {
+	f.mu.Lock()
+	f.tripped = v
+	f.mu.Unlock()
+}
+
+func (f *flakyProxy) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
+	isExec := r.Method == http.MethodPost && r.URL.Path == PathExecute
+	f.mu.Lock()
+	if isExec {
+		f.executes++
+		// One-shot: re-arming would immediately re-trip a recovered node.
+		if f.tripAt > 0 && f.executes >= f.tripAt {
+			f.tripped = true
+			f.tripAt = 0
+		}
+	}
+	tripped := f.tripped
+	f.mu.Unlock()
+	if !tripped {
+		f.inner.ServeHTTP(rw, r)
+		return
+	}
+	if isExec {
+		if f.hang != nil {
+			<-f.hang
+		} else if f.delay > 0 {
+			time.Sleep(f.delay)
+			f.inner.ServeHTTP(rw, r)
+			return
+		}
+	}
+	http.Error(rw, `{"error":"node down"}`, http.StatusServiceUnavailable)
+}
+
+func TestClusterWorkerDeathResubmits(t *testing.T) {
+	cl := gemmTestCodelet(t, time.Millisecond)
+	_, srv1 := startWorker(t, "ok", cl, WorkerConfig{Slots: 2})
+
+	w2, err := NewWorker(WorkerConfig{
+		Name: "doomed", Archs: []string{"x86"}, Slots: 2,
+		Codelets: []*taskrt.Codelet{cl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := make(chan struct{})
+	proxy := &flakyProxy{inner: w2.Handler(), tripAt: 3, hang: release}
+	srv2 := httptest.NewServer(proxy)
+	t.Cleanup(func() { close(release); srv2.Close() })
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "ok", Addr: srv1.URL},
+		{Name: "doomed", Addr: srv2.URL},
+	}, nil)
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+
+	if len(rep.DeadNodes) != 1 || rep.DeadNodes[0] != "doomed" {
+		t.Fatalf("dead nodes = %v, want [doomed]", rep.DeadNodes)
+	}
+	if rep.Resubmissions == 0 {
+		t.Fatal("tasks wedged on the dead node must have been resubmitted")
+	}
+	var okTasks, doomedTasks int
+	for _, n := range rep.PerNode {
+		switch n.Name {
+		case "ok":
+			okTasks = n.Tasks
+		case "doomed":
+			doomedTasks = n.Tasks
+		}
+	}
+	if okTasks+doomedTasks != rep.Tasks {
+		t.Fatalf("task split %d+%d != %d", okTasks, doomedTasks, rep.Tasks)
+	}
+	if okTasks < 60 {
+		t.Fatalf("survivor ran %d tasks, expected to carry the run", okTasks)
+	}
+}
+
+func TestClusterLateResultsExactlyOnce(t *testing.T) {
+	cl := gemmTestCodelet(t, time.Millisecond)
+	_, srv1 := startWorker(t, "ok", cl, WorkerConfig{Slots: 2})
+
+	w2, err := NewWorker(WorkerConfig{
+		Name: "slow", Archs: []string{"x86"}, Slots: 2,
+		Codelets: []*taskrt.Codelet{cl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Once tripped, "slow" stops heartbeating (503) but still finishes its
+	// execute requests after a delay long past death detection, so its late
+	// successes race the resubmitted copies: first-writer-wins must keep
+	// each accumulation applied exactly once, or verification fails.
+	proxy := &flakyProxy{inner: w2.Handler(), tripAt: 3, delay: 120 * time.Millisecond}
+	srv2 := httptest.NewServer(proxy)
+	t.Cleanup(srv2.Close)
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "ok", Addr: srv1.URL},
+		{Name: "slow", Addr: srv2.URL},
+	}, nil)
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+	total := 0
+	for _, n := range rep.PerNode {
+		total += n.Tasks
+	}
+	if total != rep.Tasks {
+		t.Fatalf("per-node tasks sum to %d, want %d", total, rep.Tasks)
+	}
+}
+
+func TestClusterNodeRejoinIsCleared(t *testing.T) {
+	cl := gemmTestCodelet(t, 3*time.Millisecond)
+	_, srv1 := startWorker(t, "steady", cl, WorkerConfig{Slots: 1})
+
+	w2, err := NewWorker(WorkerConfig{
+		Name: "bouncy", Archs: []string{"x86"}, Slots: 1,
+		Codelets: []*taskrt.Codelet{cl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &flakyProxy{inner: w2.Handler(), tripAt: 3}
+	srv2 := httptest.NewServer(proxy)
+	t.Cleanup(srv2.Close)
+	// The node recovers mid-run: the master must clear its node-granularity
+	// blacklist (and its residency beliefs) and hand it work again.
+	recover := time.AfterFunc(60*time.Millisecond, func() { proxy.setTripped(false) })
+	defer recover.Stop()
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "steady", Addr: srv1.URL},
+		{Name: "bouncy", Addr: srv2.URL},
+	}, nil)
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+
+	var bouncy NodeStats
+	for _, n := range rep.PerNode {
+		if n.Name == "bouncy" {
+			bouncy = n
+		}
+	}
+	if bouncy.Dead {
+		t.Fatal("recovered node still blacklisted at end of run")
+	}
+	if bouncy.Tasks <= 2 {
+		t.Fatalf("recovered node ran %d tasks, want more than its pre-death 2", bouncy.Tasks)
+	}
+}
+
+func TestMasterValidation(t *testing.T) {
+	if _, err := NewMaster(Config{}); err == nil {
+		t.Fatal("no nodes must fail")
+	}
+	if _, err := NewMaster(Config{Nodes: []NodeConfig{{Name: "a"}}}); err == nil {
+		t.Fatal("missing addr must fail")
+	}
+	if _, err := NewMaster(Config{Nodes: []NodeConfig{
+		{Name: "a", Addr: "http://x"}, {Name: "a", Addr: "http://y"},
+	}}); err == nil {
+		t.Fatal("duplicate node name must fail")
+	}
+}
+
+func TestMasterNoRunnableCodelet(t *testing.T) {
+	// A worker that advertises no runnable codelet for the submitted work:
+	// the master must fail fast instead of hanging.
+	other, err := taskrt.NewCodelet("other",
+		taskrt.Impl{Arch: "x86", Func: func(*taskrt.TaskContext) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startWorker(t, "w", other, WorkerConfig{})
+
+	cl := gemmTestCodelet(t, 0)
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTiledGemm(t, rt, cl, 16, 16)
+
+	m := fastMaster(t, []NodeConfig{{Name: "w", Addr: srv.URL}}, nil)
+	if _, err := m.Run(rt); err == nil {
+		t.Fatal("unrunnable codelet must error, not hang")
+	}
+}

@@ -1,0 +1,889 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/perfmodel"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+// NodeConfig describes one execution node to the master.
+type NodeConfig struct {
+	// Name labels the node in traces, metrics and reports.
+	Name string
+	// Addr is the worker's base URL (http://host:port).
+	Addr string
+	// PU optionally anchors the node to a processing unit in
+	// Config.Platform, so transfer costs follow the declared interconnect
+	// route from MasterPU instead of the generic defaults.
+	PU string
+}
+
+// Config wires a Master.
+type Config struct {
+	// Nodes lists the execution nodes. Archs, parallelism and runnable
+	// codelets are probed from each node's /v1/info.
+	Nodes []NodeConfig
+	// Platform, with MasterPU and per-node PU set, prices master→node
+	// transfers over the declared interconnect route (the paper's explicit
+	// data-transfer paths); absent routes use defaults for a LAN hop.
+	Platform *core.Platform
+	MasterPU string
+	// Models holds per-(codelet, arch) performance history for EFT
+	// placement; a fresh store when nil (placement warms up via fallback
+	// means). Workers feed their own observations back in each response,
+	// so the store converges during a run.
+	Models *perfmodel.Store
+	// MaxInflight bounds outstanding invocations per node: the node-level
+	// generalisation of the dispatcher's credit semaphore. Default
+	// 2×(node workers), so each node always has the next wave queued.
+	MaxInflight int
+	// MaxAttempts bounds executions per task (in-band failures only;
+	// transport errors and cache misses do not consume attempts). Default 5.
+	MaxAttempts int
+	// Heartbeat parameters: probe cadence, per-probe timeout, and how many
+	// consecutive misses declare the node dead.
+	HeartbeatEvery   time.Duration // default 250ms
+	HeartbeatTimeout time.Duration // default = HeartbeatEvery
+	HeartbeatMisses  int           // default 3
+	// Retry backoff for failed attempts: BackoffBase doubled per attempt,
+	// capped at BackoffCap. Defaults 25ms / 1s.
+	BackoffBase time.Duration
+	BackoffCap  time.Duration
+	// AllDeadTimeout aborts the run after every node has been dead this
+	// long with work outstanding. Default 30s.
+	AllDeadTimeout time.Duration
+	// ExecTimeout bounds one invocation round-trip. Default 2m.
+	ExecTimeout time.Duration
+	// Trace, when set, records master-side spans (placements, transfers,
+	// retries, node state changes) stamped Node=Name.
+	Trace *trace.Trace
+	// Name is the master's node label in traces. Default "master".
+	Name string
+	// HTTP is the data-plane client. Default: dedicated client, no global
+	// timeout (ExecTimeout bounds each call).
+	HTTP *http.Client
+	Logf func(format string, args ...any)
+}
+
+// NodeStats aggregates one node's contribution to a run.
+type NodeStats struct {
+	Name          string
+	Tasks         int
+	BusySeconds   float64 // summed kernel seconds reported by the node
+	Transfers     int     // payloads inlined (cache misses by version)
+	TransferBytes int64   // encoded bytes shipped
+	Retries       int     // in-band failures requeued
+	Resubmits     int     // tasks reassigned after this node died
+	NeedData      int     // dispatches bounced for missing cached data
+	Dead          bool    // dead when the run ended
+}
+
+// Report is the outcome of Master.Run.
+type Report struct {
+	Tasks           int
+	MakespanSeconds float64
+	PerNode         []NodeStats
+	FailedAttempts  int
+	RetriedTasks    int
+	Resubmissions   int
+	Transfers       int
+	TransferBytes   int64
+	DeadNodes       []string
+}
+
+// String renders a human-readable summary, in the shape of taskrt.Report.
+func (r *Report) String() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "mode=cluster sched=eft tasks=%d makespan=%.6fs transfers=%d (%.1f MB)",
+		r.Tasks, r.MakespanSeconds, r.Transfers, float64(r.TransferBytes)/(1<<20))
+	if r.FailedAttempts > 0 || r.Resubmissions > 0 || len(r.DeadNodes) > 0 {
+		fmt.Fprintf(&b, " failures=%d retried=%d resubmitted=%d dead=%v",
+			r.FailedAttempts, r.RetriedTasks, r.Resubmissions, r.DeadNodes)
+	}
+	b.WriteString("\n")
+	for _, n := range r.PerNode {
+		util := 0.0
+		if r.MakespanSeconds > 0 {
+			util = n.BusySeconds / r.MakespanSeconds
+		}
+		fmt.Fprintf(&b, "  %-10s tasks=%-5d busy=%.6fs util=%.0f%% shipped=%.1fMB",
+			n.Name, n.Tasks, n.BusySeconds, util*100, float64(n.TransferBytes)/(1<<20))
+		if n.Resubmits > 0 || n.Dead {
+			fmt.Fprintf(&b, " resubmitted=%d dead=%v", n.Resubmits, n.Dead)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Master dispatches a task graph across worker nodes.
+type Master struct {
+	cfg  Config
+	http *http.Client
+}
+
+// NewMaster validates the config and applies defaults.
+func NewMaster(cfg Config) (*Master, error) {
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: master needs at least one node")
+	}
+	seen := map[string]bool{}
+	for i, n := range cfg.Nodes {
+		if n.Name == "" || n.Addr == "" {
+			return nil, fmt.Errorf("cluster: node %d needs name and addr", i)
+		}
+		if seen[n.Name] {
+			return nil, fmt.Errorf("cluster: duplicate node name %q", n.Name)
+		}
+		seen[n.Name] = true
+	}
+	if cfg.Models == nil {
+		cfg.Models = perfmodel.NewStore()
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.HeartbeatEvery <= 0 {
+		cfg.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if cfg.HeartbeatTimeout <= 0 {
+		cfg.HeartbeatTimeout = cfg.HeartbeatEvery
+	}
+	if cfg.HeartbeatMisses <= 0 {
+		cfg.HeartbeatMisses = 3
+	}
+	if cfg.BackoffBase <= 0 {
+		cfg.BackoffBase = 25 * time.Millisecond
+	}
+	if cfg.BackoffCap <= 0 {
+		cfg.BackoffCap = time.Second
+	}
+	if cfg.AllDeadTimeout <= 0 {
+		cfg.AllDeadTimeout = 30 * time.Second
+	}
+	if cfg.ExecTimeout <= 0 {
+		cfg.ExecTimeout = 2 * time.Minute
+	}
+	if cfg.Name == "" {
+		cfg.Name = "master"
+	}
+	m := &Master{cfg: cfg, http: cfg.HTTP}
+	if m.http == nil {
+		m.http = &http.Client{}
+	}
+	return m, nil
+}
+
+// Default transfer characteristics for a node without a declared route:
+// a LAN hop (~1 GB/s, 200µs).
+const (
+	defaultNodeBandwidth = 1 << 30
+	defaultNodeLatencyNS = 200e3
+)
+
+// nodeState is the master's view of one node during a run. All fields are
+// owned by the run loop goroutine except the control client.
+type nodeState struct {
+	cfg NodeConfig
+	ctl *client.Client
+
+	alive    bool
+	info     InfoResponse
+	maxCred  int
+	credits  int
+	backlog  float64 // outstanding estimate, nanoseconds
+	suspects int     // consecutive transport errors on the data plane
+	has      map[int]uint64
+
+	// Modelled transfer cost of the master→node route.
+	latNanos     float64
+	nanosPerByte float64
+
+	// Fallback estimate: mean observed round-trip on this node.
+	obsCount int
+	obsMean  float64 // nanoseconds
+
+	stats NodeStats
+}
+
+// events flowing into the run loop.
+type eventKind int
+
+const (
+	evResult eventKind = iota
+	evRequeue
+	evNodeUp
+	evNodeDown
+	evAllDead
+)
+
+type event struct {
+	kind eventKind
+	node *nodeState
+	rec  *inflightRec
+	resp *ExecResponse
+	err  error
+	task *taskrt.Task
+	info InfoResponse
+}
+
+type inflightRec struct {
+	task     *taskrt.Task
+	node     *nodeState
+	specs    []AccessSpec
+	est      float64 // charged estimate, nanoseconds
+	released bool    // credit/backlog already returned (node died)
+	shipped  int64   // encoded bytes inlined (set by the dispatch goroutine)
+	inlines  int
+}
+
+// runState is the mutable state of one Run, owned by the loop goroutine.
+type runState struct {
+	m       *Master
+	tasks   []*taskrt.Task
+	handles []*taskrt.Handle
+	nodes   []*nodeState
+
+	ver      []uint64 // current version per handle id
+	indeg    map[int]int
+	attempts map[int]int
+	done     map[int]bool
+	inflight map[int]*inflightRec
+	ready    []*taskrt.Task
+
+	events chan event
+	stop   chan struct{}
+	start  time.Time
+
+	failedAttempts int
+	retriedTasks   map[int]bool
+	resubmissions  int
+}
+
+func (st *runState) send(ev event) {
+	select {
+	case st.events <- ev:
+	case <-st.stop:
+	}
+}
+
+func (m *Master) logf(format string, args ...any) {
+	if m.cfg.Logf != nil {
+		m.cfg.Logf(format, args...)
+	}
+}
+
+// Run executes a fully-submitted (and not yet run) Runtime's graph across
+// the configured nodes, applying results into the Runtime's handle payloads
+// exactly once. It is the cluster-wide counterpart of Runtime.Run.
+func (m *Master) Run(rt *taskrt.Runtime) (*Report, error) {
+	tasks, handles, err := rt.Graph()
+	if err != nil {
+		return nil, err
+	}
+	if len(tasks) == 0 {
+		return &Report{}, nil
+	}
+	st := &runState{
+		m:            m,
+		tasks:        tasks,
+		handles:      handles,
+		ver:          make([]uint64, len(handles)),
+		indeg:        make(map[int]int, len(tasks)),
+		attempts:     map[int]int{},
+		done:         make(map[int]bool, len(tasks)),
+		inflight:     map[int]*inflightRec{},
+		events:       make(chan event, 64),
+		stop:         make(chan struct{}),
+		start:        time.Now(),
+		retriedTasks: map[int]bool{},
+	}
+	defer close(st.stop)
+
+	if tr := m.cfg.Trace; tr != nil {
+		tr.SetMeta(trace.MetaNode, m.cfg.Name)
+		tr.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", st.start.UnixMicro()))
+	}
+
+	for _, nc := range m.cfg.Nodes {
+		ctl, err := client.New(nc.Addr,
+			client.WithHTTPClient(&http.Client{Timeout: m.cfg.HeartbeatTimeout}),
+			client.WithRetry(0, 0))
+		if err != nil {
+			return nil, fmt.Errorf("cluster: node %s: %v", nc.Name, err)
+		}
+		n := &nodeState{cfg: nc, ctl: ctl, has: map[int]uint64{}}
+		n.stats.Name = nc.Name
+		n.latNanos, n.nanosPerByte = m.routeCost(nc.PU)
+		st.nodes = append(st.nodes, n)
+		cm.nodeUp.With(nc.Name).Set(0)
+		go st.heartbeat(n)
+	}
+
+	for _, t := range tasks {
+		st.indeg[t.ID()] = len(t.Deps())
+		if len(t.Deps()) == 0 {
+			st.ready = append(st.ready, t)
+		}
+	}
+
+	remaining := len(tasks)
+	var deadTimer *time.Timer
+	defer func() {
+		if deadTimer != nil {
+			deadTimer.Stop()
+		}
+	}()
+	for remaining > 0 {
+		st.dispatchReady()
+		if len(st.inflight) == 0 && len(st.ready) > 0 && st.aliveCount() > 0 {
+			// Nothing in flight means every alive node has full credit, yet
+			// no ready task was placeable: the codelet runs nowhere.
+			t := st.ready[0]
+			return nil, fmt.Errorf("cluster: no alive node can run codelet %q (task %d)", t.Codelet.Name, t.ID())
+		}
+		if st.aliveCount() == 0 {
+			if deadTimer == nil {
+				deadTimer = time.AfterFunc(m.cfg.AllDeadTimeout, func() { st.send(event{kind: evAllDead}) })
+			}
+		} else if deadTimer != nil {
+			deadTimer.Stop()
+			deadTimer = nil
+		}
+
+		ev := <-st.events
+		switch ev.kind {
+		case evNodeUp:
+			st.nodeUp(ev.node, ev.info)
+		case evNodeDown:
+			st.nodeDown(ev.node)
+		case evRequeue:
+			st.ready = append(st.ready, ev.task)
+		case evAllDead:
+			if st.aliveCount() == 0 {
+				return nil, fmt.Errorf("cluster: all %d nodes dead for %s with %d tasks outstanding",
+					len(st.nodes), m.cfg.AllDeadTimeout, remaining)
+			}
+		case evResult:
+			completed, err := st.handleResult(ev)
+			if err != nil {
+				return nil, err
+			}
+			if completed {
+				remaining--
+			}
+		}
+	}
+
+	rep := &Report{
+		Tasks:           len(tasks),
+		MakespanSeconds: time.Since(st.start).Seconds(),
+		FailedAttempts:  st.failedAttempts,
+		RetriedTasks:    len(st.retriedTasks),
+		Resubmissions:   st.resubmissions,
+	}
+	for _, n := range st.nodes {
+		n.stats.Dead = !n.alive
+		if n.stats.Dead {
+			rep.DeadNodes = append(rep.DeadNodes, n.cfg.Name)
+		}
+		rep.Transfers += n.stats.Transfers
+		rep.TransferBytes += n.stats.TransferBytes
+		rep.PerNode = append(rep.PerNode, n.stats)
+	}
+	sort.Strings(rep.DeadNodes)
+	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Name < rep.PerNode[j].Name })
+	return rep, nil
+}
+
+// routeCost prices the master→node path from the platform's declared
+// interconnects, or the LAN defaults when unroutable.
+func (m *Master) routeCost(pu string) (latNanos, nanosPerByte float64) {
+	latNanos, nanosPerByte = defaultNodeLatencyNS, 1e9/float64(defaultNodeBandwidth)
+	if m.cfg.Platform == nil || m.cfg.MasterPU == "" || pu == "" {
+		return
+	}
+	route, err := m.cfg.Platform.Route(m.cfg.MasterPU, pu)
+	if err != nil || len(route) == 0 {
+		return
+	}
+	lat, perByte := 0.0, 0.0
+	for _, ic := range route {
+		l, ok := ic.LatencySeconds()
+		if !ok {
+			l = defaultNodeLatencyNS / 1e9
+		}
+		bw, ok := ic.BandwidthBytesPerSec()
+		if !ok || bw <= 0 {
+			bw = defaultNodeBandwidth
+		}
+		lat += l * 1e9
+		perByte += 1e9 / bw
+	}
+	return lat, perByte
+}
+
+func (st *runState) aliveCount() int {
+	n := 0
+	for _, node := range st.nodes {
+		if node.alive {
+			n++
+		}
+	}
+	return n
+}
+
+// heartbeat probes the node until the run ends: /v1/info while down (the
+// probe doubles as capability discovery on first contact and after
+// restarts), /healthz while up.
+func (st *runState) heartbeat(n *nodeState) {
+	cfg := st.m.cfg
+	alive := false
+	misses := 0
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), cfg.HeartbeatTimeout)
+		if !alive {
+			var info InfoResponse
+			if err := n.ctl.GetJSON(ctx, PathInfo, &info); err == nil {
+				alive, misses = true, 0
+				st.send(event{kind: evNodeUp, node: n, info: info})
+			}
+		} else if err := n.ctl.GetJSON(ctx, PathHealthz, nil); err != nil {
+			misses++
+			cm.hbMisses.With(n.cfg.Name).Inc()
+			if misses >= cfg.HeartbeatMisses {
+				alive = false
+				st.send(event{kind: evNodeDown, node: n})
+			}
+		} else {
+			misses = 0
+		}
+		cancel()
+		select {
+		case <-st.stop:
+			return
+		case <-time.After(cfg.HeartbeatEvery):
+		}
+	}
+}
+
+func (st *runState) nodeUp(n *nodeState, info InfoResponse) {
+	if n.alive {
+		return
+	}
+	n.alive = true
+	n.info = info
+	n.suspects = 0
+	// Fresh (or restarted) process: its cache is unknown, so forget what we
+	// believed resident — every first access re-inlines.
+	n.has = map[int]uint64{}
+	n.maxCred = st.m.cfg.MaxInflight
+	if n.maxCred <= 0 {
+		w := info.Workers
+		if w <= 0 {
+			w = 1
+		}
+		n.maxCred = 2 * w
+	}
+	n.credits = n.maxCred
+	n.backlog = 0
+	cm.nodeUp.With(n.cfg.Name).Set(1)
+	st.m.logf("cluster: node %s up (archs %v, %d workers, %d codelets)",
+		n.cfg.Name, info.Archs, info.Workers, len(info.Codelets))
+	st.traceInstant(trace.Recover, n.cfg.Name, "", trace.NoTask)
+}
+
+// nodeDown blacklists the node and resubmits everything it had in flight.
+func (st *runState) nodeDown(n *nodeState) {
+	if !n.alive {
+		return
+	}
+	n.alive = false
+	cm.nodeUp.With(n.cfg.Name).Set(0)
+	st.m.logf("cluster: node %s dead; resubmitting its in-flight tasks", n.cfg.Name)
+	st.traceInstant(trace.Blacklist, n.cfg.Name, "", trace.NoTask)
+	for id, rec := range st.inflight {
+		if rec.node != n || rec.released {
+			continue
+		}
+		rec.released = true
+		cm.inflight.With(n.cfg.Name).Dec()
+		delete(st.inflight, id)
+		n.stats.Resubmits++
+		st.resubmissions++
+		cm.resubmits.With(n.cfg.Name).Inc()
+		st.requeueWithBackoff(rec.task)
+	}
+	n.credits, n.backlog = 0, 0
+}
+
+// requeueWithBackoff schedules the task back into ready after a capped
+// exponential delay derived from its attempt count.
+func (st *runState) requeueWithBackoff(t *taskrt.Task) {
+	cfg := st.m.cfg
+	d := cfg.BackoffBase << uint(st.attempts[t.ID()])
+	if d > cfg.BackoffCap || d <= 0 {
+		d = cfg.BackoffCap
+	}
+	task := t
+	time.AfterFunc(d, func() { st.send(event{kind: evRequeue, task: task}) })
+}
+
+// nodeRuns reports whether the node advertises the codelet as runnable.
+func (n *nodeState) nodeRuns(codelet string) bool {
+	if len(n.info.Codelets) == 0 {
+		return true // no advertisement: optimistic, execute surfaces errors
+	}
+	for _, c := range n.info.Codelets {
+		if c == codelet {
+			return true
+		}
+	}
+	return false
+}
+
+// estimate returns the predicted execution nanoseconds for the task on the
+// node and the decision source (model/fallback/cold).
+func (st *runState) estimate(t *taskrt.Task, n *nodeState) (float64, string) {
+	if t.Flops > 0 {
+		for _, arch := range n.info.Archs {
+			if t.Codelet.ImplFor(arch) == nil {
+				continue
+			}
+			if sec, ok := st.m.cfg.Models.Model(t.Codelet.Name, arch).Estimate(t.Flops); ok {
+				return sec * 1e9, "model"
+			}
+		}
+	}
+	if n.obsCount > 0 {
+		return n.obsMean, "fallback"
+	}
+	return 1e6, "cold" // 1ms: nonzero so backlog still differentiates nodes
+}
+
+// hasVersion reports whether the node is believed to cache the handle at
+// exactly this version. The explicit ok-check matters: handles start at
+// version 0, and a missing map entry must not read as "version 0 resident".
+func (n *nodeState) hasVersion(id int, ver uint64) bool {
+	v, ok := n.has[id]
+	return ok && v == ver
+}
+
+// transferNanos prices the payloads that would need inlining for the task
+// on the node, given the node's version cache.
+func (st *runState) transferNanos(t *taskrt.Task, n *nodeState) float64 {
+	total := 0.0
+	for _, a := range t.Accesses {
+		id := a.Handle.ID()
+		if n.hasVersion(id, st.ver[id]) {
+			continue
+		}
+		total += n.latNanos + float64(a.Handle.Bytes)*n.nanosPerByte
+	}
+	return total
+}
+
+// choose picks the node with the earliest modelled finish time among alive
+// nodes with free credit that can run the codelet.
+func (st *runState) choose(t *taskrt.Task) (*nodeState, float64, float64, string) {
+	var best *nodeState
+	var bestScore, bestEst, bestXfer float64
+	bestReason := ""
+	for _, n := range st.nodes {
+		if !n.alive || n.credits <= 0 || !n.nodeRuns(t.Codelet.Name) {
+			continue
+		}
+		est, reason := st.estimate(t, n)
+		xfer := st.transferNanos(t, n)
+		score := n.backlog + est + xfer
+		if best == nil || score < bestScore {
+			best, bestScore, bestEst, bestXfer, bestReason = n, score, est, xfer, reason
+		}
+	}
+	return best, bestEst, bestXfer, bestReason
+}
+
+// dispatchReady places as many ready tasks as node credits allow.
+func (st *runState) dispatchReady() {
+	var defer2 []*taskrt.Task
+	for len(st.ready) > 0 {
+		t := st.ready[0]
+		st.ready = st.ready[1:]
+		if st.done[t.ID()] || st.inflight[t.ID()] != nil {
+			continue // resubmitted and already handled
+		}
+		n, est, xfer, reason := st.choose(t)
+		if n == nil {
+			defer2 = append(defer2, t)
+			if st.aliveCount() == 0 {
+				break // wait for a node; keep remaining ready intact
+			}
+			continue
+		}
+		st.dispatch(t, n, est, xfer, reason)
+	}
+	st.ready = append(defer2, st.ready...)
+}
+
+// dispatch charges the node and ships the invocation asynchronously.
+func (st *runState) dispatch(t *taskrt.Task, n *nodeState, est, xfer float64, reason string) {
+	specs := make([]AccessSpec, len(t.Accesses))
+	inline := make([]bool, len(t.Accesses))
+	for i, a := range t.Accesses {
+		id := a.Handle.ID()
+		specs[i] = AccessSpec{
+			HandleID: id,
+			Name:     a.Handle.Name,
+			Bytes:    a.Handle.Bytes,
+			Mode:     int(a.Mode),
+			Version:  st.ver[id],
+		}
+		inline[i] = !n.hasVersion(id, st.ver[id])
+	}
+	rec := &inflightRec{task: t, node: n, specs: specs, est: est}
+	st.inflight[t.ID()] = rec
+	n.credits--
+	n.backlog += est + xfer
+	cm.inflight.With(n.cfg.Name).Inc()
+	cm.decisions.With(reason).Inc()
+	st.traceDispatch(t, n, reason, xfer)
+
+	var parents []int
+	for _, d := range t.Deps() {
+		parents = append(parents, d.ID())
+	}
+	req := &ExecRequest{
+		TaskID:  t.ID(),
+		Attempt: st.attempts[t.ID()],
+		Codelet: t.Codelet.Name,
+		Label:   t.Label,
+		Flops:   t.Flops,
+		Parents: parents,
+	}
+	payloads := make([]any, len(t.Accesses))
+	for i, a := range t.Accesses {
+		payloads[i] = a.Handle.Payload
+	}
+	go st.ship(rec, req, payloads, inline)
+}
+
+// ship encodes inline payloads and performs the execute round-trip. Runs
+// outside the loop goroutine; it only touches payloads of the task's own
+// accesses, whose writers have all been applied (DAG order), so the reads
+// race with nothing.
+func (st *runState) ship(rec *inflightRec, req *ExecRequest, payloads []any, inline []bool) {
+	req.Accesses = append([]AccessSpec(nil), rec.specs...)
+	for i := range req.Accesses {
+		if !inline[i] {
+			continue
+		}
+		data, err := EncodePayload(payloads[i])
+		if err != nil {
+			st.send(event{kind: evResult, rec: rec, err: fmt.Errorf("encoding handle %d: %w", req.Accesses[i].HandleID, err)})
+			return
+		}
+		req.Accesses[i].Inline = data
+		rec.shipped += int64(len(data))
+		rec.inlines++
+	}
+	body, err := encodeGob(req)
+	if err != nil {
+		st.send(event{kind: evResult, rec: rec, err: err})
+		return
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), st.m.cfg.ExecTimeout)
+	defer cancel()
+	httpReq, err := http.NewRequestWithContext(ctx, http.MethodPost, rec.node.cfg.Addr+PathExecute, bytes.NewReader(body))
+	if err != nil {
+		st.send(event{kind: evResult, rec: rec, err: err})
+		return
+	}
+	httpReq.Header.Set("Content-Type", ContentTypeGob)
+	httpResp, err := st.m.http.Do(httpReq)
+	if err != nil {
+		st.send(event{kind: evResult, rec: rec, err: err})
+		return
+	}
+	defer httpResp.Body.Close()
+	data, err := io.ReadAll(httpResp.Body)
+	if err != nil {
+		st.send(event{kind: evResult, rec: rec, err: err})
+		return
+	}
+	if httpResp.StatusCode != http.StatusOK {
+		st.send(event{kind: evResult, rec: rec,
+			err: fmt.Errorf("execute returned %d: %s", httpResp.StatusCode, bytes.TrimSpace(data))})
+		return
+	}
+	var resp ExecResponse
+	if err := decodeGob(data, &resp); err != nil {
+		st.send(event{kind: evResult, rec: rec, err: err})
+		return
+	}
+	st.send(event{kind: evResult, rec: rec, resp: &resp})
+}
+
+// handleResult applies one round-trip outcome. Returns whether a task
+// newly completed. This is the exactly-once point: results for tasks
+// already done (late arrivals from presumed-dead nodes, duplicates after
+// resubmission) are dropped before any state changes.
+func (st *runState) handleResult(ev event) (bool, error) {
+	rec, n, t := ev.rec, ev.rec.node, ev.rec.task
+	if !rec.released {
+		rec.released = true
+		n.credits++
+		n.backlog -= rec.est
+		if n.backlog < 0 {
+			n.backlog = 0
+		}
+		cm.inflight.With(n.cfg.Name).Dec()
+		delete(st.inflight, t.ID())
+	}
+	if st.done[t.ID()] {
+		return false, nil // duplicate of a completed task: exactly-once drop
+	}
+	if cur := st.inflight[t.ID()]; cur != nil && cur != rec {
+		// A late result from a presumed-dead node, while the resubmitted
+		// copy is already in flight. Drop even a success: the copy was
+		// dispatched from identical inputs and will produce the same
+		// output, and applying now would race with the copy's payload
+		// encoding.
+		return false, nil
+	}
+
+	switch {
+	case ev.err != nil:
+		// Transport-level failure: the infrastructure faulted, not the
+		// task, so no attempt is consumed; repeated faults take the node
+		// down ahead of the heartbeat's verdict.
+		n.suspects++
+		st.m.logf("cluster: node %s transport error (task %d): %v", n.cfg.Name, t.ID(), ev.err)
+		if n.suspects >= 2 && n.alive {
+			st.nodeDown(n)
+			// nodeDown resubmits in-flight tasks, but this rec was already
+			// released above — requeue it explicitly.
+			n.stats.Resubmits++
+			st.resubmissions++
+			cm.resubmits.With(n.cfg.Name).Inc()
+		}
+		st.requeueWithBackoff(t)
+		return false, nil
+
+	case len(ev.resp.NeedData) > 0:
+		// Worker cache miss (eviction or restart): forget the stale
+		// residency and redispatch; no attempt consumed, no backoff.
+		for _, id := range ev.resp.NeedData {
+			delete(n.has, id)
+		}
+		n.stats.NeedData++
+		cm.needData.With(n.cfg.Name).Inc()
+		st.ready = append(st.ready, t)
+		return false, nil
+
+	case !ev.resp.OK:
+		// In-band execution failure: consumes an attempt.
+		n.suspects = 0
+		st.failedAttempts++
+		n.stats.Retries++
+		st.retriedTasks[t.ID()] = true
+		cm.retries.With(n.cfg.Name).Inc()
+		st.attempts[t.ID()]++
+		st.traceInstant(trace.Retry, n.cfg.Name, t.Label, t.ID())
+		if st.attempts[t.ID()] >= st.m.cfg.MaxAttempts {
+			return false, fmt.Errorf("cluster: task %d (%s) failed %d attempts, last on %s: %s",
+				t.ID(), t.Label, st.attempts[t.ID()], n.cfg.Name, ev.resp.Error)
+		}
+		st.m.logf("cluster: task %d failed on %s (attempt %d): %s", t.ID(), n.cfg.Name, st.attempts[t.ID()], ev.resp.Error)
+		st.requeueWithBackoff(t)
+		return false, nil
+	}
+
+	// Success: apply writes under first-writer-wins (the done-check above),
+	// update residency, release dependents.
+	n.suspects = 0
+	resp := ev.resp
+	for _, wr := range resp.Written {
+		h := st.handles[wr.HandleID]
+		v, err := DecodePayload(wr.Payload)
+		if err != nil {
+			return false, fmt.Errorf("cluster: task %d result, handle %d: %w", t.ID(), wr.HandleID, err)
+		}
+		applied, err := ApplyPayload(h.Payload, v)
+		if err != nil {
+			return false, fmt.Errorf("cluster: task %d result, handle %d: %w", t.ID(), wr.HandleID, err)
+		}
+		h.Payload = applied
+		st.ver[wr.HandleID] = wr.Version
+		n.has[wr.HandleID] = wr.Version
+	}
+	for _, spec := range rec.specs {
+		if !taskrt.AccessMode(spec.Mode).Writes() {
+			n.has[spec.HandleID] = spec.Version
+		}
+	}
+	st.done[t.ID()] = true
+	n.stats.Tasks++
+	n.stats.BusySeconds += resp.ExecSeconds
+	n.stats.Transfers += rec.inlines
+	n.stats.TransferBytes += rec.shipped
+	cm.tasks.With(n.cfg.Name).Inc()
+	cm.taskSeconds.With(n.cfg.Name).Observe(resp.ExecSeconds)
+	if rec.inlines > 0 {
+		cm.transfers.With(n.cfg.Name).Add(float64(rec.inlines))
+		cm.transferB.With(n.cfg.Name).Add(float64(rec.shipped))
+	}
+	// Feed the round-trip into the node's fallback mean and the shared
+	// perfmodel (keyed by the arch the worker actually used).
+	if resp.ExecSeconds > 0 {
+		nanos := resp.ExecSeconds * 1e9
+		n.obsMean = (n.obsMean*float64(n.obsCount) + nanos) / float64(n.obsCount+1)
+		n.obsCount++
+		if t.Flops > 0 && resp.Arch != "" {
+			st.m.cfg.Models.Model(t.Codelet.Name, resp.Arch).Record(t.Flops, resp.ExecSeconds)
+		}
+	}
+	for _, dep := range t.Dependents() {
+		st.indeg[dep.ID()]--
+		if st.indeg[dep.ID()] == 0 {
+			st.ready = append(st.ready, dep)
+		}
+	}
+	return true, nil
+}
+
+// traceDispatch records the placement decision (and, when data moved, a
+// transfer span) against the target node.
+func (st *runState) traceDispatch(t *taskrt.Task, n *nodeState, reason string, xferNanos float64) {
+	tr := st.m.cfg.Trace
+	if tr == nil {
+		return
+	}
+	now := time.Since(st.start).Seconds()
+	tr.Record(trace.Event{
+		Kind: trace.Place, Unit: st.m.cfg.Name, Node: n.cfg.Name,
+		Label: t.Label, TaskID: t.ID(), From: reason,
+		Transfer: xferNanos / 1e9, Start: now, End: now,
+	})
+}
+
+func (st *runState) traceInstant(kind trace.Kind, node, label string, taskID int) {
+	tr := st.m.cfg.Trace
+	if tr == nil {
+		return
+	}
+	now := time.Since(st.start).Seconds()
+	tr.Record(trace.Event{
+		Kind: kind, Unit: st.m.cfg.Name, Node: node,
+		Label: label, TaskID: taskID, Start: now, End: now,
+	})
+}

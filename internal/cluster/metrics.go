@@ -1,0 +1,49 @@
+package cluster
+
+import "repro/internal/metrics"
+
+// Cluster metrics mirror the in-process taskrt_* families at node
+// granularity, registered in the shared metrics.Default registry so a
+// master embedded in pdlbench or pdlserved exposes them on the same scrape.
+// Label cardinality is bounded by the node count, never by task count.
+
+var clusterTaskBuckets = []float64{
+	1e-4, 1e-3, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30,
+}
+
+var cm = struct {
+	tasks       *metrics.CounterVec   // {node}
+	taskSeconds *metrics.HistogramVec // {node}
+	inflight    *metrics.GaugeVec     // {node}
+	transfers   *metrics.CounterVec   // {node}
+	transferB   *metrics.CounterVec   // {node}
+	retries     *metrics.CounterVec   // {node}
+	resubmits   *metrics.CounterVec   // {node}
+	needData    *metrics.CounterVec   // {node}
+	nodeUp      *metrics.GaugeVec     // {node}
+	hbMisses    *metrics.CounterVec   // {node}
+	decisions   *metrics.CounterVec   // {reason}
+}{
+	tasks: metrics.Default.CounterVec("taskrt_cluster_tasks_total",
+		"Tasks completed and applied, by executing node.", "node"),
+	taskSeconds: metrics.Default.HistogramVec("taskrt_cluster_task_seconds",
+		"Kernel execution latency reported by workers, by node.", clusterTaskBuckets, "node"),
+	inflight: metrics.Default.GaugeVec("taskrt_cluster_inflight",
+		"Invocations currently dispatched to the node and not yet applied.", "node"),
+	transfers: metrics.Default.CounterVec("taskrt_cluster_transfers_total",
+		"Payloads inlined to the node (worker cache misses by version).", "node"),
+	transferB: metrics.Default.CounterVec("taskrt_cluster_transfer_bytes_total",
+		"Encoded payload bytes shipped to the node.", "node"),
+	retries: metrics.Default.CounterVec("taskrt_cluster_retries_total",
+		"Failed attempts re-queued with backoff, by node of the failure.", "node"),
+	resubmits: metrics.Default.CounterVec("taskrt_cluster_resubmits_total",
+		"In-flight tasks resubmitted after their node was declared dead.", "node"),
+	needData: metrics.Default.CounterVec("taskrt_cluster_need_data_total",
+		"Dispatches bounced for missing cached data and re-inlined (not a fault).", "node"),
+	nodeUp: metrics.Default.GaugeVec("taskrt_cluster_node_up",
+		"1 while the node is alive (heartbeats within the miss budget), else 0.", "node"),
+	hbMisses: metrics.Default.CounterVec("taskrt_cluster_heartbeat_misses_total",
+		"Heartbeat probes that failed or timed out, by node.", "node"),
+	decisions: metrics.Default.CounterVec("taskrt_cluster_decisions_total",
+		"Node placement decisions by prediction source: model = perfmodel history, fallback = observed node mean, cold = no history anywhere.", "reason"),
+}

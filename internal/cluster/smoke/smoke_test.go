@@ -1,0 +1,281 @@
+// Package smoke is the multi-process cluster end-to-end test: real
+// pdlserved and pdlworkerd binaries, worker discovery through the registry,
+// and an in-process master running distributed tiled DGEMM against them —
+// including a run where one worker process is SIGKILLed mid-flight and its
+// tasks resubmit to the survivor.
+//
+// The test builds binaries and spawns processes, so it only runs when
+// PDL_CLUSTER_SMOKE=1 is set (`make cluster-test`); plain `go test ./...`
+// skips it.
+package smoke
+
+import (
+	"context"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/server"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+func TestClusterSmoke(t *testing.T) {
+	if os.Getenv("PDL_CLUSTER_SMOKE") == "" {
+		t.Skip("set PDL_CLUSTER_SMOKE=1 (or run `make cluster-test`) to run the multi-process smoke")
+	}
+	bin := buildBinaries(t)
+
+	// Registry daemon.
+	servedAddr := freeAddr(t)
+	served := startProc(t, bin["pdlserved"], "-addr", servedAddr, "-access-log", "")
+	defer stopProc(served)
+	base := "http://" + servedAddr
+	ctl, err := client.New(base, client.WithRetry(0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitHealthy(t, ctl)
+
+	// Two worker daemons that discover the registry and lease themselves.
+	workerA := startProc(t, bin["pdlworkerd"], "-addr", "127.0.0.1:0", "-name", "smoke-a",
+		"-server", base, "-slots", "2", "-lease-ttl", "3s")
+	defer stopProc(workerA)
+	workerB := startProc(t, bin["pdlworkerd"], "-addr", "127.0.0.1:0", "-name", "smoke-b",
+		"-server", base, "-slots", "2", "-lease-ttl", "3s")
+	defer stopProc(workerB)
+	nodes := waitWorkers(t, ctl, 2)
+	t.Logf("discovered %d workers via %s/workers: %+v", len(nodes), base, nodes)
+
+	t.Run("HappyPath", func(t *testing.T) {
+		rep, diff := runMaster(t, nodes, 256, 64, nil, nil)
+		if diff > 1e-8 {
+			t.Fatalf("distributed result wrong (maxdiff %g)", diff)
+		}
+		if rep.Tasks != 64 {
+			t.Fatalf("tasks = %d, want 64", rep.Tasks)
+		}
+		if len(rep.DeadNodes) != 0 || rep.Resubmissions != 0 {
+			t.Fatalf("healthy run saw failures: %+v", rep)
+		}
+		both := 0
+		for _, n := range rep.PerNode {
+			if n.Tasks > 0 {
+				both++
+			}
+		}
+		if both != 2 {
+			t.Fatalf("work did not spread across both nodes: %+v", rep.PerNode)
+		}
+		t.Logf("happy path: %s", rep)
+	})
+
+	t.Run("WorkerKilledMidFlight", func(t *testing.T) {
+		// A bigger graph so plenty of work remains when the victim dies;
+		// kill smoke-b once the master has dispatched a meaningful prefix.
+		tr := trace.New()
+		killed := make(chan struct{})
+		go func() {
+			defer close(killed)
+			for tr.Len() < 80 {
+				time.Sleep(10 * time.Millisecond)
+			}
+			workerB.Process.Kill()
+		}()
+		rep, diff := runMaster(t, nodes, 512, 64, tr, nil)
+		<-killed
+		if diff > 1e-8 {
+			t.Fatalf("result wrong after mid-flight kill (maxdiff %g)", diff)
+		}
+		if rep.Tasks != 512 {
+			t.Fatalf("tasks = %d, want 512", rep.Tasks)
+		}
+		if len(rep.DeadNodes) != 1 || rep.DeadNodes[0] != "smoke-b" {
+			t.Fatalf("dead nodes = %v, want [smoke-b]", rep.DeadNodes)
+		}
+		if rep.Resubmissions == 0 {
+			t.Fatal("no resubmissions despite mid-flight kill")
+		}
+		t.Logf("failover: %s", rep)
+	})
+}
+
+// runMaster drives an in-process cluster master over a tiled C += A·B graph
+// against the given worker nodes and verifies the distributed result
+// against the local blocked reference, returning the report and maxdiff.
+func runMaster(t *testing.T, nodes []cluster.NodeConfig, n, tile int, tr *trace.Trace, mut func(*cluster.Config)) (*cluster.Report, float64) {
+	t.Helper()
+	pl, err := core.NewBuilder("smoke-master").Master("host", core.Arch("x86"), core.Qty(1)).Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := taskrt.New(taskrt.Config{Platform: pl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mats := experiments.NewGemmMatrices(n, 7)
+	if err := experiments.SubmitTiledGEMM(rt, n, tile, mats); err != nil {
+		t.Fatal(err)
+	}
+	cfg := cluster.Config{
+		Nodes:          nodes,
+		Trace:          tr,
+		HeartbeatEvery: 100 * time.Millisecond,
+		Logf:           t.Logf,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	m, err := cluster.NewMaster(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := blas.NewMatrix(n, n)
+	if err := blas.GemmBlocked(mats.A, mats.B, ref, blas.DefaultBlock); err != nil {
+		t.Fatal(err)
+	}
+	return rep, blas.MaxDiff(ref, mats.C)
+}
+
+// buildBinaries compiles the daemons under test into a temp dir.
+func buildBinaries(t *testing.T) map[string]string {
+	t.Helper()
+	dir := t.TempDir()
+	bin := map[string]string{}
+	for _, name := range []string{"pdlserved", "pdlworkerd"} {
+		out := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", out, "./cmd/"+name)
+		cmd.Dir = repoRoot(t)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, b)
+		}
+		bin[name] = out
+	}
+	return bin
+}
+
+// repoRoot walks up from the test's working directory to the module root.
+func repoRoot(t *testing.T) string {
+	t.Helper()
+	dir, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			t.Fatal("go.mod not found above test directory")
+		}
+		dir = parent
+	}
+}
+
+// startProc launches a daemon and streams its output through the test log.
+func startProc(t *testing.T, path string, args ...string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(path, args...)
+	cmd.Stdout = &testWriter{t, filepath.Base(path)}
+	cmd.Stderr = &testWriter{t, filepath.Base(path)}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting %s: %v", path, err)
+	}
+	return cmd
+}
+
+// stopProc terminates a daemon, escalating to SIGKILL if it ignores the
+// polite request. Safe on processes that already exited.
+func stopProc(cmd *exec.Cmd) {
+	if cmd.Process == nil {
+		return
+	}
+	cmd.Process.Signal(os.Interrupt)
+	done := make(chan struct{})
+	go func() { cmd.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		cmd.Process.Kill()
+		<-done
+	}
+}
+
+// waitHealthy polls the registry's /healthz until it answers.
+func waitHealthy(t *testing.T, ctl *client.Client) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := ctl.GetJSON(ctx, "/healthz", nil)
+		cancel()
+		if err == nil {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatalf("pdlserved did not become healthy at %s", ctl.Base())
+}
+
+// waitWorkers polls GET /workers until want leases are registered and turns
+// them into master node configs — the discovery path a real deployment uses.
+func waitWorkers(t *testing.T, ctl *client.Client, want int) []cluster.NodeConfig {
+	t.Helper()
+	var list struct {
+		Workers []server.WorkerInfo `json:"workers"`
+	}
+	deadline := time.Now().Add(20 * time.Second)
+	for time.Now().Before(deadline) {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+		err := ctl.GetJSON(ctx, "/workers", &list)
+		cancel()
+		if err == nil && len(list.Workers) >= want {
+			nodes := make([]cluster.NodeConfig, 0, len(list.Workers))
+			for _, w := range list.Workers {
+				nodes = append(nodes, cluster.NodeConfig{Name: w.ID, Addr: w.Addr})
+			}
+			return nodes
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatalf("only %d/%d workers registered in time", len(list.Workers), want)
+	return nil
+}
+
+// freeAddr reserves an ephemeral loopback port and releases it for the
+// daemon to bind (a benign race: the smoke runs alone on the host).
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// testWriter relays subprocess output into the test log, line-buffered
+// enough for readability without extra machinery.
+type testWriter struct {
+	t      *testing.T
+	prefix string
+}
+
+func (w *testWriter) Write(p []byte) (int, error) {
+	w.t.Logf("[%s] %s", w.prefix, p)
+	return len(p), nil
+}

@@ -1,0 +1,322 @@
+package cluster
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+// WorkerConfig configures an execution node.
+type WorkerConfig struct {
+	// Name identifies the node in traces, leases and master bookkeeping.
+	Name string
+	// Codelets is the executable registry: invocation of an unlisted
+	// codelet is an error the master counts against the task, not the node.
+	Codelets []*taskrt.Codelet
+	// Archs are the architecture tags this node executes, in preference
+	// order ("x86" on commodity hosts). An impl is runnable here when its
+	// arch is listed and its Func is non-nil.
+	Archs []string
+	// Slots bounds concurrent executions (default 1): the node-local
+	// equivalent of the runtime's worker count.
+	Slots int
+	// Models, when set, records one observation per execution — the live
+	// perfmodel the node streams to pdlserved and serves to masters.
+	Models *perfmodel.Store
+	// OnObservation, when set, is called after each successful execution
+	// (pdlworkerd wires it to POST /platforms/{name}/observe).
+	OnObservation func(codelet, arch string, size, seconds float64)
+	// Trace, when set, records execution spans stamped with Name so merged
+	// cluster traces carry per-node lanes.
+	Trace *trace.Trace
+	// MaxBodyBytes bounds execute request bodies (default 256 MiB).
+	MaxBodyBytes int64
+	// CacheEntries bounds the handle cache (default 65536 entries).
+	// Eviction is arbitrary: an evicted handle resurfaces as NeedData and
+	// the master re-inlines it.
+	CacheEntries int
+	Logf         func(format string, args ...any)
+}
+
+// cacheEntry is the latest locally-held version of a handle.
+type cacheEntry struct {
+	version uint64
+	payload any
+}
+
+// Worker executes shipped codelet invocations. It is an http.Handler
+// provider; pdlworkerd (or an httptest server in tests) owns the listener.
+type Worker struct {
+	cfg      WorkerConfig
+	codelets map[string]*taskrt.Codelet
+	slots    chan int // free-list of slot ids, naming trace lanes
+	start    time.Time
+
+	mu    sync.Mutex
+	cache map[int]cacheEntry
+
+	execs sync.WaitGroup
+}
+
+// NewWorker validates the config and builds a worker.
+func NewWorker(cfg WorkerConfig) (*Worker, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("cluster: worker needs a name")
+	}
+	if len(cfg.Archs) == 0 {
+		return nil, fmt.Errorf("cluster: worker %s needs at least one arch", cfg.Name)
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 1
+	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 256 << 20
+	}
+	if cfg.CacheEntries <= 0 {
+		cfg.CacheEntries = 65536
+	}
+	w := &Worker{
+		cfg:      cfg,
+		codelets: map[string]*taskrt.Codelet{},
+		slots:    make(chan int, cfg.Slots),
+		start:    time.Now(),
+		cache:    map[int]cacheEntry{},
+	}
+	for _, c := range cfg.Codelets {
+		if _, dup := w.codelets[c.Name]; dup {
+			return nil, fmt.Errorf("cluster: duplicate codelet %q", c.Name)
+		}
+		w.codelets[c.Name] = c
+	}
+	for i := 0; i < cfg.Slots; i++ {
+		w.slots <- i
+	}
+	if cfg.Trace != nil {
+		cfg.Trace.SetMeta(trace.MetaNode, cfg.Name)
+		cfg.Trace.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", w.start.UnixMicro()))
+	}
+	return w, nil
+}
+
+// Info describes the worker for GET /v1/info and lease registration.
+func (w *Worker) Info() InfoResponse {
+	names := make([]string, 0, len(w.codelets))
+	for name, c := range w.codelets {
+		if w.runnableImpl(c) != nil {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return InfoResponse{Name: w.cfg.Name, Archs: w.cfg.Archs, Workers: w.cfg.Slots, Codelets: names}
+}
+
+// Handler returns the worker's HTTP surface.
+func (w *Worker) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST "+PathExecute, w.handleExecute)
+	mux.HandleFunc("GET "+PathInfo, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(w.Info())
+	})
+	mux.HandleFunc("GET "+PathHealthz, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(rw).Encode(map[string]any{"status": "ok", "name": w.cfg.Name})
+	})
+	return mux
+}
+
+// Wait blocks until in-flight executions finish (graceful shutdown).
+func (w *Worker) Wait() { w.execs.Wait() }
+
+// runnableImpl picks the first configured arch the codelet implements with
+// a real function.
+func (w *Worker) runnableImpl(c *taskrt.Codelet) *taskrt.Impl {
+	for _, arch := range w.cfg.Archs {
+		if im := c.ImplFor(arch); im != nil && im.Func != nil {
+			return im
+		}
+	}
+	return nil
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+func (w *Worker) handleExecute(rw http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(rw, r.Body, w.cfg.MaxBodyBytes))
+	if err != nil {
+		http.Error(rw, "reading body: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var req ExecRequest
+	if err := decodeGob(body, &req); err != nil {
+		http.Error(rw, "decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.execs.Add(1)
+	defer w.execs.Done()
+	resp := w.execute(&req)
+	data, err := encodeGob(resp)
+	if err != nil {
+		http.Error(rw, "encoding response: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
+	rw.Header().Set("Content-Type", ContentTypeGob)
+	rw.Write(data)
+}
+
+// execute resolves payloads, runs the kernel on a free slot and packages
+// written payloads. All failures that relate to the invocation itself come
+// back OK=false in-band; only transport-level problems surface as HTTP
+// errors (and count against the node on the master).
+func (w *Worker) execute(req *ExecRequest) *ExecResponse {
+	resp := &ExecResponse{TaskID: req.TaskID, Attempt: req.Attempt, Unit: w.cfg.Name}
+	cl, ok := w.codelets[req.Codelet]
+	if !ok {
+		resp.Error = fmt.Sprintf("worker %s has no codelet %q", w.cfg.Name, req.Codelet)
+		return resp
+	}
+	im := w.runnableImpl(cl)
+	if im == nil {
+		resp.Error = fmt.Sprintf("worker %s (archs %v) cannot run codelet %q", w.cfg.Name, w.cfg.Archs, req.Codelet)
+		return resp
+	}
+
+	// Resolve payloads: inline data enters the cache at its spec version;
+	// references must hit the cache exactly, else the master re-inlines.
+	payloads := make([]any, len(req.Accesses))
+	w.mu.Lock()
+	for i, a := range req.Accesses {
+		if a.Inline != nil {
+			continue
+		}
+		e, ok := w.cache[a.HandleID]
+		if !ok || e.version != a.Version {
+			resp.NeedData = append(resp.NeedData, a.HandleID)
+			continue
+		}
+		payloads[i] = e.payload
+	}
+	w.mu.Unlock()
+	if len(resp.NeedData) > 0 {
+		return resp
+	}
+	for i, a := range req.Accesses {
+		if a.Inline == nil {
+			continue
+		}
+		v, err := DecodePayload(a.Inline)
+		if err != nil {
+			resp.Error = fmt.Sprintf("handle %d (%s): %v", a.HandleID, a.Name, err)
+			return resp
+		}
+		payloads[i] = v
+	}
+
+	slot := <-w.slots
+	defer func() { w.slots <- slot }()
+	resp.Unit = fmt.Sprintf("worker%d", slot)
+	resp.Arch = im.Arch
+
+	// The synthetic task carries what kernels may consult (label, flops);
+	// identity fields stay zero — handle identity lives in the AccessSpec.
+	tc := &taskrt.TaskContext{
+		WorkerID: slot,
+		Arch:     im.Arch,
+		Data:     payloads,
+		Task:     &taskrt.Task{Codelet: cl, Flops: req.Flops, Label: req.Label},
+	}
+	begin := time.Now()
+	err := im.Func(tc)
+	elapsed := time.Since(begin)
+	w.recordSpan(req, resp.Unit, begin, elapsed, err == nil)
+	if err != nil {
+		resp.Error = err.Error()
+		return resp
+	}
+	resp.ExecSeconds = elapsed.Seconds()
+
+	// Cache contents now valid here: reads at their spec version, writes at
+	// the successor version (the task graph serialises writers, so
+	// reqVersion+1 is the version the master will assign on apply).
+	w.mu.Lock()
+	for i, a := range req.Accesses {
+		mode := taskrt.AccessMode(a.Mode)
+		ver := a.Version
+		if mode.Writes() {
+			ver++
+		}
+		w.cacheStoreLocked(a.HandleID, ver, payloads[i])
+	}
+	w.mu.Unlock()
+	for i, a := range req.Accesses {
+		if !taskrt.AccessMode(a.Mode).Writes() {
+			continue
+		}
+		data, err := EncodePayload(payloads[i])
+		if err != nil {
+			resp.Error = fmt.Sprintf("handle %d (%s): %v", a.HandleID, a.Name, err)
+			return resp
+		}
+		resp.Written = append(resp.Written, Written{HandleID: a.HandleID, Version: a.Version + 1, Payload: data})
+	}
+	resp.OK = true
+
+	if req.Flops > 0 {
+		if w.cfg.Models != nil {
+			if err := w.cfg.Models.Model(req.Codelet, im.Arch).Record(req.Flops, elapsed.Seconds()); err != nil {
+				w.logf("cluster: worker %s: recording observation: %v", w.cfg.Name, err)
+			}
+		}
+		if w.cfg.OnObservation != nil {
+			w.cfg.OnObservation(req.Codelet, im.Arch, req.Flops, elapsed.Seconds())
+		}
+	}
+	return resp
+}
+
+// cacheStoreLocked inserts under the entry cap, evicting arbitrarily when
+// full (misses self-heal via NeedData).
+func (w *Worker) cacheStoreLocked(id int, ver uint64, payload any) {
+	if _, exists := w.cache[id]; !exists && len(w.cache) >= w.cfg.CacheEntries {
+		for victim := range w.cache {
+			delete(w.cache, victim)
+			break
+		}
+	}
+	w.cache[id] = cacheEntry{version: ver, payload: payload}
+}
+
+// recordSpan writes the execution span into the node trace.
+func (w *Worker) recordSpan(req *ExecRequest, unit string, begin time.Time, elapsed time.Duration, ok bool) {
+	if w.cfg.Trace == nil {
+		return
+	}
+	kind := trace.Task
+	if !ok {
+		kind = trace.Failure
+	}
+	start := begin.Sub(w.start).Seconds()
+	w.cfg.Trace.Record(trace.Event{
+		Kind:      kind,
+		Unit:      unit,
+		Node:      w.cfg.Name,
+		Label:     req.Label,
+		TaskID:    req.TaskID,
+		ParentIDs: req.Parents,
+		Attempt:   req.Attempt,
+		Start:     start,
+		End:       start + elapsed.Seconds(),
+	})
+}

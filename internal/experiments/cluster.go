@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/client"
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+// ClusterCodelets is the executable codelet registry shared by pdlworkerd
+// and the cluster experiments: every codelet a worker daemon can be asked
+// to run. Only codelets whose payloads survive the cluster wire codec
+// belong here (dense matrices and plain slices; see cluster.EncodePayload).
+func ClusterCodelets() []*taskrt.Codelet {
+	return []*taskrt.Codelet{dgemmCodelet()}
+}
+
+// ClusterConfig parameterises the distributed tiled-DGEMM experiment.
+type ClusterConfig struct {
+	// N and Tile size the C += A·B problem (default 512 / 128).
+	N, Tile int
+	// Nodes lists worker base URLs (pdlworkerd instances). Empty spawns
+	// InProcess loopback workers instead, so the experiment self-contains.
+	Nodes []string
+	// InProcess is the loopback worker count when Nodes is empty (default 2).
+	InProcess int
+	// Slots is the per-loopback-worker execution parallelism (default 2).
+	Slots int
+	// Trace, when set, receives the master's placement/transfer spans.
+	Trace *trace.Trace
+}
+
+// ClusterDGEMM runs the tiled DGEMM task graph across worker nodes through
+// the cluster master and verifies the distributed result against the local
+// blocked reference — the end-to-end proof that shipped payloads, version
+// caches and exactly-once apply compose correctly.
+func ClusterDGEMM(cfg ClusterConfig) (*Result, error) {
+	if cfg.N == 0 {
+		cfg.N = 512
+	}
+	if cfg.Tile == 0 {
+		cfg.Tile = 128
+	}
+	if cfg.InProcess <= 0 {
+		cfg.InProcess = 2
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 2
+	}
+
+	nodes := make([]cluster.NodeConfig, 0, len(cfg.Nodes))
+	if len(cfg.Nodes) > 0 {
+		for i, addr := range cfg.Nodes {
+			// Prefer the node's self-reported name so master spans and the
+			// worker's own trace land in the same lane after pdltrace merge.
+			name := fmt.Sprintf("node%d", i)
+			if ctl, err := client.New(addr, client.WithRetry(0, 0)); err == nil {
+				ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+				var info cluster.InfoResponse
+				if err := ctl.GetJSON(ctx, cluster.PathInfo, &info); err == nil && info.Name != "" {
+					name = info.Name
+				}
+				cancel()
+			}
+			nodes = append(nodes, cluster.NodeConfig{Name: name, Addr: addr})
+		}
+	} else {
+		stop, started, err := startLoopbackWorkers(cfg.InProcess, cfg.Slots)
+		if err != nil {
+			return nil, err
+		}
+		defer stop()
+		nodes = started
+	}
+
+	host := core.NewBuilder("cluster-master").Master("host", core.Arch("x86"), core.Qty(1))
+	pl, err := host.Build()
+	if err != nil {
+		return nil, err
+	}
+	rt, err := taskrt.New(taskrt.Config{Platform: pl})
+	if err != nil {
+		return nil, err
+	}
+	mats := NewGemmMatrices(cfg.N, 42)
+	if err := SubmitTiledGEMM(rt, cfg.N, cfg.Tile, mats); err != nil {
+		return nil, err
+	}
+
+	m, err := cluster.NewMaster(cluster.Config{
+		Nodes:          nodes,
+		Trace:          cfg.Trace,
+		HeartbeatEvery: 100 * time.Millisecond,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep, err := m.Run(rt)
+	if err != nil {
+		return nil, err
+	}
+
+	ref := blas.NewMatrix(cfg.N, cfg.N)
+	if err := blas.GemmBlocked(mats.A, mats.B, ref, blas.DefaultBlock); err != nil {
+		return nil, err
+	}
+	diff := blas.MaxDiff(ref, mats.C)
+	if diff > 1e-8 {
+		return nil, fmt.Errorf("experiments: distributed DGEMM wrong (maxdiff %g)", diff)
+	}
+
+	res := &Result{
+		Name:    fmt.Sprintf("cluster: distributed tiled DGEMM n=%d tile=%d (%d nodes)", cfg.N, cfg.Tile, len(nodes)),
+		Headers: []string{"node", "tasks", "busy_s", "util", "shipped_MB", "resubmits", "dead"},
+	}
+	for _, n := range rep.PerNode {
+		util := 0.0
+		if rep.MakespanSeconds > 0 {
+			util = n.BusySeconds / rep.MakespanSeconds
+		}
+		res.AddRow(n.Name, fmt.Sprint(n.Tasks), f4(n.BusySeconds), f2(util),
+			f2(float64(n.TransferBytes)/(1<<20)), fmt.Sprint(n.Resubmits), fmt.Sprint(n.Dead))
+	}
+	res.AddRow("total", fmt.Sprint(rep.Tasks), f4(rep.MakespanSeconds), "",
+		f2(float64(rep.TransferBytes)/(1<<20)), fmt.Sprint(rep.Resubmissions), strings.Join(rep.DeadNodes, " "))
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("result verified against local blocked GEMM (maxdiff %.2e)", diff),
+		fmt.Sprintf("makespan %.4fs, %d transfers (%0.1f MB shipped)",
+			rep.MakespanSeconds, rep.Transfers, float64(rep.TransferBytes)/(1<<20)))
+	if rep.FailedAttempts > 0 || rep.Resubmissions > 0 {
+		res.Notes = append(res.Notes, fmt.Sprintf("fault tolerance: %d failed attempts, %d task(s) retried, %d resubmission(s)",
+			rep.FailedAttempts, rep.RetriedTasks, rep.Resubmissions))
+	}
+	return res, nil
+}
+
+// startLoopbackWorkers spins up in-process cluster workers on loopback
+// listeners, returning their node configs and a stop function.
+func startLoopbackWorkers(count, slots int) (stop func(), nodes []cluster.NodeConfig, err error) {
+	var servers []*http.Server
+	stop = func() {
+		for _, s := range servers {
+			s.Close()
+		}
+	}
+	for i := 0; i < count; i++ {
+		name := fmt.Sprintf("w%d", i)
+		w, err := cluster.NewWorker(cluster.WorkerConfig{
+			Name:     name,
+			Codelets: ClusterCodelets(),
+			Archs:    []string{"x86"},
+			Slots:    slots,
+		})
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			stop()
+			return nil, nil, err
+		}
+		srv := &http.Server{Handler: w.Handler()}
+		go srv.Serve(ln)
+		servers = append(servers, srv)
+		nodes = append(nodes, cluster.NodeConfig{Name: name, Addr: "http://" + ln.Addr().String()})
+	}
+	return stop, nodes, nil
+}

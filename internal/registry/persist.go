@@ -463,6 +463,25 @@ func (p *Persistence) retire(keepFrom uint64) {
 	}
 }
 
+// Sync forces the active journal's written records to stable storage,
+// regardless of the per-append fsync policy. pdlserved calls it between
+// http.Server.Shutdown (after which no new /observe can arrive) and Close,
+// so mutations that were acknowledged under Fsync=false — perfmodel
+// observations streamed by workers, typically — are on disk before exit
+// rather than riding on the page cache through process death.
+func (p *Persistence) Sync() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.journal == nil {
+		return nil
+	}
+	if err := p.journal.sync(); err != nil {
+		p.degrade(err)
+		return err
+	}
+	return nil
+}
+
 // Close flushes and closes the journal. The Persistence must not be used
 // afterwards.
 func (p *Persistence) Close() error {

@@ -233,6 +233,17 @@ func (j *journal) append(payload []byte) error {
 	return nil
 }
 
+// sync fsyncs the journal file unconditionally (the drain-time flush).
+func (j *journal) sync() error {
+	if j.f == nil {
+		return nil
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("registry: journal sync: %w", err)
+	}
+	return nil
+}
+
 func (j *journal) close() error {
 	if j.f == nil {
 		return nil

@@ -74,6 +74,17 @@ func (m *serverMetrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("pdlserved_query_cache_hit_ratio",
 		"Hits over lookups since start.",
 		func() float64 { return s.reg.CacheStats().HitRatio() })
+	m.reg.GaugeFunc("pdlserved_workers",
+		"Cluster workers holding an active lease.",
+		func() float64 { return float64(s.workers.len()) })
+	m.reg.GaugeFunc("pdlserved_draining",
+		"1 after BeginDrain: worker leases are being refused ahead of shutdown.",
+		func() float64 {
+			if s.Draining() {
+				return 1
+			}
+			return 0
+		})
 }
 
 // fsyncBuckets span commodity-SSD fsync latencies (tens of µs) up to a

@@ -21,6 +21,7 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/metrics"
@@ -49,6 +50,10 @@ type Config struct {
 	RateLimit    float64 // requests/second per client; <= 0 disables
 	RateBurst    float64 // bucket capacity; default 2*RateLimit (min 1)
 
+	// WorkerTTL is the lease lifetime for registered cluster workers;
+	// DefaultWorkerTTL when zero.
+	WorkerTTL time.Duration
+
 	AccessLog io.Writer // JSON lines; nil disables
 
 	// RuntimeMetrics is rendered on /metrics after the server's own
@@ -68,7 +73,19 @@ type Server struct {
 	limiter *rateLimiter
 	logger  *accessLogger
 	mux     *http.ServeMux
+
+	workers  *workerTable
+	draining atomic.Bool
 }
+
+// BeginDrain flips the server into drain mode: new worker registrations and
+// heartbeat renewals answer 503 so the fleet fails over promptly, while
+// reads and in-flight requests complete normally. Called by pdlserved ahead
+// of http.Server.Shutdown.
+func (s *Server) BeginDrain() { s.draining.Store(true) }
+
+// Draining reports whether BeginDrain has been called.
+func (s *Server) Draining() bool { return s.draining.Load() }
 
 // New builds a Server. The zero limits get production defaults.
 func New(cfg Config) *Server {
@@ -100,6 +117,7 @@ func New(cfg Config) *Server {
 		limiter: newRateLimiter(cfg.RateLimit, cfg.RateBurst),
 		logger:  &accessLogger{w: cfg.AccessLog},
 		mux:     http.NewServeMux(),
+		workers: newWorkerTable(cfg.WorkerTTL),
 	}
 	s.metrics.registerGauges(s)
 	if s.persist != nil {
@@ -126,6 +144,10 @@ func (s *Server) routes() {
 	s.route("GET /platforms/{name}/predict", s.handlePredict)
 	s.route("GET /platforms/{name}/rank", s.handleRank)
 	s.route("POST /platforms/{name}/observe", s.handleObserve)
+	s.route("GET /workers", s.handleWorkerList)
+	s.route("POST /workers/{id}", s.handleWorkerPut)
+	s.route("POST /workers/{id}/heartbeat", s.handleWorkerBeat)
+	s.route("DELETE /workers/{id}", s.handleWorkerDelete)
 	s.route("GET /debug/trace", s.handleDebugTrace)
 }
 

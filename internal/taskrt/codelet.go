@@ -102,6 +102,11 @@ type Handle struct {
 	resident atomic.Uint64
 }
 
+// ID returns the registration-order id of the handle, stable for the life
+// of the runtime — the key external engines (the cluster master) use to name
+// the datum on the wire.
+func (h *Handle) ID() int { return h.id }
+
 // residentMask returns the effective residency bitmask (home when unset).
 func (h *Handle) residentMask() uint64 {
 	if m := h.resident.Load(); m != 0 {
@@ -198,6 +203,10 @@ type Task struct {
 
 // Deps returns the tasks this task waits for (for tests and tooling).
 func (t *Task) Deps() []*Task { return t.deps }
+
+// Dependents returns the tasks waiting on this task (the reverse dependency
+// edges), for external engines executing a Graph().
+func (t *Task) Dependents() []*Task { return t.dependents }
 
 // ID returns the submission-order id.
 func (t *Task) ID() int { return t.id }

@@ -314,6 +314,19 @@ func (rt *Runtime) submitOne(t *Task) error {
 // Tasks returns the number of submitted tasks.
 func (rt *Runtime) Tasks() int { return len(rt.tasks) }
 
+// Graph hands the submitted task graph to an external engine: it returns
+// every task (in submission order, dependencies derived) together with every
+// registered handle, and consumes the runtime — the same single-shot
+// lifecycle Run enforces, so a graph can be executed either locally (Run) or
+// by an external engine (the cluster master), never both. Further Submit or
+// Run calls fail with the usual lifecycle errors.
+func (rt *Runtime) Graph() (tasks []*Task, handles []*Handle, err error) {
+	if !rt.state.CompareAndSwap(stateIdle, stateDone) {
+		return nil, nil, fmt.Errorf("taskrt: Graph after Run or Graph; a runtime is single-shot, create a new one")
+	}
+	return rt.tasks, rt.handles, nil
+}
+
 // Run executes every submitted task and returns the execution report. A
 // runtime is single-shot: Run may be called exactly once, and submissions
 // are rejected from the moment it starts. Calling Run again — concurrently

@@ -73,44 +73,85 @@ func eventArgs(e Event) map[string]any {
 	if e.Label != "" {
 		args["label"] = e.Label
 	}
+	if e.Node != "" {
+		args["node"] = e.Node
+	}
 	return args
 }
 
 // WriteChrome writes the trace in Chrome trace_event JSON. Output is
 // deterministic for a given trace: lanes are sorted by unit id, events by
-// (start, unit, label), flow ids assigned in that order.
+// (start, unit, label), flow ids assigned in that order. Events from
+// different cluster nodes (Event.Node) become separate trace processes —
+// one pid per node, "pdl" (pid 0) for node-less events — so a merged
+// multi-node trace renders with per-node lane groups in Perfetto.
 func (t *Trace) WriteChrome(w io.Writer) error {
 	events := t.Events()
 	meta := t.Meta()
 
-	// Lane assignment: sorted unit ids → tids 0..n-1.
-	laneOf := map[string]int{}
-	var units []string
+	// Process assignment: sorted node names → pids. Node-less events share
+	// the historical "pdl" process at pid 0.
+	pidOf := map[string]int{}
+	var nodes []string
 	for _, e := range events {
-		if _, ok := laneOf[e.Unit]; !ok && e.Unit != "" {
-			laneOf[e.Unit] = 0
-			units = append(units, e.Unit)
+		if e.Node != "" {
+			if _, ok := pidOf[e.Node]; !ok {
+				pidOf[e.Node] = 0
+				nodes = append(nodes, e.Node)
+			}
 		}
 	}
-	sort.Strings(units)
-	for i, u := range units {
-		laneOf[u] = i
+	sort.Strings(nodes)
+	for i, n := range nodes {
+		pidOf[n] = chromePid + 1 + i
+	}
+	pidFor := func(e Event) int {
+		if e.Node == "" {
+			return chromePid
+		}
+		return pidOf[e.Node]
 	}
 
+	// Lane assignment: per process, sorted unit ids → tids 0..n-1.
+	type laneKey struct {
+		pid  int
+		unit string
+	}
+	laneOf := map[laneKey]int{}
+	unitsByPid := map[int][]string{}
+	for _, e := range events {
+		pid := pidFor(e)
+		k := laneKey{pid, e.Unit}
+		if _, ok := laneOf[k]; !ok && e.Unit != "" {
+			laneOf[k] = 0
+			unitsByPid[pid] = append(unitsByPid[pid], e.Unit)
+		}
+	}
 	var out []chromeEvent
-	out = append(out, chromeEvent{
-		Name: "process_name", Ph: "M", Pid: chromePid,
-		Args: map[string]any{"name": "pdl"},
-	})
-	for i, u := range units {
+	emitProcess := func(pid int, name string) {
 		out = append(out, chromeEvent{
-			Name: "thread_name", Ph: "M", Pid: chromePid, Tid: i,
-			Args: map[string]any{"name": u},
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": name},
 		})
-		out = append(out, chromeEvent{
-			Name: "thread_sort_index", Ph: "M", Pid: chromePid, Tid: i,
-			Args: map[string]any{"sort_index": i},
-		})
+		units := unitsByPid[pid]
+		sort.Strings(units)
+		for i, u := range units {
+			laneOf[laneKey{pid, u}] = i
+			out = append(out, chromeEvent{
+				Name: "thread_name", Ph: "M", Pid: pid, Tid: i,
+				Args: map[string]any{"name": u},
+			})
+			out = append(out, chromeEvent{
+				Name: "thread_sort_index", Ph: "M", Pid: pid, Tid: i,
+				Args: map[string]any{"sort_index": i},
+			})
+		}
+	}
+	if len(unitsByPid[chromePid]) > 0 || len(nodes) == 0 {
+		emitProcess(chromePid, "pdl")
+	}
+	for _, n := range nodes {
+		emitProcess(pidOf[n], "node:"+n)
 	}
 
 	// Successful executions by task id, for dependency flow endpoints.
@@ -133,13 +174,14 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 
 	flowID := 0
 	for _, e := range events {
-		lane := laneOf[e.Unit]
+		pid := pidFor(e)
+		lane := laneOf[laneKey{pid, e.Unit}]
 		switch e.Kind {
 		case Task, Transfer, Failure, Retry:
 			out = append(out, chromeEvent{
 				Name: name(e), Cat: e.Kind.String(), Ph: "X",
 				Ts: usec(e.Start), Dur: usec(e.Duration()),
-				Pid: chromePid, Tid: lane, Args: eventArgs(e),
+				Pid: pid, Tid: lane, Args: eventArgs(e),
 			})
 			if e.Kind != Task {
 				break
@@ -150,35 +192,37 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 				if !ok {
 					continue
 				}
+				ppid := pidFor(pe)
 				flowID++
 				out = append(out,
 					chromeEvent{
 						Name: "dep", Cat: "dep", Ph: "s", ID: flowID,
-						Ts: usec(pe.End), Pid: chromePid, Tid: laneOf[pe.Unit],
+						Ts: usec(pe.End), Pid: ppid, Tid: laneOf[laneKey{ppid, pe.Unit}],
 					},
 					chromeEvent{
 						Name: "dep", Cat: "dep", Ph: "f", BP: "e", ID: flowID,
-						Ts: usec(e.Start), Pid: chromePid, Tid: lane,
+						Ts: usec(e.Start), Pid: pid, Tid: lane,
 					})
 			}
 		case Steal, Blacklist, Recover, Place:
 			out = append(out, chromeEvent{
 				Name: e.Kind.String(), Cat: e.Kind.String(), Ph: "i",
-				Ts: usec(e.Start), Pid: chromePid, Tid: lane, S: "t",
+				Ts: usec(e.Start), Pid: pid, Tid: lane, S: "t",
 				Args: eventArgs(e),
 			})
-			// Steal arrows: victim lane → thief lane.
+			// Steal arrows: victim lane → thief lane (same process: steals
+			// never cross nodes).
 			if e.Kind == Steal && e.From != "" {
-				if victim, ok := laneOf[e.From]; ok {
+				if victim, ok := laneOf[laneKey{pid, e.From}]; ok {
 					flowID++
 					out = append(out,
 						chromeEvent{
 							Name: "steal", Cat: "steal", Ph: "s", ID: flowID,
-							Ts: usec(e.Start), Pid: chromePid, Tid: victim,
+							Ts: usec(e.Start), Pid: pid, Tid: victim,
 						},
 						chromeEvent{
 							Name: "steal", Cat: "steal", Ph: "f", BP: "e", ID: flowID,
-							Ts: usec(e.Start), Pid: chromePid, Tid: lane,
+							Ts: usec(e.Start), Pid: pid, Tid: lane,
 						})
 				}
 			}
@@ -246,6 +290,7 @@ func fromChrome(file *chromeFile) (*Trace, error) {
 		e.Unit, _ = ce.Args["unit"].(string)
 		e.Label, _ = ce.Args["label"].(string)
 		e.From, _ = ce.Args["from"].(string)
+		e.Node, _ = ce.Args["node"].(string)
 		e.Attempt = argInt(ce.Args, "attempt", 0)
 		e.Bytes = int64(argInt(ce.Args, "bytes", 0))
 		e.Transfer, _ = ce.Args["transfer"].(float64)

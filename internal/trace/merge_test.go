@@ -1,0 +1,172 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// nodeSample builds a trace as a pdlworkerd process would: node + epoch
+// metadata, events without explicit Node stamps.
+func nodeSample(node string, epochUS int64) *Trace {
+	t := New()
+	t.SetMeta(MetaNode, node)
+	t.SetMeta(MetaEpochMicros, itoa64(epochUS))
+	t.Record(Event{Kind: Task, Unit: "worker0", Label: "gemm", Start: 0, End: 1, TaskID: 0})
+	t.Record(Event{Kind: Task, Unit: "worker1", Label: "gemm", Start: 0.5, End: 2, TaskID: 1})
+	return t
+}
+
+func itoa64(v int64) string {
+	var buf [20]byte
+	i := len(buf)
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	for {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}
+
+// The Node dimension must survive both serialisations: JSONL via struct
+// tags, Chrome via args plus per-node process lanes.
+func TestNodeRoundTrip(t *testing.T) {
+	tr := New()
+	tr.SetMeta("scheduler", "cluster")
+	tr.Record(Event{Kind: Task, Unit: "worker0", Label: "a", Start: 0, End: 1, TaskID: 0, Node: "w1"})
+	tr.Record(Event{Kind: Task, Unit: "worker0", Label: "b", Start: 1, End: 2, TaskID: 1, ParentIDs: []int{0}, Node: "w2"})
+	tr.Record(Event{Kind: Place, Unit: "master", Label: "b", Start: 0.5, End: 0.5, TaskID: 1, From: "model"})
+
+	var jsonl, chrome bytes.Buffer
+	if err := tr.WriteJSONL(&jsonl); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSONL(&jsonl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, tr, got)
+
+	if err := tr.WriteChrome(&chrome); err != nil {
+		t.Fatal(err)
+	}
+	out := chrome.String()
+	// Distinct nodes become distinct processes; node-less events keep pid 0.
+	for _, want := range []string{`"name": "node:w1"`, `"name": "node:w2"`, `"name": "pdl"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("chrome output lacks %s:\n%s", want, out)
+		}
+	}
+	got, err = ReadChrome(bytes.NewReader(chrome.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameTrace(t, tr, got)
+}
+
+// Merge stamps each input's node onto its events and aligns time bases via
+// the epoch metadata: a worker whose epoch is 1.5s later must have its spans
+// shifted 1.5s right in the merged timeline.
+func TestMergeAlignsEpochs(t *testing.T) {
+	a := nodeSample("w1", 1_000_000)
+	b := nodeSample("w2", 2_500_000)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := m.Events()
+	if len(events) != 4 {
+		t.Fatalf("merged %d events; want 4", len(events))
+	}
+	var w1Start, w2Start float64 = -1, -1
+	for _, e := range events {
+		switch {
+		case e.Node == "w1" && e.TaskID == 0:
+			w1Start = e.Start
+		case e.Node == "w2" && e.TaskID == 0:
+			w2Start = e.Start
+		}
+	}
+	if w1Start != 0 {
+		t.Fatalf("w1 task0 start = %v; want 0 (earliest epoch is the origin)", w1Start)
+	}
+	if w2Start != 1.5 {
+		t.Fatalf("w2 task0 start = %v; want 1.5 (epoch delta)", w2Start)
+	}
+	// Per-node metadata is preserved under prefixed keys.
+	meta := m.Meta()
+	if meta["w1/"+MetaEpochMicros] != "1000000" || meta["w2/"+MetaEpochMicros] != "2500000" {
+		t.Fatalf("merged meta missing per-node epochs: %v", meta)
+	}
+}
+
+// Without epochs on every input, Merge must not shift anything — partial
+// alignment would reorder events across nodes arbitrarily.
+func TestMergeWithoutEpochsKeepsTimes(t *testing.T) {
+	a := New()
+	a.SetMeta(MetaNode, "w1")
+	a.Record(Event{Kind: Task, Unit: "u", Start: 1, End: 2, TaskID: 0})
+	b := nodeSample("w2", 9_000_000)
+	m, err := Merge(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Events() {
+		if e.Node == "w1" && e.TaskID == 0 && e.Start != 1 {
+			t.Fatalf("w1 start shifted to %v without full epoch info", e.Start)
+		}
+		if e.Node == "w2" && e.TaskID == 0 && e.Start != 0 {
+			t.Fatalf("w2 start shifted to %v without full epoch info", e.Start)
+		}
+	}
+}
+
+// Events that already carry a Node (the master's dispatch spans name the
+// target node) keep it; only unstamped events inherit the trace's node.
+func TestMergeKeepsExplicitNode(t *testing.T) {
+	a := New()
+	a.SetMeta(MetaNode, "master")
+	a.Record(Event{Kind: Place, Unit: "m", Start: 0, End: 0, TaskID: 0, Node: "w2"})
+	a.Record(Event{Kind: Task, Unit: "m", Start: 0, End: 1, TaskID: 1})
+	m, err := Merge(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range m.Events() {
+		switch e.TaskID {
+		case 0:
+			if e.Node != "w2" {
+				t.Fatalf("explicit node overwritten: %q", e.Node)
+			}
+		case 1:
+			if e.Node != "master" {
+				t.Fatalf("unstamped event node = %q; want master", e.Node)
+			}
+		}
+	}
+}
+
+func TestMergeErrors(t *testing.T) {
+	if _, err := Merge(); err == nil {
+		t.Fatal("Merge() of nothing succeeded")
+	}
+	if _, err := Merge(nil); err == nil {
+		t.Fatal("Merge(nil) succeeded")
+	}
+	bad := New()
+	bad.SetMeta(MetaEpochMicros, "not-a-number")
+	if _, err := Merge(bad); err == nil {
+		t.Fatal("Merge with bad epoch succeeded")
+	}
+}

@@ -139,6 +139,12 @@ type Event struct {
 	// decision's score (data-aware dmda); zero when the operands were
 	// already resident on the chosen worker's memory node.
 	Transfer float64 `json:"transfer,omitempty"`
+	// Node identifies the cluster node the event happened on ("" for
+	// single-process runs). The cluster master stamps its own label on
+	// control events and the target node on dispatches; pdlworkerd stamps
+	// its node id on locally recorded spans, so `pdltrace merge` can
+	// combine per-node traces into one timeline with per-node lanes.
+	Node string `json:"node,omitempty"`
 }
 
 // Duration returns End - Start.

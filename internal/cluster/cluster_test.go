@@ -7,6 +7,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -212,6 +213,79 @@ func TestWorkerExecuteCacheAndNeedData(t *testing.T) {
 	}
 }
 
+func TestWorkerFailedKernelDropsWrittenCache(t *testing.T) {
+	// A kernel that mutates its write-mode payload in place and then fails
+	// must not leave the corrupted object cache-resident at its pre-write
+	// version: the retry would silently consume it as pristine input.
+	var fail atomic.Bool
+	cl, err := taskrt.NewCodelet("poke",
+		taskrt.Impl{Arch: "x86", Func: func(tc *taskrt.TaskContext) error {
+			c := tc.Payload(0).(*blas.Matrix)
+			c.Data[0]++
+			if fail.Load() {
+				return fmt.Errorf("injected failure after mutation")
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := NewWorker(WorkerConfig{Name: "w", Archs: []string{"x86"}, Codelets: []*taskrt.Codelet{cl}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	c := blas.NewMatrix(2, 2)
+	enc, err := EncodePayload(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	access := func(inline []byte, ver uint64) []AccessSpec {
+		return []AccessSpec{{HandleID: 0, Name: "C", Mode: int(taskrt.ReadWrite), Version: ver, Inline: inline}}
+	}
+
+	// Seed the cache: inline execute succeeds, C cached at version 1.
+	resp := postExec(t, srv.URL, &ExecRequest{TaskID: 0, Codelet: "poke", Accesses: access(enc, 0)})
+	if !resp.OK || resp.Written[0].Version != 1 {
+		t.Fatalf("seed execute: %+v", resp)
+	}
+
+	// Cache-resident execute mutates C then fails in-band.
+	fail.Store(true)
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 1, Codelet: "poke", Accesses: access(nil, 1)})
+	if resp.OK || resp.Error == "" {
+		t.Fatalf("injected failure not surfaced: %+v", resp)
+	}
+
+	// The corrupted entry must be gone: a reference at the pre-write version
+	// bounces as NeedData instead of executing on poisoned data.
+	fail.Store(false)
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 1, Codelet: "poke", Accesses: access(nil, 1)})
+	if resp.OK || len(resp.NeedData) != 1 || resp.NeedData[0] != 0 {
+		t.Fatalf("corrupted cache entry survived the failed kernel: %+v", resp)
+	}
+
+	// Re-inlining canonical bytes recovers: one mutation per success.
+	canonical := blas.NewMatrix(2, 2)
+	canonical.Data[0] = 1
+	if enc, err = EncodePayload(canonical); err != nil {
+		t.Fatal(err)
+	}
+	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 1, Codelet: "poke", Accesses: access(enc, 1)})
+	if !resp.OK {
+		t.Fatalf("retry with canonical inline failed: %s", resp.Error)
+	}
+	got, err := DecodePayload(resp.Written[0].Payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got.(*blas.Matrix).Data[0]; v != 2 {
+		t.Fatalf("retry result = %g, want 2 (exactly one mutation per successful attempt)", v)
+	}
+}
+
 // --- end-to-end cluster runs ---
 
 func clusterPlatform(t testing.TB) *core.Platform {
@@ -296,13 +370,18 @@ func startWorker(t testing.TB, name string, cl *taskrt.Codelet, opts WorkerConfi
 func fastMaster(t testing.TB, nodes []NodeConfig, mut func(*Config)) *Master {
 	t.Helper()
 	cfg := Config{
-		Nodes:           nodes,
-		HeartbeatEvery:  10 * time.Millisecond,
-		HeartbeatMisses: 2,
-		BackoffBase:     5 * time.Millisecond,
-		BackoffCap:      50 * time.Millisecond,
-		AllDeadTimeout:  5 * time.Second,
-		Logf:            t.Logf,
+		Nodes:          nodes,
+		HeartbeatEvery: 10 * time.Millisecond,
+		// The generous timeout matters under -race: a healthy /healthz can
+		// take tens of milliseconds there, and false timeouts declare live
+		// nodes dead. Tripped proxies fail with an immediate 503, so death
+		// detection in the failure tests stays at misses×cadence.
+		HeartbeatTimeout: 250 * time.Millisecond,
+		HeartbeatMisses:  3,
+		BackoffBase:      5 * time.Millisecond,
+		BackoffCap:       50 * time.Millisecond,
+		AllDeadTimeout:   5 * time.Second,
+		Logf:             t.Logf,
 	}
 	if mut != nil {
 		mut(&cfg)
@@ -396,7 +475,8 @@ type flakyProxy struct {
 	inner    http.Handler
 	mu       sync.Mutex
 	executes int
-	tripAt   int // trip when the Nth execute arrives (0: only manual)
+	tripAt   int  // trip when the Nth execute arrives (0: only manual)
+	execOnly bool // tripped: fail only executes, keep control endpoints healthy
 	tripped  bool
 	hang     chan struct{} // non-nil: tripped executes block here
 	delay    time.Duration // tripped executes sleep, then serve for real
@@ -421,7 +501,7 @@ func (f *flakyProxy) ServeHTTP(rw http.ResponseWriter, r *http.Request) {
 	}
 	tripped := f.tripped
 	f.mu.Unlock()
-	if !tripped {
+	if !tripped || (f.execOnly && !isExec) {
 		f.inner.ServeHTTP(rw, r)
 		return
 	}
@@ -581,6 +661,171 @@ func TestClusterNodeRejoinIsCleared(t *testing.T) {
 	}
 	if bouncy.Tasks <= 2 {
 		t.Fatalf("recovered node ran %d tasks, want more than its pre-death 2", bouncy.Tasks)
+	}
+}
+
+func TestClusterRetryAfterMutatingFailure(t *testing.T) {
+	// A kernel accumulates into a cache-resident C tile, then fails. The
+	// retry must see canonical data (re-inlined by the master), not the
+	// half-written resident copy: a double accumulation would corrupt the
+	// numerical result without any error surfacing.
+	var injected atomic.Bool
+	cl, err := taskrt.NewCodelet("dgemm",
+		taskrt.Impl{Arch: "x86", Func: func(tc *taskrt.TaskContext) error {
+			a := tc.Payload(0).(*blas.Matrix)
+			b := tc.Payload(1).(*blas.Matrix)
+			c := tc.Payload(2).(*blas.Matrix)
+			// Dirty C means a prior task of the chain accumulated into it,
+			// so on a single node it is cache-resident — the case where a
+			// post-mutation failure could poison the cache.
+			dirty := false
+			for _, v := range c.Data {
+				if v != 0 {
+					dirty = true
+					break
+				}
+			}
+			if err := blas.GemmPacked(a, b, c, 0); err != nil {
+				return err
+			}
+			if dirty && injected.CompareAndSwap(false, true) {
+				return fmt.Errorf("injected failure after mutating C")
+			}
+			return nil
+		}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv := startWorker(t, "solo", cl, WorkerConfig{Slots: 2})
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 32, 16)
+
+	m := fastMaster(t, []NodeConfig{{Name: "solo", Addr: srv.URL}}, nil)
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !injected.Load() {
+		t.Fatal("failure injection never fired; test exercised nothing")
+	}
+	if rep.FailedAttempts != 1 || rep.RetriedTasks != 1 {
+		t.Fatalf("failures=%d retried=%d, want 1/1", rep.FailedAttempts, rep.RetriedTasks)
+	}
+	verifyGemm(t, a, b, c)
+}
+
+func TestClusterSuspectDeclaredNodeRejoins(t *testing.T) {
+	// Transport errors on the data plane take a node down ahead of the
+	// heartbeat's verdict while /healthz keeps answering. The heartbeat
+	// goroutine must converge to the loop's view and re-announce the node,
+	// or a single-node cluster aborts despite its node being healthy.
+	cl := gemmTestCodelet(t, time.Millisecond)
+	w, err := NewWorker(WorkerConfig{
+		Name: "shaky", Archs: []string{"x86"}, Slots: 1,
+		Codelets: []*taskrt.Codelet{cl},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	proxy := &flakyProxy{inner: w.Handler(), tripAt: 1, execOnly: true}
+	srv := httptest.NewServer(proxy)
+	t.Cleanup(srv.Close)
+	untrip := time.AfterFunc(60*time.Millisecond, func() { proxy.setTripped(false) })
+	defer untrip.Stop()
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 32, 16)
+
+	m := fastMaster(t, []NodeConfig{{Name: "shaky", Addr: srv.URL}}, func(cfg *Config) {
+		cfg.AllDeadTimeout = 2 * time.Second
+	})
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatalf("suspect-declared node never rejoined: %v", err)
+	}
+	verifyGemm(t, a, b, c)
+	if rep.PerNode[0].Dead {
+		t.Fatal("healthy node still blacklisted at end of run")
+	}
+}
+
+func TestHandleResultInBandOutcomesClearSuspects(t *testing.T) {
+	// Any completed execute round-trip proves transport is healthy: both
+	// the NeedData bounce and the in-band failure must reset the node's
+	// consecutive-transport-suspect counter, and the in-band failure must
+	// also drop residency for the handles the failed kernel may have
+	// mutated (the worker dropped its cache entries for them).
+	m, err := NewMaster(Config{Nodes: []NodeConfig{{Name: "n", Addr: "http://unused"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	noop, err := taskrt.NewCodelet("noop",
+		taskrt.Impl{Arch: "x86", Func: func(*taskrt.TaskContext) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := rt.NewHandle("C", 32, blas.NewMatrix(2, 2))
+	if err := rt.SubmitBatch([]*taskrt.Task{{Codelet: noop, Accesses: []taskrt.Access{taskrt.RW(h)}}}); err != nil {
+		t.Fatal(err)
+	}
+	tasks, handles, err := rt.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := &nodeState{cfg: NodeConfig{Name: "n"}, alive: true, has: map[int]uint64{}}
+	st := &runState{
+		m: m, tasks: tasks, handles: handles,
+		ver:   make([]uint64, len(handles)),
+		indeg: map[int]int{}, attempts: map[int]int{},
+		done: map[int]bool{}, inflight: map[int]*inflightRec{},
+		events: make(chan event, 4), stop: make(chan struct{}),
+		start: time.Now(), retriedTasks: map[int]bool{},
+		nodes: []*nodeState{n},
+	}
+	defer close(st.stop)
+	task := tasks[0]
+	specs := []AccessSpec{{HandleID: h.ID(), Name: "C", Mode: int(taskrt.ReadWrite), Version: 0}}
+
+	// NeedData bounce: suspects reset, stale residency dropped.
+	n.suspects, n.has[h.ID()] = 1, 0
+	rec := &inflightRec{task: task, node: n, specs: specs}
+	st.inflight[task.ID()] = rec
+	if done, err := st.handleResult(event{kind: evResult, rec: rec,
+		resp: &ExecResponse{TaskID: task.ID(), NeedData: []int{h.ID()}}}); done || err != nil {
+		t.Fatalf("NeedData handling: done=%v err=%v", done, err)
+	}
+	if n.suspects != 0 {
+		t.Fatalf("NeedData round-trip left suspects=%d, want 0", n.suspects)
+	}
+	if _, resident := n.has[h.ID()]; resident {
+		t.Fatal("NeedData must drop the stale residency belief")
+	}
+
+	// In-band failure: suspects reset, written-handle residency dropped.
+	st.ready = nil
+	n.suspects, n.has[h.ID()] = 1, 1
+	rec = &inflightRec{task: task, node: n, specs: specs}
+	st.inflight[task.ID()] = rec
+	if done, err := st.handleResult(event{kind: evResult, rec: rec,
+		resp: &ExecResponse{TaskID: task.ID(), Error: "kernel exploded"}}); done || err != nil {
+		t.Fatalf("in-band failure handling: done=%v err=%v", done, err)
+	}
+	if n.suspects != 0 {
+		t.Fatalf("in-band failure left suspects=%d, want 0", n.suspects)
+	}
+	if _, resident := n.has[h.ID()]; resident {
+		t.Fatal("in-band failure must drop residency of written handles (worker dropped its copy)")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net/http"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/client"
@@ -192,10 +193,18 @@ const (
 )
 
 // nodeState is the master's view of one node during a run. All fields are
-// owned by the run loop goroutine except the control client.
+// owned by the run loop goroutine except the control client and forcedDown.
 type nodeState struct {
 	cfg NodeConfig
 	ctl *client.Client
+
+	// forcedDown tells the heartbeat goroutine the loop declared the node
+	// dead on its own evidence (consecutive transport suspects) while the
+	// control plane still answered. The heartbeat swaps it off and reverts
+	// to /v1/info probing so a healthy node re-announces itself; without
+	// the handoff the two alive states diverge and the node could never
+	// rejoin.
+	forcedDown atomic.Bool
 
 	alive    bool
 	info     InfoResponse
@@ -451,6 +460,11 @@ func (st *runState) heartbeat(n *nodeState) {
 	alive := false
 	misses := 0
 	for {
+		if n.forcedDown.Swap(false) {
+			// The loop blacklisted the node while /healthz still answered;
+			// fall back to /v1/info probing so it can be re-announced.
+			alive, misses = false, 0
+		}
 		ctx, cancel := context.WithTimeout(context.Background(), cfg.HeartbeatTimeout)
 		if !alive {
 			var info InfoResponse
@@ -509,6 +523,7 @@ func (st *runState) nodeDown(n *nodeState) {
 		return
 	}
 	n.alive = false
+	n.forcedDown.Store(true)
 	cm.nodeUp.With(n.cfg.Name).Set(0)
 	st.m.logf("cluster: node %s dead; resubmitting its in-flight tasks", n.cfg.Name)
 	st.traceInstant(trace.Blacklist, n.cfg.Name, "", trace.NoTask)
@@ -781,7 +796,10 @@ func (st *runState) handleResult(ev event) (bool, error) {
 
 	case len(ev.resp.NeedData) > 0:
 		// Worker cache miss (eviction or restart): forget the stale
-		// residency and redispatch; no attempt consumed, no backoff.
+		// residency and redispatch; no attempt consumed, no backoff. The
+		// completed round-trip also proves transport is healthy, so clear
+		// suspicion like the other in-band outcomes do.
+		n.suspects = 0
 		for _, id := range ev.resp.NeedData {
 			delete(n.has, id)
 		}
@@ -791,7 +809,16 @@ func (st *runState) handleResult(ev event) (bool, error) {
 		return false, nil
 
 	case !ev.resp.OK:
-		// In-band execution failure: consumes an attempt.
+		// In-band execution failure: consumes an attempt. The failed kernel
+		// may have mutated write-mode payloads in place (the worker drops
+		// its cache entries for them), so forget their residency too and
+		// re-inline canonical bytes on the retry instead of trusting — or
+		// bouncing off — the node's copy.
+		for _, spec := range rec.specs {
+			if taskrt.AccessMode(spec.Mode).Writes() {
+				delete(n.has, spec.HandleID)
+			}
+		}
 		n.suspects = 0
 		st.failedAttempts++
 		n.stats.Retries++

@@ -242,6 +242,18 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 	elapsed := time.Since(begin)
 	w.recordSpan(req, resp.Unit, begin, elapsed, err == nil)
 	if err != nil {
+		// The kernel may have partially mutated write-mode payloads in
+		// place before failing. A cache-resident one would survive still
+		// tagged with its pre-write version and feed the retry corrupted
+		// data, so drop every written handle; the master re-inlines
+		// canonical bytes on the next attempt.
+		w.mu.Lock()
+		for _, a := range req.Accesses {
+			if taskrt.AccessMode(a.Mode).Writes() {
+				delete(w.cache, a.HandleID)
+			}
+		}
+		w.mu.Unlock()
 		resp.Error = err.Error()
 		return resp
 	}

@@ -37,11 +37,13 @@ crash-test:
 
 # cluster-test is the multi-process cluster smoke: it builds the real
 # pdlserved + pdlworkerd binaries, registers two workers through the
-# registry, runs a distributed tiled DGEMM master against them, and
-# SIGKILLs one worker mid-flight to prove its tasks resubmit to the
-# survivor with the numerical result intact.
+# registry, runs a distributed tiled DGEMM master against them (verifying
+# the merged cluster trace and the federated fleet metrics), and SIGKILLs
+# one worker mid-flight to prove its tasks resubmit to the survivor with
+# the numerical result intact. Set SMOKE_ARTIFACTS to a directory to keep
+# the merged Chrome trace and the metrics snapshots (CI uploads them).
 cluster-test:
-	PDL_CLUSTER_SMOKE=1 $(GO) test -run TestClusterSmoke -v -timeout 300s ./internal/cluster/smoke
+	PDL_CLUSTER_SMOKE=1 PDL_SMOKE_ARTIFACTS=$(SMOKE_ARTIFACTS) $(GO) test -run TestClusterSmoke -v -timeout 300s ./internal/cluster/smoke
 
 # fuzz runs a time-boxed exploration of the journal record decoder on top of
 # the committed seed corpus (which plain `go test` already replays).

@@ -16,10 +16,13 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
 	"strings"
 
+	"repro/internal/cluster"
 	"repro/internal/experiments"
 	"repro/internal/trace"
 )
@@ -51,6 +54,7 @@ func run(args []string, stdout io.Writer) error {
 		tol      = fs.Float64("tol", 0.15, "check only: regression threshold as a fraction (0.15 = +15%)")
 		nodes    = fs.String("nodes", "", "cluster only: comma-separated pdlworkerd base URLs (empty = spawn loopback workers)")
 		nproc    = fs.Int("inprocess", 2, "cluster only: loopback worker count when -nodes is empty")
+		pprofOn  = fs.String("pprof", "", "serve /debug/pprof, /debug/trace and /metrics on this address while the harness runs ('' = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,18 @@ func run(args []string, stdout io.Writer) error {
 		runtime.GOMAXPROCS(*procs)
 	} else {
 		runtime.GOMAXPROCS(runtime.NumCPU())
+	}
+	if *pprofOn != "" {
+		// The master-side observability surface: the live merged cluster
+		// trace (for -exp cluster), process metrics and pprof, so a long
+		// harness run can be watched and profiled while it executes.
+		ln, err := net.Listen("tcp", *pprofOn)
+		if err != nil {
+			return err
+		}
+		defer ln.Close()
+		go http.Serve(ln, cluster.DebugHandler())
+		fmt.Fprintf(stdout, "observability: http://%s (/debug/trace, /metrics, /debug/pprof/)\n", ln.Addr())
 	}
 	runOne := func(name string) error {
 		var res *experiments.Result
@@ -145,10 +161,15 @@ func run(args []string, stdout io.Writer) error {
 				N: 512, Tile: 128, Nodes: addrs, InProcess: *nproc, Trace: tr,
 			})
 			if err == nil && tr != nil {
+				// Prefer the published merged timeline: master placement
+				// instants plus every node's kernel spans on one time base.
+				if merged := trace.Published(); merged != nil {
+					tr = merged
+				}
 				if werr := tr.WriteChromeFile(*traceTo); werr != nil {
 					return werr
 				}
-				fmt.Fprintf(stdout, "wrote %s (%d master events; load in https://ui.perfetto.dev)\n", *traceTo, tr.Len())
+				fmt.Fprintf(stdout, "wrote %s (%d events; load in https://ui.perfetto.dev)\n", *traceTo, tr.Len())
 			}
 		default:
 			return fmt.Errorf("unknown experiment %q", name)

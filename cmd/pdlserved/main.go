@@ -29,8 +29,15 @@
 //	GET    /platforms/{name}/rank      ?iface=...&size=...
 //	POST   /platforms/{name}/observe   {"codelet":..., "size":..., "seconds":...}
 //	GET    /healthz                    liveness + store version
-//	GET    /metrics                    Prometheus text format
+//	GET    /metrics                    Prometheus text format (+ federated taskrt_fleet_* series)
 //	GET    /debug/trace                last published run trace (?format=chrome|jsonl)
+//
+// Fleet federation: with workers registered, pdlserved scrapes each leased
+// worker's /metrics every -fleet-scrape interval and re-exports the
+// taskrt_worker_* families on its own /metrics as node-labelled
+// taskrt_fleet_* series — one scrape shows kernel latency across the whole
+// cluster. Series for deregistered, expired or unreachable workers are
+// removed, not frozen. -pprof mounts net/http/pprof under /debug/pprof/.
 package main
 
 import (
@@ -41,6 +48,7 @@ import (
 	"io"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -93,6 +101,8 @@ func run(args []string) error {
 		dataDir       = fs.String("data-dir", "", "durability directory for the write-ahead journal and snapshots ('' = in-memory only)")
 		snapshotEvery = fs.Int("snapshot-every", 1024, "compact a snapshot after this many journal records (0 disables automatic compaction)")
 		fsync         = fs.Bool("fsync", true, "fsync the journal on every committed mutation")
+		fleetEvery    = fs.Duration("fleet-scrape", server.DefaultFleetScrapeEvery, "interval for scraping leased workers' /metrics into the federated taskrt_fleet_* export (0 disables)")
+		pprofOn       = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -158,9 +168,27 @@ func run(args []string) error {
 		AccessLog:    logDst,
 	})
 
+	if *fleetEvery > 0 {
+		stopFleet := srv.StartFleetScrape(*fleetEvery)
+		defer stopFleet()
+		log.Printf("pdlserved: federating worker metrics every %s", *fleetEvery)
+	}
+
+	handler := srv.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+
 	httpSrv := &http.Server{
 		Addr:         *addr,
-		Handler:      srv.Handler(),
+		Handler:      handler,
 		ReadTimeout:  *readTimeout,
 		WriteTimeout: *writeTimeout,
 		IdleTimeout:  *idleTimeout,

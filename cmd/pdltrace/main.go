@@ -12,6 +12,7 @@
 //	pdltrace convert -to chrome out.jsonl perfetto.json
 //	pdltrace diff before.json after.json
 //	pdltrace merge -o cluster.json master.jsonl worker-a.jsonl worker-b.jsonl
+//	pdltrace top -by node,codelet cluster.json
 package main
 
 import (
@@ -45,8 +46,10 @@ func run(args []string, stdout io.Writer) error {
 		return diff(args[1:], stdout)
 	case "merge":
 		return merge(args[1:], stdout)
+	case "top":
+		return top(args[1:], stdout)
 	default:
-		return fmt.Errorf("unknown command %q (want summarize, convert, diff or merge)", cmd)
+		return fmt.Errorf("unknown command %q (want summarize, convert, diff, merge or top)", cmd)
 	}
 }
 
@@ -207,6 +210,140 @@ func merge(args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "wrote %s (%d inputs, %d events, %d node lanes, makespan %.6fs)\n",
 		*out, len(inputs), merged.Len(), len(nodes), merged.Makespan())
 	return nil
+}
+
+// top aggregates a (usually merged cluster) trace's execution spans along
+// chosen dimensions and prints the heaviest groups by busy time — the quick
+// "where did the cluster's time go" view that a Perfetto load is overkill
+// for.
+func top(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("pdltrace top", flag.ContinueOnError)
+	fs.SetOutput(stdout)
+	by := fs.String("by", "node,codelet", "comma-separated grouping dimensions: node, unit, worker, codelet, label")
+	n := fs.Int("n", 20, "rows to print (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: pdltrace top [-by dims] [-n rows] <trace-file>")
+	}
+	var dims []string
+	for _, d := range strings.Split(*by, ",") {
+		switch d = strings.TrimSpace(d); d {
+		case "node", "unit", "worker", "codelet", "label":
+			dims = append(dims, d)
+		case "":
+		default:
+			return fmt.Errorf("unknown dimension %q (want node, unit, worker, codelet or label)", d)
+		}
+	}
+	if len(dims) == 0 {
+		return fmt.Errorf("-by needs at least one dimension")
+	}
+	tr, err := trace.ReadFile(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+
+	type row struct {
+		key           string
+		tasks, failed int
+		busy, longest float64
+	}
+	rows := map[string]*row{}
+	totalBusy := 0.0
+	for _, e := range tr.Events() {
+		if e.Kind != trace.Task && e.Kind != trace.Failure {
+			continue
+		}
+		parts := make([]string, len(dims))
+		for i, d := range dims {
+			parts[i] = dimValue(&e, d)
+		}
+		key := strings.Join(parts, " ")
+		r, ok := rows[key]
+		if !ok {
+			r = &row{key: key}
+			rows[key] = r
+		}
+		d := e.Duration()
+		r.tasks++
+		if e.Kind == trace.Failure {
+			r.failed++
+		}
+		r.busy += d
+		if d > r.longest {
+			r.longest = d
+		}
+		totalBusy += d
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(stdout, "no execution spans in trace")
+		return nil
+	}
+
+	sorted := make([]*row, 0, len(rows))
+	keyWidth := len(*by)
+	for _, r := range rows {
+		sorted = append(sorted, r)
+		if len(r.key) > keyWidth {
+			keyWidth = len(r.key)
+		}
+	}
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].busy != sorted[j].busy {
+			return sorted[i].busy > sorted[j].busy
+		}
+		return sorted[i].key < sorted[j].key
+	})
+	if *n > 0 && len(sorted) > *n {
+		fmt.Fprintf(stdout, "top %d of %d groups (by busy time)\n", *n, len(sorted))
+		sorted = sorted[:*n]
+	}
+	fmt.Fprintf(stdout, "%-*s %6s %6s %10s %9s %9s %6s\n",
+		keyWidth, *by, "tasks", "failed", "busy[s]", "mean[ms]", "max[ms]", "share")
+	for _, r := range sorted {
+		share := 0.0
+		if totalBusy > 0 {
+			share = r.busy / totalBusy * 100
+		}
+		fmt.Fprintf(stdout, "%-*s %6d %6d %10.6f %9.3f %9.3f %5.1f%%\n",
+			keyWidth, r.key, r.tasks, r.failed, r.busy,
+			r.busy/float64(r.tasks)*1e3, r.longest*1e3, share)
+	}
+	return nil
+}
+
+// dimValue extracts one grouping dimension from an execution span. Missing
+// values render as "-" so single-node traces still group cleanly.
+func dimValue(e *trace.Event, dim string) string {
+	switch dim {
+	case "node":
+		if e.Node == "" {
+			return "-"
+		}
+		return e.Node
+	case "unit":
+		return e.Unit
+	case "worker":
+		return fmt.Sprintf("%d", e.Worker)
+	case "codelet":
+		return codeletOf(e.Label)
+	default: // label
+		return e.Label
+	}
+}
+
+// codeletOf strips a task label like "dgemm(3,4)" or "C[0,1]+=A[0,0]*B[0,1]"
+// to its kernel-family prefix, so per-tile instances group into one row.
+func codeletOf(label string) string {
+	if i := strings.IndexAny(label, "(["); i > 0 {
+		return label[:i]
+	}
+	if label == "" {
+		return "-"
+	}
+	return label
 }
 
 // diff compares two traces: totals first, then per-unit busy-time deltas.

@@ -1,22 +1,31 @@
 // Command pdlworkerd is a cluster execution node: it serves the cluster
-// worker protocol (POST /v1/execute, GET /v1/info, GET /healthz) over the
-// codelets in the shared cluster registry, and announces itself to a
-// pdlserved instance — registering its PDL platform description, taking a
-// worker lease, heartbeating it, and streaming execution observations into
-// the server's perfmodels — so masters can discover execution nodes through
-// the same registry that holds the platform descriptions they execute
-// against.
+// worker protocol (POST /v1/execute, GET /v1/info, GET /v1/trace,
+// GET /healthz, GET /metrics) over the codelets in the shared cluster
+// registry, and announces itself to a pdlserved instance — registering its
+// PDL platform description, taking a worker lease, heartbeating it, and
+// streaming execution observations into the server's perfmodels — so
+// masters can discover execution nodes through the same registry that
+// holds the platform descriptions they execute against.
 //
 // Usage:
 //
 //	pdlworkerd -addr 127.0.0.1:9091 -name worker-a
 //	pdlworkerd -addr :9091 -server http://registry:8080 -platform xeon-gtx480
 //	pdlworkerd -addr :9091 -slots 4 -trace worker-a.trace.jsonl
+//	pdlworkerd -addr :9091 -pprof -fault-delay 50ms
 //
 // Without -server the daemon runs standalone (masters address it directly).
-// With -trace, execution spans are written as pdltrace JSONL on shutdown,
-// stamped with the node name and wall-clock epoch so `pdltrace merge`
-// aligns traces from several nodes into one cluster timeline.
+//
+// Observability: kernel execution spans are always recorded, stamped with
+// the node name and wall-clock epoch — masters collect them piggybacked on
+// execute responses (or via GET /v1/trace) and merge them into one cluster
+// timeline; -trace additionally writes them as pdltrace JSONL on shutdown.
+// GET /metrics exposes the node's taskrt_worker_* families (kernel latency
+// histograms, cache occupancy, inflight kernels) for pdlserved's fleet
+// federation, GET /healthz reports cache and slot detail, and -pprof
+// mounts net/http/pprof under /debug/pprof/. -fault-delay injects an
+// artificial per-kernel slowdown — the gray failure used to exercise the
+// master's straggler detector end to end.
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -41,6 +51,7 @@ import (
 	"repro/internal/pdlxml"
 	"repro/internal/perfmodel"
 	"repro/internal/server"
+	"repro/internal/taskrt"
 	"repro/internal/trace"
 )
 
@@ -63,6 +74,8 @@ func run(args []string) error {
 		advertise = fs.String("advertise", "", "base URL masters should use to reach this node (default http://<addr>)")
 		traceTo   = fs.String("trace", "", "write the node's execution trace as pdltrace JSONL here on exit")
 		ttl       = fs.Duration("lease-ttl", server.DefaultWorkerTTL, "registry lease TTL the heartbeat cadence derives from (beat every ttl/3)")
+		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the worker listener")
+		slowBy    = fs.Duration("fault-delay", 0, "inject this extra latency into every kernel (straggler/gray-failure injection)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -96,9 +109,18 @@ func run(args []string) error {
 		return err
 	}
 
-	var tr *trace.Trace
-	if *traceTo != "" {
-		tr = trace.New()
+	// Spans are always recorded: the master drains them over the protocol
+	// to build the merged cluster timeline whether or not this node also
+	// writes a JSONL file on exit.
+	tr := trace.New()
+
+	var faults *taskrt.FaultPlan
+	if *slowBy < 0 {
+		return fmt.Errorf("-fault-delay must be >= 0, got %s", *slowBy)
+	}
+	if *slowBy > 0 {
+		faults = &taskrt.FaultPlan{Events: []taskrt.FaultEvent{{Unit: *name, Delay: slowBy.Seconds()}}}
+		log.Printf("pdlworkerd: injecting %s of extra latency into every kernel (straggler injection)", *slowBy)
 	}
 
 	models := perfmodel.NewStore()
@@ -130,6 +152,7 @@ func run(args []string) error {
 		Models:        models,
 		OnObservation: observe,
 		Trace:         tr,
+		Faults:        faults,
 		Logf:          log.Printf,
 	})
 	if err != nil {
@@ -143,7 +166,18 @@ func run(args []string) error {
 	if *advertise == "" {
 		*advertise = "http://" + advertiseHost(ln.Addr().String())
 	}
-	httpSrv := &http.Server{Handler: w.Handler()}
+	handler := w.Handler()
+	if *pprofOn {
+		outer := http.NewServeMux()
+		outer.HandleFunc("/debug/pprof/", pprof.Index)
+		outer.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		outer.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		outer.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		outer.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		outer.Handle("/", handler)
+		handler = outer
+	}
+	httpSrv := &http.Server{Handler: handler}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -185,7 +219,7 @@ func run(args []string) error {
 		log.Printf("pdlworkerd: shutdown: %v", err)
 	}
 	w.Wait()
-	if tr != nil {
+	if *traceTo != "" {
 		if err := tr.WriteJSONLFile(*traceTo); err != nil {
 			return fmt.Errorf("writing trace: %w", err)
 		}

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/blas"
 	"repro/internal/core"
+	"repro/internal/perfmodel"
 	"repro/internal/taskrt"
 	"repro/internal/trace"
 )
@@ -863,5 +864,152 @@ func TestMasterNoRunnableCodelet(t *testing.T) {
 	m := fastMaster(t, []NodeConfig{{Name: "w", Addr: srv.URL}}, nil)
 	if _, err := m.Run(rt); err == nil {
 		t.Fatal("unrunnable codelet must error, not hang")
+	}
+}
+
+// TestClusterMergedTraceSpans verifies the distributed trace propagation
+// path end to end in-process: worker-side kernel spans ride back on execute
+// responses, the master stitches them (with the master's own placement
+// instants) into one epoch-aligned timeline, and every span keeps its
+// causal identity.
+func TestClusterMergedTraceSpans(t *testing.T) {
+	cl := gemmTestCodelet(t, 0)
+	tr := trace.New()
+	_, srv1 := startWorker(t, "w1", cl, WorkerConfig{Slots: 2})
+	_, srv2 := startWorker(t, "w2", cl, WorkerConfig{Slots: 2})
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "w1", Addr: srv1.URL},
+		{Name: "w2", Addr: srv2.URL},
+	}, func(cfg *Config) { cfg.Trace = tr })
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c)
+
+	if rep.Trace == nil {
+		t.Fatal("report carries no merged trace")
+	}
+	spans := map[string]int{}
+	taskIDs := map[int]bool{}
+	for _, e := range rep.Trace.Events() {
+		if e.Kind != trace.Task || e.Worker == 0 && e.Node == "" {
+			continue
+		}
+		if e.Node != "w1" && e.Node != "w2" {
+			t.Fatalf("kernel span with unexpected node %q", e.Node)
+		}
+		if e.Label == "" {
+			t.Fatalf("kernel span lost causal identity: %+v", e)
+		}
+		if e.End < e.Start {
+			t.Fatalf("kernel span with negative duration: %+v", e)
+		}
+		spans[e.Node]++
+		taskIDs[e.TaskID] = true
+	}
+	for _, node := range []string{"w1", "w2"} {
+		if spans[node] == 0 {
+			t.Fatalf("merged trace has no kernel spans from %s (got %v)", node, spans)
+		}
+	}
+	if spans["w1"]+spans["w2"] < rep.Tasks {
+		t.Fatalf("merged trace has %d kernel spans for %d tasks", spans["w1"]+spans["w2"], rep.Tasks)
+	}
+	if len(taskIDs) != rep.Tasks {
+		t.Fatalf("kernel spans cover %d distinct task ids, want %d", len(taskIDs), rep.Tasks)
+	}
+	if len(tr.OfKind(trace.Place)) == 0 {
+		t.Fatal("master placement instants missing from the run trace")
+	}
+	// The merged trace is also published for /debug/trace.
+	if trace.Published() == nil {
+		t.Fatal("run finished without publishing the merged trace")
+	}
+}
+
+// TestStragglerDetection injects a gray failure — one node that stays
+// correct but runs every kernel ~40x slower than the perfmodel estimate —
+// and asserts the master's detector flags it: straggler counters in the
+// report, a Straggler trace instant naming the node, and placement
+// back-pressure that drains work toward the healthy node.
+func TestStragglerDetection(t *testing.T) {
+	cl := gemmTestCodelet(t, time.Millisecond)
+	tr := trace.New()
+	_, fastSrv := startWorker(t, "strag-fast", cl, WorkerConfig{Slots: 2})
+	_, slowSrv := startWorker(t, "strag-slow", cl, WorkerConfig{
+		Slots: 2,
+		Faults: &taskrt.FaultPlan{Events: []taskrt.FaultEvent{
+			{Unit: "strag-slow", Delay: 0.04},
+		}},
+	})
+
+	rt, err := taskrt.New(taskrt.Config{Platform: clusterPlatform(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := submitTiledGemm(t, rt, cl, 64, 16)
+
+	// Seed the model the placement will use, so the very first executions
+	// compare against a realistic estimate instead of running cold.
+	models := perfmodel.NewStore()
+	if err := models.Model("dgemm", "x86").Record(blas.FlopsGEMM(16, 16, 16), 1.2e-3); err != nil {
+		t.Fatal(err)
+	}
+
+	m := fastMaster(t, []NodeConfig{
+		{Name: "strag-fast", Addr: fastSrv.URL},
+		{Name: "strag-slow", Addr: slowSrv.URL},
+	}, func(cfg *Config) {
+		cfg.Trace = tr
+		cfg.Models = models
+		cfg.Straggler = StragglerConfig{Multiple: 6, MinSamples: 1, Alpha: 0.5}
+	})
+	rep, err := m.Run(rt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	verifyGemm(t, a, b, c) // slow, not wrong: results must stay correct
+
+	if rep.Stragglers == 0 {
+		t.Fatal("no stragglers flagged despite a 40ms injected delay vs a ~1ms estimate")
+	}
+	var fast, slow NodeStats
+	for _, n := range rep.PerNode {
+		switch n.Name {
+		case "strag-fast":
+			fast = n
+		case "strag-slow":
+			slow = n
+		}
+	}
+	if slow.Stragglers == 0 {
+		t.Fatalf("slow node not flagged: %+v", rep.PerNode)
+	}
+	if slow.Slowdown <= 1 {
+		t.Fatalf("slow node slowdown score = %.2f, want > 1", slow.Slowdown)
+	}
+	if fast.Tasks <= slow.Tasks {
+		t.Fatalf("placement did not drain toward the healthy node: fast=%d slow=%d tasks",
+			fast.Tasks, slow.Tasks)
+	}
+	events := tr.OfKind(trace.Straggler)
+	if len(events) == 0 {
+		t.Fatal("no Straggler trace instants recorded")
+	}
+	for _, e := range events {
+		if e.Node != "strag-slow" {
+			t.Fatalf("straggler instant flagged node %q, want strag-slow", e.Node)
+		}
+		if e.From == "" {
+			t.Fatal("straggler instant carries no reason")
+		}
 	}
 }

@@ -1,0 +1,45 @@
+package cluster
+
+import (
+	"net/http"
+	"net/http/pprof"
+
+	"repro/internal/metrics"
+	"repro/internal/trace"
+)
+
+// DebugHandler is the master-side observability surface: the live merged
+// cluster trace (republished every Config.PublishEvery completions while a
+// run progresses), the process metrics including the taskrt_cluster_*
+// families, and pprof. A master is usually embedded (pdlbench, a test, an
+// application), so this is a handler to mount rather than a daemon feature —
+// pdlserved wires the equivalent endpoints itself.
+func DebugHandler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /debug/trace", func(rw http.ResponseWriter, r *http.Request) {
+		tr := trace.Published()
+		if tr == nil {
+			http.Error(rw, "no trace published yet", http.StatusNotFound)
+			return
+		}
+		switch r.URL.Query().Get("format") {
+		case "jsonl":
+			rw.Header().Set("Content-Type", "application/jsonl")
+			tr.WriteJSONL(rw)
+		default:
+			rw.Header().Set("Content-Type", "application/json")
+			rw.Header().Set("Content-Disposition", `attachment; filename="cluster_trace.json"`)
+			tr.WriteChrome(rw)
+		}
+	})
+	mux.HandleFunc("GET /metrics", func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		metrics.Default.WritePrometheus(rw)
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

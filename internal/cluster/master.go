@@ -66,8 +66,19 @@ type Config struct {
 	// ExecTimeout bounds one invocation round-trip. Default 2m.
 	ExecTimeout time.Duration
 	// Trace, when set, records master-side spans (placements, transfers,
-	// retries, node state changes) stamped Node=Name.
+	// retries, node state changes) stamped Node=Name. Worker-side kernel
+	// spans arriving on execute responses are kept in per-(node, epoch)
+	// traces and merged with it for publishing and the final Report.Trace.
 	Trace *trace.Trace
+	// Straggler tunes the latency-anomaly detector (zero value = defaults:
+	// flag at 4× the model estimate after 3 samples; set Multiple negative
+	// to disable).
+	Straggler StragglerConfig
+	// PublishEvery is how many task completions elapse between live
+	// re-publishes of the merged cluster trace to trace.Published (the
+	// /debug/trace surface). Default 64; negative disables live publishing
+	// (the final merge still lands in Report.Trace).
+	PublishEvery int
 	// Name is the master's node label in traces. Default "master".
 	Name string
 	// HTTP is the data-plane client. Default: dedicated client, no global
@@ -86,6 +97,8 @@ type NodeStats struct {
 	Retries       int     // in-band failures requeued
 	Resubmits     int     // tasks reassigned after this node died
 	NeedData      int     // dispatches bounced for missing cached data
+	Stragglers    int     // tasks flagged by the latency-anomaly detector
+	Slowdown      float64 // final EWMA of observed/estimated latency (0 = no data)
 	Dead          bool    // dead when the run ended
 }
 
@@ -100,6 +113,10 @@ type Report struct {
 	Transfers       int
 	TransferBytes   int64
 	DeadNodes       []string
+	Stragglers      int
+	// Trace is the merged cluster timeline (master spans + worker kernel
+	// spans, epoch-aligned), when the master was configured with a Trace.
+	Trace *trace.Trace
 }
 
 // String renders a human-readable summary, in the shape of taskrt.Report.
@@ -121,6 +138,9 @@ func (r *Report) String() string {
 			n.Name, n.Tasks, n.BusySeconds, util*100, float64(n.TransferBytes)/(1<<20))
 		if n.Resubmits > 0 || n.Dead {
 			fmt.Fprintf(&b, " resubmitted=%d dead=%v", n.Resubmits, n.Dead)
+		}
+		if n.Stragglers > 0 {
+			fmt.Fprintf(&b, " stragglers=%d slowdown=x%.1f", n.Stragglers, n.Slowdown)
 		}
 		b.WriteString("\n")
 	}
@@ -178,6 +198,10 @@ func NewMaster(cfg Config) (*Master, error) {
 	if cfg.Name == "" {
 		cfg.Name = "master"
 	}
+	cfg.Straggler = cfg.Straggler.withDefaults()
+	if cfg.PublishEvery == 0 {
+		cfg.PublishEvery = 64
+	}
 	m := &Master{cfg: cfg, http: cfg.HTTP}
 	if m.http == nil {
 		m.http = &http.Client{}
@@ -222,6 +246,11 @@ type nodeState struct {
 	obsCount int
 	obsMean  float64 // nanoseconds
 
+	// Straggler detector state: EWMA of observed/estimated latency over
+	// model-placed tasks, and how many such observations exist.
+	slowEWMA    float64
+	slowSamples int
+
 	stats NodeStats
 }
 
@@ -250,7 +279,8 @@ type inflightRec struct {
 	task     *taskrt.Task
 	node     *nodeState
 	specs    []AccessSpec
-	est      float64 // charged estimate, nanoseconds
+	est      float64 // charged estimate (slowdown-penalised), nanoseconds
+	modelEst float64 // unscaled perfmodel estimate, nanoseconds (0 unless reason "model")
 	released bool    // credit/backlog already returned (node died)
 	shipped  int64   // encoded bytes inlined (set by the dispatch goroutine)
 	inlines  int
@@ -277,6 +307,20 @@ type runState struct {
 	failedAttempts int
 	retriedTasks   map[int]bool
 	resubmissions  int
+
+	// Worker-side kernel spans, keyed by (node, process epoch) so a
+	// restarted worker gets a fresh, correctly-aligned input trace instead
+	// of polluting its predecessor's time base. Order is first-seen, for
+	// deterministic merges.
+	nodeTraces     map[nodeEpoch]*trace.Trace
+	nodeTraceOrder []nodeEpoch
+	sincePublish   int
+}
+
+// nodeEpoch identifies one worker process incarnation.
+type nodeEpoch struct {
+	node  string
+	epoch int64
 }
 
 func (st *runState) send(ev event) {
@@ -390,6 +434,11 @@ func (m *Master) Run(rt *taskrt.Runtime) (*Report, error) {
 			}
 			if completed {
 				remaining--
+				st.sincePublish++
+				if m.cfg.PublishEvery > 0 && st.sincePublish >= m.cfg.PublishEvery {
+					st.publishMerged()
+					st.sincePublish = 0
+				}
 			}
 		}
 	}
@@ -408,11 +457,62 @@ func (m *Master) Run(rt *taskrt.Runtime) (*Report, error) {
 		}
 		rep.Transfers += n.stats.Transfers
 		rep.TransferBytes += n.stats.TransferBytes
+		rep.Stragglers += n.stats.Stragglers
 		rep.PerNode = append(rep.PerNode, n.stats)
 	}
 	sort.Strings(rep.DeadNodes)
 	sort.Slice(rep.PerNode, func(i, j int) bool { return rep.PerNode[i].Name < rep.PerNode[j].Name })
+	rep.Trace = st.publishMerged()
 	return rep, nil
+}
+
+// ingestSpans files the worker kernel spans piggybacked on a response into
+// the per-(node, epoch) trace they belong to. Keying by process epoch means
+// a restarted worker's spans align against its own time base instead of its
+// predecessor's.
+func (st *runState) ingestSpans(n *nodeState, resp *ExecResponse) {
+	if len(resp.Spans) == 0 || resp.EpochMicros == 0 {
+		return
+	}
+	key := nodeEpoch{node: n.cfg.Name, epoch: resp.EpochMicros}
+	if st.nodeTraces == nil {
+		st.nodeTraces = map[nodeEpoch]*trace.Trace{}
+	}
+	tr, ok := st.nodeTraces[key]
+	if !ok {
+		tr = trace.New()
+		tr.SetMeta(trace.MetaNode, n.cfg.Name)
+		tr.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", resp.EpochMicros))
+		st.nodeTraces[key] = tr
+		st.nodeTraceOrder = append(st.nodeTraceOrder, key)
+	}
+	for _, e := range resp.Spans {
+		tr.Record(e)
+	}
+}
+
+// publishMerged stitches the master trace and every node's span trace into
+// one epoch-aligned timeline, publishes it as the process's current trace
+// (the /debug/trace surface) and returns it. Nil when the master itself has
+// no trace configured and no spans arrived.
+func (st *runState) publishMerged() *trace.Trace {
+	var inputs []*trace.Trace
+	if st.m.cfg.Trace != nil {
+		inputs = append(inputs, st.m.cfg.Trace)
+	}
+	for _, key := range st.nodeTraceOrder {
+		inputs = append(inputs, st.nodeTraces[key])
+	}
+	if len(inputs) == 0 {
+		return nil
+	}
+	merged, err := trace.Merge(inputs...)
+	if err != nil {
+		st.m.logf("cluster: merging node traces: %v", err)
+		return nil
+	}
+	trace.Publish(merged)
+	return merged
 }
 
 // routeCost prices the master→node path from the platform's declared
@@ -525,6 +625,13 @@ func (st *runState) nodeDown(n *nodeState) {
 	n.alive = false
 	n.forcedDown.Store(true)
 	cm.nodeUp.With(n.cfg.Name).Set(0)
+	// A dead node must not linger in scrapes as a ghost: its inflight gauge
+	// goes to zero here (each resubmitted rec below also decrements, but a
+	// defensive set keeps the invariant even if accounting ever drifts) and
+	// its slowdown series is deleted outright — a score with no live node
+	// behind it is noise, and a rejoining process starts fresh.
+	cm.slowdown.Delete(n.cfg.Name)
+	n.slowEWMA, n.slowSamples = 0, 0
 	st.m.logf("cluster: node %s dead; resubmitting its in-flight tasks", n.cfg.Name)
 	st.traceInstant(trace.Blacklist, n.cfg.Name, "", trace.NoTask)
 	for id, rec := range st.inflight {
@@ -539,6 +646,7 @@ func (st *runState) nodeDown(n *nodeState) {
 		cm.resubmits.With(n.cfg.Name).Inc()
 		st.requeueWithBackoff(rec.task)
 	}
+	cm.inflight.With(n.cfg.Name).Set(0)
 	n.credits, n.backlog = 0, 0
 }
 
@@ -608,24 +716,44 @@ func (st *runState) transferNanos(t *taskrt.Task, n *nodeState) float64 {
 	return total
 }
 
+// placement is one EFT decision: the chosen node, the charged (penalised)
+// estimate, the transfer term, the prediction source, and — when the source
+// was the perfmodel — the unscaled estimate the straggler detector compares
+// observations against.
+type placement struct {
+	node     *nodeState
+	est      float64 // charged, nanoseconds (model estimate × node penalty)
+	xfer     float64 // nanoseconds
+	reason   string  // "model", "fallback", "cold"
+	modelEst float64 // unscaled model estimate, 0 unless reason == "model"
+}
+
 // choose picks the node with the earliest modelled finish time among alive
-// nodes with free credit that can run the codelet.
-func (st *runState) choose(t *taskrt.Task) (*nodeState, float64, float64, string) {
-	var best *nodeState
-	var bestScore, bestEst, bestXfer float64
-	bestReason := ""
+// nodes with free credit that can run the codelet. Each node's execution
+// estimate is scaled by its slowdown penalty (EWMA of observed/estimated
+// latency, floored at 1), so detected stragglers bid with their real speed
+// rather than the model's optimism.
+func (st *runState) choose(t *taskrt.Task) (placement, bool) {
+	var best placement
+	bestScore := 0.0
 	for _, n := range st.nodes {
 		if !n.alive || n.credits <= 0 || !n.nodeRuns(t.Codelet.Name) {
 			continue
 		}
 		est, reason := st.estimate(t, n)
+		modelEst := 0.0
+		if reason == "model" {
+			modelEst = est
+		}
+		est *= n.penalty()
 		xfer := st.transferNanos(t, n)
 		score := n.backlog + est + xfer
-		if best == nil || score < bestScore {
-			best, bestScore, bestEst, bestXfer, bestReason = n, score, est, xfer, reason
+		if best.node == nil || score < bestScore {
+			best = placement{node: n, est: est, xfer: xfer, reason: reason, modelEst: modelEst}
+			bestScore = score
 		}
 	}
-	return best, bestEst, bestXfer, bestReason
+	return best, best.node != nil
 }
 
 // dispatchReady places as many ready tasks as node credits allow.
@@ -637,21 +765,22 @@ func (st *runState) dispatchReady() {
 		if st.done[t.ID()] || st.inflight[t.ID()] != nil {
 			continue // resubmitted and already handled
 		}
-		n, est, xfer, reason := st.choose(t)
-		if n == nil {
+		p, ok := st.choose(t)
+		if !ok {
 			defer2 = append(defer2, t)
 			if st.aliveCount() == 0 {
 				break // wait for a node; keep remaining ready intact
 			}
 			continue
 		}
-		st.dispatch(t, n, est, xfer, reason)
+		st.dispatch(t, p)
 	}
 	st.ready = append(defer2, st.ready...)
 }
 
 // dispatch charges the node and ships the invocation asynchronously.
-func (st *runState) dispatch(t *taskrt.Task, n *nodeState, est, xfer float64, reason string) {
+func (st *runState) dispatch(t *taskrt.Task, p placement) {
+	n := p.node
 	specs := make([]AccessSpec, len(t.Accesses))
 	inline := make([]bool, len(t.Accesses))
 	for i, a := range t.Accesses {
@@ -665,13 +794,13 @@ func (st *runState) dispatch(t *taskrt.Task, n *nodeState, est, xfer float64, re
 		}
 		inline[i] = !n.hasVersion(id, st.ver[id])
 	}
-	rec := &inflightRec{task: t, node: n, specs: specs, est: est}
+	rec := &inflightRec{task: t, node: n, specs: specs, est: p.est, modelEst: p.modelEst}
 	st.inflight[t.ID()] = rec
 	n.credits--
-	n.backlog += est + xfer
+	n.backlog += p.est + p.xfer
 	cm.inflight.With(n.cfg.Name).Inc()
-	cm.decisions.With(reason).Inc()
-	st.traceDispatch(t, n, reason, xfer)
+	cm.decisions.With(p.reason).Inc()
+	st.traceDispatch(t, n, p.reason, p.xfer)
 
 	var parents []int
 	for _, d := range t.Deps() {
@@ -763,6 +892,12 @@ func (st *runState) handleResult(ev event) (bool, error) {
 		}
 		cm.inflight.With(n.cfg.Name).Dec()
 		delete(st.inflight, t.ID())
+	}
+	// Ingest piggybacked worker spans before the exactly-once drop: even a
+	// duplicate attempt really executed, and the merged timeline should show
+	// it (that is how duplicated work becomes visible).
+	if ev.resp != nil {
+		st.ingestSpans(n, ev.resp)
 	}
 	if st.done[t.ID()] {
 		return false, nil // duplicate of a completed task: exactly-once drop
@@ -869,6 +1004,7 @@ func (st *runState) handleResult(ev event) (bool, error) {
 		cm.transfers.With(n.cfg.Name).Add(float64(rec.inlines))
 		cm.transferB.With(n.cfg.Name).Add(float64(rec.shipped))
 	}
+	st.observeResidual(n, t, rec, resp.ExecSeconds)
 	// Feed the round-trip into the node's fallback mean and the shared
 	// perfmodel (keyed by the arch the worker actually used).
 	if resp.ExecSeconds > 0 {

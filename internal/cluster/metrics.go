@@ -23,6 +23,9 @@ var cm = struct {
 	nodeUp      *metrics.GaugeVec     // {node}
 	hbMisses    *metrics.CounterVec   // {node}
 	decisions   *metrics.CounterVec   // {reason}
+	stragglers  *metrics.CounterVec   // {node}
+	slowdown    *metrics.GaugeVec     // {node}
+	residual    *metrics.HistogramVec // {node}
 }{
 	tasks: metrics.Default.CounterVec("taskrt_cluster_tasks_total",
 		"Tasks completed and applied, by executing node.", "node"),
@@ -46,4 +49,16 @@ var cm = struct {
 		"Heartbeat probes that failed or timed out, by node.", "node"),
 	decisions: metrics.Default.CounterVec("taskrt_cluster_decisions_total",
 		"Node placement decisions by prediction source: model = perfmodel history, fallback = observed node mean, cold = no history anywhere.", "reason"),
+	stragglers: metrics.Default.CounterVec("taskrt_cluster_stragglers_total",
+		"Tasks whose observed latency exceeded the model estimate their placement used by more than the configured multiple, by node.", "node"),
+	slowdown: metrics.Default.GaugeVec("taskrt_cluster_node_slowdown",
+		"EWMA of observed/estimated kernel latency per node (1 = on model; series deleted when the node dies).", "node"),
+	residual: metrics.Default.HistogramVec("taskrt_cluster_residual_ratio",
+		"Observed/estimated kernel latency for model-placed tasks, by node.", residualBuckets, "node"),
+}
+
+// residualBuckets resolve the observed/estimated ratio: < 1 is faster than
+// modelled, the high tail is where stragglers live.
+var residualBuckets = []float64{
+	0.25, 0.5, 0.75, 1, 1.5, 2, 3, 4, 6, 8, 16, 32, 64,
 }

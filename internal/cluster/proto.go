@@ -26,6 +26,7 @@ import (
 	"fmt"
 
 	"repro/internal/blas"
+	"repro/internal/trace"
 )
 
 // HTTP surface of a worker.
@@ -33,6 +34,14 @@ const (
 	PathExecute = "/v1/execute"
 	PathInfo    = "/v1/info"
 	PathHealthz = "/healthz"
+	// PathTrace serves the worker's span buffer as JSONL (node + epoch
+	// metadata included). `?drain=1` atomically hands over and clears the
+	// buffer — the pull-side counterpart of the spans piggybacked on execute
+	// responses, for collectors that want history without running tasks.
+	PathTrace = "/v1/trace"
+	// PathMetrics serves the worker's Prometheus exposition; pdlserved's
+	// fleet scraper federates the taskrt_worker_* families it finds here.
+	PathMetrics = "/metrics"
 
 	// ContentTypeGob marks the execute request/response encoding. gob is
 	// chosen over JSON for the data plane: payloads are dense float64
@@ -88,6 +97,16 @@ type ExecResponse struct {
 	ExecSeconds float64
 	Arch        string
 	Unit        string // executing lane, for merged traces ("worker0", ...)
+
+	// Spans are the trace events this invocation recorded on the worker
+	// (execution span, and any it can cheaply piggyback), with times as
+	// offsets from the worker's epoch. Shipping them on the response gives
+	// the master a live, complete span stream without a second round-trip.
+	Spans []trace.Event
+	// EpochMicros is the worker process's start time (µs since the Unix
+	// epoch): the time base of the span offsets, which trace.Merge uses to
+	// align per-node timelines into one.
+	EpochMicros int64
 }
 
 // InfoResponse describes a worker to masters (GET /v1/info, JSON).

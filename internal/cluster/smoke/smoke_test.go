@@ -11,10 +11,14 @@ package smoke
 
 import (
 	"context"
+	"io"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 	"time"
 
@@ -23,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/metrics"
 	"repro/internal/server"
 	"repro/internal/taskrt"
 	"repro/internal/trace"
@@ -34,9 +39,11 @@ func TestClusterSmoke(t *testing.T) {
 	}
 	bin := buildBinaries(t)
 
-	// Registry daemon.
+	// Registry daemon, federating worker metrics fast enough for the test
+	// to observe fleet series shortly after the kernels run.
 	servedAddr := freeAddr(t)
-	served := startProc(t, bin["pdlserved"], "-addr", servedAddr, "-access-log", "")
+	served := startProc(t, bin["pdlserved"], "-addr", servedAddr, "-access-log", "",
+		"-fleet-scrape", "500ms")
 	defer stopProc(served)
 	base := "http://" + servedAddr
 	ctl, err := client.New(base, client.WithRetry(0, 0))
@@ -56,7 +63,8 @@ func TestClusterSmoke(t *testing.T) {
 	t.Logf("discovered %d workers via %s/workers: %+v", len(nodes), base, nodes)
 
 	t.Run("HappyPath", func(t *testing.T) {
-		rep, diff := runMaster(t, nodes, 256, 64, nil, nil)
+		tr := trace.New()
+		rep, diff := runMaster(t, nodes, 256, 64, tr, nil)
 		if diff > 1e-8 {
 			t.Fatalf("distributed result wrong (maxdiff %g)", diff)
 		}
@@ -71,11 +79,21 @@ func TestClusterSmoke(t *testing.T) {
 			if n.Tasks > 0 {
 				both++
 			}
+			if n.Stragglers != 0 {
+				// Non-blocking: with ~50µs kernels, scheduler jitter alone
+				// can exceed the 4x residual multiple. CI greps the metrics
+				// artifact for the same signal without failing the build.
+				t.Logf("note: healthy run flagged %d straggler(s) on %s (micro-kernel jitter)", n.Stragglers, n.Name)
+			}
 		}
 		if both != 2 {
 			t.Fatalf("work did not spread across both nodes: %+v", rep.PerNode)
 		}
 		t.Logf("happy path: %s", rep)
+
+		merged := fetchMergedTrace(t, rep)
+		checkFleetMetrics(t, base, rep)
+		writeArtifacts(t, merged, base)
 	})
 
 	t.Run("WorkerKilledMidFlight", func(t *testing.T) {
@@ -106,6 +124,143 @@ func TestClusterSmoke(t *testing.T) {
 		}
 		t.Logf("failover: %s", rep)
 	})
+}
+
+// fetchMergedTrace pulls the live merged cluster timeline over the HTTP
+// debug surface (the same handler pdlbench -pprof mounts) and verifies it
+// stitches worker-side kernel spans from both nodes with their causal
+// identity intact.
+func fetchMergedTrace(t *testing.T, rep *cluster.Report) *trace.Trace {
+	t.Helper()
+	debug := httptest.NewServer(cluster.DebugHandler())
+	defer debug.Close()
+	resp, err := http.Get(debug.URL + "/debug/trace?format=jsonl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/trace status = %d", resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := trace.ReadBytes(body)
+	if err != nil {
+		t.Fatalf("parsing merged trace: %v", err)
+	}
+	spans := map[string]int{}
+	taskIDs := map[int]bool{}
+	for _, e := range merged.Events() {
+		if e.Kind != trace.Task || e.Node == "" {
+			continue
+		}
+		if e.Label == "" || e.End < e.Start {
+			t.Fatalf("kernel span lost causal identity: %+v", e)
+		}
+		spans[e.Node]++
+		taskIDs[e.TaskID] = true
+	}
+	for _, node := range []string{"smoke-a", "smoke-b"} {
+		if spans[node] == 0 {
+			t.Fatalf("merged trace has no kernel spans from %s (got %v)", node, spans)
+		}
+	}
+	if len(taskIDs) != rep.Tasks {
+		t.Fatalf("kernel spans cover %d distinct task ids, want %d", len(taskIDs), rep.Tasks)
+	}
+	t.Logf("merged trace: %d events, kernel spans per node %v", merged.Len(), spans)
+	return merged
+}
+
+// checkFleetMetrics polls pdlserved's /metrics until the federated
+// node-labelled kernel latency histograms from both workers appear — the
+// scrape loop runs every 500ms, and the workers only grow those families
+// once kernels have executed.
+func checkFleetMetrics(t *testing.T, base string, rep *cluster.Report) {
+	t.Helper()
+	want := []string{
+		`taskrt_fleet_kernel_seconds_bucket{node="smoke-a"`,
+		`taskrt_fleet_kernel_seconds_bucket{node="smoke-b"`,
+		`taskrt_fleet_executions_total{node="smoke-a"`,
+		`taskrt_fleet_executions_total{node="smoke-b"`,
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	var body string
+	for time.Now().Before(deadline) {
+		body = fetchText(t, base+"/metrics")
+		ok := true
+		for _, w := range want {
+			if !strings.Contains(body, w) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			t.Logf("fleet federation: both nodes' kernel histograms on %s/metrics", base)
+			return
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	t.Fatalf("federated fleet metrics never appeared; last scrape:\n%s", grepLines(body, "taskrt_fleet_"))
+}
+
+// writeArtifacts persists the merged Chrome trace and the metrics snapshots
+// when PDL_SMOKE_ARTIFACTS names a directory — CI uploads these so a failed
+// (or healthy) cluster run can be inspected in Perfetto after the fact.
+func writeArtifacts(t *testing.T, merged *trace.Trace, base string) {
+	t.Helper()
+	dir := os.Getenv("PDL_SMOKE_ARTIFACTS")
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := merged.WriteChromeFile(filepath.Join(dir, "cluster_trace.json")); err != nil {
+		t.Fatal(err)
+	}
+	fleet := fetchText(t, base+"/metrics")
+	if err := os.WriteFile(filepath.Join(dir, "fleet_metrics.txt"), []byte(fleet), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	metrics.Default.WritePrometheus(&b)
+	if err := os.WriteFile(filepath.Join(dir, "cluster_metrics.txt"), []byte(b.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote smoke artifacts to %s", dir)
+}
+
+// fetchText GETs a URL and returns its body as a string.
+func fetchText(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(body)
+}
+
+// grepLines filters a text blob to the lines containing sub (for readable
+// failure output).
+func grepLines(text, sub string) string {
+	var out []string
+	for _, line := range strings.Split(text, "\n") {
+		if strings.Contains(line, sub) {
+			out = append(out, line)
+		}
+	}
+	if len(out) == 0 {
+		return "(no matching lines)"
+	}
+	return strings.Join(out, "\n")
 }
 
 // runMaster drives an in-process cluster master over a tiled C += A·B graph

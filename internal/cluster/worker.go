@@ -7,8 +7,10 @@ import (
 	"net/http"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/perfmodel"
 	"repro/internal/taskrt"
 	"repro/internal/trace"
@@ -34,9 +36,16 @@ type WorkerConfig struct {
 	// OnObservation, when set, is called after each successful execution
 	// (pdlworkerd wires it to POST /platforms/{name}/observe).
 	OnObservation func(codelet, arch string, size, seconds float64)
-	// Trace, when set, records execution spans stamped with Name so merged
-	// cluster traces carry per-node lanes.
+	// Trace, when set, is the trace execution spans are recorded into; the
+	// worker builds a private one otherwise. Either way the trace is stamped
+	// with node + epoch metadata, spans piggyback on execute responses, and
+	// GET /v1/trace serves (or drains) the buffer.
 	Trace *trace.Trace
+	// Faults, when set, is a slowdown-injection plan: Delay events whose
+	// Unit matches Name add their Delay seconds to every (gated) kernel —
+	// the deterministic gray failure the master's straggler detector is
+	// tested against. Failure events in the plan are ignored here.
+	Faults *taskrt.FaultPlan
 	// MaxBodyBytes bounds execute request bodies (default 256 MiB).
 	MaxBodyBytes int64
 	// CacheEntries bounds the handle cache (default 65536 entries).
@@ -50,6 +59,7 @@ type WorkerConfig struct {
 type cacheEntry struct {
 	version uint64
 	payload any
+	bytes   int64 // encoded size when it arrived inline (0 for local stores)
 }
 
 // Worker executes shipped codelet invocations. It is an http.Handler
@@ -60,10 +70,68 @@ type Worker struct {
 	slots    chan int // free-list of slot ids, naming trace lanes
 	start    time.Time
 
-	mu    sync.Mutex
-	cache map[int]cacheEntry
+	// tr is the node trace (cfg.Trace or private); shards are the per-slot
+	// lock-free span buffers feeding it. A shard is only touched while its
+	// slot is held, preserving the single-producer invariant.
+	tr     *trace.Trace
+	shards []*trace.Shard
+	delays []taskrt.FaultEvent
+
+	met       *workerMetrics
+	inflight  atomic.Int64
+	execCount atomic.Int64
+
+	mu         sync.Mutex
+	cache      map[int]cacheEntry
+	cacheBytes int64
 
 	execs sync.WaitGroup
+}
+
+// workerMetrics is the node-local instrument set, in a private registry per
+// Worker so multi-worker processes (tests, loopback experiments) never
+// collide on registration. Families use the taskrt_worker_ prefix, which is
+// what pdlserved's fleet scraper federates.
+type workerMetrics struct {
+	reg        *metrics.Registry
+	executions *metrics.CounterVec   // {codelet, arch}
+	failures   *metrics.CounterVec   // {codelet}
+	kernel     *metrics.HistogramVec // {codelet}
+	needData   *metrics.Counter
+	delayed    *metrics.Counter
+}
+
+func newWorkerMetrics(w *Worker) *workerMetrics {
+	reg := metrics.New()
+	m := &workerMetrics{
+		reg: reg,
+		executions: reg.CounterVec("taskrt_worker_executions_total",
+			"Kernels executed to completion on this node.", "codelet", "arch"),
+		failures: reg.CounterVec("taskrt_worker_failures_total",
+			"Kernel executions that returned an error, by codelet.", "codelet"),
+		kernel: reg.HistogramVec("taskrt_worker_kernel_seconds",
+			"Kernel execution latency on this node, by codelet.", clusterTaskBuckets, "codelet"),
+		needData: reg.Counter("taskrt_worker_needdata_total",
+			"Invocations bounced for missing cached payload versions."),
+		delayed: reg.Counter("taskrt_worker_injected_delay_seconds_total",
+			"Seconds of fault-plan slowdown injected into kernels."),
+	}
+	reg.GaugeFunc("taskrt_worker_inflight_kernels",
+		"Invocations currently holding an execution slot.",
+		func() float64 { return float64(w.inflight.Load()) })
+	reg.GaugeFunc("taskrt_worker_cache_entries",
+		"Handles resident in the version-tagged payload cache.",
+		func() float64 { entries, _ := w.CacheStats(); return float64(entries) })
+	reg.GaugeFunc("taskrt_worker_cached_bytes",
+		"Declared bytes of the cached handle payloads.",
+		func() float64 { _, bytes := w.CacheStats(); return float64(bytes) })
+	reg.GaugeFunc("taskrt_worker_slots",
+		"Configured execution parallelism.",
+		func() float64 { return float64(w.cfg.Slots) })
+	reg.GaugeFunc("taskrt_worker_uptime_seconds",
+		"Seconds since the worker process epoch.",
+		func() float64 { return time.Since(w.start).Seconds() })
+	return m
 }
 
 // NewWorker validates the config and builds a worker.
@@ -83,12 +151,18 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	if cfg.CacheEntries <= 0 {
 		cfg.CacheEntries = 65536
 	}
+	if cfg.Faults != nil {
+		if err := cfg.Faults.Validate(); err != nil {
+			return nil, err
+		}
+	}
 	w := &Worker{
 		cfg:      cfg,
 		codelets: map[string]*taskrt.Codelet{},
 		slots:    make(chan int, cfg.Slots),
 		start:    time.Now(),
 		cache:    map[int]cacheEntry{},
+		delays:   cfg.Faults.DelaysForUnit(cfg.Name),
 	}
 	for _, c := range cfg.Codelets {
 		if _, dup := w.codelets[c.Name]; dup {
@@ -99,12 +173,32 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	for i := 0; i < cfg.Slots; i++ {
 		w.slots <- i
 	}
-	if cfg.Trace != nil {
-		cfg.Trace.SetMeta(trace.MetaNode, cfg.Name)
-		cfg.Trace.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", w.start.UnixMicro()))
+	w.tr = cfg.Trace
+	if w.tr == nil {
+		w.tr = trace.New()
 	}
+	w.tr.SetMeta(trace.MetaNode, cfg.Name)
+	w.tr.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", w.start.UnixMicro()))
+	w.shards = make([]*trace.Shard, cfg.Slots)
+	for i := range w.shards {
+		w.shards[i] = w.tr.NewShard(0)
+	}
+	w.met = newWorkerMetrics(w)
 	return w, nil
 }
+
+// Trace returns the worker's node trace (the one /v1/trace serves).
+func (w *Worker) Trace() *trace.Trace { return w.tr }
+
+// CacheStats reports the payload cache's entry count and declared bytes.
+func (w *Worker) CacheStats() (entries int, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.cache), w.cacheBytes
+}
+
+// Metrics returns the worker's private metric registry (served on /metrics).
+func (w *Worker) Metrics() *metrics.Registry { return w.met.reg }
 
 // Info describes the worker for GET /v1/info and lease registration.
 func (w *Worker) Info() InfoResponse {
@@ -127,10 +221,39 @@ func (w *Worker) Handler() http.Handler {
 		json.NewEncoder(rw).Encode(w.Info())
 	})
 	mux.HandleFunc("GET "+PathHealthz, func(rw http.ResponseWriter, r *http.Request) {
+		entries, bytes := w.CacheStats()
 		rw.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(rw).Encode(map[string]any{"status": "ok", "name": w.cfg.Name})
+		json.NewEncoder(rw).Encode(map[string]any{
+			"status":           "ok",
+			"name":             w.cfg.Name,
+			"cache_entries":    entries,
+			"cached_bytes":     bytes,
+			"inflight_kernels": w.inflight.Load(),
+			"slots":            w.cfg.Slots,
+			"uptime_seconds":   time.Since(w.start).Seconds(),
+		})
+	})
+	mux.HandleFunc("GET "+PathTrace, w.handleTrace)
+	mux.HandleFunc("GET "+PathMetrics, func(rw http.ResponseWriter, r *http.Request) {
+		rw.Header().Set("Content-Type", "text/plain; version=0.0.4")
+		w.met.reg.WritePrometheus(rw)
+		metrics.Default.WritePrometheus(rw)
 	})
 	return mux
+}
+
+// handleTrace serves the node's span buffer as JSONL. ?drain=1 atomically
+// hands the buffer over and clears it, so a polling collector sees every
+// span exactly once.
+func (w *Worker) handleTrace(rw http.ResponseWriter, r *http.Request) {
+	tr := w.tr
+	if r.URL.Query().Get("drain") == "1" {
+		tr = w.tr.Drain()
+	}
+	rw.Header().Set("Content-Type", "application/jsonl")
+	if err := tr.WriteJSONL(rw); err != nil {
+		w.logf("cluster: worker %s: writing trace: %v", w.cfg.Name, err)
+	}
 }
 
 // Wait blocks until in-flight executions finish (graceful shutdown).
@@ -210,6 +333,7 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 	}
 	w.mu.Unlock()
 	if len(resp.NeedData) > 0 {
+		w.met.needData.Inc()
 		return resp
 	}
 	for i, a := range req.Accesses {
@@ -228,6 +352,9 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 	defer func() { w.slots <- slot }()
 	resp.Unit = fmt.Sprintf("worker%d", slot)
 	resp.Arch = im.Arch
+	w.inflight.Add(1)
+	defer w.inflight.Add(-1)
+	nth := w.execCount.Add(1)
 
 	// The synthetic task carries what kernels may consult (label, flops);
 	// identity fields stay zero — handle identity lives in the AccessSpec.
@@ -238,9 +365,17 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 		Task:     &taskrt.Task{Codelet: cl, Flops: req.Flops, Label: req.Label},
 	}
 	begin := time.Now()
+	// Injected slowdown sleeps inside the measured window, so the delay
+	// inflates ExecSeconds, the recorded span and every model observation —
+	// indistinguishable from a genuinely slow node, which is the point.
+	if d := w.injectedDelay(int(nth)); d > 0 {
+		w.met.delayed.Add(d.Seconds())
+		time.Sleep(d)
+	}
 	err := im.Func(tc)
 	elapsed := time.Since(begin)
-	w.recordSpan(req, resp.Unit, begin, elapsed, err == nil)
+	w.recordSpan(resp, req, slot, begin, elapsed, err == nil)
+	w.met.kernel.With(req.Codelet).Observe(elapsed.Seconds())
 	if err != nil {
 		// The kernel may have partially mutated write-mode payloads in
 		// place before failing. A cache-resident one would survive still
@@ -250,14 +385,16 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 		w.mu.Lock()
 		for _, a := range req.Accesses {
 			if taskrt.AccessMode(a.Mode).Writes() {
-				delete(w.cache, a.HandleID)
+				w.cacheDeleteLocked(a.HandleID)
 			}
 		}
 		w.mu.Unlock()
+		w.met.failures.With(req.Codelet).Inc()
 		resp.Error = err.Error()
 		return resp
 	}
 	resp.ExecSeconds = elapsed.Seconds()
+	w.met.executions.With(req.Codelet, im.Arch).Inc()
 
 	// Cache contents now valid here: reads at their spec version, writes at
 	// the successor version (the task graph serialises writers, so
@@ -269,7 +406,7 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 		if mode.Writes() {
 			ver++
 		}
-		w.cacheStoreLocked(a.HandleID, ver, payloads[i])
+		w.cacheStoreLocked(a.HandleID, ver, payloads[i], a.Bytes)
 	}
 	w.mu.Unlock()
 	for i, a := range req.Accesses {
@@ -299,36 +436,71 @@ func (w *Worker) execute(req *ExecRequest) *ExecResponse {
 }
 
 // cacheStoreLocked inserts under the entry cap, evicting arbitrarily when
-// full (misses self-heal via NeedData).
-func (w *Worker) cacheStoreLocked(id int, ver uint64, payload any) {
+// full (misses self-heal via NeedData), and keeps the declared-bytes
+// accounting the /healthz and /metrics surfaces report.
+func (w *Worker) cacheStoreLocked(id int, ver uint64, payload any, bytes int64) {
 	if _, exists := w.cache[id]; !exists && len(w.cache) >= w.cfg.CacheEntries {
 		for victim := range w.cache {
-			delete(w.cache, victim)
+			w.cacheDeleteLocked(victim)
 			break
 		}
 	}
-	w.cache[id] = cacheEntry{version: ver, payload: payload}
+	if old, exists := w.cache[id]; exists {
+		w.cacheBytes -= old.bytes
+	}
+	w.cache[id] = cacheEntry{version: ver, payload: payload, bytes: bytes}
+	w.cacheBytes += bytes
 }
 
-// recordSpan writes the execution span into the node trace.
-func (w *Worker) recordSpan(req *ExecRequest, unit string, begin time.Time, elapsed time.Duration, ok bool) {
-	if w.cfg.Trace == nil {
-		return
+// cacheDeleteLocked removes an entry, keeping the byte accounting honest.
+func (w *Worker) cacheDeleteLocked(id int) {
+	if e, exists := w.cache[id]; exists {
+		w.cacheBytes -= e.bytes
+		delete(w.cache, id)
 	}
+}
+
+// injectedDelay sums the fault plan's active slowdowns for this execution
+// (nth is 1-based): ungated delays always apply, AtTime gates open that many
+// seconds after process start, AfterTasks gates from the Nth execution on.
+func (w *Worker) injectedDelay(nth int) time.Duration {
+	total := 0.0
+	for _, f := range w.delays {
+		switch {
+		case f.AfterTasks > 0 && nth < f.AfterTasks:
+			continue
+		case f.AtTime > 0 && time.Since(w.start).Seconds() < f.AtTime:
+			continue
+		}
+		total += f.Delay
+	}
+	return time.Duration(total * float64(time.Second))
+}
+
+// recordSpan writes the execution span into the slot's shard, flushes it to
+// the node trace (so /v1/trace readers see it immediately) and piggybacks it
+// on the response — the push half of distributed trace propagation. The
+// shard is owned by the held slot, so Record never contends.
+func (w *Worker) recordSpan(resp *ExecResponse, req *ExecRequest, slot int, begin time.Time, elapsed time.Duration, ok bool) {
 	kind := trace.Task
 	if !ok {
 		kind = trace.Failure
 	}
 	start := begin.Sub(w.start).Seconds()
-	w.cfg.Trace.Record(trace.Event{
+	e := trace.Event{
 		Kind:      kind,
-		Unit:      unit,
+		Unit:      resp.Unit,
 		Node:      w.cfg.Name,
 		Label:     req.Label,
 		TaskID:    req.TaskID,
 		ParentIDs: req.Parents,
 		Attempt:   req.Attempt,
+		Worker:    slot,
 		Start:     start,
 		End:       start + elapsed.Seconds(),
-	})
+	}
+	w.shards[slot].Record(e)
+	w.shards[slot].Flush()
+	resp.Spans = append(resp.Spans, e)
+	resp.EpochMicros = w.start.UnixMicro()
 }

@@ -1,0 +1,253 @@
+package metrics
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Metrics federation: pdlserved scrapes each registered pdlworkerd's
+// /metrics endpoint, keeps the latest parsed snapshot per node, and
+// re-exports the workers' taskrt_worker_* families as node-labelled
+// taskrt_fleet_* aggregates on its own scrape endpoint — one scrape shows
+// the whole fleet. Each Update replaces the node's previous snapshot
+// wholesale, so scraping a worker twice can never double-count its
+// counters, and Drop removes a dead node's series entirely rather than
+// freezing them at their last value.
+
+// FederatedPrefix selects which worker families are federated: everything a
+// worker exports under this prefix is re-exported by the master scrape
+// endpoint with the prefix rewritten to FleetPrefix and a node label added.
+const (
+	FederatedPrefix = "taskrt_worker_"
+	FleetPrefix     = "taskrt_fleet_"
+)
+
+// PromSample is one sample line of a parsed exposition: a metric name (which
+// may carry a _bucket/_sum/_count suffix relative to its family), its raw
+// label block (the text between the braces, without them; "" when unlabelled)
+// and the value.
+type PromSample struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// PromFamily is one `# TYPE`-delimited family of a parsed exposition.
+type PromFamily struct {
+	Name    string
+	Help    string
+	Type    string
+	Samples []PromSample
+}
+
+// ParsePromText parses the Prometheus text exposition format as produced by
+// Registry.WritePrometheus (the subset this repo emits: HELP/TYPE comments,
+// then sample lines). Samples appearing before any TYPE comment, and
+// histogram series (_bucket/_sum/_count), attach to their base family.
+func ParsePromText(r io.Reader) ([]PromFamily, error) {
+	var families []PromFamily
+	index := map[string]int{} // family name -> families slot
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64<<10), 16<<20)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			parts := strings.SplitN(line, " ", 4)
+			if len(parts) < 3 {
+				continue // free-form comment
+			}
+			switch parts[1] {
+			case "HELP":
+				fam := familySlot(&families, index, parts[2])
+				if len(parts) == 4 {
+					fam.Help = parts[3]
+				}
+			case "TYPE":
+				fam := familySlot(&families, index, parts[2])
+				if len(parts) == 4 {
+					fam.Type = parts[3]
+				}
+			}
+			continue
+		}
+		name, labels, rest, err := splitSample(line)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d: %w", lineNo, err)
+		}
+		val, err := strconv.ParseFloat(strings.Fields(rest)[0], 64)
+		if err != nil {
+			return nil, fmt.Errorf("metrics: parse line %d value: %w", lineNo, err)
+		}
+		fam := familySlot(&families, index, baseFamily(name, index))
+		fam.Samples = append(fam.Samples, PromSample{Name: name, Labels: labels, Value: val})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return families, nil
+}
+
+// familySlot returns the family with the given name, appending it on first
+// sight.
+func familySlot(families *[]PromFamily, index map[string]int, name string) *PromFamily {
+	if i, ok := index[name]; ok {
+		return &(*families)[i]
+	}
+	index[name] = len(*families)
+	*families = append(*families, PromFamily{Name: name})
+	return &(*families)[len(*families)-1]
+}
+
+// baseFamily maps a sample name to its family: histogram series names carry
+// _bucket/_sum/_count suffixes relative to the declared family name.
+func baseFamily(name string, index map[string]int) string {
+	if _, ok := index[name]; ok {
+		return name
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		base, ok := strings.CutSuffix(name, suffix)
+		if !ok {
+			continue
+		}
+		if _, declared := index[base]; declared {
+			return base
+		}
+	}
+	return name
+}
+
+// splitSample parses `name{labels} value` or `name value`, leaving the label
+// block raw (label values produced by this package never contain '}', so a
+// byte scan suffices).
+func splitSample(line string) (name, labels, rest string, err error) {
+	brace := strings.IndexByte(line, '{')
+	space := strings.IndexByte(line, ' ')
+	if brace >= 0 && (space < 0 || brace < space) {
+		end := strings.IndexByte(line, '}')
+		if end < brace {
+			return "", "", "", fmt.Errorf("unterminated label block in %q", line)
+		}
+		name, labels = line[:brace], line[brace+1:end]
+		rest = strings.TrimSpace(line[end+1:])
+	} else {
+		if space < 0 {
+			return "", "", "", fmt.Errorf("no value in %q", line)
+		}
+		name, rest = line[:space], strings.TrimSpace(line[space:])
+	}
+	if name == "" || rest == "" {
+		return "", "", "", fmt.Errorf("malformed sample %q", line)
+	}
+	return name, labels, rest, nil
+}
+
+// Federator accumulates per-node metric snapshots and renders the fleet
+// view. Safe for concurrent use: the scrape loop updates while the metrics
+// handler renders.
+type Federator struct {
+	mu    sync.Mutex
+	nodes map[string][]PromFamily
+}
+
+// NewFederator returns an empty federator.
+func NewFederator() *Federator {
+	return &Federator{nodes: map[string][]PromFamily{}}
+}
+
+// Update replaces the node's snapshot with the families parsed from one
+// scrape, keeping only the federated (FederatedPrefix) families. Replacement
+// is wholesale: re-scraping the same worker never accumulates, so counters
+// are never double-counted.
+func (f *Federator) Update(node string, families []PromFamily) {
+	var kept []PromFamily
+	for _, fam := range families {
+		if strings.HasPrefix(fam.Name, FederatedPrefix) {
+			kept = append(kept, fam)
+		}
+	}
+	f.mu.Lock()
+	f.nodes[node] = kept
+	f.mu.Unlock()
+}
+
+// Drop removes a node's series entirely (death, lease expiry): ghost nodes
+// must vanish from the fleet scrape, not linger at stale values.
+func (f *Federator) Drop(node string) {
+	f.mu.Lock()
+	delete(f.nodes, node)
+	f.mu.Unlock()
+}
+
+// Nodes returns the federated node names, sorted.
+func (f *Federator) Nodes() []string {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]string, 0, len(f.nodes))
+	for n := range f.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// WritePrometheus renders the fleet view: every federated family across all
+// nodes, renamed FederatedPrefix -> FleetPrefix, with a node label injected
+// first in each sample's label block. Families are sorted by name, nodes
+// within a family, so output is deterministic.
+func (f *Federator) WritePrometheus(w io.Writer) {
+	f.mu.Lock()
+	nodes := make([]string, 0, len(f.nodes))
+	for n := range f.nodes {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	type slot struct {
+		help, typ string
+		perNode   map[string][]PromSample
+	}
+	fams := map[string]*slot{}
+	var order []string
+	for _, node := range nodes {
+		for _, fam := range f.nodes[node] {
+			s := fams[fam.Name]
+			if s == nil {
+				s = &slot{help: fam.Help, typ: fam.Type, perNode: map[string][]PromSample{}}
+				fams[fam.Name] = s
+				order = append(order, fam.Name)
+			}
+			s.perNode[node] = fam.Samples
+		}
+	}
+	f.mu.Unlock()
+	sort.Strings(order)
+	for _, name := range order {
+		s := fams[name]
+		fleet := FleetPrefix + strings.TrimPrefix(name, FederatedPrefix)
+		if s.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", fleet, s.help)
+		}
+		if s.typ != "" {
+			fmt.Fprintf(w, "# TYPE %s %s\n", fleet, s.typ)
+		}
+		for _, node := range nodes {
+			for _, sample := range s.perNode[node] {
+				sampleName := FleetPrefix + strings.TrimPrefix(sample.Name, FederatedPrefix)
+				labels := fmt.Sprintf("node=%q", node)
+				if sample.Labels != "" {
+					labels += "," + sample.Labels
+				}
+				fmt.Fprintf(w, "%s{%s} %g\n", sampleName, labels, sample.Value)
+			}
+		}
+	}
+}

@@ -1,0 +1,133 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// workerExposition renders a registry the way a pdlworkerd /metrics scrape
+// looks: taskrt_worker_* families plus an unrelated family that federation
+// must filter out.
+func workerExposition(t *testing.T, execs float64) string {
+	t.Helper()
+	r := New()
+	r.CounterVec("taskrt_worker_executions_total", "Kernels executed.", "codelet", "arch").
+		With("gemm", "x86").Add(execs)
+	h := r.HistogramVec("taskrt_worker_kernel_seconds", "Kernel latency.", []float64{0.01, 0.1}, "codelet")
+	h.With("gemm").Observe(0.05)
+	r.Gauge("taskrt_worker_inflight_kernels", "Kernels executing now.").Set(2)
+	r.Gauge("go_goroutines_like", "Not federated.").Set(99)
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	return b.String()
+}
+
+func TestParsePromTextRoundTrip(t *testing.T) {
+	fams, err := ParsePromText(strings.NewReader(workerExposition(t, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]PromFamily{}
+	for _, f := range fams {
+		byName[f.Name] = f
+	}
+	ex, ok := byName["taskrt_worker_executions_total"]
+	if !ok || ex.Type != "counter" || len(ex.Samples) != 1 {
+		t.Fatalf("executions family wrong: %+v", ex)
+	}
+	if ex.Samples[0].Value != 3 || !strings.Contains(ex.Samples[0].Labels, `codelet="gemm"`) {
+		t.Fatalf("executions sample wrong: %+v", ex.Samples[0])
+	}
+	// Histogram series (_bucket/_sum/_count) must attach to the base family.
+	hist := byName["taskrt_worker_kernel_seconds"]
+	if hist.Type != "histogram" {
+		t.Fatalf("histogram family type = %q", hist.Type)
+	}
+	names := map[string]bool{}
+	for _, s := range hist.Samples {
+		names[s.Name] = true
+	}
+	for _, want := range []string{"taskrt_worker_kernel_seconds_bucket", "taskrt_worker_kernel_seconds_sum", "taskrt_worker_kernel_seconds_count"} {
+		if !names[want] {
+			t.Fatalf("histogram family lacks %s: %v", want, names)
+		}
+	}
+}
+
+// Two scrapes of the same worker must not double-count counters: Update
+// replaces the node's snapshot wholesale.
+func TestFederatorDedup(t *testing.T) {
+	f := NewFederator()
+	for i := 0; i < 2; i++ { // scrape the same node twice
+		fams, err := ParsePromText(strings.NewReader(workerExposition(t, 5)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Update("w1", fams)
+	}
+	var b bytes.Buffer
+	f.WritePrometheus(&b)
+	out := b.String()
+	want := `taskrt_fleet_executions_total{node="w1",codelet="gemm",arch="x86"} 5`
+	if !strings.Contains(out, want) {
+		t.Fatalf("fleet output lacks %q:\n%s", want, out)
+	}
+	if strings.Count(out, "taskrt_fleet_executions_total{") != 1 {
+		t.Fatalf("double-counted executions after re-scrape:\n%s", out)
+	}
+	if strings.Contains(out, "go_goroutines_like") {
+		t.Fatalf("non-federated family leaked into fleet output:\n%s", out)
+	}
+}
+
+func TestFederatorMultiNodeAndDrop(t *testing.T) {
+	f := NewFederator()
+	for _, node := range []string{"w1", "w2"} {
+		fams, err := ParsePromText(strings.NewReader(workerExposition(t, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f.Update(node, fams)
+	}
+	var b bytes.Buffer
+	f.WritePrometheus(&b)
+	out := b.String()
+	for _, want := range []string{
+		`taskrt_fleet_kernel_seconds_bucket{node="w1",codelet="gemm",le="0.1"} 1`,
+		`taskrt_fleet_kernel_seconds_bucket{node="w2",codelet="gemm",le="0.1"} 1`,
+		`taskrt_fleet_inflight_kernels{node="w1"} 2`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("fleet output lacks %q:\n%s", want, out)
+		}
+	}
+	if got := f.Nodes(); len(got) != 2 || got[0] != "w1" || got[1] != "w2" {
+		t.Fatalf("Nodes() = %v", got)
+	}
+
+	// A dropped node's series vanish entirely — no ghost values.
+	f.Drop("w2")
+	b.Reset()
+	f.WritePrometheus(&b)
+	if strings.Contains(b.String(), `node="w2"`) {
+		t.Fatalf("dropped node still present:\n%s", b.String())
+	}
+}
+
+func TestGaugeVecDelete(t *testing.T) {
+	r := New()
+	g := r.GaugeVec("test_node_up", "Node liveness.", "node")
+	g.With("a").Set(1)
+	g.With("b").Set(1)
+	g.Delete("b")
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_node_up{node="a"} 1`) {
+		t.Fatalf("surviving series missing:\n%s", out)
+	}
+	if strings.Contains(out, `node="b"`) {
+		t.Fatalf("deleted series still rendered:\n%s", out)
+	}
+}

@@ -135,6 +135,17 @@ func (v *vec[T]) with(values ...string) *T {
 	return kid
 }
 
+// del removes the child for the given label values, if any.
+func (v *vec[T]) del(values ...string) {
+	if len(values) != len(v.labels) {
+		panic(fmt.Sprintf("metrics: %d label values for labels %v", len(values), v.labels))
+	}
+	key := strings.Join(values, "\x00")
+	v.mu.Lock()
+	delete(v.kids, key)
+	v.mu.Unlock()
+}
+
 // each visits children sorted by label values (deterministic render order).
 func (v *vec[T]) each(f func(values []string, kid *T)) {
 	v.mu.RLock()
@@ -175,6 +186,12 @@ func (v *GaugeVec) With(values ...string) *Gauge { return v.with(values...) }
 
 // Each visits every child with its label values, sorted.
 func (v *GaugeVec) Each(f func(values []string, g *Gauge)) { v.each(f) }
+
+// Delete drops the child series for the given label values, so scrapes stop
+// reporting it entirely (a dead cluster node's gauges must disappear, not
+// linger at their last value). Gauge-only: deleting a counter child would
+// break monotonicity if it were ever recreated.
+func (v *GaugeVec) Delete(values ...string) { v.del(values...) }
 
 // HistogramVec is a histogram family partitioned by label values.
 type HistogramVec struct{ vec[Histogram] }

@@ -1,0 +1,117 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// Fleet metrics federation: pdlserved already knows every live worker
+// through the lease table, so it is the natural scrape authority — one
+// process polls each worker's /metrics, keeps the latest taskrt_worker_*
+// families per node, and re-exports them on its own /metrics as node-
+// labelled taskrt_fleet_* series. Operators (and CI) point one scrape at
+// the master and see kernel latency histograms for the whole cluster; a
+// node that dies, deregisters, or stops answering has its series removed
+// rather than frozen at their last values.
+
+// DefaultFleetScrapeEvery is the sweep interval StartFleetScrape uses when
+// given a non-positive duration.
+const DefaultFleetScrapeEvery = 10 * time.Second
+
+// maxScrapeBody bounds how much of a worker exposition the federator will
+// read — a malfunctioning worker must not balloon the master's memory.
+const maxScrapeBody = 8 << 20
+
+// fleetScrapeFailLimit is how many consecutive failed scrapes a leased
+// worker gets before its federated series are dropped (it re-appears on
+// the next success). One transient timeout should not blank a node.
+const fleetScrapeFailLimit = 2
+
+// StartFleetScrape launches the background federation sweep and returns a
+// stop function (idempotent). every <= 0 takes DefaultFleetScrapeEvery.
+func (s *Server) StartFleetScrape(every time.Duration) (stop func()) {
+	if every <= 0 {
+		every = DefaultFleetScrapeEvery
+	}
+	timeout := every
+	if timeout > 5*time.Second {
+		timeout = 5 * time.Second
+	}
+	client := &http.Client{Timeout: timeout}
+	done := make(chan struct{})
+	var once sync.Once
+	go func() {
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		fails := map[string]int{}
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				s.scrapeFleet(client, fails)
+			}
+		}
+	}()
+	return func() { once.Do(func() { close(done) }) }
+}
+
+// scrapeFleet runs one federation sweep: every leased worker is scraped
+// and its families replace the previous snapshot (so repeated sweeps can
+// never double-count); federated nodes whose lease has expired, or that
+// have failed fleetScrapeFailLimit sweeps in a row, are dropped. fails is
+// the sweep goroutine's private consecutive-failure ledger.
+func (s *Server) scrapeFleet(client *http.Client, fails map[string]int) {
+	leases := s.workers.list()
+	live := make(map[string]bool, len(leases))
+	for _, l := range leases {
+		live[l.ID] = true
+	}
+	// Lease expiry is authoritative: no lease, no federated series.
+	for _, node := range s.fleet.Nodes() {
+		if !live[node] {
+			s.fleet.Drop(node)
+		}
+	}
+	for id := range fails {
+		if !live[id] {
+			delete(fails, id)
+		}
+	}
+	for _, l := range leases {
+		fams, err := scrapeWorker(client, l.Addr)
+		if err != nil {
+			s.metrics.fleetScrapeErrs.With(l.ID).Inc()
+			if fails[l.ID]++; fails[l.ID] >= fleetScrapeFailLimit {
+				s.fleet.Drop(l.ID)
+			}
+			continue
+		}
+		delete(fails, l.ID)
+		s.metrics.fleetScrapes.With(l.ID).Inc()
+		s.fleet.Update(l.ID, fams)
+	}
+	s.metrics.fleetLastScrape.Set(float64(time.Now().Unix()))
+}
+
+// scrapeWorker fetches and parses one worker's Prometheus exposition.
+func scrapeWorker(client *http.Client, addr string) ([]metrics.PromFamily, error) {
+	url := strings.TrimSuffix(addr, "/") + "/metrics"
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		// Drain a little so the connection can be reused, then report.
+		io.CopyN(io.Discard, resp.Body, 512)
+		return nil, fmt.Errorf("scrape %s: status %d", url, resp.StatusCode)
+	}
+	return metrics.ParsePromText(io.LimitReader(resp.Body, maxScrapeBody))
+}

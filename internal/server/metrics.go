@@ -26,6 +26,10 @@ type serverMetrics struct {
 	rateLimited      *metrics.Counter
 	bodyTooBig       *metrics.Counter
 	readOnlyRejected *metrics.Counter
+
+	fleetScrapes    *metrics.CounterVec // node
+	fleetScrapeErrs *metrics.CounterVec // node
+	fleetLastScrape *metrics.Gauge      // unix seconds of last completed sweep
 }
 
 func newMetrics() *serverMetrics {
@@ -45,6 +49,12 @@ func newMetrics() *serverMetrics {
 			"Uploads rejected for exceeding the body limit."),
 		readOnlyRejected: reg.Counter("pdlserved_readonly_rejected_total",
 			"Mutations rejected because the durability layer is read-only."),
+		fleetScrapes: reg.CounterVec("pdlserved_fleet_scrapes_total",
+			"Successful worker /metrics scrapes, by node.", "node"),
+		fleetScrapeErrs: reg.CounterVec("pdlserved_fleet_scrape_errors_total",
+			"Failed worker /metrics scrapes, by node.", "node"),
+		fleetLastScrape: reg.Gauge("pdlserved_fleet_last_scrape_unix",
+			"Unix time of the last completed federation sweep (0 before the first)."),
 	}
 }
 
@@ -77,6 +87,9 @@ func (m *serverMetrics) registerGauges(s *Server) {
 	m.reg.GaugeFunc("pdlserved_workers",
 		"Cluster workers holding an active lease.",
 		func() float64 { return float64(s.workers.len()) })
+	m.reg.GaugeFunc("pdlserved_fleet_nodes",
+		"Worker nodes represented in the federated taskrt_fleet_* export.",
+		func() float64 { return float64(len(s.fleet.Nodes())) })
 	m.reg.GaugeFunc("pdlserved_draining",
 		"1 after BeginDrain: worker leases are being refused ahead of shutdown.",
 		func() float64 {

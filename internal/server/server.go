@@ -75,6 +75,7 @@ type Server struct {
 	mux     *http.ServeMux
 
 	workers  *workerTable
+	fleet    *metrics.Federator
 	draining atomic.Bool
 }
 
@@ -118,6 +119,7 @@ func New(cfg Config) *Server {
 		logger:  &accessLogger{w: cfg.AccessLog},
 		mux:     http.NewServeMux(),
 		workers: newWorkerTable(cfg.WorkerTTL),
+		fleet:   metrics.NewFederator(),
 	}
 	s.metrics.registerGauges(s)
 	if s.persist != nil {
@@ -252,6 +254,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		// registry, so one scrape covers HTTP service and task runtime.
 		s.cfg.RuntimeMetrics.WritePrometheus(&b)
 	}
+	// The fleet layer: node-labelled taskrt_fleet_* families re-exported
+	// from the most recent scrape of every leased worker, so one endpoint
+	// shows kernel latency and cache state across the whole cluster.
+	s.fleet.WritePrometheus(&b)
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	io.WriteString(w, b.String())
 }

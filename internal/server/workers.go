@@ -182,10 +182,15 @@ func (s *Server) handleWorkerBeat(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkerDelete(w http.ResponseWriter, r *http.Request) {
-	if !s.workers.drop(r.PathValue("id")) {
+	id := r.PathValue("id")
+	if !s.workers.drop(id) {
 		writeError(w, http.StatusNotFound, "unknown worker lease")
 		return
 	}
+	// A deregistered worker's federated series must disappear with its
+	// lease — a fleet scrape of a dead node would otherwise keep exporting
+	// its last kernel histograms forever.
+	s.fleet.Drop(id)
 	writeJSON(w, http.StatusOK, map[string]any{"deleted": true})
 }
 

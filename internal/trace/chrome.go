@@ -204,7 +204,7 @@ func (t *Trace) WriteChrome(w io.Writer) error {
 						Ts: usec(e.Start), Pid: pid, Tid: lane,
 					})
 			}
-		case Steal, Blacklist, Recover, Place:
+		case Steal, Blacklist, Recover, Place, Straggler:
 			out = append(out, chromeEvent{
 				Name: e.Kind.String(), Cat: e.Kind.String(), Ph: "i",
 				Ts: usec(e.Start), Pid: pid, Tid: lane, S: "t",

@@ -1,0 +1,76 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+)
+
+// Drain must move everything recorded so far (direct records, flushed shard
+// blocks, the dropped count) into the snapshot, keep metadata on both sides,
+// and leave the receiver recording — the contract behind a collector
+// repeatedly draining a live worker trace.
+func TestDrainMovesEventsKeepsMeta(t *testing.T) {
+	tr := New()
+	tr.SetMeta(MetaNode, "w1")
+	tr.SetMeta(MetaEpochMicros, "42")
+	sh := tr.NewShard(0)
+	sh.Record(Event{Kind: Task, Unit: "worker0", Start: 0, End: 1, TaskID: 0})
+	sh.Flush()
+	tr.Record(Event{Kind: Place, Unit: "m", Start: 0, End: 0, TaskID: 0})
+
+	snap := tr.Drain()
+	if snap.Len() != 2 {
+		t.Fatalf("drained %d events; want 2", snap.Len())
+	}
+	if tr.Len() != 0 {
+		t.Fatalf("receiver still holds %d events after Drain", tr.Len())
+	}
+	for _, m := range []*Trace{snap, tr} {
+		meta := m.Meta()
+		if meta[MetaNode] != "w1" || meta[MetaEpochMicros] != "42" {
+			t.Fatalf("meta lost across Drain: %v", meta)
+		}
+	}
+
+	// Second drain picks up only what was recorded since.
+	tr.Record(Event{Kind: Task, Unit: "worker0", Start: 2, End: 3, TaskID: 1})
+	snap2 := tr.Drain()
+	if snap2.Len() != 1 {
+		t.Fatalf("second drain got %d events; want 1", snap2.Len())
+	}
+	if got := snap2.Events()[0].TaskID; got != 1 {
+		t.Fatalf("second drain returned task %d; want 1", got)
+	}
+}
+
+// Drain racing concurrent recorders must never lose or double-count events
+// (run under -race via the Makefile race subset).
+func TestDrainConcurrentRecord(t *testing.T) {
+	tr := New()
+	const recorders, per = 4, 500
+	var wg sync.WaitGroup
+	for r := 0; r < recorders; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr.Record(Event{Kind: Task, TaskID: i})
+			}
+		}()
+	}
+	got := 0
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	for {
+		got += tr.Drain().Len()
+		select {
+		case <-done:
+			got += tr.Drain().Len()
+			if got != recorders*per {
+				t.Fatalf("drained %d events total; want %d", got, recorders*per)
+			}
+			return
+		default:
+		}
+	}
+}

@@ -111,6 +111,50 @@ func TestMergeAlignsEpochs(t *testing.T) {
 	}
 }
 
+// Deliberate clock skew: nodes whose wall clocks disagree (one 3s behind the
+// master, one 5s ahead) must still land on one consistent timeline, because
+// alignment uses only the epoch deltas — the skew cancels as long as each
+// node's events are offsets from its own epoch. Durations must be preserved
+// exactly; only origins shift.
+func TestMergeUnderClockSkew(t *testing.T) {
+	const base = int64(1_700_000_000_000_000) // some wall-clock epoch, µs
+	master := nodeSample("m", base)
+	behind := nodeSample("slow-clock", base-3_000_000) // clock 3s behind
+	ahead := nodeSample("fast-clock", base+5_000_000)  // clock 5s ahead
+	m, err := Merge(master, behind, ahead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Earliest epoch (behind's) becomes the origin; everyone else shifts
+	// right by their delta to it.
+	wantShift := map[string]float64{"slow-clock": 0, "m": 3, "fast-clock": 8}
+	seen := map[string]bool{}
+	for _, e := range m.Events() {
+		if e.TaskID != 0 {
+			continue
+		}
+		want, ok := wantShift[e.Node]
+		if !ok {
+			t.Fatalf("unexpected node %q", e.Node)
+		}
+		seen[e.Node] = true
+		if e.Start != want {
+			t.Fatalf("node %s task0 start = %v; want %v", e.Node, e.Start, want)
+		}
+		if d := e.Duration(); d != 1 {
+			t.Fatalf("node %s task0 duration = %v; want 1 (skew must not stretch spans)", e.Node, d)
+		}
+	}
+	if len(seen) != 3 {
+		t.Fatalf("merged trace covers nodes %v; want all 3", seen)
+	}
+	// Makespan spans from the earliest node's first event to the latest
+	// node's last (local end 2 + shift 8).
+	if ms := m.Makespan(); ms != 10 {
+		t.Fatalf("merged makespan = %v; want 10", ms)
+	}
+}
+
 // Without epochs on every input, Merge must not shift anything — partial
 // alignment would reorder events across nodes arbitrarily.
 func TestMergeWithoutEpochsKeepsTimes(t *testing.T) {

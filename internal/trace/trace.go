@@ -49,6 +49,11 @@ const (
 	// time (real-mode dmda dispatch). Start == End: it is an instant; From
 	// carries the decision source ("model", "fallback" or "cold").
 	Place
+	// Straggler marks the anomaly detector flagging a task whose observed
+	// latency exceeded the model estimate its placement used by more than
+	// the configured multiple. Start == End: it is an instant; From carries
+	// the reason string (observed-vs-estimate ratio and slowdown score).
+	Straggler
 )
 
 // String names the kind.
@@ -70,6 +75,8 @@ func (k Kind) String() string {
 		return "steal"
 	case Place:
 		return "place"
+	case Straggler:
+		return "straggler"
 	default:
 		return fmt.Sprintf("Kind(%d)", int(k))
 	}
@@ -77,7 +84,7 @@ func (k Kind) String() string {
 
 // ParseKind inverts Kind.String.
 func ParseKind(s string) (Kind, error) {
-	for k := Task; k <= Place; k++ {
+	for k := Task; k <= Straggler; k++ {
 		if k.String() == s {
 			return k, nil
 		}
@@ -258,6 +265,31 @@ func (t *Trace) snapshot() []Event {
 		out = append(out, b...)
 	}
 	return append(out, t.events...)
+}
+
+// Drain atomically moves the recorded events into a returned snapshot
+// trace and clears the receiver, which stays usable for further recording.
+// Metadata is copied to the snapshot and kept on the receiver, so both
+// halves remain attributable (node, epoch). This is the primitive behind
+// GET /v1/trace?drain=1: a collector repeatedly drains a live worker trace
+// without double-reading spans and without racing recorders. Events still
+// buffered in unflushed Shards are untouched and surface in a later drain.
+func (t *Trace) Drain() *Trace {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := &Trace{
+		events:  t.events,
+		blocks:  t.blocks,
+		dropped: t.dropped,
+	}
+	if len(t.meta) > 0 {
+		out.meta = make(map[string]string, len(t.meta))
+		for k, v := range t.meta {
+			out.meta[k] = v
+		}
+	}
+	t.events, t.blocks, t.dropped = nil, nil, 0
+	return out
 }
 
 // Len returns the number of recorded events.

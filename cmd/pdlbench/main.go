@@ -8,6 +8,8 @@
 //	pdlbench -exp sched|tiles|bw|crossover|failover|stencil|realcpu
 //	pdlbench -exp faults [-n 4096] [-tile 1024] [-seed 1]
 //	pdlbench -exp gemm [-gemmn 1024] [-workers 0] [-matrix] [-out BENCH_gemm.json] [-trace out.json]
+//	pdlbench -exp cholesky|lu|factor [-n 1024] [-tile 128] [-slow 3] [-reps 3] [-out BENCH_factor.json]
+//	pdlbench -exp serve -server http://127.0.0.1:8080 [-conc 4,16] [-requests 400] [-out SERVE_bench.json]
 //	pdlbench -exp check -baseline BENCH_gemm.json [-tol 0.15]
 //	pdlbench -exp all
 package main
@@ -20,6 +22,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 
 	"repro/internal/cluster"
@@ -38,7 +41,7 @@ func run(args []string, stdout io.Writer) error {
 	fs := flag.NewFlagSet("pdlbench", flag.ContinueOnError)
 	fs.SetOutput(stdout)
 	var (
-		exp      = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults, gemm, cluster or all")
+		exp      = fs.String("exp", "fig5", "experiment: fig5, sched, tiles, bw, crossover, failover, stencil, realcpu, faults, gemm, cholesky, lu, factor, serve, cluster or all")
 		n        = fs.Int("n", 8192, "matrix extent")
 		tile     = fs.Int("tile", 1024, "tile extent")
 		sched    = fs.String("sched", "dmda", "scheduler for fig5/tiles and the gemm -trace real-engine run (eager, ws or dmda)")
@@ -52,6 +55,11 @@ func run(args []string, stdout io.Writer) error {
 		procs    = fs.Int("gomaxprocs", 0, "set GOMAXPROCS explicitly for the harness (0 = NumCPU); recorded in the bench output")
 		baseline = fs.String("baseline", "BENCH_gemm.json", "check only: committed bench baseline to compare against")
 		tol      = fs.Float64("tol", 0.15, "check only: regression threshold as a fraction (0.15 = +15%)")
+		slow     = fs.Int("slow", 3, "cholesky/lu/factor: slow-worker count of the skewed 1-fast+N-slow pool")
+		reps     = fs.Int("reps", 3, "cholesky/lu/factor: repetitions per timed row (best kept)")
+		servURL  = fs.String("server", "", "serve only: base URL of the live pdlserved instance to replay against")
+		concCSV  = fs.String("conc", "4,16", "serve only: comma-separated concurrency levels")
+		requests = fs.Int("requests", 400, "serve only: requests replayed per concurrency level")
 		nodes    = fs.String("nodes", "", "cluster only: comma-separated pdlworkerd base URLs (empty = spawn loopback workers)")
 		nproc    = fs.Int("inprocess", 2, "cluster only: loopback worker count when -nodes is empty")
 		pprofOn  = fs.String("pprof", "", "serve /debug/pprof, /debug/trace and /metrics on this address while the harness runs ('' = off)")
@@ -119,6 +127,56 @@ func run(args []string, stdout io.Writer) error {
 					len(regressed), *tol*100, regressed)
 			}
 			return nil
+		case "cholesky", "lu", "factor":
+			kinds := []string{name}
+			if name == "factor" {
+				kinds = []string{"cholesky", "lu"}
+			}
+			fn, ftile := *n, *tile
+			if fn == 8192 && ftile == 1024 { // flag defaults target fig5; Ext-K's default is N=1024
+				fn, ftile = 1024, 128
+			}
+			fw := *workers
+			if fw <= 0 {
+				fw = runtime.GOMAXPROCS(0)
+			}
+			data := &experiments.FactorBenchData{GoMaxProcs: runtime.GOMAXPROCS(0)}
+			for _, kind := range kinds {
+				res, rows, ferr := experiments.FactorExperiment(kind, fn, ftile, fw, *slow, *reps)
+				if ferr != nil {
+					return ferr
+				}
+				data.Rows = append(data.Rows, rows...)
+				fmt.Fprintln(stdout, res.Table())
+			}
+			if *out != "" {
+				if werr := data.WriteJSON(*out); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", *out)
+			}
+			return nil
+		case "serve":
+			var conc []int
+			for _, c := range strings.Split(*concCSV, ",") {
+				if c = strings.TrimSpace(c); c != "" {
+					v, cerr := strconv.Atoi(c)
+					if cerr != nil {
+						return fmt.Errorf("-conc: %q is not an integer", c)
+					}
+					conc = append(conc, v)
+				}
+			}
+			var data *experiments.ServeBenchData
+			res, data, err = experiments.ServeReplay(experiments.ServeConfig{
+				Server: *servURL, Requests: *requests, Concurrency: conc,
+			})
+			if err == nil && *out != "" {
+				if werr := data.WriteJSON(*out); werr != nil {
+					return werr
+				}
+				fmt.Fprintf(stdout, "wrote %s\n", *out)
+			}
 		case "gemm":
 			var data *experiments.GemmBenchData
 			data, err = experiments.GemmBench(*gemmN, *workers, *matrix)

@@ -76,6 +76,7 @@ func run(args []string) error {
 		ttl       = fs.Duration("lease-ttl", server.DefaultWorkerTTL, "registry lease TTL the heartbeat cadence derives from (beat every ttl/3)")
 		pprofOn   = fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/ on the worker listener")
 		slowBy    = fs.Duration("fault-delay", 0, "inject this extra latency into every kernel (straggler/gray-failure injection)")
+		traceCap  = fs.Int("trace-cap", 0, "max buffered execution spans before oldest-drop (0 = default cap, <0 = unbounded)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -125,23 +126,18 @@ func run(args []string) error {
 
 	models := perfmodel.NewStore()
 	var observe func(codelet, arch string, size, seconds float64)
+	var observer *asyncObserver
 	var ctl *client.Client
 	if *serverURL != "" {
 		if ctl, err = client.New(*serverURL); err != nil {
 			return err
 		}
-		observe = func(codelet, arch string, size, seconds float64) {
-			// Stream the observation into the server's perfmodel for this
-			// platform. Best-effort: a failed send only loses one sample.
-			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-			defer cancel()
-			err := ctl.PostJSON(ctx, "/platforms/"+pl.Name+"/observe", map[string]any{
-				"codelet": codelet, "size": size, "seconds": seconds,
-			}, nil)
-			if err != nil {
-				log.Printf("pdlworkerd: streaming observation: %v", err)
-			}
-		}
+		// Stream observations into the server's perfmodel for this platform
+		// through a bounded async queue: a registry outage must never stall
+		// an execution slot, so samples are shed (and counted) instead of
+		// blocking once the backlog fills.
+		observer = newAsyncObserver(ctl, "/platforms/"+pl.Name+"/observe")
+		observe = observer.Observe
 	}
 
 	w, err := cluster.NewWorker(cluster.WorkerConfig{
@@ -152,6 +148,7 @@ func run(args []string) error {
 		Models:        models,
 		OnObservation: observe,
 		Trace:         tr,
+		TraceCap:      *traceCap,
 		Faults:        faults,
 		Logf:          log.Printf,
 	})
@@ -219,6 +216,14 @@ func run(args []string) error {
 		log.Printf("pdlworkerd: shutdown: %v", err)
 	}
 	w.Wait()
+	if observer != nil {
+		if left := observer.Close(5 * time.Second); left > 0 {
+			log.Printf("pdlworkerd: %d observations unsent at shutdown", left)
+		}
+		if d := observer.Dropped(); d > 0 {
+			log.Printf("pdlworkerd: %d observations dropped (queue full) this run", d)
+		}
+	}
 	if *traceTo != "" {
 		if err := tr.WriteJSONLFile(*traceTo); err != nil {
 			return fmt.Errorf("writing trace: %w", err)

@@ -1,0 +1,100 @@
+package main
+
+import (
+	"context"
+	"log"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+)
+
+// observation is one kernel timing sample destined for the registry's
+// perfmodel of this node's platform.
+type observation struct {
+	Codelet string  `json:"codelet"`
+	Size    float64 `json:"size"`
+	Seconds float64 `json:"seconds"`
+}
+
+// asyncObserver streams perfmodel observations to pdlserved without ever
+// blocking the kernel execution path. Observe enqueues into a bounded
+// channel and returns immediately; a single background goroutine posts the
+// samples, each within its own timeout (the client's retry/backoff is the
+// per-sample retry budget). When the registry is down or slow the queue
+// fills and further samples are dropped and counted — losing telemetry is
+// acceptable, stalling a kernel slot for the duration of an outage is not.
+type asyncObserver struct {
+	ctl      *client.Client
+	path     string
+	ch       chan observation
+	done     chan struct{}
+	dropped  atomic.Uint64
+	sendFail atomic.Uint64
+}
+
+// observeQueueDepth bounds the in-flight observation backlog. At one sample
+// per kernel execution this absorbs bursts while the sender catches up;
+// past it the node is outrunning the registry and samples are shed.
+const observeQueueDepth = 1024
+
+// newAsyncObserver starts the sender goroutine. platformPath is the
+// registry path observations are posted to, e.g. "/platforms/w1/observe".
+func newAsyncObserver(ctl *client.Client, platformPath string) *asyncObserver {
+	o := &asyncObserver{
+		ctl:  ctl,
+		path: platformPath,
+		ch:   make(chan observation, observeQueueDepth),
+		done: make(chan struct{}),
+	}
+	go o.send()
+	return o
+}
+
+// Observe enqueues one sample. Never blocks: if the queue is full the
+// sample is dropped and counted. Safe for concurrent use from every
+// execution slot.
+func (o *asyncObserver) Observe(codelet, arch string, size, seconds float64) {
+	select {
+	case o.ch <- observation{Codelet: codelet, Size: size, Seconds: seconds}:
+	default:
+		if n := o.dropped.Add(1); n == 1 || n%1000 == 0 {
+			log.Printf("pdlworkerd: observation queue full, %d samples dropped so far", n)
+		}
+	}
+}
+
+// Dropped reports how many samples were shed because the queue was full.
+func (o *asyncObserver) Dropped() uint64 { return o.dropped.Load() }
+
+// SendFailures reports how many dequeued samples failed to post after the
+// client's retry budget.
+func (o *asyncObserver) SendFailures() uint64 { return o.sendFail.Load() }
+
+func (o *asyncObserver) send() {
+	defer close(o.done)
+	for obs := range o.ch {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		err := o.ctl.PostJSON(ctx, o.path, obs, nil)
+		cancel()
+		if err != nil {
+			// Best-effort: the sample is gone, the next one may land.
+			if n := o.sendFail.Add(1); n == 1 || n%100 == 0 {
+				log.Printf("pdlworkerd: streaming observation: %v (%d send failures so far)", err, n)
+			}
+		}
+	}
+}
+
+// Close stops accepting samples and waits up to timeout for the queued
+// backlog to flush. Returns the number of samples still unsent (queued or
+// abandoned mid-flush) when the timeout expired, 0 on a clean drain.
+func (o *asyncObserver) Close(timeout time.Duration) int {
+	close(o.ch)
+	select {
+	case <-o.done:
+		return 0
+	case <-time.After(timeout):
+		return len(o.ch) + 1
+	}
+}

@@ -1,0 +1,105 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+)
+
+// A registry outage must never stall the execution path: every Observe call
+// has to return immediately even when the server black-holes the request
+// (accepts the connection, never answers), with overflow shed and counted
+// once the bounded queue fills.
+func TestAsyncObserverNeverBlocksOnDeadRegistry(t *testing.T) {
+	release := make(chan struct{})
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Blackhole: hold the request until the client gives up (its
+		// per-send timeout) or the test tears the connection down.
+		select {
+		case <-r.Context().Done():
+		case <-release:
+		}
+	}))
+	defer srv.Close()
+	defer close(release)
+
+	ctl, err := client.New(srv.URL, client.WithRetry(0, time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newAsyncObserver(ctl, "/platforms/w1/observe")
+
+	const n = observeQueueDepth + 200
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		o.Observe("gemm", "x86", 1e6, 0.001)
+	}
+	elapsed := time.Since(start)
+
+	// All sends enqueue or drop without touching the network; anywhere near
+	// a single request timeout means Observe blocked on the dead server.
+	if elapsed > time.Second {
+		t.Fatalf("%d Observe calls against a black-holed registry took %s", n, elapsed)
+	}
+	// Queue depth + at most one sample in flight with the sender; the rest
+	// must have been shed.
+	if d := o.Dropped(); d < n-observeQueueDepth-1 {
+		t.Fatalf("Dropped = %d, want >= %d", d, n-observeQueueDepth-1)
+	}
+	// Shutdown must not hang on the stuck in-flight send either.
+	done := make(chan int, 1)
+	go func() { done <- o.Close(50 * time.Millisecond) }()
+	select {
+	case left := <-done:
+		if left == 0 {
+			t.Fatal("Close reported a clean drain with a black-holed registry")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung past its timeout")
+	}
+	srv.CloseClientConnections()
+}
+
+// With a healthy registry the queued samples are all delivered, in order,
+// with nothing dropped.
+func TestAsyncObserverDeliversWhenHealthy(t *testing.T) {
+	var got atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/platforms/w1/observe" {
+			t.Errorf("posted to %s", r.URL.Path)
+		}
+		var obs observation
+		if err := json.NewDecoder(r.Body).Decode(&obs); err != nil {
+			t.Errorf("bad observation body: %v", err)
+		}
+		if obs.Codelet != "gemm" || obs.Seconds <= 0 {
+			t.Errorf("unexpected observation %+v", obs)
+		}
+		got.Add(1)
+	}))
+	defer srv.Close()
+
+	ctl, err := client.New(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := newAsyncObserver(ctl, "/platforms/w1/observe")
+	const n = 20
+	for i := 0; i < n; i++ {
+		o.Observe("gemm", "x86", float64(1+i), 0.002)
+	}
+	if left := o.Close(5 * time.Second); left != 0 {
+		t.Fatalf("Close left %d samples unsent against a healthy registry", left)
+	}
+	if g := got.Load(); g != n {
+		t.Fatalf("registry received %d observations, want %d", g, n)
+	}
+	if d, f := o.Dropped(), o.SendFailures(); d != 0 || f != 0 {
+		t.Fatalf("healthy path dropped=%d sendFailures=%d, want 0/0", d, f)
+	}
+}

@@ -1,0 +1,241 @@
+// Dense factorization kernels for the tiled Cholesky and LU experiments:
+// the four Cholesky tile operations (POTRF, the right-lower-transposed TRSM
+// panel solve, the SYRK trailing update and its GEMM generalisation) and the
+// LU-without-pivoting set (GETRF, the two unit/non-unit TRSM variants and
+// the subtracting GEMM). All kernels operate in place on stride-aware views,
+// so a tile task mutates its slice of the parent matrix directly — the same
+// zero-copy convention the DGEMM harness uses.
+
+package blas
+
+import (
+	"fmt"
+	"math"
+)
+
+// Potrf computes the lower-triangular Cholesky factor of a symmetric
+// positive-definite matrix in place: on return the lower triangle of a
+// (diagonal included) holds L with A = L·Lᵀ. Only the lower triangle is
+// read or written; the strictly-upper part is left untouched. Returns an
+// error when a is not square or a pivot is not strictly positive (the
+// matrix is not positive definite to working precision).
+func Potrf(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("blas: Potrf needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for j := 0; j < n; j++ {
+		rowj := a.Data[j*a.Stride : j*a.Stride+j+1]
+		d := rowj[j]
+		for k := 0; k < j; k++ {
+			d -= rowj[k] * rowj[k]
+		}
+		if d <= 0 || math.IsNaN(d) {
+			return fmt.Errorf("blas: Potrf pivot %d is %g: matrix not positive definite", j, d)
+		}
+		d = math.Sqrt(d)
+		rowj[j] = d
+		for i := j + 1; i < n; i++ {
+			rowi := a.Data[i*a.Stride : i*a.Stride+j+1]
+			s := rowi[j]
+			for k := 0; k < j; k++ {
+				s -= rowi[k] * rowj[k]
+			}
+			rowi[j] = s / d
+		}
+	}
+	return nil
+}
+
+// TrsmRLT solves X·Lᵀ = B in place (B := B·L⁻ᵀ) where l is the lower
+// non-unit triangular factor produced by Potrf. This is the Cholesky panel
+// solve: A[i][k] := A[i][k]·L[k][k]⁻ᵀ.
+func TrsmRLT(l, b *Matrix) error {
+	if l.Rows != l.Cols || l.Rows != b.Cols {
+		return fmt.Errorf("blas: TrsmRLT shape mismatch: L %dx%d, B %dx%d", l.Rows, l.Cols, b.Rows, b.Cols)
+	}
+	n := l.Rows
+	for j := 0; j < n; j++ {
+		if l.At(j, j) == 0 {
+			return fmt.Errorf("blas: TrsmRLT zero diagonal at %d", j)
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		row := b.Data[i*b.Stride : i*b.Stride+n]
+		for j := 0; j < n; j++ {
+			lrow := l.Data[j*l.Stride : j*l.Stride+j+1]
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * lrow[k]
+			}
+			row[j] = s / lrow[j]
+		}
+	}
+	return nil
+}
+
+// SyrkNT applies the symmetric rank-k trailing update C := C − A·Aᵀ to the
+// lower triangle of c (diagonal included). The strictly-upper triangle of c
+// is left untouched, matching what Potrf will later read.
+func SyrkNT(a, c *Matrix) error {
+	if c.Rows != c.Cols || c.Rows != a.Rows {
+		return fmt.Errorf("blas: SyrkNT shape mismatch: A %dx%d, C %dx%d", a.Rows, a.Cols, c.Rows, c.Cols)
+	}
+	k := a.Cols
+	for i := 0; i < c.Rows; i++ {
+		ai := a.Data[i*a.Stride : i*a.Stride+k]
+		ci := c.Data[i*c.Stride : i*c.Stride+i+1]
+		for j := 0; j <= i; j++ {
+			aj := a.Data[j*a.Stride : j*a.Stride+k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * aj[p]
+			}
+			ci[j] -= s
+		}
+	}
+	return nil
+}
+
+// GemmNT applies C := C − A·Bᵀ, the general trailing update of the tiled
+// Cholesky (A is the freshly-solved panel tile, B the panel tile of the
+// destination's block column).
+func GemmNT(a, b, c *Matrix) error {
+	if a.Cols != b.Cols || c.Rows != a.Rows || c.Cols != b.Rows {
+		return fmt.Errorf("blas: GemmNT shape mismatch: A %dx%d, B %dx%d, C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	k := a.Cols
+	for i := 0; i < c.Rows; i++ {
+		ai := a.Data[i*a.Stride : i*a.Stride+k]
+		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for j := 0; j < c.Cols; j++ {
+			bj := b.Data[j*b.Stride : j*b.Stride+k]
+			s := 0.0
+			for p := 0; p < k; p++ {
+				s += ai[p] * bj[p]
+			}
+			ci[j] -= s
+		}
+	}
+	return nil
+}
+
+// Getrf computes the LU factorization of a square matrix in place without
+// pivoting (Doolittle): on return the strictly-lower triangle holds the
+// unit-lower factor L (implicit unit diagonal) and the upper triangle holds
+// U with A = L·U. Callers must supply a matrix for which pivot-free
+// elimination is stable (the harness uses diagonally dominant inputs).
+func Getrf(a *Matrix) error {
+	if a.Rows != a.Cols {
+		return fmt.Errorf("blas: Getrf needs a square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	for k := 0; k < n; k++ {
+		rowk := a.Data[k*a.Stride : k*a.Stride+n]
+		p := rowk[k]
+		if p == 0 || math.IsNaN(p) {
+			return fmt.Errorf("blas: Getrf zero pivot at %d (matrix needs pivoting)", k)
+		}
+		for i := k + 1; i < n; i++ {
+			rowi := a.Data[i*a.Stride : i*a.Stride+n]
+			lik := rowi[k] / p
+			rowi[k] = lik
+			for j := k + 1; j < n; j++ {
+				rowi[j] -= lik * rowk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmLLUnit solves L·X = B in place (B := L⁻¹·B) where l holds a
+// unit-lower triangular factor (implicit unit diagonal, as produced by
+// Getrf). This is the LU row-panel solve: A[k][j] := L[k][k]⁻¹·A[k][j].
+func TrsmLLUnit(l, b *Matrix) error {
+	if l.Rows != l.Cols || l.Rows != b.Rows {
+		return fmt.Errorf("blas: TrsmLLUnit shape mismatch: L %dx%d, B %dx%d", l.Rows, l.Cols, b.Rows, b.Cols)
+	}
+	n := l.Rows
+	for i := 1; i < n; i++ {
+		rowi := b.Data[i*b.Stride : i*b.Stride+b.Cols]
+		lrow := l.Data[i*l.Stride : i*l.Stride+i]
+		for k := 0; k < i; k++ {
+			lik := lrow[k]
+			if lik == 0 {
+				continue
+			}
+			rowk := b.Data[k*b.Stride : k*b.Stride+b.Cols]
+			for j := range rowi {
+				rowi[j] -= lik * rowk[j]
+			}
+		}
+	}
+	return nil
+}
+
+// TrsmRU solves X·U = B in place (B := B·U⁻¹) where u holds a non-unit
+// upper triangular factor (as produced by Getrf). This is the LU
+// column-panel solve: A[i][k] := A[i][k]·U[k][k]⁻¹.
+func TrsmRU(u, b *Matrix) error {
+	if u.Rows != u.Cols || u.Rows != b.Cols {
+		return fmt.Errorf("blas: TrsmRU shape mismatch: U %dx%d, B %dx%d", u.Rows, u.Cols, b.Rows, b.Cols)
+	}
+	n := u.Rows
+	for j := 0; j < n; j++ {
+		if u.At(j, j) == 0 {
+			return fmt.Errorf("blas: TrsmRU zero diagonal at %d", j)
+		}
+	}
+	for i := 0; i < b.Rows; i++ {
+		row := b.Data[i*b.Stride : i*b.Stride+n]
+		for j := 0; j < n; j++ {
+			s := row[j]
+			for k := 0; k < j; k++ {
+				s -= row[k] * u.At(k, j)
+			}
+			row[j] = s / u.At(j, j)
+		}
+	}
+	return nil
+}
+
+// GemmSub applies C := C − A·B, the trailing update of the tiled LU.
+func GemmSub(a, b, c *Matrix) error {
+	if a.Cols != b.Rows || c.Rows != a.Rows || c.Cols != b.Cols {
+		return fmt.Errorf("blas: GemmSub shape mismatch: A %dx%d, B %dx%d, C %dx%d",
+			a.Rows, a.Cols, b.Rows, b.Cols, c.Rows, c.Cols)
+	}
+	k := a.Cols
+	for i := 0; i < c.Rows; i++ {
+		ai := a.Data[i*a.Stride : i*a.Stride+k]
+		ci := c.Data[i*c.Stride : i*c.Stride+c.Cols]
+		for p := 0; p < k; p++ {
+			av := ai[p]
+			if av == 0 {
+				continue
+			}
+			bp := b.Data[p*b.Stride : p*b.Stride+c.Cols]
+			for j := range ci {
+				ci[j] -= av * bp[j]
+			}
+		}
+	}
+	return nil
+}
+
+// FlopsPOTRF returns the flop count of an n×n Cholesky factorization
+// (n³/3 to leading order).
+func FlopsPOTRF(n int) float64 { f := float64(n); return f * f * f / 3 }
+
+// FlopsGETRF returns the flop count of an n×n LU factorization
+// (2n³/3 to leading order).
+func FlopsGETRF(n int) float64 { f := float64(n); return 2 * f * f * f / 3 }
+
+// FlopsTRSM returns the flop count of a triangular solve with an n×n
+// triangle against m right-hand sides (m·n²).
+func FlopsTRSM(n, m int) float64 { return float64(m) * float64(n) * float64(n) }
+
+// FlopsSYRK returns the flop count of the lower-triangle rank-k update of
+// an n×n tile (n²·k to leading order, counting only the written half).
+func FlopsSYRK(n, k int) float64 { return float64(n) * float64(n) * float64(k) }

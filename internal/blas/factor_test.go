@@ -1,0 +1,285 @@
+package blas
+
+import (
+	"math"
+	"testing"
+)
+
+// symDiagDominant builds a symmetric diagonally-dominant matrix (hence SPD
+// by Gershgorin): off-diagonals in [-1, 1), diagonal = n.
+func symDiagDominant(n int, seed int64) *Matrix {
+	m := NewMatrix(n, n)
+	m.FillRandom(seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+		m.Set(i, i, float64(n))
+	}
+	return m
+}
+
+// diagDominant builds a (non-symmetric) diagonally-dominant matrix, stable
+// for LU without pivoting.
+func diagDominant(n int, seed int64) *Matrix {
+	m := NewMatrix(n, n)
+	m.FillRandom(seed)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, float64(n))
+	}
+	return m
+}
+
+// lowerFromPotrf extracts the lower triangle (diagonal included) of a
+// factored matrix into a dense L, zeroing the rest.
+func lowerFromPotrf(a *Matrix) *Matrix {
+	l := NewMatrix(a.Rows, a.Cols)
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j <= i; j++ {
+			l.Set(i, j, a.At(i, j))
+		}
+	}
+	return l
+}
+
+func TestPotrfReconstructs(t *testing.T) {
+	const n = 64
+	a := symDiagDominant(n, 7)
+	orig := a.Clone()
+	if err := Potrf(a); err != nil {
+		t.Fatalf("Potrf: %v", err)
+	}
+	l := lowerFromPotrf(a)
+	// L·Lᵀ must reproduce the original matrix.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k < n; k++ {
+				s += l.At(i, k) * l.At(j, k)
+			}
+			if d := math.Abs(s - orig.At(i, j)); d > 1e-10 {
+				t.Fatalf("L·Lᵀ[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+	// Strictly-upper part must be untouched.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if a.At(i, j) != orig.At(i, j) {
+				t.Fatalf("Potrf touched upper element (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestPotrfRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(3, 3)
+	a.FillIdentity()
+	a.Set(1, 1, -1)
+	if err := Potrf(a); err == nil {
+		t.Fatal("Potrf accepted an indefinite matrix")
+	}
+	if err := Potrf(NewMatrix(2, 3)); err == nil {
+		t.Fatal("Potrf accepted a non-square matrix")
+	}
+}
+
+func TestTrsmRLTSolves(t *testing.T) {
+	const n, m = 24, 17
+	spd := symDiagDominant(n, 3)
+	if err := Potrf(spd); err != nil {
+		t.Fatalf("Potrf: %v", err)
+	}
+	l := lowerFromPotrf(spd)
+	x := NewMatrix(m, n)
+	x.FillRandom(5)
+	// B = X·Lᵀ, then solving in place must recover X.
+	b := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += x.At(i, k) * l.At(j, k)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	if err := TrsmRLT(l, b); err != nil {
+		t.Fatalf("TrsmRLT: %v", err)
+	}
+	if d := MaxDiff(b, x); d > 1e-10 {
+		t.Fatalf("TrsmRLT residual %g", d)
+	}
+}
+
+func TestSyrkNTAndGemmNT(t *testing.T) {
+	const n, k = 19, 13
+	a := NewMatrix(n, k)
+	a.FillRandom(11)
+	b := NewMatrix(n, k)
+	b.FillRandom(12)
+	c := symDiagDominant(n, 13)
+	want := c.Clone()
+	if err := SyrkNT(a, c); err != nil {
+		t.Fatalf("SyrkNT: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := want.At(i, j)
+			if j <= i { // lower triangle only
+				for p := 0; p < k; p++ {
+					s -= a.At(i, p) * a.At(j, p)
+				}
+			}
+			if d := math.Abs(c.At(i, j) - s); d > 1e-12 {
+				t.Fatalf("SyrkNT[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+	c2 := NewMatrix(n, n)
+	c2.FillRandom(14)
+	want2 := c2.Clone()
+	if err := GemmNT(a, b, c2); err != nil {
+		t.Fatalf("GemmNT: %v", err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := want2.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * b.At(j, p)
+			}
+			if d := math.Abs(c2.At(i, j) - s); d > 1e-12 {
+				t.Fatalf("GemmNT[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestGetrfReconstructs(t *testing.T) {
+	const n = 48
+	a := diagDominant(n, 21)
+	orig := a.Clone()
+	if err := Getrf(a); err != nil {
+		t.Fatalf("Getrf: %v", err)
+	}
+	// L (unit lower) times U must reproduce the original matrix.
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= i && k <= j; k++ {
+				lv := a.At(i, k)
+				if k == i {
+					lv = 1
+				}
+				s += lv * a.At(k, j)
+			}
+			if d := math.Abs(s - orig.At(i, j)); d > 1e-10 {
+				t.Fatalf("L·U[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestGetrfRejectsZeroPivot(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	if err := Getrf(a); err == nil {
+		t.Fatal("Getrf accepted a zero pivot")
+	}
+}
+
+func TestTrsmLLUnitSolves(t *testing.T) {
+	const n, m = 21, 15
+	fac := diagDominant(n, 31)
+	if err := Getrf(fac); err != nil {
+		t.Fatalf("Getrf: %v", err)
+	}
+	x := NewMatrix(n, m)
+	x.FillRandom(33)
+	// B = L·X with L unit lower, then solving must recover X.
+	b := NewMatrix(n, m)
+	for i := 0; i < n; i++ {
+		for j := 0; j < m; j++ {
+			s := x.At(i, j)
+			for k := 0; k < i; k++ {
+				s += fac.At(i, k) * x.At(k, j)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	if err := TrsmLLUnit(fac, b); err != nil {
+		t.Fatalf("TrsmLLUnit: %v", err)
+	}
+	if d := MaxDiff(b, x); d > 1e-10 {
+		t.Fatalf("TrsmLLUnit residual %g", d)
+	}
+}
+
+func TestTrsmRUSolves(t *testing.T) {
+	const n, m = 21, 15
+	fac := diagDominant(n, 41)
+	if err := Getrf(fac); err != nil {
+		t.Fatalf("Getrf: %v", err)
+	}
+	x := NewMatrix(m, n)
+	x.FillRandom(43)
+	// B = X·U with U upper non-unit, then solving must recover X.
+	b := NewMatrix(m, n)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for k := 0; k <= j; k++ {
+				s += x.At(i, k) * fac.At(k, j)
+			}
+			b.Set(i, j, s)
+		}
+	}
+	if err := TrsmRU(fac, b); err != nil {
+		t.Fatalf("TrsmRU: %v", err)
+	}
+	if d := MaxDiff(b, x); d > 1e-10 {
+		t.Fatalf("TrsmRU residual %g", d)
+	}
+}
+
+func TestGemmSubMatchesNaive(t *testing.T) {
+	const m, k, n = 17, 23, 11
+	a := NewMatrix(m, k)
+	a.FillRandom(51)
+	b := NewMatrix(k, n)
+	b.FillRandom(52)
+	c := NewMatrix(m, n)
+	c.FillRandom(53)
+	want := c.Clone()
+	if err := GemmSub(a, b, c); err != nil {
+		t.Fatalf("GemmSub: %v", err)
+	}
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			s := want.At(i, j)
+			for p := 0; p < k; p++ {
+				s -= a.At(i, p) * b.At(p, j)
+			}
+			if d := math.Abs(c.At(i, j) - s); d > 1e-12 {
+				t.Fatalf("GemmSub[%d][%d] off by %g", i, j, d)
+			}
+		}
+	}
+}
+
+func TestFactorShapeErrors(t *testing.T) {
+	bad := []error{
+		TrsmRLT(NewMatrix(3, 3), NewMatrix(2, 4)),
+		SyrkNT(NewMatrix(3, 2), NewMatrix(4, 4)),
+		GemmNT(NewMatrix(3, 2), NewMatrix(3, 3), NewMatrix(3, 3)),
+		TrsmLLUnit(NewMatrix(3, 3), NewMatrix(2, 3)),
+		TrsmRU(NewMatrix(3, 3), NewMatrix(3, 2)),
+		GemmSub(NewMatrix(3, 2), NewMatrix(3, 3), NewMatrix(3, 3)),
+	}
+	for i, err := range bad {
+		if err == nil {
+			t.Fatalf("case %d: shape mismatch accepted", i)
+		}
+	}
+}

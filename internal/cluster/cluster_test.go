@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -211,6 +213,92 @@ func TestWorkerExecuteCacheAndNeedData(t *testing.T) {
 	resp = postExec(t, srv.URL, &ExecRequest{TaskID: 2, Codelet: "fft"})
 	if resp.OK || resp.Error == "" {
 		t.Fatalf("unknown codelet must fail in-band, got %+v", resp)
+	}
+}
+
+// A worker that serves non-tracing masters (or whose collector died)
+// accumulates spans for the GET /v1/trace pull path on every execution; the
+// TraceCap bound must hold the buffer at the cap with oldest-drop, export
+// the drop count as a monotonic counter, and keep the drain path serving
+// the newest spans.
+func TestWorkerTraceSpanBufferBounded(t *testing.T) {
+	cl, err := taskrt.NewCodelet("nop",
+		taskrt.Impl{Arch: "x86", Func: func(*taskrt.TaskContext) error { return nil }})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cap = 8
+	w, err := NewWorker(WorkerConfig{
+		Name: "w", Archs: []string{"x86"},
+		Codelets: []*taskrt.Codelet{cl},
+		TraceCap: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(w.Handler())
+	defer srv.Close()
+
+	const execs = 40
+	for i := 0; i < execs; i++ {
+		if resp := postExec(t, srv.URL, &ExecRequest{TaskID: i, Codelet: "nop"}); !resp.OK {
+			t.Fatalf("exec %d failed: %s", i, resp.Error)
+		}
+	}
+	if got := w.Trace().Len(); got > cap {
+		t.Fatalf("span buffer holds %d spans past cap %d", got, cap)
+	}
+	if got := w.Trace().DroppedTotal(); got != execs-cap {
+		t.Fatalf("DroppedTotal = %d, want %d", got, execs-cap)
+	}
+
+	// The drop counter is federable worker telemetry.
+	mres, err := http.Get(srv.URL + PathMetrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(mres.Body)
+	mres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf("taskrt_worker_trace_dropped_spans_total %d", execs-cap)
+	if !strings.Contains(string(metricsBody), want) {
+		t.Fatalf("metrics lack %q:\n%s", want, metricsBody)
+	}
+
+	// Drain still works and serves the newest spans, oldest-dropped.
+	tres, err := http.Get(srv.URL + PathTrace + "?drain=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drained, err := trace.ReadJSONL(tres.Body)
+	tres.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := drained.OfKind(trace.Task)
+	if len(events) != cap {
+		t.Fatalf("drained %d spans, want %d", len(events), cap)
+	}
+	for _, e := range events {
+		if e.TaskID < execs-cap {
+			t.Fatalf("drained span for task %d: an old span survived oldest-drop", e.TaskID)
+		}
+	}
+
+	// Recording continues after the drain, with no further drops while the
+	// buffer stays under the cap.
+	for i := 0; i < 3; i++ {
+		if resp := postExec(t, srv.URL, &ExecRequest{TaskID: 100 + i, Codelet: "nop"}); !resp.OK {
+			t.Fatalf("post-drain exec failed: %s", resp.Error)
+		}
+	}
+	if got := w.Trace().Len(); got != 3 {
+		t.Fatalf("post-drain buffer holds %d spans, want 3", got)
+	}
+	if got := w.Trace().DroppedTotal(); got != execs-cap {
+		t.Fatalf("DroppedTotal moved to %d while under the cap", got)
 	}
 }
 

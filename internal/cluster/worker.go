@@ -52,8 +52,19 @@ type WorkerConfig struct {
 	// Eviction is arbitrary: an evicted handle resurfaces as NeedData and
 	// the master re-inlines it.
 	CacheEntries int
-	Logf         func(format string, args ...any)
+	// TraceCap bounds the span buffer behind GET /v1/trace (default
+	// DefaultTraceCap; negative disables the bound). Spans accumulate for
+	// the drain pull path, so a worker serving non-tracing masters — or one
+	// whose collector died — would otherwise grow without limit. Past the
+	// cap the oldest spans are discarded and counted in
+	// taskrt_worker_trace_dropped_spans_total.
+	TraceCap int
+	Logf     func(format string, args ...any)
 }
+
+// DefaultTraceCap is the default span-buffer bound: the same 64k events
+// (~8 MB) a per-worker shard holds.
+const DefaultTraceCap = trace.DefaultShardCapacity
 
 // cacheEntry is the latest locally-held version of a handle.
 type cacheEntry struct {
@@ -131,6 +142,9 @@ func newWorkerMetrics(w *Worker) *workerMetrics {
 	reg.GaugeFunc("taskrt_worker_uptime_seconds",
 		"Seconds since the worker process epoch.",
 		func() float64 { return time.Since(w.start).Seconds() })
+	reg.CounterFunc("taskrt_worker_trace_dropped_spans_total",
+		"Spans discarded by the bounded trace buffer before a collector drained them.",
+		func() float64 { return float64(w.tr.DroppedTotal()) })
 	return m
 }
 
@@ -176,6 +190,12 @@ func NewWorker(cfg WorkerConfig) (*Worker, error) {
 	w.tr = cfg.Trace
 	if w.tr == nil {
 		w.tr = trace.New()
+	}
+	switch {
+	case cfg.TraceCap > 0:
+		w.tr.SetLimit(cfg.TraceCap)
+	case cfg.TraceCap == 0:
+		w.tr.SetLimit(DefaultTraceCap)
 	}
 	w.tr.SetMeta(trace.MetaNode, cfg.Name)
 	w.tr.SetMeta(trace.MetaEpochMicros, fmt.Sprintf("%d", w.start.UnixMicro()))

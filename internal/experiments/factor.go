@@ -1,0 +1,573 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/blas"
+	"repro/internal/core"
+	"repro/internal/discover"
+	"repro/internal/partition"
+	"repro/internal/perfmodel"
+	"repro/internal/taskrt"
+	"repro/internal/trace"
+)
+
+// The tiled factorization experiments: right-looking Cholesky and LU
+// (no pivoting) over partition.Grid2D tiles. Unlike the fork-join DGEMM
+// graph, these DAGs have a deep k-chain — POTRF(k) gates the whole trailing
+// update of step k, and POTRF(k+1) cannot start before SYRK(k+1,k) of step
+// k finishes — so critical-path extraction and model-driven placement are
+// exercised on the workload class the StarPU papers built them for.
+
+// factorSlowRate is the synthetic extra-work rate of the "x86slow"
+// architecture in the skewed-pool runs: every kernel additionally sleeps
+// flops/factorSlowRate seconds, making the slow workers 1–2 orders of
+// magnitude slower at tile granularity while keeping the numerics
+// identical (the real kernel still runs, so results stay verifiable). The
+// skew is deliberately sharp: it models an accelerator-class gap, where a
+// blindly stolen trailing-update lands a critical-path task on a unit that
+// needs tens of milliseconds for it, so model-aware (dmda) placement has
+// something real to win over work stealing.
+const factorSlowRate = 5e7
+
+// factorSeed seeds the experiment matrices deterministically.
+const factorSeed int64 = 99
+
+// NewSPDMatrix returns a symmetric diagonally-dominant — hence positive
+// definite — n×n matrix: off-diagonals in [-1, 1), diagonal = n.
+func NewSPDMatrix(n int, seed int64) *blas.Matrix {
+	m := blas.NewMatrix(n, n)
+	m.FillRandom(seed)
+	for i := 0; i < n; i++ {
+		for j := 0; j < i; j++ {
+			m.Set(j, i, m.At(i, j))
+		}
+		m.Set(i, i, float64(n))
+	}
+	return m
+}
+
+// NewDiagDominantMatrix returns a diagonally-dominant n×n matrix, stable
+// for LU elimination without pivoting.
+func NewDiagDominantMatrix(n int, seed int64) *blas.Matrix {
+	m := blas.NewMatrix(n, n)
+	m.FillRandom(seed)
+	for i := 0; i < n; i++ {
+		m.Set(i, i, float64(n))
+	}
+	return m
+}
+
+// payloadMatrix extracts payload i as a matrix view.
+func payloadMatrix(tc *taskrt.TaskContext, i int) (*blas.Matrix, error) {
+	m, ok := tc.Payload(i).(*blas.Matrix)
+	if !ok {
+		return nil, fmt.Errorf("experiments: %s payload %d is %T, want *blas.Matrix", tc.Task.Codelet.Name, i, tc.Payload(i))
+	}
+	return m, nil
+}
+
+// kernel1 adapts an in-place single-tile kernel (payload 0 = the RW tile).
+func kernel1(f func(*blas.Matrix) error) func(*taskrt.TaskContext) error {
+	return func(tc *taskrt.TaskContext) error {
+		a, err := payloadMatrix(tc, 0)
+		if err != nil {
+			return err
+		}
+		return f(a)
+	}
+}
+
+// kernel2 adapts a two-operand kernel (payload 0 read, payload 1 readwrite).
+func kernel2(f func(_, _ *blas.Matrix) error) func(*taskrt.TaskContext) error {
+	return func(tc *taskrt.TaskContext) error {
+		a, err := payloadMatrix(tc, 0)
+		if err != nil {
+			return err
+		}
+		b, err := payloadMatrix(tc, 1)
+		if err != nil {
+			return err
+		}
+		return f(a, b)
+	}
+}
+
+// kernel3 adapts a three-operand kernel (payloads 0, 1 read, 2 readwrite).
+func kernel3(f func(_, _, _ *blas.Matrix) error) func(*taskrt.TaskContext) error {
+	return func(tc *taskrt.TaskContext) error {
+		a, err := payloadMatrix(tc, 0)
+		if err != nil {
+			return err
+		}
+		b, err := payloadMatrix(tc, 1)
+		if err != nil {
+			return err
+		}
+		c, err := payloadMatrix(tc, 2)
+		if err != nil {
+			return err
+		}
+		return f(a, b, c)
+	}
+}
+
+// slowed wraps a kernel for the "x86slow" architecture: the real kernel
+// runs (numerics stay verifiable), then the worker sleeps in proportion to
+// task flops to emulate a slower processor.
+func slowed(f func(*taskrt.TaskContext) error) func(*taskrt.TaskContext) error {
+	return func(tc *taskrt.TaskContext) error {
+		if err := f(tc); err != nil {
+			return err
+		}
+		time.Sleep(time.Duration(tc.Task.Flops / factorSlowRate * float64(time.Second)))
+		return nil
+	}
+}
+
+// factorCodelet builds one factorization codelet with a fast x86 impl and a
+// flops-proportionally slowed x86slow impl.
+func factorCodelet(name string, f func(*taskrt.TaskContext) error) *taskrt.Codelet {
+	cl, err := taskrt.NewCodelet(name,
+		taskrt.Impl{Arch: "x86", Func: f},
+		taskrt.Impl{Arch: "x86slow", Func: slowed(f)},
+	)
+	if err != nil {
+		panic(err) // static definition
+	}
+	return cl
+}
+
+// cholCodelets returns the four tile operations of the right-looking tiled
+// Cholesky. Payload order follows access order.
+func cholCodelets() (potrf, trsm, syrk, gemm *taskrt.Codelet) {
+	potrf = factorCodelet("potrf", kernel1(blas.Potrf))
+	trsm = factorCodelet("trsm_rlt", kernel2(blas.TrsmRLT))
+	syrk = factorCodelet("syrk_nt", kernel2(blas.SyrkNT))
+	gemm = factorCodelet("gemm_nt", kernel3(blas.GemmNT))
+	return
+}
+
+// luCodelets returns the four tile operations of the right-looking tiled LU
+// without pivoting.
+func luCodelets() (getrf, trsmRow, trsmCol, gemm *taskrt.Codelet) {
+	getrf = factorCodelet("getrf", kernel1(blas.Getrf))
+	trsmRow = factorCodelet("trsm_llu", kernel2(blas.TrsmLLUnit))
+	trsmCol = factorCodelet("trsm_ru", kernel2(blas.TrsmRU))
+	gemm = factorCodelet("gemm_sub", kernel3(blas.GemmSub))
+	return
+}
+
+// factorHandles builds one handle per tile of the factored matrix (views
+// into m when non-nil, size-only otherwise) and returns them with the grid
+// dimensions.
+func factorHandles(rt *taskrt.Runtime, n, tile int, m *blas.Matrix) ([]*taskrt.Handle, int, error) {
+	if n <= 0 || tile <= 0 || tile > n {
+		return nil, 0, fmt.Errorf("experiments: bad factor extent n=%d tile=%d", n, tile)
+	}
+	tiles, err := partition.Grid2D(n, n, tile, tile)
+	if err != nil {
+		return nil, 0, err
+	}
+	rows, cols := partition.GridDims(n, n, tile, tile)
+	if rows != cols {
+		return nil, 0, fmt.Errorf("experiments: factor grid %dx%d not square", rows, cols)
+	}
+	hs := make([]*taskrt.Handle, len(tiles))
+	for idx, t := range tiles {
+		var payload any
+		if m != nil {
+			payload = m.Sub(t.Row, t.Col, t.M, t.N)
+		}
+		hs[idx] = rt.NewHandle(
+			fmt.Sprintf("A[%d,%d]", t.I, t.J),
+			int64(t.M)*int64(t.N)*8,
+			payload,
+		)
+	}
+	return hs, rows, nil
+}
+
+// SubmitTiledCholesky builds the classic right-looking tiled Cholesky DAG
+// over the lower triangle of the n×n matrix: for each step k, POTRF on the
+// diagonal tile, TRSM down the panel, then SYRK/GEMM across the trailing
+// submatrix. Dependencies fall out of the R/RW accesses — the k-chain
+// POTRF(k) → TRSM(k+1,k) → SYRK(k+1,k) → POTRF(k+1) is the critical path.
+// Task priorities decrease with k so schedulers that honour the hint
+// advance the panel chain ahead of bulk trailing updates.
+//
+// When m is nil the graph carries size-only handles (simulation); with m
+// the handles reference tile views and the kernels factor it in place.
+func SubmitTiledCholesky(rt *taskrt.Runtime, n, tile int, m *blas.Matrix) error {
+	hs, T, err := factorHandles(rt, n, tile, m)
+	if err != nil {
+		return err
+	}
+	tiles, _ := partition.Grid2D(n, n, tile, tile)
+	at := func(i, j int) *taskrt.Handle { return hs[i*T+j] }
+	dim := func(i int) int { return tiles[i*T+i].M }
+
+	potrf, trsm, syrk, gemm := cholCodelets()
+	var graph []*taskrt.Task
+	for k := 0; k < T; k++ {
+		age := T - k // steps remaining: earlier panels gate more work
+		nk := dim(k)
+		graph = append(graph, &taskrt.Task{
+			Codelet:  potrf,
+			Accesses: []taskrt.Access{taskrt.RW(at(k, k))},
+			Flops:    blas.FlopsPOTRF(nk),
+			Priority: 3*age + 2,
+			Label:    fmt.Sprintf("POTRF[%d]", k),
+		})
+		for i := k + 1; i < T; i++ {
+			graph = append(graph, &taskrt.Task{
+				Codelet:  trsm,
+				Accesses: []taskrt.Access{taskrt.R(at(k, k)), taskrt.RW(at(i, k))},
+				Flops:    blas.FlopsTRSM(nk, dim(i)),
+				Priority: 3*age + 1,
+				Label:    fmt.Sprintf("TRSM[%d,%d]", i, k),
+			})
+		}
+		for i := k + 1; i < T; i++ {
+			mi := dim(i)
+			graph = append(graph, &taskrt.Task{
+				Codelet:  syrk,
+				Accesses: []taskrt.Access{taskrt.R(at(i, k)), taskrt.RW(at(i, i))},
+				Flops:    blas.FlopsSYRK(mi, nk),
+				Priority: 3 * age,
+				Label:    fmt.Sprintf("SYRK[%d,%d]", i, k),
+			})
+			for j := k + 1; j < i; j++ {
+				graph = append(graph, &taskrt.Task{
+					Codelet:  gemm,
+					Accesses: []taskrt.Access{taskrt.R(at(i, k)), taskrt.R(at(j, k)), taskrt.RW(at(i, j))},
+					Flops:    blas.FlopsGEMM(mi, dim(j), nk),
+					Priority: 3 * age,
+					Label:    fmt.Sprintf("GEMM[%d,%d,%d]", i, j, k),
+				})
+			}
+		}
+	}
+	return rt.SubmitBatch(graph)
+}
+
+// SubmitTiledLU builds the right-looking tiled LU DAG (no pivoting) over
+// the full n×n tile grid: GETRF on the diagonal, TRSM along the U row and
+// the L column, GEMM across the trailing submatrix.
+func SubmitTiledLU(rt *taskrt.Runtime, n, tile int, m *blas.Matrix) error {
+	hs, T, err := factorHandles(rt, n, tile, m)
+	if err != nil {
+		return err
+	}
+	tiles, _ := partition.Grid2D(n, n, tile, tile)
+	at := func(i, j int) *taskrt.Handle { return hs[i*T+j] }
+	dim := func(i int) int { return tiles[i*T+i].M }
+
+	getrf, trsmRow, trsmCol, gemm := luCodelets()
+	var graph []*taskrt.Task
+	for k := 0; k < T; k++ {
+		age := T - k
+		nk := dim(k)
+		graph = append(graph, &taskrt.Task{
+			Codelet:  getrf,
+			Accesses: []taskrt.Access{taskrt.RW(at(k, k))},
+			Flops:    blas.FlopsGETRF(nk),
+			Priority: 3*age + 2,
+			Label:    fmt.Sprintf("GETRF[%d]", k),
+		})
+		for j := k + 1; j < T; j++ {
+			graph = append(graph, &taskrt.Task{
+				Codelet:  trsmRow,
+				Accesses: []taskrt.Access{taskrt.R(at(k, k)), taskrt.RW(at(k, j))},
+				Flops:    blas.FlopsTRSM(nk, dim(j)),
+				Priority: 3*age + 1,
+				Label:    fmt.Sprintf("TRSM-U[%d,%d]", k, j),
+			})
+		}
+		for i := k + 1; i < T; i++ {
+			graph = append(graph, &taskrt.Task{
+				Codelet:  trsmCol,
+				Accesses: []taskrt.Access{taskrt.R(at(k, k)), taskrt.RW(at(i, k))},
+				Flops:    blas.FlopsTRSM(nk, dim(i)),
+				Priority: 3*age + 1,
+				Label:    fmt.Sprintf("TRSM-L[%d,%d]", i, k),
+			})
+		}
+		for i := k + 1; i < T; i++ {
+			mi := dim(i)
+			for j := k + 1; j < T; j++ {
+				graph = append(graph, &taskrt.Task{
+					Codelet:  gemm,
+					Accesses: []taskrt.Access{taskrt.R(at(i, k)), taskrt.R(at(k, j)), taskrt.RW(at(i, j))},
+					Flops:    blas.FlopsGEMM(mi, dim(j), nk),
+					Priority: 3 * age,
+					Label:    fmt.Sprintf("GEMM[%d,%d,%d]", i, j, k),
+				})
+			}
+		}
+	}
+	return rt.SubmitBatch(graph)
+}
+
+// FactorRow is one measured factorization run.
+type FactorRow struct {
+	Kind            string  `json:"kind"`
+	Pool            string  `json:"pool"`
+	Scheduler       string  `json:"scheduler"`
+	N               int     `json:"n"`
+	Tile            int     `json:"tile"`
+	Workers         int     `json:"workers"`
+	Tasks           int     `json:"tasks"`
+	Seconds         float64 `json:"seconds"`
+	CritPathSeconds float64 `json:"critpath_seconds"`
+	CritPathTasks   int     `json:"critpath_tasks"`
+	MaxAbsErr       float64 `json:"max_abs_err"`
+	FastShare       float64 `json:"fast_share,omitempty"`
+	Steals          int     `json:"steals"`
+}
+
+// runFactor executes one tiled factorization in real mode, verifies the
+// result against the serial reference factorization of the same matrix when
+// verify is set, and reports the traced critical path.
+func runFactor(kind string, pl *core.Platform, workers int, sched string, n, tile int, models *perfmodel.Store, verify bool) (*taskrt.Report, trace.CriticalPath, float64, error) {
+	tr := trace.New()
+	rt, err := taskrt.New(taskrt.Config{
+		Platform: pl, Mode: taskrt.Real, Scheduler: sched,
+		Workers: workers, Models: models, Trace: tr,
+	})
+	if err != nil {
+		return nil, trace.CriticalPath{}, 0, err
+	}
+	var m *blas.Matrix
+	switch kind {
+	case "cholesky":
+		m = NewSPDMatrix(n, factorSeed)
+		err = SubmitTiledCholesky(rt, n, tile, m)
+	case "lu":
+		m = NewDiagDominantMatrix(n, factorSeed)
+		err = SubmitTiledLU(rt, n, tile, m)
+	default:
+		return nil, trace.CriticalPath{}, 0, fmt.Errorf("experiments: unknown factorization %q", kind)
+	}
+	if err != nil {
+		return nil, trace.CriticalPath{}, 0, err
+	}
+	rep, err := rt.Run()
+	if err != nil {
+		return nil, trace.CriticalPath{}, 0, err
+	}
+	maxErr := 0.0
+	if verify {
+		// The serial reference factors a clone of the same seeded matrix;
+		// regions neither path touches compare exactly, factored regions to
+		// rounding. The issue's acceptance bar is 1e-9 at n=512.
+		ref := func() *blas.Matrix {
+			if kind == "cholesky" {
+				return NewSPDMatrix(n, factorSeed)
+			}
+			return NewDiagDominantMatrix(n, factorSeed)
+		}()
+		if kind == "cholesky" {
+			err = blas.Potrf(ref)
+		} else {
+			err = blas.Getrf(ref)
+		}
+		if err != nil {
+			return nil, trace.CriticalPath{}, 0, fmt.Errorf("experiments: reference %s: %w", kind, err)
+		}
+		maxErr = blas.MaxDiff(m, ref)
+		if maxErr > 1e-9 {
+			return nil, trace.CriticalPath{}, 0, fmt.Errorf("experiments: tiled %s diverges from reference by %g", kind, maxErr)
+		}
+	}
+	return rep, tr.CriticalPath(), maxErr, nil
+}
+
+// RealFactor runs one tiled factorization (kind "cholesky" or "lu") on the
+// discovered this-host platform under the named scheduler and returns the
+// report with the result verified against the serial reference.
+func RealFactor(kind string, n, tile, workers int, sched string) (*taskrt.Report, trace.CriticalPath, error) {
+	pl, err := discover.Platform("this-host")
+	if err != nil {
+		return nil, trace.CriticalPath{}, err
+	}
+	rep, cp, _, err := runFactor(kind, pl, workers, sched, n, tile, nil, true)
+	return rep, cp, err
+}
+
+// heteroFactorPlatform builds the skewed pool: one fast x86 worker plus
+// slowWorkers x86slow workers.
+func heteroFactorPlatform(slowWorkers int) (*core.Platform, error) {
+	return core.NewBuilder("factor-hetero").
+		Master("fast", core.Arch("x86"), core.Qty(1)).
+		Master("slow", core.Arch("x86slow"), core.Qty(slowWorkers)).
+		Build()
+}
+
+// warmFactorModels calibrates per-codelet performance models by timing each
+// fast kernel once at tile granularity, then records fast and slow rates at
+// sizes bracketing the real task flops — so dmda places from history on its
+// first placement instead of discovering the 1-fast+N-slow skew online.
+func warmFactorModels(kind string, tile int) (*perfmodel.Store, error) {
+	models := perfmodel.NewStore()
+	type cal struct {
+		codelet string
+		flops   float64
+		run     func() error
+	}
+	var cals []cal
+	if kind == "cholesky" {
+		spd := NewSPDMatrix(tile, factorSeed)
+		panel := blas.NewMatrix(tile, tile)
+		panel.FillRandom(factorSeed + 1)
+		fac := NewSPDMatrix(tile, factorSeed+2)
+		if err := blas.Potrf(fac); err != nil {
+			return nil, err
+		}
+		other := blas.NewMatrix(tile, tile)
+		other.FillRandom(factorSeed + 3)
+		acc := NewSPDMatrix(tile, factorSeed+4)
+		cals = []cal{
+			{"potrf", blas.FlopsPOTRF(tile), func() error { return blas.Potrf(NewSPDMatrix(tile, factorSeed)) }},
+			{"trsm_rlt", blas.FlopsTRSM(tile, tile), func() error { return blas.TrsmRLT(fac, panel.Clone()) }},
+			{"syrk_nt", blas.FlopsSYRK(tile, tile), func() error { return blas.SyrkNT(panel, spd.Clone()) }},
+			{"gemm_nt", blas.FlopsGEMM(tile, tile, tile), func() error { return blas.GemmNT(panel, other, acc.Clone()) }},
+		}
+	} else {
+		dd := NewDiagDominantMatrix(tile, factorSeed)
+		fac := NewDiagDominantMatrix(tile, factorSeed+1)
+		if err := blas.Getrf(fac); err != nil {
+			return nil, err
+		}
+		panel := blas.NewMatrix(tile, tile)
+		panel.FillRandom(factorSeed + 2)
+		other := blas.NewMatrix(tile, tile)
+		other.FillRandom(factorSeed + 3)
+		cals = []cal{
+			{"getrf", blas.FlopsGETRF(tile), func() error { return blas.Getrf(NewDiagDominantMatrix(tile, factorSeed)) }},
+			{"trsm_llu", blas.FlopsTRSM(tile, tile), func() error { return blas.TrsmLLUnit(fac, panel.Clone()) }},
+			{"trsm_ru", blas.FlopsTRSM(tile, tile), func() error { return blas.TrsmRU(fac, panel.Clone()) }},
+			{"gemm_sub", blas.FlopsGEMM(tile, tile, tile), func() error { return blas.GemmSub(panel, other, dd.Clone()) }},
+		}
+	}
+	for _, c := range cals {
+		start := time.Now()
+		if err := c.run(); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start).Seconds()
+		if elapsed <= 0 {
+			elapsed = 1e-6
+		}
+		rate := c.flops / elapsed // fast-arch flops/s for this kernel
+		for _, scale := range []float64{0.5, 1, 2} {
+			sz := c.flops * scale
+			if err := models.Model(c.codelet, "x86").Record(sz, sz/rate); err != nil {
+				return nil, err
+			}
+			if err := models.Model(c.codelet, "x86slow").Record(sz, sz/rate+sz/factorSlowRate); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return models, nil
+}
+
+// FactorExperiment sweeps ws vs dmda for one factorization kind on the
+// homogeneous this-host pool and on the skewed 1-fast+slowWorkers pool,
+// verifying numerics on every run and reporting the traced critical path.
+// Timed rows keep the best of reps repetitions.
+func FactorExperiment(kind string, n, tile, workers, slowWorkers, reps int) (*Result, []FactorRow, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	host, err := discover.Platform("this-host")
+	if err != nil {
+		return nil, nil, err
+	}
+	hetero, err := heteroFactorPlatform(slowWorkers)
+	if err != nil {
+		return nil, nil, err
+	}
+	type pool struct {
+		name    string
+		pl      *core.Platform
+		workers int
+		warm    bool
+	}
+	pools := []pool{
+		{fmt.Sprintf("smp%d", workers), host, workers, false},
+		{fmt.Sprintf("1fast+%dslow", slowWorkers), hetero, 1 + slowWorkers, true},
+	}
+	res := &Result{
+		Name:    fmt.Sprintf("Ext-K: tiled %s (n=%d, tile=%d)", kind, n, tile),
+		Headers: []string{"pool", "sched", "tasks", "makespan_s", "critpath_s", "crit_tasks", "fast_share", "steals", "max_abs_err"},
+		Notes: []string{
+			"critpath_s is the traced longest dependency chain: the makespan lower bound",
+			"every run factors the real matrix; max_abs_err compares against the serial reference",
+		},
+	}
+	var rows []FactorRow
+	for _, p := range pools {
+		var models *perfmodel.Store
+		if p.warm {
+			if models, err = warmFactorModels(kind, tile); err != nil {
+				return nil, nil, err
+			}
+		}
+		for _, sched := range []string{"ws", "dmda"} {
+			var best *FactorRow
+			for r := 0; r < reps; r++ {
+				rep, cp, maxErr, err := runFactor(kind, p.pl, p.workers, sched, n, tile, models, true)
+				if err != nil {
+					return nil, nil, fmt.Errorf("experiments: %s %s/%s: %w", kind, p.name, sched, err)
+				}
+				row := FactorRow{
+					Kind: kind, Pool: p.name, Scheduler: sched,
+					N: n, Tile: tile, Workers: p.workers, Tasks: rep.Tasks,
+					Seconds:         rep.MakespanSeconds,
+					CritPathSeconds: cp.Length,
+					CritPathTasks:   len(cp.TaskIDs),
+					MaxAbsErr:       maxErr,
+					Steals:          rep.Steals,
+				}
+				if p.warm {
+					if u, ok := rep.UnitByID("worker0"); ok && rep.Tasks > 0 {
+						row.FastShare = float64(u.Tasks) / float64(rep.Tasks)
+					}
+				}
+				if best == nil || row.Seconds < best.Seconds {
+					best = &row
+				}
+			}
+			rows = append(rows, *best)
+			fastShare := "-"
+			if p.warm {
+				fastShare = f2(best.FastShare)
+			}
+			res.AddRow(p.name, sched, fmt.Sprint(best.Tasks), f4(best.Seconds),
+				f4(best.CritPathSeconds), fmt.Sprint(best.CritPathTasks),
+				fastShare, fmt.Sprint(best.Steals), fmt.Sprintf("%.2e", best.MaxAbsErr))
+		}
+	}
+	return res, rows, nil
+}
+
+// FactorBenchData is the JSON artefact of `pdlbench -exp cholesky|lu|factor
+// -out BENCH_factor.json`.
+type FactorBenchData struct {
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Rows       []FactorRow `json:"rows"`
+}
+
+// WriteJSON writes the bench rows to path.
+func (d *FactorBenchData) WriteJSON(path string) error {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

@@ -1,0 +1,363 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/discover"
+	"repro/internal/metrics"
+	"repro/internal/pdlxml"
+)
+
+// ServeConfig parameterises the serve-replay load harness: a request mix
+// replayed against a live pdlserved instance at increasing concurrency,
+// with latency quantiles read back from the server's own
+// pdlserved_request_seconds histogram.
+type ServeConfig struct {
+	// Server is the base URL of the live pdlserved instance.
+	Server string
+	// Platform is the catalog platform the mix targets; it is uploaded
+	// first if the server does not hold it. Default "xeon-2gpu".
+	Platform string
+	// Requests per concurrency level. Default 400.
+	Requests int
+	// Concurrency levels to sweep. Default [4, 16].
+	Concurrency []int
+}
+
+// ServeLevel is the measurement at one concurrency level.
+type ServeLevel struct {
+	Concurrency int     `json:"concurrency"`
+	Requests    int     `json:"requests"`
+	Errors      int     `json:"errors"`
+	Seconds     float64 `json:"seconds"`
+	Throughput  float64 `json:"req_per_sec"`
+	// P50/P99 are interpolated from the server-side request-latency
+	// histogram deltas across this level (all routes, server view).
+	P50 float64 `json:"p50_seconds"`
+	P99 float64 `json:"p99_seconds"`
+}
+
+// ServeBenchData is the machine-readable serve-replay result, written next
+// to the other bench JSON artifacts.
+type ServeBenchData struct {
+	Server   string       `json:"server"`
+	Platform string       `json:"platform"`
+	Mix      string       `json:"mix"`
+	Levels   []ServeLevel `json:"levels"`
+}
+
+// WriteJSON writes the bench data for CI artifact upload.
+func (d *ServeBenchData) WriteJSON(path string) error {
+	blob, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(blob, '\n'), 0o644)
+}
+
+// serveMix is the replayed request mix: 60% PU queries, 30% predictions,
+// 10% observations — the read-heavy shape of a runtime consulting the
+// registry with a trickle of perfmodel feedback.
+const serveMix = "60% query / 30% predict / 10% observe"
+
+// serveOp returns the operation for the i-th request of a level. The mix is
+// deterministic (no RNG) so replays are reproducible: positions 0-5 query,
+// 6-8 predict, 9 observes.
+func serveOp(i int) string {
+	switch i % 10 {
+	case 6, 7, 8:
+		return "predict"
+	case 9:
+		return "observe"
+	default:
+		return "query"
+	}
+}
+
+// serveQueries are the PU-query filter sets cycled through by the query
+// portion of the mix — a couple of repeating shapes (cache hits) plus the
+// unfiltered listing.
+var serveQueries = []string{"kind=worker", "kind=master", "", "kind=worker&arch=gpu"}
+
+// ServeReplay replays the request mix against a live pdlserved at each
+// configured concurrency level and reports client throughput plus
+// server-side p50/p99 request latency per level.
+//
+// Latency is measured where it is authoritative: before and after each
+// level the harness scrapes GET /metrics, parses the
+// pdlserved_request_seconds histogram (ParsePromText/ParseLabels), and
+// interpolates the quantiles from the per-level bucket count deltas. The
+// replay itself uses a plain http.Client with no retries, so the offered
+// load is exactly Requests per level.
+func ServeReplay(cfg ServeConfig) (*Result, *ServeBenchData, error) {
+	if cfg.Server == "" {
+		return nil, nil, fmt.Errorf("serve replay: -server URL is required")
+	}
+	if cfg.Platform == "" {
+		cfg.Platform = "xeon-2gpu"
+	}
+	if cfg.Requests <= 0 {
+		cfg.Requests = 400
+	}
+	if len(cfg.Concurrency) == 0 {
+		cfg.Concurrency = []int{4, 16}
+	}
+
+	if err := serveEnsurePlatform(cfg.Server, cfg.Platform); err != nil {
+		return nil, nil, err
+	}
+
+	base := cfg.Server
+	hc := &http.Client{Timeout: 30 * time.Second}
+	data := &ServeBenchData{Server: base, Platform: cfg.Platform, Mix: serveMix}
+
+	for _, conc := range cfg.Concurrency {
+		if conc <= 0 {
+			return nil, nil, fmt.Errorf("serve replay: concurrency must be positive, got %d", conc)
+		}
+		before, err := serveScrapeBuckets(hc, base)
+		if err != nil {
+			return nil, nil, err
+		}
+
+		var errs atomic.Int64
+		next := atomic.Int64{}
+		start := time.Now()
+		var wg sync.WaitGroup
+		for g := 0; g < conc; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= cfg.Requests {
+						return
+					}
+					if err := serveRequest(hc, base, cfg.Platform, i); err != nil {
+						errs.Add(1)
+					}
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start).Seconds()
+
+		after, err := serveScrapeBuckets(hc, base)
+		if err != nil {
+			return nil, nil, err
+		}
+		p50, p99 := serveQuantiles(before, after)
+		data.Levels = append(data.Levels, ServeLevel{
+			Concurrency: conc,
+			Requests:    cfg.Requests,
+			Errors:      int(errs.Load()),
+			Seconds:     elapsed,
+			Throughput:  float64(cfg.Requests) / elapsed,
+			P50:         p50,
+			P99:         p99,
+		})
+	}
+
+	res := &Result{
+		Name:    fmt.Sprintf("Ext-L: serve replay against %s (platform %s)", base, cfg.Platform),
+		Headers: []string{"conc", "requests", "errors", "seconds", "req/s", "p50_ms", "p99_ms"},
+		Notes: []string{
+			"mix " + serveMix + "; p50/p99 from the server's pdlserved_request_seconds",
+			"histogram deltas per level (server-side view, all routes).",
+		},
+	}
+	for _, l := range data.Levels {
+		res.AddRow(
+			strconv.Itoa(l.Concurrency),
+			strconv.Itoa(l.Requests),
+			strconv.Itoa(l.Errors),
+			fmt.Sprintf("%.3f", l.Seconds),
+			fmt.Sprintf("%.0f", l.Throughput),
+			fmt.Sprintf("%.3f", l.P50*1e3),
+			fmt.Sprintf("%.3f", l.P99*1e3),
+		)
+	}
+	return res, data, nil
+}
+
+// serveEnsurePlatform uploads the catalog platform if the server does not
+// already hold it, then seeds the gemm perfmodel with a handful of
+// observations so the predict portion of the mix resolves (Predict refuses
+// platforms without covering observations). Setup uses the retrying client;
+// only the measured replay avoids retries.
+func serveEnsurePlatform(server, name string) error {
+	ctl, err := client.New(server)
+	if err != nil {
+		return err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if _, err := ctl.GetBytes(ctx, "/platforms/"+name); err != nil {
+		if !client.IsStatus(err, http.StatusNotFound) {
+			return fmt.Errorf("serve replay: probing platform %s: %w", name, err)
+		}
+		pl, err := discover.Platform(name)
+		if err != nil {
+			return fmt.Errorf("serve replay: %w", err)
+		}
+		xml, err := pdlxml.Marshal(pl)
+		if err != nil {
+			return err
+		}
+		if err := ctl.PutBytes(ctx, "/platforms/"+name, "application/xml", xml); err != nil {
+			return fmt.Errorf("serve replay: uploading platform %s: %w", name, err)
+		}
+	}
+	for _, size := range []float64{1e5, 1e6, 1e7} {
+		err := ctl.PostJSON(ctx, "/platforms/"+name+"/observe", map[string]any{
+			"codelet": "gemm", "size": size, "seconds": size / 1e10,
+		}, nil)
+		if err != nil {
+			return fmt.Errorf("serve replay: seeding perfmodel: %w", err)
+		}
+	}
+	return nil
+}
+
+// serveRequest issues the i-th request of a level: query, predict or
+// observe per the deterministic mix. Any transport error or non-2xx status
+// counts as a request error.
+func serveRequest(hc *http.Client, base, platform string, i int) error {
+	var resp *http.Response
+	var err error
+	switch serveOp(i) {
+	case "predict":
+		// Sizes cycle within the seeded observation range so every predict
+		// resolves to a model estimate.
+		size := []float64{2e5, 1e6, 5e6}[i%3]
+		// 'f' formatting: 'g' would render 1e+06, whose '+' decodes to a
+		// space in a query string.
+		resp, err = hc.Get(base + "/platforms/" + url.PathEscape(platform) +
+			"/predict?codelet=gemm&size=" + strconv.FormatFloat(size, 'f', -1, 64))
+	case "observe":
+		body, merr := json.Marshal(map[string]any{
+			"codelet": "gemm", "size": 1e6, "seconds": 1e-4,
+		})
+		if merr != nil {
+			return merr
+		}
+		resp, err = hc.Post(base+"/platforms/"+url.PathEscape(platform)+"/observe",
+			"application/json", bytes.NewReader(body))
+	default:
+		q := serveQueries[i%len(serveQueries)]
+		u := base + "/platforms/" + url.PathEscape(platform) + "/pus"
+		if q != "" {
+			u += "?" + q
+		}
+		resp, err = hc.Get(u)
+	}
+	if err != nil {
+		return err
+	}
+	resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// serveScrapeBuckets scrapes GET /metrics and returns the cumulative
+// pdlserved_request_seconds bucket counts keyed by upper bound ("le" label,
+// "+Inf" included).
+func serveScrapeBuckets(hc *http.Client, base string) (map[string]float64, error) {
+	resp, err := hc.Get(base + "/metrics")
+	if err != nil {
+		return nil, fmt.Errorf("serve replay: scraping metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("serve replay: scraping metrics: status %d", resp.StatusCode)
+	}
+	fams, err := metrics.ParsePromText(resp.Body)
+	if err != nil {
+		return nil, fmt.Errorf("serve replay: parsing metrics: %w", err)
+	}
+	buckets := map[string]float64{}
+	for _, f := range fams {
+		if f.Name != "pdlserved_request_seconds" {
+			continue
+		}
+		for _, s := range f.Samples {
+			if s.Name != "pdlserved_request_seconds_bucket" {
+				continue
+			}
+			labels, err := metrics.ParseLabels(s.Labels)
+			if err != nil {
+				return nil, fmt.Errorf("serve replay: bucket labels %q: %w", s.Labels, err)
+			}
+			if le, ok := labels["le"]; ok {
+				buckets[le] = s.Value
+			}
+		}
+	}
+	if len(buckets) == 0 {
+		return nil, fmt.Errorf("serve replay: no pdlserved_request_seconds buckets in /metrics (is this pdlserved?)")
+	}
+	return buckets, nil
+}
+
+// serveQuantiles interpolates p50/p99 from the bucket-count deltas between
+// two scrapes, the standard cumulative-histogram estimate: find the bucket
+// the rank falls in and interpolate linearly inside it. Ranks landing in
+// the +Inf bucket report the largest finite bound (a floor, not an
+// estimate).
+func serveQuantiles(before, after map[string]float64) (p50, p99 float64) {
+	type bucket struct {
+		le    float64
+		delta float64
+	}
+	var finite []bucket
+	var total float64
+	for le, cum := range after {
+		d := cum - before[le]
+		if le == "+Inf" {
+			total = d
+			continue
+		}
+		ub, err := strconv.ParseFloat(le, 64)
+		if err != nil {
+			continue
+		}
+		finite = append(finite, bucket{le: ub, delta: d})
+	}
+	sort.Slice(finite, func(i, j int) bool { return finite[i].le < finite[j].le })
+	if total <= 0 {
+		return 0, 0
+	}
+
+	quantile := func(q float64) float64 {
+		rank := q * total
+		cum, lo := 0.0, 0.0
+		for _, b := range finite {
+			bcount := b.delta - cum
+			if cum+bcount >= rank && bcount > 0 {
+				frac := (rank - cum) / bcount
+				return lo + frac*(b.le-lo)
+			}
+			cum += bcount
+			lo = b.le
+		}
+		if n := len(finite); n > 0 {
+			return finite[n-1].le
+		}
+		return 0
+	}
+	return quantile(0.5), quantile(0.99)
+}

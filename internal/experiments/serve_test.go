@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// The serve-replay harness must run the full setup + replay against a live
+// pdlserved handler: upload the platform when absent, seed the perfmodel so
+// predicts resolve, drive every configured concurrency level with zero
+// request errors, and read plausible p50/p99 out of the server's request
+// histogram.
+func TestServeReplayAgainstLiveServer(t *testing.T) {
+	srv := server.New(server.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	res, data, err := ServeReplay(ServeConfig{
+		Server:      ts.URL,
+		Requests:    120,
+		Concurrency: []int{2, 8},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data.Levels) != 2 {
+		t.Fatalf("measured %d levels, want 2", len(data.Levels))
+	}
+	for _, l := range data.Levels {
+		if l.Errors != 0 {
+			t.Fatalf("concurrency %d: %d request errors against a healthy server", l.Concurrency, l.Errors)
+		}
+		if l.Requests != 120 {
+			t.Fatalf("concurrency %d: replayed %d requests, want 120", l.Concurrency, l.Requests)
+		}
+		if l.Throughput <= 0 || l.Seconds <= 0 {
+			t.Fatalf("concurrency %d: empty throughput measurement %+v", l.Concurrency, l)
+		}
+		// The histogram saw this level's requests: quantiles are positive
+		// and ordered. (The server-side view includes the /metrics scrape
+		// itself — fine, the replay dominates the deltas.)
+		if l.P50 <= 0 || l.P99 < l.P50 {
+			t.Fatalf("concurrency %d: implausible quantiles p50=%v p99=%v", l.Concurrency, l.P50, l.P99)
+		}
+	}
+	if data.Platform != "xeon-2gpu" || data.Mix == "" {
+		t.Fatalf("bench data incomplete: %+v", data)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("result table has %d rows, want 2", len(res.Rows))
+	}
+
+	// Replaying again against the same server exercises the
+	// platform-already-present path.
+	if _, _, err := ServeReplay(ServeConfig{
+		Server:      ts.URL,
+		Requests:    30,
+		Concurrency: []int{2, 4},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The deterministic mix is exactly 60/30/10 over any window of 10 requests.
+func TestServeMixShape(t *testing.T) {
+	counts := map[string]int{}
+	for i := 0; i < 100; i++ {
+		counts[serveOp(i)]++
+	}
+	if counts["query"] != 60 || counts["predict"] != 30 || counts["observe"] != 10 {
+		t.Fatalf("mix = %v, want 60/30/10", counts)
+	}
+}
+
+// Quantile interpolation over synthetic bucket deltas: 90 requests in the
+// first bucket, 10 spread high — p50 lands inside the first bucket, p99 in
+// the tail.
+func TestServeQuantiles(t *testing.T) {
+	before := map[string]float64{"0.001": 0, "0.01": 0, "0.1": 0, "+Inf": 0}
+	after := map[string]float64{"0.001": 90, "0.01": 95, "0.1": 100, "+Inf": 100}
+	p50, p99 := serveQuantiles(before, after)
+	// rank 50 of 90 in [0, 0.001): 0.001 * 50/90.
+	if want := 0.001 * 50 / 90; p50 < want*0.999 || p50 > want*1.001 {
+		t.Fatalf("p50 = %v, want ~%v", p50, want)
+	}
+	// rank 99: 95 covered by le=0.01, 4 more of the 5 in (0.01, 0.1].
+	if want := 0.01 + (99-95)/5.0*(0.1-0.01); p99 < want*0.999 || p99 > want*1.001 {
+		t.Fatalf("p99 = %v, want ~%v", p99, want)
+	}
+	// Requests past the largest finite bound floor at that bound.
+	onlyInf := map[string]float64{"0.001": 0, "+Inf": 10}
+	if _, p := serveQuantiles(map[string]float64{"0.001": 0, "+Inf": 0}, onlyInf); p != 0.001 {
+		t.Fatalf("overflow quantile = %v, want the largest finite bound", p)
+	}
+	// No traffic at all: zeros, not NaNs.
+	if p50, p99 := serveQuantiles(before, before); p50 != 0 || p99 != 0 {
+		t.Fatalf("zero-delta quantiles = %v/%v", p50, p99)
+	}
+}

@@ -127,14 +127,31 @@ func baseFamily(name string, index map[string]int) string {
 }
 
 // splitSample parses `name{labels} value` or `name value`, leaving the label
-// block raw (label values produced by this package never contain '}', so a
-// byte scan suffices).
+// block raw. The closing brace is found with a quote-aware scan: label
+// values are quoted strings that may contain '}', spaces and backslash
+// escapes (`\"`, `\\`, `\n`), so the first '}' byte is not necessarily the
+// end of the block.
 func splitSample(line string) (name, labels, rest string, err error) {
 	brace := strings.IndexByte(line, '{')
 	space := strings.IndexByte(line, ' ')
 	if brace >= 0 && (space < 0 || brace < space) {
-		end := strings.IndexByte(line, '}')
-		if end < brace {
+		end := -1
+		inQuote := false
+	scan:
+		for i := brace + 1; i < len(line); i++ {
+			switch c := line[i]; {
+			case inQuote && c == '\\':
+				i++ // skip the escaped byte
+			case inQuote && c == '"':
+				inQuote = false
+			case !inQuote && c == '"':
+				inQuote = true
+			case !inQuote && c == '}':
+				end = i
+				break scan
+			}
+		}
+		if end < 0 {
 			return "", "", "", fmt.Errorf("unterminated label block in %q", line)
 		}
 		name, labels = line[:brace], line[brace+1:end]
@@ -149,6 +166,66 @@ func splitSample(line string) (name, labels, rest string, err error) {
 		return "", "", "", fmt.Errorf("malformed sample %q", line)
 	}
 	return name, labels, rest, nil
+}
+
+// ParseLabels decodes a raw label block (the PromSample.Labels text between
+// the braces, e.g. `node="a",le="+Inf"`) into a name→value map, reversing
+// the quoting WritePrometheus applies: values are double-quoted with `\\`,
+// `\"`, `\n` and `\t` escapes. Unknown escape pairs are kept verbatim so a
+// foreign exposition degrades to its raw text instead of an error.
+func ParseLabels(raw string) (map[string]string, error) {
+	out := map[string]string{}
+	i := 0
+	for i < len(raw) {
+		if raw[i] == ',' || raw[i] == ' ' {
+			i++
+			continue
+		}
+		eq := strings.IndexByte(raw[i:], '=')
+		if eq < 0 {
+			return nil, fmt.Errorf("metrics: label block %q: no '=' after %q", raw, raw[i:])
+		}
+		name := raw[i : i+eq]
+		i += eq + 1
+		if i >= len(raw) || raw[i] != '"' {
+			return nil, fmt.Errorf("metrics: label %q in %q: value not quoted", name, raw)
+		}
+		i++
+		var val strings.Builder
+		closed := false
+		for i < len(raw) {
+			c := raw[i]
+			if c == '"' {
+				closed = true
+				i++
+				break
+			}
+			if c == '\\' && i+1 < len(raw) {
+				switch raw[i+1] {
+				case '\\':
+					val.WriteByte('\\')
+				case '"':
+					val.WriteByte('"')
+				case 'n':
+					val.WriteByte('\n')
+				case 't':
+					val.WriteByte('\t')
+				default:
+					val.WriteByte('\\')
+					val.WriteByte(raw[i+1])
+				}
+				i += 2
+				continue
+			}
+			val.WriteByte(c)
+			i++
+		}
+		if !closed {
+			return nil, fmt.Errorf("metrics: label %q in %q: unterminated value", name, raw)
+		}
+		out[name] = val.String()
+	}
+	return out, nil
 }
 
 // Federator accumulates per-node metric snapshots and renders the fleet

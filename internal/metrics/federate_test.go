@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"bytes"
+	"math"
 	"strings"
 	"testing"
 )
@@ -112,6 +113,164 @@ func TestFederatorMultiNodeAndDrop(t *testing.T) {
 	f.WritePrometheus(&b)
 	if strings.Contains(b.String(), `node="w2"`) {
 		t.Fatalf("dropped node still present:\n%s", b.String())
+	}
+}
+
+// The exposition edge cases the fleet path must survive: ±Inf and NaN
+// sample values (every histogram has a le="+Inf" bucket; a gauge fed from a
+// 0/0 ratio is NaN) and label values carrying the escapes `%q` emits —
+// `\"`, `\n`, `\\` — plus unescaped '}' and spaces, which break a naive
+// scan for the end of the label block.
+func TestParsePromTextEdgeCases(t *testing.T) {
+	cases := []struct {
+		name   string
+		line   string
+		sample string // expected sample name
+		labels map[string]string
+		value  func(float64) bool
+	}{
+		{
+			name:   "plus inf value",
+			line:   `taskrt_worker_kernel_seconds_bucket{le="+Inf"} 7`,
+			sample: "taskrt_worker_kernel_seconds_bucket",
+			labels: map[string]string{"le": "+Inf"},
+			value:  func(v float64) bool { return v == 7 },
+		},
+		{
+			name:   "inf sample value",
+			line:   `taskrt_worker_ratio +Inf`,
+			sample: "taskrt_worker_ratio",
+			labels: map[string]string{},
+			value:  func(v float64) bool { return math.IsInf(v, 1) },
+		},
+		{
+			name:   "nan sample value",
+			line:   `taskrt_worker_ratio NaN`,
+			sample: "taskrt_worker_ratio",
+			labels: map[string]string{},
+			value:  math.IsNaN,
+		},
+		{
+			name:   "brace in label value",
+			line:   `taskrt_worker_executions_total{codelet="C[0,1]+={A}*{B}"} 2`,
+			sample: "taskrt_worker_executions_total",
+			labels: map[string]string{"codelet": "C[0,1]+={A}*{B}"},
+			value:  func(v float64) bool { return v == 2 },
+		},
+		{
+			name:   "escaped quote backslash newline",
+			line:   `taskrt_worker_executions_total{codelet="say \"hi\\\" now",node="a\nb"} 4`,
+			sample: "taskrt_worker_executions_total",
+			labels: map[string]string{"codelet": `say "hi\" now`, "node": "a\nb"},
+			value:  func(v float64) bool { return v == 4 },
+		},
+		{
+			name:   "space inside label value",
+			line:   `taskrt_worker_executions_total{codelet="a b"} 1`,
+			sample: "taskrt_worker_executions_total",
+			labels: map[string]string{"codelet": "a b"},
+			value:  func(v float64) bool { return v == 1 },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fams, err := ParsePromText(strings.NewReader(tc.line + "\n"))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(fams) != 1 || len(fams[0].Samples) != 1 {
+				t.Fatalf("parsed %+v", fams)
+			}
+			s := fams[0].Samples[0]
+			if s.Name != tc.sample {
+				t.Fatalf("sample name %q, want %q", s.Name, tc.sample)
+			}
+			if !tc.value(s.Value) {
+				t.Fatalf("sample value %v rejected", s.Value)
+			}
+			got, err := ParseLabels(s.Labels)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.labels) {
+				t.Fatalf("labels %#v, want %#v", got, tc.labels)
+			}
+			for k, v := range tc.labels {
+				if got[k] != v {
+					t.Fatalf("label %s = %q, want %q", k, got[k], v)
+				}
+			}
+		})
+	}
+}
+
+func TestParsePromTextMalformed(t *testing.T) {
+	for _, line := range []string{
+		`taskrt_worker_x{le="unterminated value} 1`,
+		`taskrt_worker_x{le="a" 1`, // unterminated block
+		`taskrt_worker_x`,          // no value
+		`taskrt_worker_x{} notanumber`,
+	} {
+		if _, err := ParsePromText(strings.NewReader(line + "\n")); err == nil {
+			t.Fatalf("line %q accepted", line)
+		}
+	}
+}
+
+func TestParseLabelsMalformed(t *testing.T) {
+	for _, raw := range []string{`le`, `le=3`, `le="a`} {
+		if _, err := ParseLabels(raw); err == nil {
+			t.Fatalf("label block %q accepted", raw)
+		}
+	}
+}
+
+// A worker exposition with hostile label values and non-finite samples must
+// round-trip through the federator: scrape → parse → fleet render → parse,
+// with values and labels intact at the end.
+func TestFederatorRoundTripsEdgeCases(t *testing.T) {
+	evil := "C{0,1} \"q\"\\\nend" // '}', quotes, backslash, newline
+	r := New()
+	r.CounterVec("taskrt_worker_executions_total", "Kernels executed.", "codelet").
+		With(evil).Add(3)
+	h := r.HistogramVec("taskrt_worker_kernel_seconds", "Kernel latency.", []float64{0.01}, "codelet")
+	h.With(evil).Observe(5) // lands in the +Inf bucket only
+	var b bytes.Buffer
+	r.WritePrometheus(&b)
+
+	fams, err := ParsePromText(&b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFederator()
+	f.Update("w1", fams)
+	var fleet bytes.Buffer
+	f.WritePrometheus(&fleet)
+
+	out, err := ParsePromText(bytes.NewReader(fleet.Bytes()))
+	if err != nil {
+		t.Fatalf("fleet render does not re-parse: %v\n%s", err, fleet.String())
+	}
+	found := false
+	for _, fam := range out {
+		for _, s := range fam.Samples {
+			labels, err := ParseLabels(s.Labels)
+			if err != nil {
+				t.Fatalf("sample %s{%s}: %v", s.Name, s.Labels, err)
+			}
+			if s.Name == "taskrt_fleet_executions_total" {
+				found = true
+				if labels["codelet"] != evil || labels["node"] != "w1" || s.Value != 3 {
+					t.Fatalf("mangled round-trip: %+v labels %#v", s, labels)
+				}
+			}
+			if s.Name == "taskrt_fleet_kernel_seconds_bucket" && labels["le"] == "+Inf" && s.Value != 1 {
+				t.Fatalf("+Inf bucket lost its count: %+v", s)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("federated counter missing:\n%s", fleet.String())
 	}
 }
 

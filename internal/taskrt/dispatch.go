@@ -2,6 +2,7 @@ package taskrt
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -106,10 +107,13 @@ type dispatcher interface {
 	// the run ends (done) or aborts. After a true return, take is guaranteed
 	// to find a task.
 	acquire(done, abort <-chan struct{}) bool
-	// take returns a task for worker w after a credit was acquired. It only
-	// returns nil when abort closes mid-sweep. The second result is the
-	// victim worker the task was stolen from, or -1 when it came from the
-	// worker's own queue or the shared pool — steal provenance for traces.
+	// take returns a task for worker w after a credit was acquired. It
+	// returns nil with victim -1 when abort closes mid-sweep, and nil with
+	// victim takeRetry when the dispatcher handed the worker's credit back
+	// (every available task is better left where it is) — the caller must
+	// loop to acquire. Otherwise the second result is the victim worker
+	// the task was stolen from, or -1 when it came from the worker's own
+	// queue or the shared pool — steal provenance for traces.
 	take(w int, abort <-chan struct{}) (*Task, int)
 	// stolen reports how many tasks worker w has obtained by stealing.
 	stolen(w int) int
@@ -122,6 +126,11 @@ type dispatcher interface {
 	// observed-time statistics stay honest.
 	finished(w int, t *Task, d time.Duration, ran bool)
 }
+
+// takeRetry is the sentinel victim index a dispatcher's take returns (with a
+// nil task) after handing the worker's credit back to the semaphore: the
+// worker must loop through acquire rather than treat the nil as an abort.
+const takeRetry = -2
 
 // offlineAware is implemented by dispatchers that route at push time and
 // therefore must know which workers the fault-tolerance layer has
@@ -356,6 +365,13 @@ type dmdaWorker struct {
 	busyNanos atomic.Int64
 	completed atomic.Int64
 	steals    atomic.Int64
+
+	// stallDone/stallSince arm the steal-force valve. They track, across
+	// take calls, when this worker's sweeps started being declined with no
+	// pool-wide completion progress since. Owner-goroutine state: no
+	// atomics needed.
+	stallDone  int64
+	stallSince time.Time
 }
 
 // dmdaDispatcher implements StarPU's dmda (deque model, data aware) policy
@@ -443,6 +459,7 @@ func newDmdaDispatcher(archs []string, nodes []int, costs [][]xferCost, tasks []
 		}
 		wk.archIdx = ai
 		wk.q = newWSDeque(len(tasks))
+		wk.stallDone = -1
 	}
 	byCodelet := make(map[*Codelet]*predEntry)
 	for _, t := range tasks {
@@ -557,7 +574,15 @@ func (d *dmdaDispatcher) choose(t *Task) (w int, source string, charge, xfer int
 		est, src := d.estimate(t, wi)
 		x := xferByNode[wk.node]
 		eft := wk.outstanding.Load() + est + x
-		if best < 0 || eft < bestEFT {
+		better := best < 0 || eft < bestEFT
+		// Critical-path hint: when a prioritised task sees two workers with
+		// the same finish time, take the one that executes it faster — the
+		// chain's next dependency releases sooner even though this task's
+		// completion instant is nominally equal.
+		if !better && t.Priority > 0 && eft == bestEFT && est < bestEst {
+			better = true
+		}
+		if better {
 			best, bestEFT, bestEst, bestXfer, bestSrc = wi, eft, est, x, src
 		}
 	}
@@ -611,6 +636,21 @@ func (d *dmdaDispatcher) push(from int, t *Task) {
 }
 
 func (d *dmdaDispatcher) pushBatch(from int, ts []*Task) {
+	// Place higher-priority tasks first: a batch release happens whenever a
+	// finishing task readies several dependents at once, and placement order
+	// is consumption order on an uncontended worker (the deque serves
+	// oldest-placed first). Submitters mark the critical chain with higher
+	// priorities (e.g. POTRF over trailing GEMMs), so the chain task lands
+	// ahead of the bulk updates instead of behind them. The slice is copied:
+	// pushBatch must not retain or reorder the caller's batch.
+	for i := 1; i < len(ts); i++ {
+		if ts[i].Priority != ts[0].Priority {
+			ordered := append([]*Task(nil), ts...)
+			sort.SliceStable(ordered, func(a, b int) bool { return ordered[a].Priority > ordered[b].Priority })
+			ts = ordered
+			break
+		}
+	}
 	for _, t := range ts {
 		d.place(t)
 	}
@@ -621,23 +661,57 @@ func (d *dmdaDispatcher) acquire(done, abort <-chan struct{}) bool {
 	return d.sem.acquire(done, abort)
 }
 
+// dmdaStealBackoff is how long a thief sleeps after handing its credit back
+// at the end of a sweep in which every stealable task was declined as
+// EFT-unfavorable: the work is better left where the model placed it, and
+// the sleep gives the rightful owner — just woken by the returned credit —
+// the CPU to go collect it instead of racing the thief for the credit.
+const dmdaStealBackoff = 50 * time.Microsecond
+
+// dmdaStealForceAfter is the liveness valve of the EFT-aware steal
+// throttle: when a worker's sweeps keep being declined while the whole pool
+// completes nothing for this long, the placement model is presumed wrong
+// (the victim is hung, offline, or far slower than predicted) and the next
+// sweep steals unconditionally.
+const dmdaStealForceAfter = 10 * time.Millisecond
+
 // stealFrom takes the newest task from the victim's queue (the one that
 // would have waited longest behind the victim's backlog) and transfers its
 // outstanding-work charge to the thief at the thief's own estimate plus the
 // transfer cost of moving the task's operands to the thief's node.
-func (d *dmdaDispatcher) stealFrom(thief, victim int) *Task {
+//
+// The steal is EFT-aware unless forced: dmda's placement already routed the
+// task to the best expected finish time, so a thief only improves matters
+// when it would finish the task sooner than the victim clears its whole
+// backlog. Otherwise — the classic failure being a slow architecture
+// picking at a fast worker's queue and dragging a near-critical task onto a
+// unit ten times worse at it — the task goes back and the thief reports a
+// decline instead. The second result distinguishes "declined" (work exists
+// but is better off where it is) from "queue empty".
+func (d *dmdaDispatcher) stealFrom(thief, victim int, force bool) (*Task, bool) {
 	vk := &d.workers[victim]
+	tk := &d.workers[thief]
 	vk.pushMu.Lock()
 	t := vk.q.pop()
-	vk.pushMu.Unlock()
 	if t == nil {
-		return nil
+		vk.pushMu.Unlock()
+		return nil, false
 	}
-	vk.outstanding.Add(-t.estNanos)
 	est, _ := d.estimate(t, thief)
-	tk := &d.workers[thief]
 	if d.dataAware && len(t.Accesses) > 0 {
 		est += d.transferToNode(t, tk.node)
+	}
+	if !force && tk.outstanding.Load()+est >= vk.outstanding.Load() {
+		// The victim finishes its backlog (which ends with t — pop takes
+		// the newest placement) before the thief could finish t alone:
+		// put it back where the model wanted it.
+		vk.q.push(t)
+		vk.pushMu.Unlock()
+		return nil, true
+	}
+	vk.pushMu.Unlock()
+	vk.outstanding.Add(-t.estNanos)
+	if d.dataAware && len(t.Accesses) > 0 {
 		for _, a := range t.Accesses {
 			if a.Mode.Reads() && a.Handle.markResident(tk.node) {
 				d.prefetches.Inc()
@@ -646,28 +720,57 @@ func (d *dmdaDispatcher) stealFrom(thief, victim int) *Task {
 	}
 	t.estNanos = est
 	tk.outstanding.Add(est)
-	return t
+	return t, false
 }
 
+// take serves worker w's acquired credit: own queue first (oldest placement
+// first), then a steal sweep over the other workers. When every available
+// task is declined as EFT-unfavorable, the credit does not belong to this
+// worker — the task it stands for sits on a queue whose owner may be parked
+// WITHOUT a credit (the global semaphore does not route credits to the
+// worker the placement chose). The thief hands the credit back with
+// release(1), which wakes the parked owner, naps briefly so the owner runs
+// first, and returns takeRetry so the engine loops through acquire again.
 func (d *dmdaDispatcher) take(w int, abort <-chan struct{}) (*Task, int) {
+	wk := &d.workers[w]
 	for {
 		// Own queue first, oldest placement first (lock-free top end).
-		if t := d.workers[w].q.steal(); t != nil {
+		if t := wk.q.steal(); t != nil {
+			wk.stallDone = -1
 			return t, -1
 		}
+		force := wk.stallDone >= 0 && wk.stallDone == d.totCompleted.Load() &&
+			time.Since(wk.stallSince) > dmdaStealForceAfter
+		declined := false
 		for i := 1; i < len(d.workers); i++ {
 			victim := (w + i) % len(d.workers)
-			if t := d.stealFrom(w, victim); t != nil {
-				d.workers[w].steals.Add(1)
+			t, unfav := d.stealFrom(w, victim, force)
+			if t != nil {
+				wk.steals.Add(1)
+				wk.stallDone = -1
 				return t, victim
 			}
+			declined = declined || unfav
 		}
 		select {
 		case <-abort:
 			return nil, -1
 		default:
 		}
-		runtime.Gosched()
+		if !declined {
+			// Every queue was empty: the credit's task is mid-flight through
+			// another worker's decline-and-put-back window. Spin, it is
+			// about to reappear.
+			wk.stallDone = -1
+			runtime.Gosched()
+			continue
+		}
+		if done := d.totCompleted.Load(); done != wk.stallDone {
+			wk.stallDone, wk.stallSince = done, time.Now()
+		}
+		d.sem.release(1)
+		time.Sleep(dmdaStealBackoff)
+		return nil, takeRetry
 	}
 }
 

@@ -348,6 +348,9 @@ func (rt *Runtime) runReal() (*Report, error) {
 				}
 				t, victim := disp.take(worker, abort)
 				if t == nil {
+					if victim == takeRetry {
+						continue // credit handed back; re-acquire
+					}
 					return // aborted mid-sweep
 				}
 				attempt := int(t.attempt.Load())

@@ -43,6 +43,74 @@ func TestDrainMovesEventsKeepsMeta(t *testing.T) {
 	}
 }
 
+// SetLimit must bound the trace between drains: oldest events (in the
+// trace's iteration order — flushed blocks first, then direct records) are
+// discarded past the cap, counted in Dropped (drain-scoped) and
+// DroppedTotal (monotonic).
+func TestSetLimitDropsOldest(t *testing.T) {
+	tr := New()
+	tr.SetLimit(5)
+	for i := 0; i < 10; i++ {
+		tr.Record(Event{Kind: Task, TaskID: i})
+	}
+	if got := tr.Len(); got != 5 {
+		t.Fatalf("Len = %d with limit 5", got)
+	}
+	if d := tr.Dropped(); d != 5 {
+		t.Fatalf("Dropped = %d, want 5", d)
+	}
+	events := tr.Events()
+	if events[0].TaskID != 5 || events[4].TaskID != 9 {
+		t.Fatalf("survivors are not the newest events: %+v", events)
+	}
+
+	// The worker pattern: every span arrives as a flushed shard block, and
+	// whole blocks are dropped oldest-first.
+	tr2 := New()
+	tr2.SetLimit(6)
+	for round := 0; round < 2; round++ {
+		sh := tr2.NewShard(0)
+		for i := 0; i < 4; i++ {
+			sh.Record(Event{Kind: Task, TaskID: round*4 + i})
+		}
+		sh.Flush()
+	}
+	if got := tr2.Len(); got != 4 {
+		t.Fatalf("Len = %d after block drop, want 4", got)
+	}
+	if got := tr2.Events()[0].TaskID; got != 4 {
+		t.Fatalf("oldest surviving span is task %d, want 4", got)
+	}
+	if d := tr2.DroppedTotal(); d != 4 {
+		t.Fatalf("DroppedTotal = %d, want 4", d)
+	}
+
+	// Drain resets the per-drain count but not the monotonic one, and the
+	// receiver keeps enforcing its limit afterwards.
+	snap := tr2.Drain()
+	if snap.Dropped() != 4 || tr2.Dropped() != 0 {
+		t.Fatalf("drain moved dropped wrong: snap=%d recv=%d", snap.Dropped(), tr2.Dropped())
+	}
+	if d := tr2.DroppedTotal(); d != 4 {
+		t.Fatalf("DroppedTotal reset by Drain: %d", d)
+	}
+	for i := 0; i < 10; i++ {
+		tr2.Record(Event{Kind: Task, TaskID: 100 + i})
+	}
+	if got, d := tr2.Len(), tr2.DroppedTotal(); got != 6 || d != 8 {
+		t.Fatalf("post-drain enforcement: Len=%d DroppedTotal=%d, want 6 and 8", got, d)
+	}
+
+	// SetLimit(0) removes the bound.
+	tr2.SetLimit(0)
+	for i := 0; i < 20; i++ {
+		tr2.Record(Event{Kind: Task, TaskID: 200 + i})
+	}
+	if got := tr2.Len(); got != 26 {
+		t.Fatalf("unbounded trace Len = %d, want 26", got)
+	}
+}
+
 // Drain racing concurrent recorders must never lose or double-count events
 // (run under -race via the Makefile race subset).
 func TestDrainConcurrentRecord(t *testing.T) {

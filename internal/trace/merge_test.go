@@ -201,6 +201,106 @@ func TestMergeKeepsExplicitNode(t *testing.T) {
 	}
 }
 
+// A worker crash mid-run produces the hardest merge input: the node's trace
+// arrives in two pieces with different epochs (the restart re-registers with
+// a fresh time origin), the crashed attempt left a Failure event, the retry
+// ran in the second incarnation, and a speculative duplicate of another task
+// ran elsewhere. The merged timeline must stay causally ordered across the
+// epoch boundary, and CriticalPath must chain through the surviving attempt
+// of every task — never a Failure, never a superseded duplicate.
+func TestMergeMultiEpochMultiAttempt(t *testing.T) {
+	const base = int64(1_000_000)
+
+	// The master places all three tasks; its dispatch spans carry explicit
+	// target nodes and must never reach the critical path.
+	master := New()
+	master.SetMeta(MetaNode, "master")
+	master.SetMeta(MetaEpochMicros, itoa64(base))
+	master.Record(Event{Kind: Place, Unit: "m", Start: 0, End: 0, TaskID: 0, Node: "w1"})
+	master.Record(Event{Kind: Place, Unit: "m", Start: 0, End: 0, TaskID: 1, Node: "w1"})
+	master.Record(Event{Kind: Place, Unit: "m", Start: 0.1, End: 0.1, TaskID: 2, Node: "w2"})
+
+	// w1, first incarnation: runs task 0, fails task 1, crashes.
+	w1a := New()
+	w1a.SetMeta(MetaNode, "w1")
+	w1a.SetMeta(MetaEpochMicros, itoa64(base))
+	w1a.Record(Event{Kind: Task, Unit: "slot0", Label: "potrf", Start: 0, End: 1, TaskID: 0})
+	w1a.Record(Event{Kind: Failure, Unit: "slot0", Label: "trsm", Start: 1.0, End: 1.4, TaskID: 1, ParentIDs: []int{0}})
+
+	// w1, second incarnation: restarts 2s later (fresh epoch), retries
+	// task 1. Its local clock restarted from zero — only the new epoch
+	// places the retry after the failure on the merged timeline.
+	w1b := New()
+	w1b.SetMeta(MetaNode, "w1")
+	w1b.SetMeta(MetaEpochMicros, itoa64(base+2_000_000))
+	w1b.Record(Event{Kind: Task, Unit: "slot0", Label: "trsm", Start: 0.5, End: 1.5, TaskID: 1, ParentIDs: []int{0}})
+
+	// w2: ran a speculative duplicate of task 0 that lost (earlier global
+	// End than w1's run), then task 2 once task 1's retry landed.
+	w2 := New()
+	w2.SetMeta(MetaNode, "w2")
+	w2.SetMeta(MetaEpochMicros, itoa64(base+500_000))
+	w2.Record(Event{Kind: Task, Unit: "slot0", Label: "potrf", Start: 0, End: 0.2, TaskID: 0})
+	w2.Record(Event{Kind: Task, Unit: "slot0", Label: "syrk", Start: 3.2, End: 4.4, TaskID: 2, ParentIDs: []int{1}})
+
+	m, err := Merge(master, w1a, w1b, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The merged timeline is globally sorted and causally ordered: each
+	// task's surviving attempt starts at or after every parent's surviving
+	// end, even across w1's epoch boundary.
+	events := m.Events()
+	surviving := map[int]Event{}
+	for i, e := range events {
+		if i > 0 && e.Start < events[i-1].Start {
+			t.Fatalf("merged events out of order at %d: %v after %v", i, e.Start, events[i-1].Start)
+		}
+		if e.Kind != Task {
+			continue
+		}
+		if prev, ok := surviving[e.TaskID]; !ok || e.End > prev.End {
+			surviving[e.TaskID] = e
+		}
+	}
+	for id, e := range surviving {
+		for _, p := range e.ParentIDs {
+			if pe, ok := surviving[p]; ok && e.Start < pe.End {
+				t.Fatalf("task %d starts at %v before parent %d ends at %v", id, e.Start, p, pe.End)
+			}
+		}
+	}
+	// The retry landed after the failure it supersedes.
+	if got := surviving[1].Start; got != 2.5 {
+		t.Fatalf("task 1 retry starts at %v; want 2.5 (0.5 local + 2s epoch delta)", got)
+	}
+
+	cp := m.CriticalPath()
+	if len(cp.TaskIDs) != 3 || cp.TaskIDs[0] != 0 || cp.TaskIDs[1] != 1 || cp.TaskIDs[2] != 2 {
+		t.Fatalf("critical path task ids = %v; want [0 1 2]", cp.TaskIDs)
+	}
+	// Surviving durations: task 0 on w1 (1s, the duplicate on w2 lost),
+	// task 1's retry (1s), task 2 (1.2s).
+	if want := 1 + 1 + 1.2; cp.Length < want-1e-9 || cp.Length > want+1e-9 {
+		t.Fatalf("critical path length = %v; want %v", cp.Length, want)
+	}
+	if e := cp.Events[0]; e.Node != "w1" || e.End != 1 {
+		t.Fatalf("path uses the losing duplicate of task 0: %+v", e)
+	}
+	if e := cp.Events[1]; e.Node != "w1" || e.Start != 2.5 || e.Kind != Task {
+		t.Fatalf("path does not use the surviving retry of task 1: %+v", e)
+	}
+	if e := cp.Events[2]; e.Node != "w2" {
+		t.Fatalf("task 2 attributed to %q; want w2", e.Node)
+	}
+	// Both incarnations' epochs survive under the node-prefixed meta (the
+	// later registration wins the key, matching registry semantics).
+	if got := m.Meta()["w1/"+MetaEpochMicros]; got != itoa64(base+2_000_000) {
+		t.Fatalf("w1 merged epoch = %q; want the restart's", got)
+	}
+}
+
 func TestMergeErrors(t *testing.T) {
 	if _, err := Merge(); err == nil {
 		t.Fatal("Merge() of nothing succeeded")

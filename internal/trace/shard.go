@@ -85,6 +85,8 @@ func (s *Shard) Flush() {
 		s.parent.blocks = append(s.parent.blocks, s.cur)
 	}
 	s.parent.dropped += s.dropped
+	s.parent.droppedTotal += s.dropped
+	s.parent.enforceLimitLocked()
 	s.parent.mu.Unlock()
 	s.chunks, s.cur, s.buffered, s.dropped = nil, nil, 0, 0
 }

@@ -166,6 +166,11 @@ type Trace struct {
 	blocks  [][]Event // chunks transferred whole from flushed Shards
 	meta    map[string]string
 	dropped uint64
+	// limit bounds the events held between drains (0 = unbounded); see
+	// SetLimit. droppedTotal counts every drop for the life of the trace —
+	// unlike dropped it survives Drain, so a metric fed from it is monotonic.
+	limit        int
+	droppedTotal uint64
 }
 
 // New returns an empty trace.
@@ -176,6 +181,50 @@ func (t *Trace) Record(e Event) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.events = append(t.events, e)
+	t.enforceLimitLocked()
+}
+
+// SetLimit bounds how many events the trace holds (0 or negative removes
+// the bound). Once the limit is exceeded the oldest events are discarded —
+// whole flushed-shard blocks first, then direct records — and counted in
+// Dropped and DroppedTotal. A collector that drains regularly never hits
+// the bound; a trace nobody drains stops growing instead of eating the
+// process (the pdlworkerd span buffer sets this).
+func (t *Trace) SetLimit(n int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n < 0 {
+		n = 0
+	}
+	t.limit = n
+	t.enforceLimitLocked()
+}
+
+// enforceLimitLocked discards oldest events past the limit. Block drops are
+// whole-block (ownership-transferred shard chunks are never split), so the
+// trace may briefly undershoot the limit by up to one block. Callers hold
+// t.mu.
+func (t *Trace) enforceLimitLocked() {
+	if t.limit <= 0 {
+		return
+	}
+	over := t.lenLocked() - t.limit
+	for over > 0 && len(t.blocks) > 0 {
+		n := len(t.blocks[0])
+		t.dropped += uint64(n)
+		t.droppedTotal += uint64(n)
+		over -= n
+		t.blocks[0] = nil
+		t.blocks = t.blocks[1:]
+	}
+	if over > 0 {
+		if over > len(t.events) {
+			over = len(t.events)
+		}
+		t.dropped += uint64(over)
+		t.droppedTotal += uint64(over)
+		t.events = append(t.events[:0], t.events[over:]...)
+	}
 }
 
 // SetMeta attaches a metadata key/value to the trace (scheduler, kernel ISA,
@@ -200,12 +249,22 @@ func (t *Trace) Meta() map[string]string {
 	return out
 }
 
-// Dropped reports how many events were overwritten in shard ring buffers
-// before they could be merged (0 unless a run overflowed its shards).
+// Dropped reports how many events were overwritten in shard ring buffers or
+// discarded by the trace's own limit before they could be read (0 unless a
+// run overflowed). Drain resets it along with the events it accounts for.
 func (t *Trace) Dropped() uint64 {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return t.dropped
+}
+
+// DroppedTotal reports the monotonic drop count for the life of the trace:
+// unlike Dropped it is never reset by Drain, so counters exported from it
+// only move forward.
+func (t *Trace) DroppedTotal() uint64 {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.droppedTotal
 }
 
 // lenLocked counts all recorded events. Callers hold t.mu.
